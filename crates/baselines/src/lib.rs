@@ -1,0 +1,21 @@
+//! # baselines
+//!
+//! The two existing tools the DProf evaluation compares against:
+//!
+//! * [`oprofile`] — a hardware-counter code profiler that ranks *functions* by clock
+//!   cycles and L2 misses (Table 6.3),
+//! * [`lockstat`] — the kernel lock-contention reporter (Tables 6.2 and 6.6).
+//!
+//! Both consume the same simulated machine/kernel that DProf profiles, so the
+//! comparison in the case studies can be reproduced: the baselines see symptoms
+//! (many warm functions, contended locks) while DProf's data-centric views point at the
+//! object types and the core-crossing points that cause them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lockstat;
+pub mod oprofile;
+
+pub use lockstat::LockstatReport;
+pub use oprofile::{OprofileReport, OprofileRow};

@@ -1,0 +1,82 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * transmit-queue policy (hash vs local) — the §6.1 fix,
+//! * accept-queue admission control (deep vs bounded backlog) — the §6.2 fix,
+//! * IBS sampling enabled vs disabled — the cost of access-sample collection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dprof_bench::Scale;
+use sim_kernel::TxQueuePolicy;
+use sim_machine::IbsConfig;
+use workloads::{measure_throughput, Apache, ApacheConfig, Memcached, MemcachedConfig};
+
+fn bench_scale() -> Scale {
+    let mut s = Scale::quick();
+    s.warmup_rounds = 10;
+    s.measured_rounds = 40;
+    s
+}
+
+fn ablation_queue_policy(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("ablation_tx_queue_policy");
+    group.sample_size(10);
+    for (name, policy) in
+        [("hash", TxQueuePolicy::HashTxQueue), ("local", TxQueuePolicy::LocalQueue)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            b.iter(|| {
+                let cfg =
+                    MemcachedConfig { cores: scale.cores, tx_policy: policy, ..Default::default() };
+                let (mut m, mut k, mut w) = Memcached::setup(cfg);
+                let r = measure_throughput(&mut m, &mut k, &mut w, scale.warmup_rounds, scale.measured_rounds);
+                r.requests
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_admission_control(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("ablation_admission_control");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("deep_backlog", ApacheConfig::drop_off()),
+        ("admission_control", ApacheConfig::admission_control()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut cfg = *cfg;
+                cfg.cores = scale.cores;
+                let (mut m, mut k, mut w) = Apache::setup(cfg);
+                let r = measure_throughput(&mut m, &mut k, &mut w, scale.warmup_rounds, scale.measured_rounds);
+                r.requests
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_ibs_sampling(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("ablation_ibs_sampling");
+    group.sample_size(10);
+    for (name, interval) in [("disabled", 0u64), ("interval_50_ops", 50u64)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &interval, |b, &interval| {
+            b.iter(|| {
+                let cfg = MemcachedConfig { cores: scale.cores, ..Default::default() };
+                let (mut m, mut k, mut w) = Memcached::setup(cfg);
+                if interval > 0 {
+                    m.configure_ibs(IbsConfig::with_interval(interval));
+                }
+                let r = measure_throughput(&mut m, &mut k, &mut w, scale.warmup_rounds, scale.measured_rounds);
+                r.requests
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablations, ablation_queue_policy, ablation_admission_control, ablation_ibs_sampling);
+criterion_main!(ablations);

@@ -1,0 +1,59 @@
+//! Criterion benches timing the figure-producing experiments (Figures 6-1, 6-2, 6-3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dprof_bench::{ibs_overhead_sweep, path_coverage, profile_memcached, Scale, WhichWorkload};
+
+fn bench_scale() -> Scale {
+    let mut s = Scale::quick();
+    s.warmup_rounds = 10;
+    s.measured_rounds = 40;
+    s.sample_rounds = 40;
+    s.history_sets = 3;
+    s
+}
+
+fn fig6_1_skbuff_data_flow(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig6.1_skbuff_data_flow", |b| {
+        b.iter(|| {
+            let study = profile_memcached(&scale);
+            let skbuff = study.kernel.kt.skbuff;
+            study
+                .profile
+                .data_flows
+                .get(&skbuff)
+                .map(|g| g.cpu_crossing_edges().len())
+                .unwrap_or(0)
+        })
+    });
+}
+
+fn fig6_2_ibs_overhead_sweep(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig6.2_ibs_overhead_sweep_memcached", |b| {
+        b.iter(|| {
+            ibs_overhead_sweep(WhichWorkload::Memcached, &scale, &[0.0, 6_000.0, 18_000.0])
+                .points
+                .len()
+        })
+    });
+}
+
+fn fig6_3_path_coverage(c: &mut Criterion) {
+    let mut scale = bench_scale();
+    scale.warmup_rounds = 5;
+    c.bench_function("fig6.3_path_coverage_skbuff", |b| {
+        b.iter(|| {
+            path_coverage(WhichWorkload::Memcached, &scale, |k| (k.kt.skbuff, "skbuff"), &[1, 4], 8)
+                .points
+                .len()
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig6_1_skbuff_data_flow, fig6_2_ibs_overhead_sweep, fig6_3_path_coverage
+}
+criterion_main!(figures);

@@ -1,0 +1,87 @@
+//! Microbenchmarks of the substrate itself: cache-hierarchy access throughput, allocator
+//! alloc/free cost, and the per-request cost of the two workload paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_cache::{AccessKind, CacheHierarchy, HierarchyConfig};
+use sim_kernel::{KernelConfig, KernelState, TxQueuePolicy};
+use sim_machine::{Machine, MachineConfig};
+
+fn cache_hierarchy_access(c: &mut Criterion) {
+    c.bench_function("cache_hierarchy_1k_accesses", |b| {
+        let mut h = CacheHierarchy::new(HierarchyConfig::paper_machine());
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..1_000 {
+                i = i.wrapping_add(4096).wrapping_mul(31).wrapping_add(64);
+                h.access((i % 16) as usize, i % (1 << 24), AccessKind::Read);
+            }
+            h.stats.accesses
+        })
+    });
+}
+
+fn allocator_alloc_free(c: &mut Criterion) {
+    c.bench_function("slab_alloc_free_100_skbuffs", |b| {
+        let mut m = Machine::new(MachineConfig::with_cores(4));
+        let mut k = KernelState::new(
+            &mut m,
+            KernelConfig { cores: 4, workers_per_core: 1, ..Default::default() },
+        );
+        b.iter(|| {
+            let mut addrs = Vec::with_capacity(100);
+            for i in 0..100usize {
+                addrs.push(k.allocator.alloc(&mut m, &k.types, i % 4, k.kt.skbuff));
+            }
+            for (i, a) in addrs.into_iter().enumerate() {
+                k.allocator.free(&mut m, (i + 1) % 4, a);
+            }
+            k.allocator.live_objects()
+        })
+    });
+}
+
+fn memcached_request_path(c: &mut Criterion) {
+    c.bench_function("memcached_single_request_path", |b| {
+        let mut m = Machine::new(MachineConfig::with_cores(4));
+        let mut k = KernelState::new(
+            &mut m,
+            KernelConfig {
+                cores: 4,
+                tx_policy: TxQueuePolicy::LocalQueue,
+                workers_per_core: 1,
+                ..Default::default()
+            },
+        );
+        b.iter(|| {
+            let skb = k.netif_rx(&mut m, 0, 64);
+            k.udp_deliver(&mut m, 0, skb, 0);
+            k.udp_app_recv(&mut m, 0, 0);
+            let reply = k.udp_sendmsg(&mut m, 0, 0, 1000);
+            k.dev_queue_xmit(&mut m, 0, reply);
+            k.qdisc_run(&mut m, 0);
+            k.ixgbe_clean_tx_irq(&mut m, 0)
+        })
+    });
+}
+
+fn apache_request_path(c: &mut Criterion) {
+    c.bench_function("apache_single_request_path", |b| {
+        let mut m = Machine::new(MachineConfig::with_cores(4));
+        let mut k = KernelState::new(
+            &mut m,
+            KernelConfig { cores: 4, workers_per_core: 2, ..Default::default() },
+        );
+        b.iter(|| {
+            k.tcp_syn_rcv(&mut m, 0, 0);
+            let conn = k.inet_csk_accept(&mut m, 0, 0).unwrap();
+            let req = k.netif_rx(&mut m, 0, 256);
+            k.tcp_serve_request(&mut m, 0, &conn, req, 1024);
+            k.tcp_close(&mut m, 0, conn);
+            k.qdisc_run(&mut m, 0);
+            k.ixgbe_clean_tx_irq(&mut m, 0)
+        })
+    });
+}
+
+criterion_group!(micro, cache_hierarchy_access, allocator_alloc_free, memcached_request_path, apache_request_path);
+criterion_main!(micro);

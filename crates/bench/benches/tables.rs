@@ -1,0 +1,85 @@
+//! Criterion benches timing the table-producing experiments (Tables 6.1–6.10).
+//!
+//! Each bench regenerates the data behind one paper table at quick scale, so `cargo
+//! bench` both exercises the full pipeline and gives a wall-clock cost per experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dprof_bench::{history_overhead_rows, profile_apache, profile_memcached, Scale, WhichWorkload};
+use dprof_core::CollectionMode;
+use workloads::ApacheConfig;
+
+fn bench_scale() -> Scale {
+    let mut s = Scale::quick();
+    s.warmup_rounds = 10;
+    s.measured_rounds = 40;
+    s.sample_rounds = 40;
+    s.history_sets = 3;
+    s
+}
+
+fn table6_1_memcached_data_profile(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("table6.1_memcached_data_profile", |b| {
+        b.iter(|| {
+            let study = profile_memcached(&scale);
+            assert!(!study.profile.data_profile.is_empty());
+            study.profile.data_profile.len()
+        })
+    });
+}
+
+fn table6_2_6_3_baselines(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("table6.2_6.3_memcached_baselines", |b| {
+        b.iter(|| {
+            let study = profile_memcached(&scale);
+            (study.lockstat.rows.len(), study.oprofile.rows.len())
+        })
+    });
+}
+
+fn table6_4_apache_peak(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("table6.4_apache_peak_profile", |b| {
+        b.iter(|| profile_apache(&scale, ApacheConfig::peak()).profile.data_profile.len())
+    });
+}
+
+fn table6_5_apache_drop_off(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("table6.5_apache_drop_off_profile", |b| {
+        b.iter(|| profile_apache(&scale, ApacheConfig::drop_off()).profile.data_profile.len())
+    });
+}
+
+fn table6_7_history_collection(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("table6.7_history_collection_memcached", |b| {
+        b.iter(|| {
+            history_overhead_rows(WhichWorkload::Memcached, &scale, CollectionMode::SingleOffset)
+                .len()
+        })
+    });
+}
+
+fn table6_10_pairwise_collection(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("table6.10_pairwise_collection_memcached", |b| {
+        b.iter(|| {
+            history_overhead_rows(WhichWorkload::Memcached, &scale, CollectionMode::Pairwise).len()
+        })
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets =
+        table6_1_memcached_data_profile,
+        table6_2_6_3_baselines,
+        table6_4_apache_peak,
+        table6_5_apache_drop_off,
+        table6_7_history_collection,
+        table6_10_pairwise_collection
+}
+criterion_main!(tables);

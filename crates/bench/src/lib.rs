@@ -1,0 +1,32 @@
+//! # dprof-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the DProf
+//! evaluation (Chapter 6 of the thesis), plus the ablations called out in DESIGN.md.
+//!
+//! * [`case_studies`] — the memcached (§6.1) and Apache (§6.2) case studies: Tables
+//!   6.1–6.6, Figure 6-1, and the two fixes (57 % and 16 %).
+//! * [`overheads`] — Figure 6-2 (IBS sampling overhead), Tables 6.7–6.10 (object access
+//!   history collection costs), Figure 6-3 (unique-path coverage), Table 4.1 (example
+//!   path trace).
+//! * [`scale`] — paper-scale vs quick-scale experiment settings.
+//!
+//! The `repro` binary (`cargo run -p dprof-bench --bin repro -- all`) prints the
+//! paper-style tables; the Criterion benches under `benches/` time the same experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case_studies;
+pub mod overheads;
+pub mod scale;
+
+pub use case_studies::{
+    apache_admission_fix, memcached_queue_fix, profile_apache, profile_memcached, ApacheStudy,
+    FixResult, MemcachedStudy,
+};
+pub use overheads::{
+    example_path_trace, history_overhead_rows, ibs_overhead_sweep, path_coverage,
+    render_history_rows, HistoryOverheadRow, OverheadPoint, OverheadSweep, PathCoverageSeries,
+    WhichWorkload,
+};
+pub use scale::Scale;

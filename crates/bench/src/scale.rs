@@ -1,0 +1,77 @@
+//! Experiment scaling: every experiment can run at paper scale (16 cores, long runs) or
+//! at a reduced "quick" scale for CI, unit tests and Criterion benches.
+
+use serde::{Deserialize, Serialize};
+
+/// Knobs shared by all experiments.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Scale {
+    /// Number of simulated cores (the paper machine has 16).
+    pub cores: usize,
+    /// Workload rounds used to warm caches before measuring.
+    pub warmup_rounds: usize,
+    /// Workload rounds measured for throughput numbers.
+    pub measured_rounds: usize,
+    /// Workload rounds run during DProf's access-sampling phase.
+    pub sample_rounds: usize,
+    /// IBS sampling interval (memory operations between samples).
+    pub ibs_interval_ops: u64,
+    /// Object-access-history sets collected per type.
+    pub history_sets: usize,
+    /// Number of top types DProf collects histories for.
+    pub history_types: usize,
+}
+
+impl Scale {
+    /// Paper-scale settings: 16 cores and run lengths that give stable statistics.
+    pub fn paper() -> Self {
+        Scale {
+            cores: 16,
+            warmup_rounds: 60,
+            measured_rounds: 250,
+            sample_rounds: 250,
+            ibs_interval_ops: 120,
+            history_sets: 24,
+            history_types: 4,
+        }
+    }
+
+    /// Reduced settings for fast runs (CI, Criterion, integration tests).
+    pub fn quick() -> Self {
+        Scale {
+            cores: 4,
+            warmup_rounds: 15,
+            measured_rounds: 60,
+            sample_rounds: 60,
+            ibs_interval_ops: 60,
+            history_sets: 4,
+            history_types: 3,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_testbed_core_count() {
+        assert_eq!(Scale::paper().cores, 16);
+        assert_eq!(Scale::default().cores, 16);
+    }
+
+    #[test]
+    fn quick_scale_is_smaller_everywhere() {
+        let p = Scale::paper();
+        let q = Scale::quick();
+        assert!(q.cores < p.cores);
+        assert!(q.measured_rounds < p.measured_rounds);
+        assert!(q.history_sets < p.history_sets);
+    }
+}

@@ -1,0 +1,476 @@
+//! Object access histories (§5.3, Table 5.2) and their collection through the debug
+//! registers.
+//!
+//! An object access history records every instruction that touched one offset of one
+//! object between its allocation and its free.  The hardware constraint — four debug
+//! registers, eight bytes each — forces DProf to cover a data type a few bytes at a
+//! time, across many objects ("history sets"), and optionally to monitor *pairs* of
+//! offsets in the same object so that accesses to different members can be ordered
+//! (pairwise sampling, §6.4).
+
+use serde::{Deserialize, Serialize};
+use sim_cache::CoreId;
+use sim_kernel::{KernelState, TypeId};
+use sim_machine::{FunctionId, Machine, WatchpointHit, MAX_WATCH_LEN};
+
+/// One element of an object access history (Table 5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistoryElement {
+    /// Offset within the data type that was accessed.
+    pub offset: u64,
+    /// Instruction address responsible for the access.
+    pub ip: FunctionId,
+    /// The CPU that executed the instruction.
+    pub cpu: CoreId,
+    /// Time of the access, in cycles from the object's allocation.
+    pub time: u64,
+    /// Whether the access was a write (needed by the invalidation classifier).
+    pub is_write: bool,
+}
+
+/// The complete trace of accesses to (part of) one object, from allocation to free.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectAccessHistory {
+    /// The object's data type.
+    pub type_id: TypeId,
+    /// The offsets that were being watched when this history was collected.
+    pub watched_offsets: Vec<u64>,
+    /// Core that allocated the object.
+    pub alloc_core: CoreId,
+    /// Recorded accesses, ordered by time.
+    pub elements: Vec<HistoryElement>,
+    /// Object lifetime in cycles (allocation to free), if the free was observed.
+    pub lifetime: Option<u64>,
+}
+
+impl ObjectAccessHistory {
+    /// The execution path of this history: the sequence of `(ip, cpu_changed)` pairs,
+    /// which is how the thesis defines equality of paths (§4, Table 4.1).
+    pub fn execution_path(&self) -> Vec<(FunctionId, bool)> {
+        let mut path = Vec::with_capacity(self.elements.len());
+        let mut prev_cpu = self.alloc_core;
+        for e in &self.elements {
+            path.push((e.ip, e.cpu != prev_cpu));
+            prev_cpu = e.cpu;
+        }
+        path
+    }
+
+    /// True if any access happened on a core other than the allocating core or the
+    /// previous access's core (the "bounce" flag of the data-profile view).
+    pub fn bounces(&self) -> bool {
+        self.execution_path().iter().any(|(_, changed)| *changed)
+    }
+}
+
+/// How object access histories are collected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CollectionMode {
+    /// One watchpoint per object: each history covers a single offset.
+    SingleOffset,
+    /// Two watchpoints per object covering a pair of offsets, so accesses to different
+    /// members can be interleaved/ordered (quadratically more histories are needed to
+    /// cover a type, Table 6.10).
+    Pairwise,
+}
+
+/// Statistics describing one history-collection run, used for the overhead tables
+/// (6.7–6.10).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CollectionStats {
+    /// Histories successfully collected.
+    pub histories: u64,
+    /// Total history elements recorded.
+    pub elements: u64,
+    /// Cycles of application time elapsed during collection (max core clock delta).
+    pub elapsed_cycles: u64,
+    /// Cycles spent in debug-register interrupts.
+    pub interrupt_cycles: u64,
+    /// Cycles spent reserving objects with the memory subsystem.
+    pub memory_cycles: u64,
+    /// Cycles spent broadcasting debug-register setup to all cores.
+    pub communication_cycles: u64,
+    /// History sets completed.
+    pub sets_completed: u64,
+}
+
+impl CollectionStats {
+    /// Total profiling overhead cycles.
+    pub fn overhead_cycles(&self) -> u64 {
+        self.interrupt_cycles + self.memory_cycles + self.communication_cycles
+    }
+
+    /// Profiling overhead as a fraction of elapsed application cycles.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.elapsed_cycles == 0 {
+            0.0
+        } else {
+            self.overhead_cycles() as f64 / self.elapsed_cycles as f64
+        }
+    }
+
+    /// Collection time in seconds for a machine running at `cycles_per_second`.
+    pub fn collection_seconds(&self, cycles_per_second: u64) -> f64 {
+        self.elapsed_cycles as f64 / cycles_per_second as f64
+    }
+
+    /// Histories collected per second.
+    pub fn histories_per_second(&self, cycles_per_second: u64) -> f64 {
+        let secs = self.collection_seconds(cycles_per_second);
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.histories as f64 / secs
+        }
+    }
+
+    /// Elements recorded per second.
+    pub fn elements_per_second(&self, cycles_per_second: u64) -> f64 {
+        let secs = self.collection_seconds(cycles_per_second);
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.elements as f64 / secs
+        }
+    }
+
+    /// Average elements per history.
+    pub fn elements_per_history(&self) -> f64 {
+        if self.histories == 0 {
+            0.0
+        } else {
+            self.elements as f64 / self.histories as f64
+        }
+    }
+
+    /// Overhead breakdown `(interrupt, memory, communication)` fractions of the total
+    /// overhead (Table 6.9).
+    pub fn overhead_breakdown(&self) -> (f64, f64, f64) {
+        let t = self.overhead_cycles() as f64;
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.interrupt_cycles as f64 / t,
+            self.memory_cycles as f64 / t,
+            self.communication_cycles as f64 / t,
+        )
+    }
+}
+
+/// Configuration of history collection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistoryConfig {
+    /// How many history sets to collect (each set covers every watched offset once).
+    pub history_sets: usize,
+    /// Bytes covered by one watchpoint (1..=8).
+    pub watch_granularity: u64,
+    /// Single-offset or pairwise collection.
+    pub mode: CollectionMode,
+    /// Maximum workload rounds to wait for an object to be allocated or freed before
+    /// giving up on it.
+    pub max_rounds_per_object: usize,
+    /// If set, restrict watching to these offsets (the thesis notes DProf profiles just
+    /// the most-used members to keep pairwise collection tractable).
+    pub offsets_of_interest: Option<Vec<u64>>,
+    /// Upper bound (exclusive) on the random number of matching allocations skipped
+    /// before arming, so the profiled objects are a random subset rather than always the
+    /// first allocation of every round.  `1` disables randomisation.
+    pub sampling_skip_max: u32,
+    /// Seed for the deterministic skip-count sequence.
+    pub seed: u64,
+}
+
+impl Default for HistoryConfig {
+    fn default() -> Self {
+        HistoryConfig {
+            history_sets: 40,
+            watch_granularity: MAX_WATCH_LEN,
+            mode: CollectionMode::SingleOffset,
+            max_rounds_per_object: 60,
+            offsets_of_interest: None,
+            sampling_skip_max: 12,
+            seed: 0xd90f,
+        }
+    }
+}
+
+/// Collects object access histories for `type_id` by repeatedly reserving a freshly
+/// allocated object, watching one offset (or a pair of offsets) until the object is
+/// freed, and recording every hit.
+///
+/// `step` advances the workload by one round; the collector interleaves profiling with
+/// the running workload exactly as the real tool does.
+pub fn collect_histories<F>(
+    machine: &mut Machine,
+    kernel: &mut KernelState,
+    type_id: TypeId,
+    config: &HistoryConfig,
+    mut step: F,
+) -> (Vec<ObjectAccessHistory>, CollectionStats)
+where
+    F: FnMut(&mut Machine, &mut KernelState),
+{
+    let type_size = kernel.types.size(type_id);
+    let gran = config.watch_granularity.clamp(1, MAX_WATCH_LEN);
+    let offsets: Vec<u64> = match &config.offsets_of_interest {
+        Some(offs) => offs.clone(),
+        None => (0..type_size).step_by(gran as usize).collect(),
+    };
+
+    // Build the list of watch targets for one "history set".
+    let targets: Vec<Vec<u64>> = match config.mode {
+        CollectionMode::SingleOffset => offsets.iter().map(|&o| vec![o]).collect(),
+        CollectionMode::Pairwise => {
+            let mut pairs = Vec::new();
+            for (i, &a) in offsets.iter().enumerate() {
+                for &b in &offsets[i + 1..] {
+                    pairs.push(vec![a, b]);
+                }
+            }
+            if pairs.is_empty() {
+                offsets.iter().map(|&o| vec![o]).collect()
+            } else {
+                pairs
+            }
+        }
+    };
+
+    let mut histories = Vec::new();
+    let mut stats = CollectionStats::default();
+    let start_cycles = machine.max_clock();
+    let start_overhead = machine.watchpoints.overhead;
+    // Deterministic xorshift sequence for the per-object sampling skip.
+    let mut rng_state = config.seed | 1;
+    let mut next_skip = |max: u32| -> u32 {
+        if max <= 1 {
+            return 0;
+        }
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        (rng_state % max as u64) as u32
+    };
+
+    for _set in 0..config.history_sets {
+        for watch_offsets in &targets {
+            let skip = next_skip(config.sampling_skip_max);
+            if let Some(h) = collect_one_history(
+                machine,
+                kernel,
+                type_id,
+                watch_offsets,
+                gran,
+                type_size,
+                config.max_rounds_per_object,
+                skip,
+                &mut step,
+            ) {
+                stats.histories += 1;
+                stats.elements += h.elements.len() as u64;
+                histories.push(h);
+            }
+        }
+        stats.sets_completed += 1;
+    }
+
+    stats.elapsed_cycles = machine.max_clock().saturating_sub(start_cycles);
+    let overhead = machine.watchpoints.overhead;
+    stats.interrupt_cycles = overhead.interrupt_cycles - start_overhead.interrupt_cycles;
+    stats.memory_cycles = overhead.memory_cycles - start_overhead.memory_cycles;
+    stats.communication_cycles =
+        overhead.communication_cycles - start_overhead.communication_cycles;
+    (histories, stats)
+}
+
+/// Reserves the next allocation of `type_id` (the allocator arms the watchpoints the
+/// moment the object is allocated), runs the workload until the object is freed, and
+/// returns its history.
+#[allow(clippy::too_many_arguments)]
+fn collect_one_history<F>(
+    machine: &mut Machine,
+    kernel: &mut KernelState,
+    type_id: TypeId,
+    watch_offsets: &[u64],
+    gran: u64,
+    type_size: u64,
+    max_rounds: usize,
+    skip: u32,
+    step: &mut F,
+) -> Option<ObjectAccessHistory>
+where
+    F: FnMut(&mut Machine, &mut KernelState),
+{
+    // Discard any stale hits from previous objects and file the request.
+    machine.watchpoints.drain();
+    kernel.allocator.profile_hook.finished = None;
+    kernel.allocator.profile_hook.armed = None;
+    kernel.allocator.profile_hook.request = Some(sim_kernel::ProfileRequest {
+        type_id,
+        offsets: watch_offsets.to_vec(),
+        granularity: gran,
+        skip,
+    });
+
+    // Run until the watched object has been allocated *and* freed (the allocator moves
+    // it to `finished`), giving up after the round budget.
+    let mut rounds = 0;
+    let object = loop {
+        if let Some(done) = kernel.allocator.profile_hook.finished.take() {
+            break done;
+        }
+        if rounds >= max_rounds {
+            // Either no object of the type was allocated, or it is still alive.  Salvage
+            // a partial history if one is armed; otherwise give up.
+            kernel.allocator.profile_hook.request = None;
+            match kernel.allocator.profile_hook.armed.take() {
+                Some(armed) => {
+                    for &id in &armed.watchpoints {
+                        machine.disarm_watchpoint(id);
+                    }
+                    break armed;
+                }
+                None => return None,
+            }
+        }
+        step(machine, kernel);
+        rounds += 1;
+    };
+
+    // The watchpoints were armed for this object only, so every hit belongs to it; the
+    // drain order is the true global order of the accesses (the simulation is
+    // sequential), which sidesteps the skew between per-core cycle counters.
+    let hits: Vec<WatchpointHit> = machine.watchpoints.drain();
+    let base = object.base;
+    let alloc_cycle = object.alloc_cycle;
+    let elements: Vec<HistoryElement> = hits
+        .into_iter()
+        .filter(|h| h.addr >= base && h.addr < base + type_size)
+        .map(|h| HistoryElement {
+            offset: h.addr - base,
+            ip: h.ip,
+            cpu: h.core,
+            time: h.cycle.saturating_sub(alloc_cycle),
+            is_write: h.kind.is_write(),
+        })
+        .collect();
+
+    Some(ObjectAccessHistory {
+        type_id,
+        watched_offsets: watch_offsets.to_vec(),
+        alloc_core: object.alloc_core,
+        elements,
+        lifetime: object.free_cycle.map(|f| f.saturating_sub(alloc_cycle)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::KernelConfig;
+    use sim_machine::MachineConfig;
+
+    /// A tiny synthetic workload: every round allocates an skbuff on core 0, writes two
+    /// of its fields (one from core 0, one from core 1), and frees it on core 1.
+    fn bouncing_step(m: &mut Machine, k: &mut KernelState) {
+        let skb = k.alloc_skb(m, 0, 100, false);
+        m.write(0, k.syms.skb_put, skb.skb_addr + 24, 4);
+        m.read(1, k.syms.dev_hard_start_xmit, skb.skb_addr + 24, 4);
+        k.kfree_skb(m, 1, skb, k.syms.kfree_skb);
+    }
+
+    fn setup() -> (Machine, KernelState) {
+        let mut m = Machine::new(MachineConfig::with_cores(2));
+        let k = KernelState::new(
+            &mut m,
+            KernelConfig { cores: 2, workers_per_core: 1, ..Default::default() },
+        );
+        (m, k)
+    }
+
+    #[test]
+    fn collects_histories_with_cpu_changes() {
+        let (mut m, mut k) = setup();
+        let cfg = HistoryConfig {
+            history_sets: 3,
+            offsets_of_interest: Some(vec![24]),
+            ..Default::default()
+        };
+        let skbuff = k.kt.skbuff;
+        let (histories, stats) = collect_histories(&mut m, &mut k, skbuff, &cfg, bouncing_step);
+        assert!(!histories.is_empty(), "expected at least one history");
+        assert_eq!(stats.histories as usize, histories.len());
+        assert!(stats.elements > 0);
+        // The offset-24 field is written on core 0 and read on core 1: the history must
+        // show a CPU change.
+        assert!(histories.iter().any(|h| h.bounces()), "expected a bouncing history");
+        // All recorded offsets are within the watched granule.
+        for h in &histories {
+            for e in &h.elements {
+                assert!(e.offset >= 24 && e.offset < 32);
+            }
+        }
+    }
+
+    #[test]
+    fn lifetime_recorded_when_object_freed() {
+        let (mut m, mut k) = setup();
+        let cfg = HistoryConfig {
+            history_sets: 1,
+            offsets_of_interest: Some(vec![0]),
+            ..Default::default()
+        };
+        let skbuff = k.kt.skbuff;
+        let (histories, _) = collect_histories(&mut m, &mut k, skbuff, &cfg, bouncing_step);
+        assert!(histories.iter().all(|h| h.lifetime.is_some()));
+    }
+
+    #[test]
+    fn overhead_is_accounted() {
+        let (mut m, mut k) = setup();
+        let cfg = HistoryConfig {
+            history_sets: 2,
+            offsets_of_interest: Some(vec![24]),
+            ..Default::default()
+        };
+        let skbuff = k.kt.skbuff;
+        let (_h, stats) = collect_histories(&mut m, &mut k, skbuff, &cfg, bouncing_step);
+        assert!(stats.communication_cycles > 0, "arming must charge the broadcast cost");
+        assert!(stats.memory_cycles > 0);
+        assert!(stats.overhead_fraction() > 0.0);
+        let (i, mem, c) = stats.overhead_breakdown();
+        assert!((i + mem + c - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pairwise_mode_watches_two_offsets() {
+        let (mut m, mut k) = setup();
+        let cfg = HistoryConfig {
+            history_sets: 1,
+            mode: CollectionMode::Pairwise,
+            offsets_of_interest: Some(vec![24, 0]),
+            ..Default::default()
+        };
+        let skbuff = k.kt.skbuff;
+        let (histories, _) = collect_histories(&mut m, &mut k, skbuff, &cfg, bouncing_step);
+        assert!(histories.iter().any(|h| h.watched_offsets.len() == 2));
+    }
+
+    #[test]
+    fn execution_path_marks_cpu_changes() {
+        let h = ObjectAccessHistory {
+            type_id: TypeId(0),
+            watched_offsets: vec![0],
+            alloc_core: 0,
+            elements: vec![
+                HistoryElement { offset: 0, ip: FunctionId(1), cpu: 0, time: 1, is_write: true },
+                HistoryElement { offset: 0, ip: FunctionId(2), cpu: 1, time: 2, is_write: false },
+                HistoryElement { offset: 0, ip: FunctionId(3), cpu: 1, time: 3, is_write: false },
+            ],
+            lifetime: Some(10),
+        };
+        let path = h.execution_path();
+        assert_eq!(path, vec![(FunctionId(1), false), (FunctionId(2), true), (FunctionId(3), false)]);
+        assert!(h.bounces());
+    }
+}

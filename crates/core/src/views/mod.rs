@@ -1,0 +1,18 @@
+//! The four DProf views (§3 of the thesis).
+//!
+//! * [`data_profile`] — types ranked by their share of cache misses, with bounce flags.
+//! * [`working_set`] — per-type cache footprint and the associativity-set histogram.
+//! * [`miss_class`] — per-type classification into invalidation / conflict / capacity
+//!   misses.
+//! * [`data_flow`] — the merged graph of execution paths objects of a type take, with
+//!   core-crossing edges highlighted.
+
+pub mod data_flow;
+pub mod data_profile;
+pub mod miss_class;
+pub mod working_set;
+
+pub use data_flow::{DataFlowEdge, DataFlowGraph, DataFlowNode};
+pub use data_profile::{build_data_profile, DataProfileRow};
+pub use miss_class::{classify_misses, MissClass, TypeMissClassification};
+pub use working_set::{build_working_set, AssocSetUsage, TypeWorkingSet, WorkingSetView};

@@ -1,0 +1,282 @@
+//! The working-set view (§4.2): which types occupy the cache, how many of each are live
+//! at once, and how they map onto associativity sets.
+//!
+//! DProf generates this view by running a lightweight cache simulation over the address
+//! set.  Here the equivalent is computed analytically: the address set records every
+//! allocation's lifetime, so the time-weighted average footprint of each type and the
+//! distribution of live objects over associativity sets follow directly.
+
+use serde::{Deserialize, Serialize};
+use sim_cache::CacheGeometry;
+use sim_kernel::{AllocRecord, TypeId, TypeRegistry};
+use std::collections::HashMap;
+
+/// Per-type working-set summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TypeWorkingSet {
+    /// The type.
+    pub type_id: TypeId,
+    /// Type name.
+    pub name: String,
+    /// Type description.
+    pub description: String,
+    /// Time-weighted average bytes of this type live during the window.
+    pub avg_live_bytes: f64,
+    /// Time-weighted average number of live objects.
+    pub avg_live_objects: f64,
+    /// Peak live bytes during the window.
+    pub peak_live_bytes: u64,
+}
+
+/// One crowded associativity set and the types occupying it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AssocSetUsage {
+    /// Set index in the (per-core L2) cache.
+    pub set_index: usize,
+    /// Distinct cache lines that mapped to this set during the window.
+    pub distinct_lines: usize,
+    /// Number of distinct lines contributed by each type.
+    pub types: Vec<(TypeId, usize)>,
+}
+
+/// The working-set view.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkingSetView {
+    /// Per-type footprint, sorted by average live bytes (largest first).
+    pub per_type: Vec<TypeWorkingSet>,
+    /// Distinct lines that mapped to each associativity set during the window.
+    pub assoc_histogram: Vec<usize>,
+    /// Sets holding far more distinct lines than the average (candidate conflict sets),
+    /// sorted by occupancy.
+    pub conflict_sets: Vec<AssocSetUsage>,
+    /// Associativity (ways) of the modelled cache.
+    pub cache_ways: usize,
+    /// Total bytes of the modelled cache.
+    pub cache_capacity: u64,
+}
+
+impl WorkingSetView {
+    /// Total average working set across all types, in bytes.
+    pub fn total_avg_bytes(&self) -> f64 {
+        self.per_type.iter().map(|t| t.avg_live_bytes).sum()
+    }
+
+    /// The working-set row for a given type, if present.
+    pub fn for_type(&self, type_id: TypeId) -> Option<&TypeWorkingSet> {
+        self.per_type.iter().find(|t| t.type_id == type_id)
+    }
+
+    /// True if the total working set exceeds the cache capacity (the precondition for
+    /// capacity misses).
+    pub fn exceeds_capacity(&self) -> bool {
+        self.total_avg_bytes() > self.cache_capacity as f64
+    }
+
+    /// True if the type contributes lines to any flagged conflict set.
+    pub fn type_in_conflict_set(&self, type_id: TypeId) -> bool {
+        self.conflict_sets.iter().any(|s| s.types.iter().any(|(t, _)| *t == type_id))
+    }
+}
+
+/// Builds the working-set view from the address set over the cycle window
+/// `[window_start, window_end)`, using `geometry` (typically the per-core L2) for the
+/// associativity analysis.
+pub fn build_working_set(
+    address_set: &[AllocRecord],
+    registry: &TypeRegistry,
+    geometry: CacheGeometry,
+    window_start: u64,
+    window_end: u64,
+) -> WorkingSetView {
+    let window_end = window_end.max(window_start + 1);
+    let window = (window_end - window_start) as f64;
+
+    // Time-weighted average live bytes/objects per type.
+    #[derive(Default)]
+    struct Acc {
+        byte_cycles: f64,
+        object_cycles: f64,
+        peak_bytes: u64,
+        current_bytes: u64,
+    }
+    let mut acc: HashMap<TypeId, Acc> = HashMap::new();
+
+    // Event sweep: +1 at alloc (clamped to window), -1 at free (or window end).
+    let mut events: Vec<(u64, TypeId, i64, u64)> = Vec::new(); // (cycle, type, delta_objs, size)
+    for r in address_set {
+        let start = r.alloc_cycle.max(window_start);
+        let end = r.free_cycle.unwrap_or(window_end).min(window_end);
+        if end <= start || start >= window_end {
+            continue;
+        }
+        events.push((start, r.type_id, 1, r.size));
+        events.push((end, r.type_id, -1, r.size));
+        let a = acc.entry(r.type_id).or_default();
+        let live = (end - start) as f64;
+        a.byte_cycles += live * r.size as f64;
+        a.object_cycles += live;
+    }
+    // Peak tracking needs ordered events.
+    events.sort_by_key(|e| e.0);
+    for (_, ty, delta, size) in &events {
+        let a = acc.entry(*ty).or_default();
+        if *delta > 0 {
+            a.current_bytes += size;
+            a.peak_bytes = a.peak_bytes.max(a.current_bytes);
+        } else {
+            a.current_bytes = a.current_bytes.saturating_sub(*size);
+        }
+    }
+
+    let mut per_type: Vec<TypeWorkingSet> = acc
+        .iter()
+        .map(|(&ty, a)| {
+            let info = registry.info(ty);
+            TypeWorkingSet {
+                type_id: ty,
+                name: info.name.clone(),
+                description: info.description.clone(),
+                avg_live_bytes: a.byte_cycles / window,
+                avg_live_objects: a.object_cycles / window,
+                peak_live_bytes: a.peak_bytes,
+            }
+        })
+        .collect();
+    per_type.sort_by(|a, b| b.avg_live_bytes.partial_cmp(&a.avg_live_bytes).unwrap());
+
+    // Associativity-set histogram over the objects live at any point in the window.
+    let mut per_set_lines: Vec<HashMap<u64, TypeId>> = vec![HashMap::new(); geometry.sets];
+    for r in address_set {
+        let end = r.free_cycle.unwrap_or(u64::MAX);
+        if end <= window_start || r.alloc_cycle >= window_end {
+            continue;
+        }
+        let mut addr = r.addr;
+        while addr < r.addr + r.size {
+            let set = geometry.set_index(addr);
+            per_set_lines[set].insert(geometry.line_addr(addr), r.type_id);
+            addr += geometry.line_size as u64;
+        }
+    }
+    let assoc_histogram: Vec<usize> = per_set_lines.iter().map(|m| m.len()).collect();
+    let avg_lines =
+        assoc_histogram.iter().sum::<usize>() as f64 / assoc_histogram.len().max(1) as f64;
+
+    // Conflict sets: more lines than the set can hold AND much more crowded than average
+    // (the thesis uses a factor of 2).
+    let mut conflict_sets: Vec<AssocSetUsage> = assoc_histogram
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > geometry.ways && (n as f64) > 2.0 * avg_lines)
+        .map(|(set_index, &n)| {
+            let mut counts: HashMap<TypeId, usize> = HashMap::new();
+            for ty in per_set_lines[set_index].values() {
+                *counts.entry(*ty).or_insert(0) += 1;
+            }
+            let mut types: Vec<(TypeId, usize)> = counts.into_iter().collect();
+            types.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+            AssocSetUsage { set_index, distinct_lines: n, types }
+        })
+        .collect();
+    conflict_sets.sort_by_key(|s| std::cmp::Reverse(s.distinct_lines));
+
+    WorkingSetView {
+        per_type,
+        assoc_histogram,
+        conflict_sets,
+        cache_ways: geometry.ways,
+        cache_capacity: geometry.capacity() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(addr: u64, type_id: u32, size: u64, alloc: u64, free: Option<u64>) -> AllocRecord {
+        AllocRecord {
+            addr,
+            type_id: TypeId(type_id),
+            size,
+            alloc_core: 0,
+            alloc_cycle: alloc,
+            free_core: free.map(|_| 0),
+            free_cycle: free,
+        }
+    }
+
+    fn registry() -> TypeRegistry {
+        let mut r = TypeRegistry::new();
+        r.register("a", "type a", 1024); // TypeId(0)
+        r.register("b", "type b", 256); // TypeId(1)
+        r
+    }
+
+    #[test]
+    fn average_live_bytes_time_weighted() {
+        let reg = registry();
+        // One object of type a live for the whole window, one of type b for half of it.
+        let recs = vec![
+            record(0x1000, 0, 1024, 0, None),
+            record(0x2000, 1, 256, 0, Some(500)),
+        ];
+        let ws = build_working_set(&recs, &reg, CacheGeometry::l2_default(), 0, 1000);
+        let a = ws.for_type(TypeId(0)).unwrap();
+        let b = ws.for_type(TypeId(1)).unwrap();
+        assert!((a.avg_live_bytes - 1024.0).abs() < 1.0);
+        assert!((b.avg_live_bytes - 128.0).abs() < 1.0);
+        assert!((a.avg_live_objects - 1.0).abs() < 0.01);
+        assert_eq!(ws.per_type[0].type_id, TypeId(0), "largest type first");
+    }
+
+    #[test]
+    fn peak_bytes_tracked() {
+        let reg = registry();
+        let recs = vec![
+            record(0x1000, 1, 256, 0, Some(400)),
+            record(0x2000, 1, 256, 100, Some(300)),
+        ];
+        let ws = build_working_set(&recs, &reg, CacheGeometry::l2_default(), 0, 1000);
+        assert_eq!(ws.for_type(TypeId(1)).unwrap().peak_live_bytes, 512);
+    }
+
+    #[test]
+    fn conflict_sets_detected_when_one_set_is_crowded() {
+        let reg = registry();
+        let geom = CacheGeometry::new(64, 4, 64); // small cache: 4 ways, 64 sets
+        // 32 one-line objects that all map to set 0 (stride = sets * line).
+        let stride = (geom.sets * geom.line_size) as u64;
+        let mut recs = Vec::new();
+        for i in 0..32u64 {
+            recs.push(record(0x10_0000 + i * stride, 1, 64, 0, None));
+        }
+        // Plus a few objects spread over other sets.
+        for i in 0..8u64 {
+            recs.push(record(0x20_0040 + i * 64, 0, 64, 0, None));
+        }
+        let ws = build_working_set(&recs, &reg, geom, 0, 1000);
+        assert!(!ws.conflict_sets.is_empty(), "the crowded set must be flagged");
+        assert_eq!(ws.conflict_sets[0].distinct_lines, 32);
+        assert!(ws.type_in_conflict_set(TypeId(1)));
+        assert!(!ws.type_in_conflict_set(TypeId(0)));
+    }
+
+    #[test]
+    fn capacity_detection() {
+        let reg = registry();
+        let geom = CacheGeometry::new(64, 2, 16); // 2 KiB cache
+        let recs: Vec<AllocRecord> =
+            (0..8).map(|i| record(0x1000 + i * 1024, 0, 1024, 0, None)).collect();
+        let ws = build_working_set(&recs, &reg, geom, 0, 100);
+        assert!(ws.exceeds_capacity());
+        assert!(ws.total_avg_bytes() >= 8.0 * 1024.0 - 1.0);
+    }
+
+    #[test]
+    fn objects_outside_window_ignored() {
+        let reg = registry();
+        let recs = vec![record(0x1000, 0, 1024, 2000, Some(3000))];
+        let ws = build_working_set(&recs, &reg, CacheGeometry::l2_default(), 0, 1000);
+        assert!(ws.for_type(TypeId(0)).is_none());
+    }
+}

@@ -1,0 +1,667 @@
+//! The multi-core cache hierarchy: per-core L1/L2, shared L3, directory-based MESI.
+
+use crate::cache::{LookupResult, SetAssocCache};
+use crate::geometry::CacheGeometry;
+use crate::latency::LatencyModel;
+use crate::line::MesiState;
+use crate::stats::{HierarchyStats, MissKind};
+use crate::{Addr, CoreId, LineAddr};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Whether an access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// True for stores.
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// Which level of the memory system satisfied an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HitLevel {
+    /// Local level-1 cache.
+    L1,
+    /// Local level-2 cache.
+    L2,
+    /// Shared last-level cache.
+    L3,
+    /// Another core's private cache ("foreign cache" in the thesis).
+    RemoteCache,
+    /// Main memory.
+    Dram,
+}
+
+impl HitLevel {
+    /// True if the access missed the local private caches (L1 and L2).
+    pub fn is_miss(self) -> bool {
+        !matches!(self, HitLevel::L1 | HitLevel::L2)
+    }
+
+    /// True if the data crossed a core boundary.
+    pub fn is_remote(self) -> bool {
+        matches!(self, HitLevel::RemoteCache)
+    }
+
+    /// Human-readable name used in path-trace output ("local L1", "foreign cache", ...).
+    pub fn display_name(self) -> &'static str {
+        match self {
+            HitLevel::L1 => "local L1",
+            HitLevel::L2 => "local L2",
+            HitLevel::L3 => "shared L3",
+            HitLevel::RemoteCache => "foreign cache",
+            HitLevel::Dram => "DRAM",
+        }
+    }
+}
+
+/// The outcome of a single memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessOutcome {
+    /// Where the data came from.
+    pub level: HitLevel,
+    /// Cycles spent waiting for the data.
+    pub latency: u64,
+    /// Ground-truth classification when the access missed the private caches.
+    pub miss_kind: Option<MissKind>,
+    /// The associativity set index (in the L2) the line maps to.
+    pub l2_set: usize,
+    /// The line address accessed.
+    pub line: LineAddr,
+}
+
+/// Why a line most recently left a core's private caches; used for ground-truth miss
+/// classification on the next access by that core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DepartReason {
+    Invalidated,
+    Evicted,
+}
+
+/// Directory entry tracking which cores hold a line.
+#[derive(Debug, Clone, Default)]
+struct DirEntry {
+    /// Bitmask of cores holding the line in some private cache.
+    sharers: u64,
+    /// Core holding the line in Modified state, if any.
+    owner: Option<CoreId>,
+}
+
+/// Configuration of the cache hierarchy.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Number of cores (each gets a private L1 and L2).
+    pub cores: usize,
+    /// L1 geometry.
+    pub l1: CacheGeometry,
+    /// L2 geometry.
+    pub l2: CacheGeometry,
+    /// Shared L3 geometry.
+    pub l3: CacheGeometry,
+    /// Latency model.
+    pub latency: LatencyModel,
+}
+
+impl HierarchyConfig {
+    /// The 16-core configuration used for the paper-scale experiments.
+    pub fn paper_machine() -> Self {
+        HierarchyConfig {
+            cores: 16,
+            l1: CacheGeometry::l1_default(),
+            l2: CacheGeometry::l2_default(),
+            l3: CacheGeometry::l3_default(),
+            latency: LatencyModel::default(),
+        }
+    }
+
+    /// A small 2-core configuration for unit tests and doc examples.
+    pub fn small_test() -> Self {
+        HierarchyConfig {
+            cores: 2,
+            l1: CacheGeometry::new(64, 2, 16),   // 2 KiB
+            l2: CacheGeometry::new(64, 4, 32),   // 8 KiB
+            l3: CacheGeometry::new(64, 8, 64),   // 32 KiB
+            latency: LatencyModel::default(),
+        }
+    }
+
+    /// Same as [`Self::paper_machine`] but with a custom core count.
+    pub fn with_cores(cores: usize) -> Self {
+        let mut c = Self::paper_machine();
+        c.cores = cores;
+        c
+    }
+}
+
+/// The full multi-core cache hierarchy.
+///
+/// All coherence is modelled with a central directory: for every line we track the set
+/// of cores holding it and the single owner (if dirty).  Private caches are looked up
+/// L1-then-L2; the shared L3 is non-inclusive and mostly acts as a victim/shared cache.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    config: HierarchyConfig,
+    l1: Vec<SetAssocCache>,
+    l2: Vec<SetAssocCache>,
+    l3: SetAssocCache,
+    directory: HashMap<LineAddr, DirEntry>,
+    /// Per-core record of why a line most recently left that core's private caches.
+    departures: Vec<HashMap<LineAddr, DepartReason>>,
+    /// Per-core set of lines ever touched (used to distinguish cold misses).
+    touched: Vec<HashMap<LineAddr, ()>>,
+    /// Aggregated statistics.
+    pub stats: HierarchyStats,
+    /// Per-core statistics.
+    pub per_core: Vec<HierarchyStats>,
+}
+
+impl CacheHierarchy {
+    /// Creates an empty hierarchy.
+    pub fn new(config: HierarchyConfig) -> Self {
+        assert!(config.cores >= 1 && config.cores <= 64, "1..=64 cores supported");
+        CacheHierarchy {
+            l1: (0..config.cores).map(|_| SetAssocCache::new(config.l1)).collect(),
+            l2: (0..config.cores).map(|_| SetAssocCache::new(config.l2)).collect(),
+            l3: SetAssocCache::new(config.l3),
+            directory: HashMap::new(),
+            departures: vec![HashMap::new(); config.cores],
+            touched: vec![HashMap::new(); config.cores],
+            stats: HierarchyStats::default(),
+            per_core: vec![HierarchyStats::default(); config.cores],
+            config,
+        }
+    }
+
+    /// The configuration this hierarchy was built with.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.config.cores
+    }
+
+    /// Line size in bytes (identical across levels).
+    pub fn line_size(&self) -> usize {
+        self.config.l1.line_size
+    }
+
+    /// Converts a byte address to a line address.
+    pub fn line_addr(&self, addr: Addr) -> LineAddr {
+        self.config.l1.line_addr(addr)
+    }
+
+    /// Access to the per-core L2 cache (read-only), e.g. for working-set inspection.
+    pub fn l2_cache(&self, core: CoreId) -> &SetAssocCache {
+        &self.l2[core]
+    }
+
+    /// Access to the per-core L1 cache (read-only).
+    pub fn l1_cache(&self, core: CoreId) -> &SetAssocCache {
+        &self.l1[core]
+    }
+
+    /// Access to the shared L3 cache (read-only).
+    pub fn l3_cache(&self) -> &SetAssocCache {
+        &self.l3
+    }
+
+    /// Performs a single memory access of at most one cache line.
+    ///
+    /// Accesses spanning a line boundary should be split by the caller (the
+    /// `sim-machine` crate does this); each call touches exactly one line.
+    pub fn access(&mut self, core: CoreId, addr: Addr, kind: AccessKind) -> AccessOutcome {
+        assert!(core < self.config.cores, "core {core} out of range");
+        let line = self.line_addr(addr);
+        let l2_set = self.config.l2.set_index_of_line(line);
+        let latency_model = self.config.latency;
+
+        let (level, extra) = self.access_line(core, line, kind);
+        let latency = latency_model.for_level(level) + extra;
+
+        let miss_kind = if level.is_miss() { Some(self.classify_miss(core, line)) } else { None };
+
+        // Record that this core has now touched the line and clear any departure note.
+        self.touched[core].insert(line, ());
+        self.departures[core].remove(&line);
+
+        self.record_stats(core, level, latency, miss_kind);
+
+        AccessOutcome { level, latency, miss_kind, l2_set, line }
+    }
+
+    /// Core of the access algorithm: returns the satisfying level plus extra latency
+    /// (e.g. a shared-to-modified upgrade penalty).
+    fn access_line(&mut self, core: CoreId, line: LineAddr, kind: AccessKind) -> (HitLevel, u64) {
+        let is_write = kind.is_write();
+
+        // L1 lookup.
+        if let LookupResult::Hit(state) = self.l1[core].lookup(line) {
+            let extra = if is_write && !state.can_write_silently() {
+                self.upgrade_to_modified(core, line);
+                self.config.latency.upgrade
+            } else if is_write {
+                self.mark_modified_local(core, line);
+                0
+            } else {
+                0
+            };
+            return (HitLevel::L1, extra);
+        }
+
+        // L2 lookup.
+        if let LookupResult::Hit(state) = self.l2[core].lookup(line) {
+            let extra = if is_write && !state.can_write_silently() {
+                self.upgrade_to_modified(core, line);
+                self.config.latency.upgrade
+            } else if is_write {
+                self.mark_modified_local(core, line);
+                0
+            } else {
+                0
+            };
+            // Promote into L1.
+            let new_state = if is_write { MesiState::Modified } else { state };
+            self.fill_private(core, line, new_state, /*l1_only=*/true);
+            return (HitLevel::L2, extra);
+        }
+
+        // Private miss: consult the directory.
+        let entry = self.directory.get(&line).cloned().unwrap_or_default();
+        let other_sharers = entry.sharers & !(1u64 << core);
+        let remote_owner = entry.owner.filter(|&o| o != core && Self::holds(&self.l1, &self.l2, o, line));
+
+        let level = if let Some(owner) = remote_owner {
+            // Dirty line lives in another core's cache: cache-to-cache transfer.
+            if is_write {
+                self.invalidate_remote_copies(core, line);
+            } else {
+                // Owner downgrades to Shared; line is also pushed to L3.
+                self.l1[owner].set_state(line, MesiState::Shared);
+                self.l2[owner].set_state(line, MesiState::Shared);
+                self.l3.fill(line, MesiState::Shared);
+                let e = self.directory.entry(line).or_default();
+                e.owner = None;
+            }
+            HitLevel::RemoteCache
+        } else if other_sharers != 0 && self.any_core_holds(other_sharers, line) {
+            // Clean copy in some other private cache (and possibly L3).
+            if is_write {
+                self.invalidate_remote_copies(core, line);
+            } else {
+                // Remote Exclusive copies must downgrade to Shared so a later write on
+                // that core performs a visible upgrade (and invalidates us).
+                for c in 0..self.config.cores {
+                    if c != core && (other_sharers & (1 << c)) != 0 {
+                        self.l1[c].set_state(line, MesiState::Shared);
+                        self.l2[c].set_state(line, MesiState::Shared);
+                        let e = self.directory.entry(line).or_default();
+                        if e.owner == Some(c) {
+                            e.owner = None;
+                        }
+                    }
+                }
+            }
+            // Clean sharing is typically serviced by the L3 / snoop at L3 latency.
+            if self.l3.peek(line).is_none() {
+                self.l3.fill(line, MesiState::Shared);
+            } else {
+                let _ = self.l3.lookup(line);
+            }
+            HitLevel::L3
+        } else if self.l3.peek(line).is_some() {
+            let _ = self.l3.lookup(line);
+            if is_write {
+                self.invalidate_remote_copies(core, line);
+            }
+            HitLevel::L3
+        } else {
+            if is_write {
+                self.invalidate_remote_copies(core, line);
+            }
+            HitLevel::Dram
+        };
+
+        // Fill into this core's private caches with the right state.
+        let state = if is_write {
+            MesiState::Modified
+        } else if other_sharers != 0 && self.any_core_holds(other_sharers, line) {
+            MesiState::Shared
+        } else {
+            MesiState::Exclusive
+        };
+        self.fill_private(core, line, state, /*l1_only=*/false);
+
+        // Update directory.
+        let e = self.directory.entry(line).or_default();
+        e.sharers |= 1 << core;
+        if is_write {
+            e.owner = Some(core);
+        } else if e.owner == Some(core) {
+            // keep
+        } else if state == MesiState::Exclusive {
+            e.owner = None;
+        }
+
+        (level, 0)
+    }
+
+    /// True if core `c` holds `line` in either private level.
+    fn holds(l1: &[SetAssocCache], l2: &[SetAssocCache], c: CoreId, line: LineAddr) -> bool {
+        l1[c].peek(line).is_some() || l2[c].peek(line).is_some()
+    }
+
+    fn any_core_holds(&self, mask: u64, line: LineAddr) -> bool {
+        (0..self.config.cores)
+            .filter(|c| mask & (1 << c) != 0)
+            .any(|c| Self::holds(&self.l1, &self.l2, c, line))
+    }
+
+    /// Write hit on a line already held in M or E: just mark it Modified locally.
+    fn mark_modified_local(&mut self, core: CoreId, line: LineAddr) {
+        self.l1[core].set_state(line, MesiState::Modified);
+        self.l2[core].set_state(line, MesiState::Modified);
+        let e = self.directory.entry(line).or_default();
+        e.owner = Some(core);
+        e.sharers |= 1 << core;
+    }
+
+    /// Write hit on a Shared line: invalidate all other copies and take ownership.
+    fn upgrade_to_modified(&mut self, core: CoreId, line: LineAddr) {
+        self.invalidate_remote_copies(core, line);
+        self.l1[core].set_state(line, MesiState::Modified);
+        self.l2[core].set_state(line, MesiState::Modified);
+        let e = self.directory.entry(line).or_default();
+        e.owner = Some(core);
+        e.sharers = 1 << core;
+    }
+
+    /// Removes the line from every core except `writer`, recording the invalidation so
+    /// the victims' next miss on this line is classified as an invalidation miss.
+    fn invalidate_remote_copies(&mut self, writer: CoreId, line: LineAddr) {
+        for c in 0..self.config.cores {
+            if c == writer {
+                continue;
+            }
+            let mut had = false;
+            if self.l1[c].invalidate(line).is_some() {
+                had = true;
+            }
+            if self.l2[c].invalidate(line).is_some() {
+                had = true;
+            }
+            if had {
+                self.departures[c].insert(line, DepartReason::Invalidated);
+            }
+        }
+        // A remote write also invalidates the stale L3 copy.
+        self.l3.invalidate(line);
+        let e = self.directory.entry(line).or_default();
+        e.sharers &= 1 << writer;
+        e.owner = Some(writer);
+    }
+
+    /// Fills the line into this core's private caches, handling evictions.
+    fn fill_private(&mut self, core: CoreId, line: LineAddr, state: MesiState, l1_only: bool) {
+        if let Some(victim) = self.l1[core].fill(line, state) {
+            // An L1 victim usually still lives in the L2, so it has not left the core.
+            if self.l2[core].peek(victim.line).is_none() {
+                if victim.is_dirty() {
+                    self.l3.fill(victim.line, MesiState::Modified);
+                }
+                self.note_eviction(core, victim.line);
+            }
+        }
+        if !l1_only {
+            if let Some(victim) = self.l2[core].fill(line, state) {
+                // Leaving the L2 means leaving the core (unless the tiny L1 still has it,
+                // which we resolve by dropping the L1 copy too, mimicking inclusion).
+                self.l1[core].invalidate(victim.line);
+                if victim.is_dirty() {
+                    self.l3.fill(victim.line, MesiState::Modified);
+                }
+                self.note_eviction(core, victim.line);
+            }
+        }
+    }
+
+    fn note_eviction(&mut self, core: CoreId, line: LineAddr) {
+        // Invalidation takes precedence if both happened (shouldn't, but be safe).
+        self.departures[core].entry(line).or_insert(DepartReason::Evicted);
+        let e = self.directory.entry(line).or_default();
+        if !Self::holds(&self.l1, &self.l2, core, line) {
+            e.sharers &= !(1u64 << core);
+            if e.owner == Some(core) {
+                e.owner = None;
+            }
+        }
+    }
+
+    /// Ground-truth classification of a private-cache miss.
+    fn classify_miss(&self, core: CoreId, line: LineAddr) -> MissKind {
+        match self.departures[core].get(&line) {
+            Some(DepartReason::Invalidated) => MissKind::Invalidation,
+            Some(DepartReason::Evicted) => MissKind::Eviction,
+            None => {
+                if self.touched[core].contains_key(&line) {
+                    // The line was silently dropped (e.g. replaced in L3 after eviction
+                    // bookkeeping was cleared); treat as an eviction.
+                    MissKind::Eviction
+                } else {
+                    MissKind::Cold
+                }
+            }
+        }
+    }
+
+    fn record_stats(&mut self, core: CoreId, level: HitLevel, latency: u64, miss_kind: Option<MissKind>) {
+        for s in [&mut self.stats, &mut self.per_core[core]] {
+            s.accesses += 1;
+            s.total_latency += latency;
+            match level {
+                HitLevel::L1 => s.l1_hits += 1,
+                HitLevel::L2 => s.l2_hits += 1,
+                HitLevel::L3 => s.l3_hits += 1,
+                HitLevel::RemoteCache => s.remote_hits += 1,
+                HitLevel::Dram => s.dram_fills += 1,
+            }
+            if let Some(kind) = miss_kind {
+                *s.miss_kinds.entry(kind).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Resets all statistics (cache contents and coherence state are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = HierarchyStats::default();
+        for s in &mut self.per_core {
+            *s = HierarchyStats::default();
+        }
+        for c in &mut self.l1 {
+            c.reset_stats();
+        }
+        for c in &mut self.l2 {
+            c.reset_stats();
+        }
+        self.l3.reset_stats();
+    }
+
+    /// Checks the single-owner MESI invariant: a line in Modified state on one core is
+    /// not valid on any other core.  Used by property tests.
+    pub fn check_coherence_invariants(&self) -> Result<(), String> {
+        use std::collections::HashSet;
+        let mut modified_lines: HashMap<LineAddr, CoreId> = HashMap::new();
+        let mut holders: HashMap<LineAddr, HashSet<CoreId>> = HashMap::new();
+        for c in 0..self.config.cores {
+            for cache in [&self.l1[c], &self.l2[c]] {
+                for l in cache.resident_lines() {
+                    holders.entry(l.line).or_default().insert(c);
+                    if l.state == MesiState::Modified {
+                        if let Some(prev) = modified_lines.insert(l.line, c) {
+                            if prev != c {
+                                return Err(format!(
+                                    "line {:#x} Modified on cores {} and {}",
+                                    l.line, prev, c
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (line, owner) in &modified_lines {
+            let hs = &holders[line];
+            if hs.len() > 1 {
+                return Err(format!(
+                    "line {line:#x} Modified on core {owner} but also held by {} cores",
+                    hs.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> CacheHierarchy {
+        CacheHierarchy::new(HierarchyConfig::small_test())
+    }
+
+    #[test]
+    fn cold_miss_then_l1_hit() {
+        let mut h = hierarchy();
+        let first = h.access(0, 0x1000, AccessKind::Read);
+        assert_eq!(first.level, HitLevel::Dram);
+        assert_eq!(first.miss_kind, Some(MissKind::Cold));
+        let second = h.access(0, 0x1000, AccessKind::Read);
+        assert_eq!(second.level, HitLevel::L1);
+        assert_eq!(second.miss_kind, None);
+        assert!(second.latency < first.latency);
+    }
+
+    #[test]
+    fn same_line_different_offsets_hit() {
+        let mut h = hierarchy();
+        h.access(0, 0x1000, AccessKind::Read);
+        let o = h.access(0, 0x1030, AccessKind::Read);
+        assert_eq!(o.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn remote_dirty_line_is_foreign_cache_fetch() {
+        let mut h = hierarchy();
+        h.access(0, 0x2000, AccessKind::Write);
+        let r = h.access(1, 0x2000, AccessKind::Read);
+        assert_eq!(r.level, HitLevel::RemoteCache);
+        assert_eq!(r.latency, LatencyModel::default().remote_cache);
+    }
+
+    #[test]
+    fn write_invalidates_reader_then_reader_misses_as_invalidation() {
+        let mut h = hierarchy();
+        // Core 1 reads the line, core 0 writes it, core 1 reads again.
+        h.access(1, 0x3000, AccessKind::Read);
+        h.access(1, 0x3000, AccessKind::Read);
+        h.access(0, 0x3000, AccessKind::Write);
+        let r = h.access(1, 0x3000, AccessKind::Read);
+        assert!(r.level.is_miss());
+        assert_eq!(r.miss_kind, Some(MissKind::Invalidation));
+    }
+
+    #[test]
+    fn read_sharing_keeps_both_copies() {
+        let mut h = hierarchy();
+        h.access(0, 0x4000, AccessKind::Read);
+        h.access(1, 0x4000, AccessKind::Read);
+        // Both cores should now hit locally.
+        assert_eq!(h.access(0, 0x4000, AccessKind::Read).level, HitLevel::L1);
+        assert_eq!(h.access(1, 0x4000, AccessKind::Read).level, HitLevel::L1);
+        h.check_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_to_shared_line_upgrades_and_invalidates() {
+        let mut h = hierarchy();
+        h.access(0, 0x5000, AccessKind::Read);
+        h.access(1, 0x5000, AccessKind::Read);
+        // Core 0 writes: core 1's copy must be invalidated.
+        let w = h.access(0, 0x5000, AccessKind::Write);
+        assert_eq!(w.level, HitLevel::L1);
+        assert!(w.latency >= LatencyModel::default().l1 + LatencyModel::default().upgrade);
+        let r = h.access(1, 0x5000, AccessKind::Read);
+        assert!(r.level.is_miss());
+        assert_eq!(r.miss_kind, Some(MissKind::Invalidation));
+        h.check_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn capacity_eviction_classified_as_eviction() {
+        let mut h = hierarchy();
+        // Touch far more distinct lines than L1+L2 can hold, all from core 0, then
+        // re-touch the first line.
+        let l2_capacity_lines =
+            h.config().l2.sets * h.config().l2.ways + h.config().l1.sets * h.config().l1.ways;
+        h.access(0, 0x10_0000, AccessKind::Read);
+        for i in 0..(l2_capacity_lines as u64 * 4) {
+            h.access(0, 0x20_0000 + i * 64, AccessKind::Read);
+        }
+        let r = h.access(0, 0x10_0000, AccessKind::Read);
+        assert!(r.level.is_miss());
+        assert_eq!(r.miss_kind, Some(MissKind::Eviction));
+    }
+
+    #[test]
+    fn evicted_dirty_line_lands_in_l3() {
+        let mut h = hierarchy();
+        h.access(0, 0x30_0000, AccessKind::Write);
+        // Push it out of the private caches with conflicting lines.
+        let stride = (h.config().l2.sets * h.config().l2.line_size) as u64;
+        for i in 1..=(h.config().l2.ways as u64 + h.config().l1.ways as u64 + 2) {
+            h.access(0, 0x30_0000 + i * stride, AccessKind::Write);
+        }
+        // Now the original line should be served from L3, not DRAM.
+        let r = h.access(0, 0x30_0000, AccessKind::Read);
+        assert_eq!(r.level, HitLevel::L3, "dirty victim should have been written back to L3");
+    }
+
+    #[test]
+    fn per_core_stats_recorded() {
+        let mut h = hierarchy();
+        h.access(0, 0x1000, AccessKind::Read);
+        h.access(0, 0x1000, AccessKind::Read);
+        h.access(1, 0x8000, AccessKind::Read);
+        assert_eq!(h.per_core[0].accesses, 2);
+        assert_eq!(h.per_core[1].accesses, 1);
+        assert_eq!(h.stats.accesses, 3);
+        assert_eq!(h.stats.l1_hits, 1);
+    }
+
+    #[test]
+    fn stats_reset_preserves_contents() {
+        let mut h = hierarchy();
+        h.access(0, 0x1000, AccessKind::Read);
+        h.reset_stats();
+        assert_eq!(h.stats.accesses, 0);
+        // Content still cached.
+        assert_eq!(h.access(0, 0x1000, AccessKind::Read).level, HitLevel::L1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_invalid_core() {
+        let mut h = hierarchy();
+        h.access(99, 0x1000, AccessKind::Read);
+    }
+}

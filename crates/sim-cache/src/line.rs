@@ -1,0 +1,100 @@
+//! Cache line state: MESI coherence states and per-line metadata.
+
+use serde::{Deserialize, Serialize};
+
+/// MESI coherence state of a cache line held in a private cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MesiState {
+    /// The line is dirty and owned exclusively by one core.
+    Modified,
+    /// The line is clean and held by exactly one core.
+    Exclusive,
+    /// The line is clean and may be held by several cores.
+    Shared,
+    /// The line is not valid in this cache.  (Represented by absence in practice; this
+    /// variant exists so transitions can be expressed exhaustively.)
+    Invalid,
+}
+
+impl MesiState {
+    /// True if a local write can proceed without a coherence transaction.
+    pub fn can_write_silently(self) -> bool {
+        matches!(self, MesiState::Modified | MesiState::Exclusive)
+    }
+
+    /// True if the line holds valid data.
+    pub fn is_valid(self) -> bool {
+        !matches!(self, MesiState::Invalid)
+    }
+
+    /// The state after a local write hit.
+    pub fn after_local_write(self) -> MesiState {
+        match self {
+            MesiState::Invalid => MesiState::Invalid,
+            _ => MesiState::Modified,
+        }
+    }
+}
+
+/// A single line resident in a [`crate::SetAssocCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheLine {
+    /// Line address (byte address divided by the line size).
+    pub line: u64,
+    /// Coherence state.
+    pub state: MesiState,
+    /// Monotonic timestamp of the last access, used for LRU replacement.
+    pub last_used: u64,
+    /// Timestamp at which the line was filled into this cache.
+    pub filled_at: u64,
+}
+
+impl CacheLine {
+    /// Creates a freshly-filled line.
+    pub fn new(line: u64, state: MesiState, now: u64) -> Self {
+        CacheLine { line, state, last_used: now, filled_at: now }
+    }
+
+    /// True if the line must be written back when evicted.
+    pub fn is_dirty(&self) -> bool {
+        self.state == MesiState::Modified
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_write_only_in_m_or_e() {
+        assert!(MesiState::Modified.can_write_silently());
+        assert!(MesiState::Exclusive.can_write_silently());
+        assert!(!MesiState::Shared.can_write_silently());
+        assert!(!MesiState::Invalid.can_write_silently());
+    }
+
+    #[test]
+    fn local_write_transitions_to_modified() {
+        assert_eq!(MesiState::Exclusive.after_local_write(), MesiState::Modified);
+        assert_eq!(MesiState::Shared.after_local_write(), MesiState::Modified);
+        assert_eq!(MesiState::Modified.after_local_write(), MesiState::Modified);
+        assert_eq!(MesiState::Invalid.after_local_write(), MesiState::Invalid);
+    }
+
+    #[test]
+    fn dirty_only_when_modified() {
+        let m = CacheLine::new(1, MesiState::Modified, 0);
+        let e = CacheLine::new(1, MesiState::Exclusive, 0);
+        let s = CacheLine::new(1, MesiState::Shared, 0);
+        assert!(m.is_dirty());
+        assert!(!e.is_dirty());
+        assert!(!s.is_dirty());
+    }
+
+    #[test]
+    fn validity() {
+        assert!(MesiState::Modified.is_valid());
+        assert!(MesiState::Shared.is_valid());
+        assert!(!MesiState::Invalid.is_valid());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the cache substrate.
+
+use proptest::prelude::*;
+use sim_cache::{
+    AccessKind, CacheGeometry, CacheHierarchy, HierarchyConfig, HitLevel, MesiState, SetAssocCache,
+};
+
+/// Strategy producing a random access: (core, address, is_write).
+fn access_strategy(cores: usize) -> impl Strategy<Value = (usize, u64, bool)> {
+    (0..cores, 0u64..0x40_000u64, any::<bool>()).prop_map(|(c, a, w)| (c, a * 8, w))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The MESI single-owner invariant holds after any access sequence.
+    #[test]
+    fn coherence_invariant_holds(accesses in proptest::collection::vec(access_strategy(4), 1..300)) {
+        let mut cfg = HierarchyConfig::small_test();
+        cfg.cores = 4;
+        let mut h = CacheHierarchy::new(cfg);
+        for (core, addr, write) in accesses {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            h.access(core, addr, kind);
+            prop_assert!(h.check_coherence_invariants().is_ok());
+        }
+    }
+
+    /// A second access to the same address by the same core, with no intervening
+    /// activity, always hits in the L1.
+    #[test]
+    fn immediate_reaccess_hits(addr in 0u64..0x100_000u64, write in any::<bool>()) {
+        let mut h = CacheHierarchy::new(HierarchyConfig::small_test());
+        let kind = if write { AccessKind::Write } else { AccessKind::Read };
+        h.access(0, addr, kind);
+        let second = h.access(0, addr, AccessKind::Read);
+        prop_assert_eq!(second.level, HitLevel::L1);
+    }
+
+    /// Total accesses recorded equals the number of accesses issued, and the per-level
+    /// counts sum to the total.
+    #[test]
+    fn stats_account_for_every_access(accesses in proptest::collection::vec(access_strategy(2), 1..200)) {
+        let mut h = CacheHierarchy::new(HierarchyConfig::small_test());
+        let n = accesses.len() as u64;
+        for (core, addr, write) in accesses {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            h.access(core, addr, kind);
+        }
+        let s = &h.stats;
+        prop_assert_eq!(s.accesses, n);
+        prop_assert_eq!(
+            s.l1_hits + s.l2_hits + s.l3_hits + s.remote_hits + s.dram_fills,
+            n
+        );
+    }
+
+    /// A set never holds more lines than its associativity, and never holds the same
+    /// tag twice.
+    #[test]
+    fn set_occupancy_and_uniqueness(lines in proptest::collection::vec(0u64..4096u64, 1..500)) {
+        let geom = CacheGeometry::new(64, 4, 16);
+        let mut c = SetAssocCache::new(geom);
+        for l in &lines {
+            c.fill(*l, MesiState::Exclusive);
+        }
+        for set in 0..geom.sets {
+            prop_assert!(c.set_occupancy(set) <= geom.ways);
+        }
+        // Uniqueness: collect resident lines, no duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for l in c.resident_lines() {
+            prop_assert!(seen.insert(l.line), "duplicate resident line {:#x}", l.line);
+        }
+    }
+
+    /// Latency is always one of the modelled levels (plus possibly the upgrade penalty).
+    #[test]
+    fn latency_is_bounded(accesses in proptest::collection::vec(access_strategy(2), 1..100)) {
+        let mut h = CacheHierarchy::new(HierarchyConfig::small_test());
+        let lat = *h.config().latency();
+        for (core, addr, write) in accesses {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let out = h.access(core, addr, kind);
+            prop_assert!(out.latency >= lat.l1);
+            prop_assert!(out.latency <= lat.dram + lat.upgrade);
+        }
+    }
+}
+
+/// Helper trait used by the latency property test to borrow the latency model.
+trait LatencyAccess {
+    fn latency(&self) -> &sim_cache::LatencyModel;
+}
+
+impl LatencyAccess for HierarchyConfig {
+    fn latency(&self) -> &sim_cache::LatencyModel {
+        &self.latency
+    }
+}

@@ -1,0 +1,102 @@
+//! Socket buffers (`skbuff`): the kernel's per-packet bookkeeping structure.
+//!
+//! Every packet is represented by an `skbuff` object (256 bytes) plus a payload buffer
+//! allocated from the generic `size-1024` pool — exactly the two types that top the
+//! memcached data profile in Table 6.1.
+
+use serde::{Deserialize, Serialize};
+use sim_cache::CoreId;
+
+/// Field offsets within the skbuff structure used by the simulated network stack.
+/// They match the fields registered in [`crate::types::KernelTypes::register`].
+pub mod offsets {
+    /// `skb->next` queue linkage.
+    pub const NEXT: u64 = 0;
+    /// `skb->len`.
+    pub const LEN: u64 = 24;
+    /// `skb->queue_mapping`.
+    pub const QUEUE_MAPPING: u64 = 64;
+    /// `skb->protocol`.
+    pub const PROTOCOL: u64 = 66;
+    /// `skb->data` pointer.
+    pub const DATA: u64 = 80;
+    /// `skb->head` pointer.
+    pub const HEAD: u64 = 88;
+    /// `skb->dev` pointer.
+    pub const DEV: u64 = 96;
+    /// DMA address filled by `skb_dma_map`.
+    pub const DMA_ADDR: u64 = 128;
+    /// Reference count.
+    pub const USERS: u64 = 136;
+}
+
+/// A handle to a live packet: the skbuff object plus its payload buffer.
+///
+/// The handle is plain data; the underlying objects live in the
+/// [`crate::allocator::SlabAllocator`] and are freed through `kfree_skb`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Skb {
+    /// Base address of the skbuff structure.
+    pub skb_addr: u64,
+    /// Base address of the payload buffer (a `size-1024` object).
+    pub data_addr: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Flow hash used for transmit-queue selection.
+    pub hash: u64,
+    /// Core that allocated the packet.
+    pub alloc_core: CoreId,
+    /// Whether the skbuff came from the fclone (clone-capable) pool, as TCP transmit
+    /// buffers do.
+    pub fclone: bool,
+}
+
+impl Skb {
+    /// A simple deterministic flow hash derived from the payload address and length,
+    /// standing in for `skb_tx_hash`'s hash over the packet headers.
+    pub fn flow_hash(data_addr: u64, len: u64, salt: u64) -> u64 {
+        let mut h = data_addr ^ (len << 32) ^ salt;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^ (h >> 33)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_hash_is_deterministic() {
+        assert_eq!(Skb::flow_hash(0x1000, 512, 7), Skb::flow_hash(0x1000, 512, 7));
+        assert_ne!(Skb::flow_hash(0x1000, 512, 7), Skb::flow_hash(0x1040, 512, 7));
+    }
+
+    #[test]
+    fn flow_hash_spreads() {
+        let mut set = std::collections::HashSet::new();
+        for i in 0..256u64 {
+            set.insert(Skb::flow_hash(0x1000 + i * 1024, 1024, 0) % 16);
+        }
+        assert!(set.len() >= 12, "hash should cover most of 16 buckets, got {}", set.len());
+    }
+
+    #[test]
+    fn offsets_fit_inside_the_skbuff() {
+        for off in [
+            offsets::NEXT,
+            offsets::LEN,
+            offsets::QUEUE_MAPPING,
+            offsets::PROTOCOL,
+            offsets::DATA,
+            offsets::HEAD,
+            offsets::DEV,
+            offsets::DMA_ADDR,
+            offsets::USERS,
+        ] {
+            assert!(off < 256);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # sim-machine
+//!
+//! A cycle-approximate multicore machine model on top of [`sim_cache`], providing the
+//! performance-monitoring hardware that DProf depends on:
+//!
+//! * per-core cycle clocks and a simple timing model (memory latency + per-op cost),
+//! * a [`SymbolTable`] so workloads can attribute every access to a named kernel
+//!   function (the simulation's stand-in for instruction pointers),
+//! * an AMD-IBS-like statistical sampling unit ([`IbsUnit`]) that reports instruction
+//!   pointer, data address, cache level and latency for randomly tagged operations,
+//! * an x86-debug-register-like watchpoint unit ([`WatchpointUnit`]) with four 8-byte
+//!   watchpoints and explicit interrupt / cross-core setup costs,
+//! * always-on per-function counters that the OProfile baseline consumes.
+//!
+//! Profiling overhead is *charged to the core clocks*, which is what makes the paper's
+//! overhead experiments (Figure 6-2, Tables 6.7–6.10) reproducible: enabling heavier
+//! sampling slows the simulated workload down exactly as it slows the real one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ibs;
+pub mod machine;
+pub mod symbols;
+pub mod watchpoint;
+
+pub use ibs::{IbsConfig, IbsRecord, IbsUnit};
+pub use machine::{FunctionCounters, Machine, MachineConfig};
+pub use symbols::{FunctionId, SymbolTable};
+pub use watchpoint::{
+    Watchpoint, WatchpointCosts, WatchpointError, WatchpointHit, WatchpointId,
+    WatchpointOverhead, WatchpointUnit, MAX_WATCHPOINTS, MAX_WATCH_LEN,
+};
+
+pub use sim_cache::{AccessKind, AccessOutcome, CoreId, HitLevel, MissKind};

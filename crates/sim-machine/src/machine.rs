@@ -1,0 +1,396 @@
+//! The simulated multicore machine: per-core cycle clocks, memory accesses routed
+//! through the cache hierarchy, always-on per-function performance counters, the IBS
+//! sampling unit and the watchpoint unit.
+
+use crate::ibs::{IbsConfig, IbsUnit};
+use crate::symbols::{FunctionId, SymbolTable};
+use crate::watchpoint::{WatchpointError, WatchpointId, WatchpointUnit};
+use serde::{Deserialize, Serialize};
+use sim_cache::{
+    AccessKind, AccessOutcome, CacheHierarchy, CoreId, HierarchyConfig, HitLevel, MissKind,
+};
+use std::collections::HashMap;
+
+/// Machine-wide configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Cache hierarchy configuration (includes the core count).
+    pub hierarchy: HierarchyConfig,
+    /// Simulated clock frequency, cycles per second.  Used to convert cycle counts into
+    /// wall-clock seconds, sampling rates and throughput numbers.
+    pub cycles_per_second: u64,
+    /// Fixed instruction cost, in cycles, charged per memory operation on top of the
+    /// memory latency (models the non-memory work around each access).
+    pub op_cost: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            hierarchy: HierarchyConfig::paper_machine(),
+            cycles_per_second: 3_000_000_000,
+            op_cost: 1,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The 16-core configuration used for paper-scale experiments.
+    pub fn paper_machine() -> Self {
+        Self::default()
+    }
+
+    /// A small 2-core configuration for tests.
+    pub fn small_test() -> Self {
+        MachineConfig {
+            hierarchy: HierarchyConfig::small_test(),
+            cycles_per_second: 1_000_000_000,
+            op_cost: 1,
+        }
+    }
+
+    /// Same as the paper machine but with a custom core count.
+    pub fn with_cores(cores: usize) -> Self {
+        MachineConfig { hierarchy: HierarchyConfig::with_cores(cores), ..Self::default() }
+    }
+}
+
+/// Always-on per-function performance counters, equivalent to what a hardware-counter
+/// profiler like OProfile accumulates per instruction pointer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionCounters {
+    /// Cycles attributed to the function (memory latency + op cost + compute).
+    pub cycles: u64,
+    /// Memory operations issued by the function.
+    pub accesses: u64,
+    /// Accesses that missed the L1.
+    pub l1_misses: u64,
+    /// Accesses that missed both private caches ("L2 misses" in the paper's tables).
+    pub l2_misses: u64,
+}
+
+/// The simulated machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    config: MachineConfig,
+    /// The shared cache hierarchy.
+    pub hierarchy: CacheHierarchy,
+    /// The symbol table for function-name interning.
+    pub symbols: SymbolTable,
+    /// The IBS sampling unit.
+    pub ibs: IbsUnit,
+    /// The debug-register watchpoint unit.
+    pub watchpoints: WatchpointUnit,
+    clocks: Vec<u64>,
+    fn_counters: HashMap<FunctionId, FunctionCounters>,
+    /// Cycles charged for profiling interrupts, per core (IBS + watchpoints), so the
+    /// overhead experiments can separate application time from profiling time.
+    profiling_cycles: Vec<u64>,
+}
+
+impl Machine {
+    /// Creates a machine with all clocks at zero and cold caches.
+    pub fn new(config: MachineConfig) -> Self {
+        let cores = config.hierarchy.cores;
+        Machine {
+            hierarchy: CacheHierarchy::new(config.hierarchy),
+            symbols: SymbolTable::new(),
+            ibs: IbsUnit::new(cores),
+            watchpoints: WatchpointUnit::new(),
+            clocks: vec![0; cores],
+            fn_counters: HashMap::new(),
+            profiling_cycles: vec![0; cores],
+            config,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Interns a function name (convenience pass-through to the symbol table).
+    pub fn fn_id(&mut self, name: &str) -> FunctionId {
+        self.symbols.intern(name)
+    }
+
+    /// The current cycle count of a core.
+    pub fn clock(&self, core: CoreId) -> u64 {
+        self.clocks[core]
+    }
+
+    /// The largest core clock (the machine's notion of elapsed time).
+    pub fn max_clock(&self) -> u64 {
+        self.clocks.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Elapsed simulated wall-clock seconds (max clock / frequency).
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.max_clock() as f64 / self.config.cycles_per_second as f64
+    }
+
+    /// Cycles spent servicing profiling interrupts on a core.
+    pub fn profiling_cycles(&self, core: CoreId) -> u64 {
+        self.profiling_cycles[core]
+    }
+
+    /// Total profiling-interrupt cycles across all cores.
+    pub fn total_profiling_cycles(&self) -> u64 {
+        self.profiling_cycles.iter().sum()
+    }
+
+    /// Advances a core's clock by `cycles` of non-memory work, attributing the cycles to
+    /// `ip` in the per-function counters.
+    pub fn compute(&mut self, core: CoreId, ip: FunctionId, cycles: u64) {
+        self.clocks[core] += cycles;
+        self.fn_counters.entry(ip).or_default().cycles += cycles;
+    }
+
+    /// Performs a memory access of `len` bytes at `addr` on `core`, attributed to `ip`.
+    ///
+    /// Accesses spanning multiple cache lines are split; the returned outcome reports
+    /// the *worst* (highest-latency) line but the clock is charged for all of them.
+    pub fn access(
+        &mut self,
+        core: CoreId,
+        ip: FunctionId,
+        addr: u64,
+        len: u64,
+        kind: AccessKind,
+    ) -> AccessOutcome {
+        assert!(len > 0, "zero-length access");
+        let line_size = self.hierarchy.line_size() as u64;
+        let mut offset = 0u64;
+        let mut worst: Option<AccessOutcome> = None;
+        let mut total_latency = 0u64;
+
+        while offset < len {
+            let a = addr + offset;
+            let line_end = (a / line_size + 1) * line_size;
+            let chunk = (line_end - a).min(len - offset);
+            let outcome = self.hierarchy.access(core, a, kind);
+            total_latency += outcome.latency;
+            let is_worse = worst.map(|w| outcome.latency > w.latency).unwrap_or(true);
+            if is_worse {
+                worst = Some(outcome);
+            }
+            offset += chunk;
+        }
+        let worst = worst.expect("at least one line accessed");
+
+        // Charge the core and the function counters.
+        let charged = total_latency + self.config.op_cost;
+        self.clocks[core] += charged;
+        let counters = self.fn_counters.entry(ip).or_default();
+        counters.cycles += charged;
+        counters.accesses += 1;
+        if worst.level != HitLevel::L1 {
+            counters.l1_misses += 1;
+        }
+        if worst.level.is_miss() {
+            counters.l2_misses += 1;
+        }
+
+        // Profiling hardware.
+        let cycle = self.clocks[core];
+        let ibs_cost =
+            self.ibs.on_access(core, ip, addr, kind, worst.level, worst.latency, cycle);
+        let wp_cost = self.watchpoints.on_access(core, ip, addr, len, kind, cycle);
+        if ibs_cost + wp_cost > 0 {
+            self.clocks[core] += ibs_cost + wp_cost;
+            self.profiling_cycles[core] += ibs_cost + wp_cost;
+        }
+
+        worst
+    }
+
+    /// Convenience wrapper: a read access.
+    pub fn read(&mut self, core: CoreId, ip: FunctionId, addr: u64, len: u64) -> AccessOutcome {
+        self.access(core, ip, addr, len, AccessKind::Read)
+    }
+
+    /// Convenience wrapper: a write access.
+    pub fn write(&mut self, core: CoreId, ip: FunctionId, addr: u64, len: u64) -> AccessOutcome {
+        self.access(core, ip, addr, len, AccessKind::Write)
+    }
+
+    /// Configures IBS sampling.
+    pub fn configure_ibs(&mut self, config: IbsConfig) {
+        self.ibs.configure(config);
+    }
+
+    /// Arms a watchpoint, charging the cross-core broadcast cost to `core`.
+    pub fn arm_watchpoint(
+        &mut self,
+        core: CoreId,
+        addr: u64,
+        len: u64,
+    ) -> Result<WatchpointId, WatchpointError> {
+        let (id, cost) = self.watchpoints.arm(addr, len)?;
+        self.clocks[core] += cost;
+        self.profiling_cycles[core] += cost;
+        Ok(id)
+    }
+
+    /// Charges the memory-subsystem reservation cost for profiling an object to `core`.
+    pub fn charge_profiling_reservation(&mut self, core: CoreId) {
+        let cost = self.watchpoints.charge_memory_reservation();
+        self.clocks[core] += cost;
+        self.profiling_cycles[core] += cost;
+    }
+
+    /// Disarms a watchpoint.
+    pub fn disarm_watchpoint(&mut self, id: WatchpointId) {
+        self.watchpoints.disarm(id);
+    }
+
+    /// The per-function counters (OProfile's raw material).
+    pub fn function_counters(&self) -> &HashMap<FunctionId, FunctionCounters> {
+        &self.fn_counters
+    }
+
+    /// Ground-truth count of misses of a given kind observed by the hierarchy.
+    pub fn miss_kind_count(&self, kind: MissKind) -> u64 {
+        self.hierarchy.stats.miss_kind(kind)
+    }
+
+    /// Resets statistics, clocks, counters and profiling costs, keeping the cache
+    /// contents, interned symbols and armed watchpoints.
+    pub fn reset_measurement(&mut self) {
+        self.hierarchy.reset_stats();
+        for c in &mut self.clocks {
+            *c = 0;
+        }
+        for p in &mut self.profiling_cycles {
+            *p = 0;
+        }
+        self.fn_counters.clear();
+        self.watchpoints.reset_overhead();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::small_test())
+    }
+
+    #[test]
+    fn access_advances_clock_by_latency_plus_op_cost() {
+        let mut m = machine();
+        let ip = m.fn_id("f");
+        let before = m.clock(0);
+        let out = m.read(0, ip, 0x1000, 8);
+        assert_eq!(m.clock(0), before + out.latency + m.config().op_cost);
+    }
+
+    #[test]
+    fn multi_line_access_touches_both_lines() {
+        let mut m = machine();
+        let ip = m.fn_id("memcpy");
+        // 128-byte access spanning two 64-byte lines.
+        m.read(0, ip, 0x1000, 128);
+        // Both lines should now be resident.
+        assert_eq!(m.read(0, ip, 0x1000, 8).level, HitLevel::L1);
+        assert_eq!(m.read(0, ip, 0x1040, 8).level, HitLevel::L1);
+    }
+
+    #[test]
+    fn straddling_access_hits_second_line() {
+        let mut m = machine();
+        let ip = m.fn_id("f");
+        // Access that starts near the end of one line and spills into the next.
+        m.read(0, ip, 0x1038, 16);
+        assert_eq!(m.read(0, ip, 0x1040, 8).level, HitLevel::L1);
+    }
+
+    #[test]
+    fn function_counters_accumulate() {
+        let mut m = machine();
+        let f = m.fn_id("udp_recvmsg");
+        let g = m.fn_id("kfree");
+        m.read(0, f, 0x1000, 8);
+        m.read(0, f, 0x1000, 8);
+        m.write(1, g, 0x2000, 8);
+        let fc = m.function_counters();
+        assert_eq!(fc[&f].accesses, 2);
+        assert_eq!(fc[&g].accesses, 1);
+        assert!(fc[&f].cycles > 0);
+        // First access missed, second hit.
+        assert_eq!(fc[&f].l2_misses, 1);
+    }
+
+    #[test]
+    fn compute_charges_named_function() {
+        let mut m = machine();
+        let f = m.fn_id("do_work");
+        m.compute(0, f, 500);
+        assert_eq!(m.clock(0), 500);
+        assert_eq!(m.function_counters()[&f].cycles, 500);
+        assert_eq!(m.function_counters()[&f].accesses, 0);
+    }
+
+    #[test]
+    fn ibs_sampling_adds_profiling_cycles() {
+        let mut m = machine();
+        let ip = m.fn_id("hot");
+        m.configure_ibs(IbsConfig { interval_ops: 5, interrupt_cost: 2_000, seed: 1 });
+        for i in 0..1_000u64 {
+            m.read(0, ip, 0x1000 + (i % 16) * 64, 8);
+        }
+        assert!(m.ibs.samples_taken > 0);
+        assert_eq!(m.profiling_cycles(0), m.ibs.samples_taken * 2_000);
+    }
+
+    #[test]
+    fn watchpoint_arm_and_hit_charge_costs() {
+        let mut m = machine();
+        let ip = m.fn_id("tcp_write");
+        let before = m.clock(0);
+        let id = m.arm_watchpoint(0, 0x5000, 8).unwrap();
+        assert!(m.clock(0) > before, "arming must charge the broadcast cost");
+        m.write(1, ip, 0x5000, 4);
+        assert_eq!(m.watchpoints.buffered(), 1);
+        assert!(m.profiling_cycles(1) >= 1_000);
+        m.disarm_watchpoint(id);
+        m.write(1, ip, 0x5000, 4);
+        assert_eq!(m.watchpoints.buffered(), 1, "no hit after disarm");
+    }
+
+    #[test]
+    fn elapsed_seconds_uses_max_clock() {
+        let mut m = machine();
+        let ip = m.fn_id("f");
+        m.compute(0, ip, 1_000_000);
+        m.compute(1, ip, 2_000_000);
+        let secs = m.elapsed_seconds();
+        assert!((secs - 2e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_measurement_clears_counters_but_keeps_cache() {
+        let mut m = machine();
+        let ip = m.fn_id("f");
+        m.read(0, ip, 0x1000, 8);
+        m.reset_measurement();
+        assert_eq!(m.clock(0), 0);
+        assert!(m.function_counters().is_empty());
+        // Cache contents survive: immediate hit.
+        assert_eq!(m.read(0, ip, 0x1000, 8).level, HitLevel::L1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_length_access_rejected() {
+        let mut m = machine();
+        let ip = m.fn_id("f");
+        m.read(0, ip, 0x1000, 0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Hardware debug-register ("watchpoint") unit.
+//!
+//! x86 provides four debug registers, each able to watch up to eight contiguous bytes
+//! and raise an interrupt on every load/store to the watched range (§5.3 of the thesis).
+//! DProf uses them to record *object access histories*: every instruction that touches a
+//! chosen offset of a chosen object between its allocation and its free.
+//!
+//! The expensive parts on real hardware are reproduced as explicit cycle charges:
+//!
+//! * each watchpoint hit costs an interrupt (~1,000 cycles in the thesis),
+//! * arming watchpoints requires broadcasting to every core (~130,000 cycles),
+//! * reserving an object for profiling with the memory subsystem costs additional
+//!   communication (the remainder of the ~220,000-cycle per-object setup).
+//!
+//! These charges are what make the object-access-history overhead tables (6.7–6.10)
+//! reproducible.
+
+use crate::symbols::FunctionId;
+use serde::{Deserialize, Serialize};
+use sim_cache::{AccessKind, CoreId};
+
+/// Maximum number of simultaneously armed watchpoints (x86 has 4 debug registers).
+pub const MAX_WATCHPOINTS: usize = 4;
+
+/// Maximum bytes a single watchpoint can cover.
+pub const MAX_WATCH_LEN: u64 = 8;
+
+/// Identifier of an armed watchpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WatchpointId(pub u8);
+
+/// Cycle-cost model for the watchpoint machinery.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WatchpointCosts {
+    /// Cycles per debug-register interrupt (thesis: ~1,000).
+    pub interrupt: u64,
+    /// Cycles to broadcast debug-register setup to all cores (thesis: ~130,000).
+    pub setup_broadcast: u64,
+    /// Cycles to reserve an object for profiling with the memory subsystem
+    /// (the remainder of the thesis' ~220,000-cycle per-object setup).
+    pub memory_reserve: u64,
+}
+
+impl Default for WatchpointCosts {
+    fn default() -> Self {
+        WatchpointCosts { interrupt: 1_000, setup_broadcast: 130_000, memory_reserve: 60_000 }
+    }
+}
+
+/// An armed watchpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Watchpoint {
+    /// Identifier (debug register number).
+    pub id: WatchpointId,
+    /// First watched byte address.
+    pub addr: u64,
+    /// Number of watched bytes (1..=8).
+    pub len: u64,
+}
+
+impl Watchpoint {
+    /// True if the access `[addr, addr+len)` overlaps the watched range.
+    pub fn overlaps(&self, addr: u64, len: u64) -> bool {
+        addr < self.addr + self.len && self.addr < addr + len
+    }
+}
+
+/// A recorded hit on a watchpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchpointHit {
+    /// Which watchpoint fired.
+    pub wp: WatchpointId,
+    /// The core that performed the access.
+    pub core: CoreId,
+    /// Instruction pointer responsible.
+    pub ip: FunctionId,
+    /// Byte address accessed.
+    pub addr: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Core-local cycle count at the time of the access.
+    pub cycle: u64,
+}
+
+/// Errors returned when arming a watchpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchpointError {
+    /// All debug registers are in use.
+    Exhausted,
+    /// The requested length exceeds eight bytes.
+    TooLong,
+    /// The requested length is zero.
+    Empty,
+}
+
+impl std::fmt::Display for WatchpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WatchpointError::Exhausted => write!(f, "all {MAX_WATCHPOINTS} debug registers in use"),
+            WatchpointError::TooLong => write!(f, "watchpoint length exceeds {MAX_WATCH_LEN} bytes"),
+            WatchpointError::Empty => write!(f, "watchpoint length must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for WatchpointError {}
+
+/// Breakdown of cycles spent operating the watchpoint machinery, used for the
+/// object-access-history overhead tables (6.7 and 6.9).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchpointOverhead {
+    /// Cycles spent in debug-register interrupts.
+    pub interrupt_cycles: u64,
+    /// Cycles spent reserving objects with the memory subsystem.
+    pub memory_cycles: u64,
+    /// Cycles spent broadcasting debug-register setup to all cores.
+    pub communication_cycles: u64,
+}
+
+impl WatchpointOverhead {
+    /// Total overhead cycles.
+    pub fn total(&self) -> u64 {
+        self.interrupt_cycles + self.memory_cycles + self.communication_cycles
+    }
+
+    /// Fraction of the total attributable to each component, as `(interrupt, memory,
+    /// communication)`; all zeros when no overhead was incurred.
+    pub fn breakdown(&self) -> (f64, f64, f64) {
+        let t = self.total() as f64;
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.interrupt_cycles as f64 / t,
+            self.memory_cycles as f64 / t,
+            self.communication_cycles as f64 / t,
+        )
+    }
+}
+
+/// The machine-wide watchpoint unit.  Watchpoints are mirrored on every core, exactly as
+/// DProf programs the debug registers of all CPUs so that any core's access to the
+/// watched object is caught.
+#[derive(Debug, Clone, Default)]
+pub struct WatchpointUnit {
+    costs: WatchpointCosts,
+    slots: [Option<Watchpoint>; MAX_WATCHPOINTS],
+    buffer: Vec<WatchpointHit>,
+    /// Accumulated overhead, never reset implicitly.
+    pub overhead: WatchpointOverhead,
+    /// Number of hits recorded over the unit's lifetime.
+    pub hits_recorded: u64,
+    /// Number of arm operations performed.
+    pub arms: u64,
+}
+
+impl WatchpointUnit {
+    /// Creates a unit with the default cost model.
+    pub fn new() -> Self {
+        Self::with_costs(WatchpointCosts::default())
+    }
+
+    /// Creates a unit with a custom cost model.
+    pub fn with_costs(costs: WatchpointCosts) -> Self {
+        WatchpointUnit {
+            costs,
+            slots: [None; MAX_WATCHPOINTS],
+            buffer: Vec::new(),
+            overhead: WatchpointOverhead::default(),
+            hits_recorded: 0,
+            arms: 0,
+        }
+    }
+
+    /// The cost model in effect.
+    pub fn costs(&self) -> WatchpointCosts {
+        self.costs
+    }
+
+    /// Number of free debug registers.
+    pub fn free_slots(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// Arms a watchpoint over `[addr, addr+len)`.  Returns the cycles to charge to the
+    /// arming core (the cross-core broadcast) along with the id.
+    pub fn arm(&mut self, addr: u64, len: u64) -> Result<(WatchpointId, u64), WatchpointError> {
+        if len == 0 {
+            return Err(WatchpointError::Empty);
+        }
+        if len > MAX_WATCH_LEN {
+            return Err(WatchpointError::TooLong);
+        }
+        let slot = self
+            .slots
+            .iter()
+            .position(|s| s.is_none())
+            .ok_or(WatchpointError::Exhausted)?;
+        let id = WatchpointId(slot as u8);
+        self.slots[slot] = Some(Watchpoint { id, addr, len });
+        self.arms += 1;
+        self.overhead.communication_cycles += self.costs.setup_broadcast;
+        Ok((id, self.costs.setup_broadcast))
+    }
+
+    /// Charges the memory-subsystem reservation cost (called when DProf asks the
+    /// allocator to hand it the next object of a type).  Returns the cycles charged.
+    pub fn charge_memory_reservation(&mut self) -> u64 {
+        self.overhead.memory_cycles += self.costs.memory_reserve;
+        self.costs.memory_reserve
+    }
+
+    /// Disarms a watchpoint.  Disarming is local and cheap; no cost is charged.
+    pub fn disarm(&mut self, id: WatchpointId) {
+        if let Some(slot) = self.slots.get_mut(id.0 as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Disarms everything.
+    pub fn disarm_all(&mut self) {
+        self.slots = [None; MAX_WATCHPOINTS];
+    }
+
+    /// Currently armed watchpoints.
+    pub fn armed(&self) -> impl Iterator<Item = &Watchpoint> {
+        self.slots.iter().flatten()
+    }
+
+    /// Notifies the unit of a memory access.  If it overlaps an armed watchpoint a hit
+    /// is recorded and the interrupt cost returned (to be charged to the core).
+    pub fn on_access(
+        &mut self,
+        core: CoreId,
+        ip: FunctionId,
+        addr: u64,
+        len: u64,
+        kind: AccessKind,
+        cycle: u64,
+    ) -> u64 {
+        let mut charged = 0;
+        for wp in self.slots.iter().flatten() {
+            if wp.overlaps(addr, len) {
+                self.buffer.push(WatchpointHit { wp: wp.id, core, ip, addr, kind, cycle });
+                self.hits_recorded += 1;
+                charged += self.costs.interrupt;
+            }
+        }
+        self.overhead.interrupt_cycles += charged;
+        charged
+    }
+
+    /// Drains all recorded hits.
+    pub fn drain(&mut self) -> Vec<WatchpointHit> {
+        std::mem::take(&mut self.buffer)
+    }
+
+    /// Number of buffered hits.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Resets the overhead accounting (armed watchpoints are untouched).
+    pub fn reset_overhead(&mut self) {
+        self.overhead = WatchpointOverhead::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IP: FunctionId = FunctionId(3);
+
+    #[test]
+    fn arm_up_to_four() {
+        let mut u = WatchpointUnit::new();
+        for i in 0..MAX_WATCHPOINTS {
+            assert!(u.arm(0x1000 + i as u64 * 8, 8).is_ok());
+        }
+        assert_eq!(u.free_slots(), 0);
+        assert_eq!(u.arm(0x9000, 8), Err(WatchpointError::Exhausted));
+    }
+
+    #[test]
+    fn arm_rejects_bad_lengths() {
+        let mut u = WatchpointUnit::new();
+        assert_eq!(u.arm(0x1000, 0), Err(WatchpointError::Empty));
+        assert_eq!(u.arm(0x1000, 9), Err(WatchpointError::TooLong));
+    }
+
+    #[test]
+    fn hit_recorded_on_overlap_only() {
+        let mut u = WatchpointUnit::new();
+        let (id, _) = u.arm(0x1000, 4).unwrap();
+        // Non-overlapping access.
+        assert_eq!(u.on_access(0, IP, 0x1004, 4, AccessKind::Read, 10), 0);
+        // Overlapping access (straddles the start).
+        let cost = u.on_access(1, IP, 0x0ffe, 4, AccessKind::Write, 20);
+        assert_eq!(cost, WatchpointCosts::default().interrupt);
+        let hits = u.drain();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].wp, id);
+        assert_eq!(hits[0].core, 1);
+        assert_eq!(hits[0].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn disarm_frees_slot_and_stops_hits() {
+        let mut u = WatchpointUnit::new();
+        let (id, _) = u.arm(0x2000, 8).unwrap();
+        u.disarm(id);
+        assert_eq!(u.free_slots(), MAX_WATCHPOINTS);
+        assert_eq!(u.on_access(0, IP, 0x2000, 8, AccessKind::Read, 0), 0);
+        assert_eq!(u.buffered(), 0);
+    }
+
+    #[test]
+    fn overhead_breakdown_sums_to_one() {
+        let mut u = WatchpointUnit::new();
+        u.arm(0x3000, 8).unwrap();
+        u.charge_memory_reservation();
+        u.on_access(0, IP, 0x3000, 4, AccessKind::Read, 0);
+        let (i, m, c) = u.overhead.breakdown();
+        assert!((i + m + c - 1.0).abs() < 1e-9);
+        assert!(u.overhead.total() > 0);
+    }
+
+    #[test]
+    fn two_watchpoints_same_object_both_fire() {
+        // Pairwise sampling arms two offsets of the same object; an access spanning
+        // both must produce two hits.
+        let mut u = WatchpointUnit::new();
+        u.arm(0x4000, 4).unwrap();
+        u.arm(0x4004, 4).unwrap();
+        let cost = u.on_access(0, IP, 0x4000, 8, AccessKind::Write, 5);
+        assert_eq!(cost, 2 * WatchpointCosts::default().interrupt);
+        assert_eq!(u.drain().len(), 2);
+    }
+}

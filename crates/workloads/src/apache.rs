@@ -1,0 +1,243 @@
+//! The Apache workload from §6.2 of the thesis.
+//!
+//! Sixteen Apache instances, one pinned per core, each serving a single 1024-byte static
+//! file out of memory.  Load generators open a TCP connection, issue one request, and
+//! close the connection.
+//!
+//! The performance bug: each instance allowed a deep accept backlog.  Under overload the
+//! backlog fills up, so by the time Apache accepts a connection its `tcp_sock` cache
+//! lines have been evicted from the caches close to the core — the average miss latency
+//! for `tcp_sock` lines roughly triples and throughput drops.  Limiting the in-flight
+//! connections (admission control) is the 16 % fix.
+
+use crate::harness::Workload;
+use sim_kernel::{KernelConfig, KernelState, TxQueuePolicy};
+use sim_machine::{Machine, MachineConfig};
+
+/// Configuration of the Apache workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ApacheConfig {
+    /// Number of cores / Apache instances.
+    pub cores: usize,
+    /// Size of the served static file in bytes.
+    pub file_size: u64,
+    /// HTTP request size in bytes.
+    pub request_size: u64,
+    /// New connections offered per core per round by the load generators.
+    pub arrivals_per_round: usize,
+    /// Connections each Apache instance can accept and serve per round (its service
+    /// capacity).
+    pub accepts_per_round: usize,
+    /// Accept-queue depth limit.  Large (e.g. 1024) reproduces the mis-configured
+    /// drop-off case; small (e.g. 16) is the admission-control fix.
+    pub backlog_limit: usize,
+    /// Worker threads per core.
+    pub workers_per_core: usize,
+    /// Application-level work per request, in cycles (parsing, logging).
+    pub app_cycles: u64,
+}
+
+impl Default for ApacheConfig {
+    fn default() -> Self {
+        ApacheConfig {
+            cores: 16,
+            file_size: 1024,
+            request_size: 256,
+            arrivals_per_round: 2,
+            accepts_per_round: 2,
+            backlog_limit: 1024,
+            workers_per_core: 28,
+            app_cycles: 3_000,
+        }
+    }
+}
+
+impl ApacheConfig {
+    /// The peak-performance configuration: offered load matches service capacity, so
+    /// the backlog stays shallow (Table 6.4).
+    pub fn peak() -> Self {
+        ApacheConfig { arrivals_per_round: 2, accepts_per_round: 2, backlog_limit: 1024, ..Default::default() }
+    }
+
+    /// The drop-off configuration: offered load exceeds service capacity and the deep
+    /// backlog fills (Table 6.5).
+    pub fn drop_off() -> Self {
+        ApacheConfig { arrivals_per_round: 4, accepts_per_round: 2, backlog_limit: 1024, ..Default::default() }
+    }
+
+    /// The admission-control fix applied to the drop-off load (§6.2.1): same offered
+    /// load, bounded accept queue.
+    pub fn admission_control() -> Self {
+        ApacheConfig { backlog_limit: 16, ..Self::drop_off() }
+    }
+}
+
+/// The Apache workload driver.
+#[derive(Debug)]
+pub struct Apache {
+    config: ApacheConfig,
+    app_fn: sim_machine::FunctionId,
+    requests: u64,
+    /// Connections dropped by admission control or backlog overflow.
+    pub connections_dropped: u64,
+}
+
+impl Apache {
+    /// Creates the workload.
+    pub fn new(machine: &mut Machine, config: ApacheConfig) -> Self {
+        Apache {
+            config,
+            app_fn: machine.fn_id("apache_process_request"),
+            requests: 0,
+            connections_dropped: 0,
+        }
+    }
+
+    /// Convenience constructor building machine + kernel + workload.
+    pub fn setup(config: ApacheConfig) -> (Machine, KernelState, Self) {
+        let mut machine = Machine::new(MachineConfig::with_cores(config.cores));
+        let mut kernel = KernelState::new(
+            &mut machine,
+            KernelConfig {
+                cores: config.cores,
+                // Apache's responses always use the socket's recorded (local) queue, so
+                // the device policy is irrelevant here; use the kernel default.
+                tx_policy: TxQueuePolicy::HashTxQueue,
+                accept_backlog_limit: config.backlog_limit,
+                workers_per_core: config.workers_per_core,
+            },
+        );
+        let workload = Apache::new(&mut machine, config);
+        // Ensure the listener backlog limits match the workload configuration.
+        for l in &mut kernel.listeners {
+            l.backlog_limit = config.backlog_limit;
+        }
+        (machine, kernel, workload)
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> ApacheConfig {
+        self.config
+    }
+
+    /// Average accept-queue depth across all cores.
+    pub fn avg_backlog(&self, kernel: &KernelState) -> f64 {
+        let total: usize = kernel.listeners.iter().map(|l| l.backlog()).sum();
+        total as f64 / kernel.listeners.len() as f64
+    }
+}
+
+impl Workload for Apache {
+    fn name(&self) -> &str {
+        "apache"
+    }
+
+    fn step(&mut self, machine: &mut Machine, kernel: &mut KernelState) {
+        // Phase 1: the load generators' SYNs arrive on every core.
+        for core in 0..self.config.cores {
+            for _ in 0..self.config.arrivals_per_round {
+                if !kernel.tcp_syn_rcv(machine, core, core) {
+                    self.connections_dropped += 1;
+                }
+            }
+        }
+
+        // Phase 2: each Apache instance accepts and serves up to its capacity.
+        for core in 0..self.config.cores {
+            for _ in 0..self.config.accepts_per_round {
+                let Some(conn) = kernel.inet_csk_accept(machine, core, core) else { break };
+                // A worker parks/wakes around the request (Table 6.6's futex traffic).
+                kernel.futex_wait(machine, core);
+                // The HTTP request arrives on the connection.
+                let request = kernel.netif_rx(machine, core, self.config.request_size);
+                machine.compute(core, self.app_fn, self.config.app_cycles);
+                kernel.tcp_serve_request(machine, core, &conn, request, self.config.file_size);
+                kernel.tcp_close(machine, core, conn);
+                self.requests += 1;
+            }
+        }
+
+        // Phase 3: transmit completions.
+        for core in 0..self.config.cores {
+            kernel.qdisc_run(machine, core);
+        }
+        for core in 0..self.config.cores {
+            kernel.ixgbe_clean_tx_irq(machine, core);
+        }
+    }
+
+    fn requests_completed(&self) -> u64 {
+        self.requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{measure_throughput, throughput_change_percent};
+
+    fn small(mut cfg: ApacheConfig) -> ApacheConfig {
+        cfg.cores = 4;
+        cfg.workers_per_core = 4;
+        cfg
+    }
+
+    #[test]
+    fn requests_complete_and_sockets_do_not_leak() {
+        let (mut m, mut k, mut w) = Apache::setup(small(ApacheConfig::peak()));
+        for _ in 0..20 {
+            w.step(&mut m, &mut k);
+        }
+        assert!(w.requests_completed() >= 20 * 4);
+        // Only the long-lived listener sockets should remain (one per core).
+        assert_eq!(k.allocator.live_objects_of(k.kt.tcp_sock), 4);
+        assert_eq!(k.allocator.live_objects_of(k.kt.skbuff), 0);
+    }
+
+    #[test]
+    fn overload_grows_the_backlog_only_with_deep_limit() {
+        let (mut m, mut k, mut w) = Apache::setup(small(ApacheConfig::drop_off()));
+        for _ in 0..60 {
+            w.step(&mut m, &mut k);
+        }
+        assert!(w.avg_backlog(&k) > 50.0, "overload should grow a deep backlog, got {}", w.avg_backlog(&k));
+
+        let (mut m2, mut k2, mut w2) = Apache::setup(small(ApacheConfig::admission_control()));
+        for _ in 0..60 {
+            w2.step(&mut m2, &mut k2);
+        }
+        assert!(w2.avg_backlog(&k2) <= 16.0);
+        assert!(w2.connections_dropped > 0, "admission control must reject connections");
+        let _ = m;
+        let _ = m2;
+    }
+
+    #[test]
+    fn deep_backlog_makes_tcp_sock_accesses_slower() {
+        // Compare the average memory latency for the drop-off vs peak configurations;
+        // the drop-off case pays far more for tcp_sock lines that left the cache.
+        let run = |cfg: ApacheConfig| {
+            let (mut m, mut k, mut w) = Apache::setup(small(cfg));
+            for _ in 0..80 {
+                w.step(&mut m, &mut k);
+            }
+            m.hierarchy.stats.avg_latency()
+        };
+        let peak = run(ApacheConfig::peak());
+        let drop = run(ApacheConfig::drop_off());
+        assert!(
+            drop > peak,
+            "drop-off should have higher average memory latency ({drop:.1} vs {peak:.1})"
+        );
+    }
+
+    #[test]
+    fn admission_control_improves_overloaded_throughput() {
+        let (mut m_bad, mut k_bad, mut w_bad) = Apache::setup(small(ApacheConfig::drop_off()));
+        let (mut m_fix, mut k_fix, mut w_fix) = Apache::setup(small(ApacheConfig::admission_control()));
+        let bad = measure_throughput(&mut m_bad, &mut k_bad, &mut w_bad, 60, 120);
+        let fix = measure_throughput(&mut m_fix, &mut k_fix, &mut w_fix, 60, 120);
+        let gain = throughput_change_percent(&bad, &fix);
+        assert!(gain > 3.0, "admission control should improve throughput, got {gain:.1}%");
+    }
+}

@@ -1,0 +1,135 @@
+//! Workload driving and throughput measurement.
+
+use serde::{Deserialize, Serialize};
+use sim_kernel::KernelState;
+use sim_machine::Machine;
+
+/// A closed-loop workload that can be advanced one "round" at a time.
+///
+/// One round performs a fixed amount of work on every core (e.g. one request per core
+/// for memcached), so interleaving rounds keeps the per-core clocks roughly in lockstep,
+/// as the real load generators keep the real cores busy in parallel.
+pub trait Workload {
+    /// A human-readable name ("memcached", "apache").
+    fn name(&self) -> &str;
+    /// Advances the workload by one round.
+    fn step(&mut self, machine: &mut Machine, kernel: &mut KernelState);
+    /// Total application-level requests completed so far.
+    fn requests_completed(&self) -> u64;
+}
+
+/// The result of a throughput measurement.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ThroughputResult {
+    /// Requests completed during the measurement.
+    pub requests: u64,
+    /// Simulated elapsed time in seconds.
+    pub elapsed_seconds: f64,
+    /// Requests per second.
+    pub throughput_rps: f64,
+    /// Average cycles per request (across all cores).
+    pub avg_request_cycles: f64,
+    /// Fraction of cycles spent servicing profiling interrupts.
+    pub profiling_fraction: f64,
+}
+
+/// Runs `warmup` rounds (to reach steady state and warm the caches), resets measurement
+/// counters, then runs `measured` rounds and reports throughput.
+pub fn measure_throughput(
+    machine: &mut Machine,
+    kernel: &mut KernelState,
+    workload: &mut dyn Workload,
+    warmup: usize,
+    measured: usize,
+) -> ThroughputResult {
+    for _ in 0..warmup {
+        workload.step(machine, kernel);
+    }
+    machine.reset_measurement();
+    let before_requests = workload.requests_completed();
+    for _ in 0..measured {
+        workload.step(machine, kernel);
+    }
+    let requests = workload.requests_completed() - before_requests;
+    let elapsed = machine.elapsed_seconds().max(1e-12);
+    let total_cycles: u64 = (0..machine.cores()).map(|c| machine.clock(c)).sum();
+    let profiling: u64 = machine.total_profiling_cycles();
+    ThroughputResult {
+        requests,
+        elapsed_seconds: elapsed,
+        throughput_rps: requests as f64 / elapsed,
+        avg_request_cycles: if requests == 0 { 0.0 } else { total_cycles as f64 / requests as f64 },
+        profiling_fraction: if total_cycles == 0 {
+            0.0
+        } else {
+            profiling as f64 / total_cycles as f64
+        },
+    }
+}
+
+/// Relative throughput change from `baseline` to `variant`, in percent
+/// (positive = variant is faster).
+pub fn throughput_change_percent(baseline: &ThroughputResult, variant: &ThroughputResult) -> f64 {
+    if baseline.throughput_rps == 0.0 {
+        return 0.0;
+    }
+    100.0 * (variant.throughput_rps - baseline.throughput_rps) / baseline.throughput_rps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::KernelConfig;
+    use sim_machine::MachineConfig;
+
+    struct NullWorkload {
+        requests: u64,
+    }
+
+    impl Workload for NullWorkload {
+        fn name(&self) -> &str {
+            "null"
+        }
+        fn step(&mut self, machine: &mut Machine, kernel: &mut KernelState) {
+            // One trivial request per core.
+            for core in 0..kernel.config.cores {
+                let skb = kernel.netif_rx(machine, core, 64);
+                kernel.kfree_skb(machine, core, skb, kernel.syms.kfree_skb);
+                self.requests += 1;
+            }
+        }
+        fn requests_completed(&self) -> u64 {
+            self.requests
+        }
+    }
+
+    #[test]
+    fn throughput_measured_and_positive() {
+        let mut m = Machine::new(MachineConfig::with_cores(2));
+        let mut k = KernelState::new(
+            &mut m,
+            KernelConfig { cores: 2, workers_per_core: 1, ..Default::default() },
+        );
+        let mut w = NullWorkload { requests: 0 };
+        let r = measure_throughput(&mut m, &mut k, &mut w, 5, 50);
+        assert_eq!(r.requests, 100);
+        assert!(r.throughput_rps > 0.0);
+        assert!(r.avg_request_cycles > 0.0);
+        assert_eq!(r.profiling_fraction, 0.0);
+    }
+
+    #[test]
+    fn change_percent_signs() {
+        let base = ThroughputResult {
+            requests: 100,
+            elapsed_seconds: 1.0,
+            throughput_rps: 1000.0,
+            avg_request_cycles: 1.0,
+            profiling_fraction: 0.0,
+        };
+        let better = ThroughputResult { throughput_rps: 1570.0, ..base };
+        let worse = ThroughputResult { throughput_rps: 900.0, ..base };
+        assert!((throughput_change_percent(&base, &better) - 57.0).abs() < 1e-9);
+        assert!(throughput_change_percent(&base, &worse) < 0.0);
+    }
+}

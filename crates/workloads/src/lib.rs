@@ -1,0 +1,20 @@
+//! # workloads
+//!
+//! The two workloads the DProf evaluation uses — a memcached-like UDP key/value server
+//! (§6.1) and an Apache-like TCP static-file server (§6.2) — implemented on top of the
+//! simulated kernel, plus the throughput-measurement harness used by all experiments.
+//!
+//! Both workloads are *closed-loop* drivers: each [`harness::Workload::step`] performs
+//! one round of per-core requests, keeping all simulated cores busy in lockstep as the
+//! sixteen load-generation machines do in the paper's testbed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apache;
+pub mod harness;
+pub mod memcached;
+
+pub use apache::{Apache, ApacheConfig};
+pub use harness::{measure_throughput, throughput_change_percent, ThroughputResult, Workload};
+pub use memcached::{Memcached, MemcachedConfig};

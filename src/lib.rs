@@ -1,0 +1,54 @@
+//! # dprof
+//!
+//! Facade crate for the DProf reproduction (EuroSys 2010, *"Locating cache performance
+//! bottlenecks using data profiling"*).  It re-exports the workspace crates so examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`core`] ([`dprof_core`]) — the profiler itself: access samples, object access
+//!   histories, path traces and the four data-centric views.
+//! * [`machine`] ([`sim_machine`]) — the simulated multicore machine with IBS-style
+//!   sampling and debug-register watchpoints.
+//! * [`cache`] ([`sim_cache`]) — the set-associative, MESI-coherent cache hierarchy.
+//! * [`kernel`] ([`sim_kernel`]) — the Linux-like kernel substrate (typed SLAB
+//!   allocator, network stack, locks).
+//! * [`workloads`] — the memcached and Apache workloads from the evaluation.
+//! * [`baselines`] — OProfile-style and lock-stat baselines.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and the `dprof-bench` crate for
+//! the full table/figure reproduction harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use baselines;
+pub use dprof_core as core;
+pub use sim_cache as cache;
+pub use sim_kernel as kernel;
+pub use sim_machine as machine;
+pub use workloads;
+
+/// A convenient prelude pulling in the types most programs need.
+pub mod prelude {
+    pub use baselines::{LockstatReport, OprofileReport};
+    pub use dprof_core::{Dprof, DprofConfig, DprofProfile, HistoryConfig};
+    pub use sim_kernel::{KernelConfig, KernelState, TxQueuePolicy};
+    pub use sim_machine::{Machine, MachineConfig};
+    pub use workloads::{
+        measure_throughput, Apache, ApacheConfig, Memcached, MemcachedConfig, Workload,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_types_are_reachable() {
+        // Compile-time check that the re-exports line up.
+        use crate::prelude::*;
+        let cfg = MachineConfig::small_test();
+        let m = Machine::new(cfg);
+        assert_eq!(m.cores(), 2);
+        let _ = DprofConfig::default();
+        let _ = MemcachedConfig::default();
+        let _ = ApacheConfig::peak();
+    }
+}

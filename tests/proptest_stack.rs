@@ -1,0 +1,85 @@
+//! Property-based integration tests across the stack: allocator/type-resolution
+//! invariants under arbitrary alloc/free interleavings, and packet-path conservation
+//! under arbitrary request schedules.
+
+use dprof::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever order objects are allocated and freed in, every live address resolves to
+    /// the right type and no two live objects overlap.
+    #[test]
+    fn allocator_resolution_total_and_disjoint(ops in proptest::collection::vec((0usize..3, any::<bool>()), 1..120)) {
+        let mut machine = Machine::new(MachineConfig::with_cores(2));
+        let mut kernel = KernelState::new(
+            &mut machine,
+            KernelConfig { cores: 2, workers_per_core: 1, ..Default::default() },
+        );
+        let types = [kernel.kt.skbuff, kernel.kt.tcp_sock, kernel.kt.size_1024];
+        let mut live: Vec<(u64, sim_kernel::TypeId)> = Vec::new();
+        for (which, do_alloc) in ops {
+            if do_alloc || live.is_empty() {
+                let ty = types[which];
+                let addr = kernel.allocator.alloc(&mut machine, &kernel.types, which % 2, ty);
+                live.push((addr, ty));
+            } else {
+                let (addr, _) = live.swap_remove(which % live.len());
+                kernel.allocator.free(&mut machine, which % 2, addr);
+            }
+            // Every live object resolves to its own type at every boundary offset.
+            for &(addr, ty) in &live {
+                let size = kernel.types.size(ty);
+                for probe in [0, size / 2, size - 1] {
+                    let r = kernel.allocator.resolve(addr + probe).expect("live address resolves");
+                    prop_assert_eq!(r.type_id, ty);
+                    prop_assert_eq!(r.base, addr);
+                }
+            }
+            // No two live objects overlap.
+            let mut sorted: Vec<(u64, u64)> = live
+                .iter()
+                .map(|&(a, ty)| (a, kernel.types.size(ty)))
+                .collect();
+            sorted.sort_unstable();
+            for w in sorted.windows(2) {
+                prop_assert!(w[0].0 + w[0].1 <= w[1].0, "live objects overlap");
+            }
+        }
+    }
+
+    /// For any schedule of memcached requests across cores, packets are conserved: after
+    /// draining all queues nothing is leaked and nothing is double-freed.
+    #[test]
+    fn memcached_packets_conserved(schedule in proptest::collection::vec(0usize..4, 1..60)) {
+        let config = MemcachedConfig { cores: 4, tx_policy: TxQueuePolicy::HashTxQueue, ..Default::default() };
+        let (mut machine, mut kernel, mut workload) = Memcached::setup(config);
+        for core in schedule {
+            workload.serve_one(&mut machine, &mut kernel, core);
+        }
+        for core in 0..4 {
+            kernel.qdisc_run(&mut machine, core);
+        }
+        for core in 0..4 {
+            kernel.ixgbe_clean_tx_irq(&mut machine, core);
+        }
+        prop_assert_eq!(kernel.allocator.live_objects_of(kernel.kt.skbuff), 0);
+        // The only long-lived size-1024 objects are the per-core hash-table segments.
+        prop_assert_eq!(kernel.allocator.live_objects_of(kernel.kt.size_1024), 4);
+        prop_assert_eq!(kernel.netdev.total_backlog(), 0);
+        // Coherence invariants still hold after the whole run.
+        prop_assert!(machine.hierarchy.check_coherence_invariants().is_ok());
+    }
+
+    /// Throughput measurements are always finite and positive for any sane round count.
+    #[test]
+    fn throughput_measurement_is_well_formed(rounds in 1usize..40) {
+        let config = MemcachedConfig { cores: 2, tx_policy: TxQueuePolicy::LocalQueue, ..Default::default() };
+        let (mut m, mut k, mut w) = Memcached::setup(config);
+        let r = measure_throughput(&mut m, &mut k, &mut w, 2, rounds);
+        prop_assert!(r.throughput_rps.is_finite());
+        prop_assert!(r.throughput_rps > 0.0);
+        prop_assert_eq!(r.requests, rounds as u64 * 2);
+    }
+}
