@@ -49,7 +49,9 @@ impl LockstatReport {
 
     /// The row for a named lock, if it saw any acquisitions.
     pub fn row(&self, name: &str) -> Option<&LockReportRow> {
-        self.rows.iter().find(|r| r.name == name && r.acquisitions > 0)
+        self.rows
+            .iter()
+            .find(|r| r.name == name && r.acquisitions > 0)
     }
 
     /// The most contended lock by wait time, if any lock waited at all.
@@ -77,7 +79,12 @@ impl LockstatReport {
                 r.overhead_percent,
                 r.acquisitions,
                 r.contentions,
-                r.functions.iter().take(4).cloned().collect::<Vec<_>>().join(", ")
+                r.functions
+                    .iter()
+                    .take(4)
+                    .cloned()
+                    .collect::<Vec<_>>()
+                    .join(", ")
             )
             .unwrap();
         }
@@ -119,7 +126,11 @@ mod tests {
         assert!(qdisc.functions.contains(&"dev_queue_xmit".to_string()));
         assert!(qdisc.functions.contains(&"__qdisc_run".to_string()));
         // Exactly one aggregated row per lock name.
-        let qdisc_rows = report.rows.iter().filter(|r| r.name == "Qdisc lock").count();
+        let qdisc_rows = report
+            .rows
+            .iter()
+            .filter(|r| r.name == "Qdisc lock")
+            .count();
         assert_eq!(qdisc_rows, 1);
         let text = report.render(10);
         assert!(text.contains("Qdisc lock"));
@@ -130,9 +141,16 @@ mod tests {
         let mut m = Machine::new(MachineConfig::with_cores(2));
         let k = KernelState::new(
             &mut m,
-            KernelConfig { cores: 2, workers_per_core: 1, ..Default::default() },
+            KernelConfig {
+                cores: 2,
+                workers_per_core: 1,
+                ..Default::default()
+            },
         );
         let report = LockstatReport::collect(&m, &k);
-        assert!(report.row("futex lock").is_none(), "futex lock never acquired");
+        assert!(
+            report.row("futex lock").is_none(),
+            "futex lock never acquired"
+        );
     }
 }

@@ -66,7 +66,10 @@ impl OprofileReport {
     /// Number of functions with at least `threshold` percent of the clock samples —
     /// the "29 functions above 1 %" observation of §6.1.3.
     pub fn functions_above(&self, threshold: f64) -> usize {
-        self.rows.iter().filter(|r| r.pct_clock >= threshold).count()
+        self.rows
+            .iter()
+            .filter(|r| r.pct_clock >= threshold)
+            .count()
     }
 
     /// Renders the report as a text table.
@@ -76,7 +79,12 @@ impl OprofileReport {
         writeln!(out, "{:>8} {:>12}  {}", "% CLK", "% L2 miss", "function").unwrap();
         writeln!(out, "{}", "-".repeat(60)).unwrap();
         for r in self.rows.iter().take(top) {
-            writeln!(out, "{:>7.1} {:>11.1}  {}", r.pct_clock, r.pct_l2_misses, r.function).unwrap();
+            writeln!(
+                out,
+                "{:>7.1} {:>11.1}  {}",
+                r.pct_clock, r.pct_l2_misses, r.function
+            )
+            .unwrap();
         }
         out
     }

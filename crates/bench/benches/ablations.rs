@@ -21,15 +21,25 @@ fn ablation_queue_policy(c: &mut Criterion) {
     let scale = bench_scale();
     let mut group = c.benchmark_group("ablation_tx_queue_policy");
     group.sample_size(10);
-    for (name, policy) in
-        [("hash", TxQueuePolicy::HashTxQueue), ("local", TxQueuePolicy::LocalQueue)]
-    {
+    for (name, policy) in [
+        ("hash", TxQueuePolicy::HashTxQueue),
+        ("local", TxQueuePolicy::LocalQueue),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
             b.iter(|| {
-                let cfg =
-                    MemcachedConfig { cores: scale.cores, tx_policy: policy, ..Default::default() };
+                let cfg = MemcachedConfig {
+                    cores: scale.cores,
+                    tx_policy: policy,
+                    ..Default::default()
+                };
                 let (mut m, mut k, mut w) = Memcached::setup(cfg);
-                let r = measure_throughput(&mut m, &mut k, &mut w, scale.warmup_rounds, scale.measured_rounds);
+                let r = measure_throughput(
+                    &mut m,
+                    &mut k,
+                    &mut w,
+                    scale.warmup_rounds,
+                    scale.measured_rounds,
+                );
                 r.requests
             })
         });
@@ -50,7 +60,13 @@ fn ablation_admission_control(c: &mut Criterion) {
                 let mut cfg = *cfg;
                 cfg.cores = scale.cores;
                 let (mut m, mut k, mut w) = Apache::setup(cfg);
-                let r = measure_throughput(&mut m, &mut k, &mut w, scale.warmup_rounds, scale.measured_rounds);
+                let r = measure_throughput(
+                    &mut m,
+                    &mut k,
+                    &mut w,
+                    scale.warmup_rounds,
+                    scale.measured_rounds,
+                );
                 r.requests
             })
         });
@@ -63,20 +79,38 @@ fn ablation_ibs_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_ibs_sampling");
     group.sample_size(10);
     for (name, interval) in [("disabled", 0u64), ("interval_50_ops", 50u64)] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &interval, |b, &interval| {
-            b.iter(|| {
-                let cfg = MemcachedConfig { cores: scale.cores, ..Default::default() };
-                let (mut m, mut k, mut w) = Memcached::setup(cfg);
-                if interval > 0 {
-                    m.configure_ibs(IbsConfig::with_interval(interval));
-                }
-                let r = measure_throughput(&mut m, &mut k, &mut w, scale.warmup_rounds, scale.measured_rounds);
-                r.requests
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &interval,
+            |b, &interval| {
+                b.iter(|| {
+                    let cfg = MemcachedConfig {
+                        cores: scale.cores,
+                        ..Default::default()
+                    };
+                    let (mut m, mut k, mut w) = Memcached::setup(cfg);
+                    if interval > 0 {
+                        m.configure_ibs(IbsConfig::with_interval(interval));
+                    }
+                    let r = measure_throughput(
+                        &mut m,
+                        &mut k,
+                        &mut w,
+                        scale.warmup_rounds,
+                        scale.measured_rounds,
+                    );
+                    r.requests
+                })
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(ablations, ablation_queue_policy, ablation_admission_control, ablation_ibs_sampling);
+criterion_group!(
+    ablations,
+    ablation_queue_policy,
+    ablation_admission_control,
+    ablation_ibs_sampling
+);
 criterion_main!(ablations);

@@ -44,9 +44,15 @@ fn fig6_3_path_coverage(c: &mut Criterion) {
     scale.warmup_rounds = 5;
     c.bench_function("fig6.3_path_coverage_skbuff", |b| {
         b.iter(|| {
-            path_coverage(WhichWorkload::Memcached, &scale, |k| (k.kt.skbuff, "skbuff"), &[1, 4], 8)
-                .points
-                .len()
+            path_coverage(
+                WhichWorkload::Memcached,
+                &scale,
+                |k| (k.kt.skbuff, "skbuff"),
+                &[1, 4],
+                8,
+            )
+            .points
+            .len()
         })
     });
 }

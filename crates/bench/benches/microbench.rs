@@ -25,7 +25,11 @@ fn allocator_alloc_free(c: &mut Criterion) {
         let mut m = Machine::new(MachineConfig::with_cores(4));
         let mut k = KernelState::new(
             &mut m,
-            KernelConfig { cores: 4, workers_per_core: 1, ..Default::default() },
+            KernelConfig {
+                cores: 4,
+                workers_per_core: 1,
+                ..Default::default()
+            },
         );
         b.iter(|| {
             let mut addrs = Vec::with_capacity(100);
@@ -69,7 +73,11 @@ fn apache_request_path(c: &mut Criterion) {
         let mut m = Machine::new(MachineConfig::with_cores(4));
         let mut k = KernelState::new(
             &mut m,
-            KernelConfig { cores: 4, workers_per_core: 2, ..Default::default() },
+            KernelConfig {
+                cores: 4,
+                workers_per_core: 2,
+                ..Default::default()
+            },
         );
         b.iter(|| {
             k.tcp_syn_rcv(&mut m, 0, 0);
@@ -83,5 +91,11 @@ fn apache_request_path(c: &mut Criterion) {
     });
 }
 
-criterion_group!(micro, cache_hierarchy_access, allocator_alloc_free, memcached_request_path, apache_request_path);
+criterion_group!(
+    micro,
+    cache_hierarchy_access,
+    allocator_alloc_free,
+    memcached_request_path,
+    apache_request_path
+);
 criterion_main!(micro);

@@ -41,14 +41,24 @@ fn table6_2_6_3_baselines(c: &mut Criterion) {
 fn table6_4_apache_peak(c: &mut Criterion) {
     let scale = bench_scale();
     c.bench_function("table6.4_apache_peak_profile", |b| {
-        b.iter(|| profile_apache(&scale, ApacheConfig::peak()).profile.data_profile.len())
+        b.iter(|| {
+            profile_apache(&scale, ApacheConfig::peak())
+                .profile
+                .data_profile
+                .len()
+        })
     });
 }
 
 fn table6_5_apache_drop_off(c: &mut Criterion) {
     let scale = bench_scale();
     c.bench_function("table6.5_apache_drop_off_profile", |b| {
-        b.iter(|| profile_apache(&scale, ApacheConfig::drop_off()).profile.data_profile.len())
+        b.iter(|| {
+            profile_apache(&scale, ApacheConfig::drop_off())
+                .profile
+                .data_profile
+                .len()
+        })
     });
 }
 
@@ -56,8 +66,12 @@ fn table6_7_history_collection(c: &mut Criterion) {
     let scale = bench_scale();
     c.bench_function("table6.7_history_collection_memcached", |b| {
         b.iter(|| {
-            history_overhead_rows(WhichWorkload::Memcached, &scale, CollectionMode::SingleOffset)
-                .len()
+            history_overhead_rows(
+                WhichWorkload::Memcached,
+                &scale,
+                CollectionMode::SingleOffset,
+            )
+            .len()
         })
     });
 }

@@ -21,14 +21,34 @@ use workloads::ApacheConfig;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let scale = if quick { Scale::quick() } else { Scale::paper() };
-    let mut wanted: Vec<String> =
-        args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::paper()
+    };
+    let mut wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = [
-            "table4.1", "table6.1", "fig6.1", "table6.2", "table6.3", "fix6.1", "table6.4",
-            "table6.5", "table6.6", "fix6.2", "fig6.2", "table6.7", "table6.8", "table6.9",
-            "table6.10", "fig6.3",
+            "table4.1",
+            "table6.1",
+            "fig6.1",
+            "table6.2",
+            "table6.3",
+            "fix6.1",
+            "table6.4",
+            "table6.5",
+            "table6.6",
+            "fix6.2",
+            "fig6.2",
+            "table6.7",
+            "table6.8",
+            "table6.9",
+            "table6.10",
+            "fig6.3",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -51,8 +71,7 @@ fn main() {
         match what.as_str() {
             "table4.1" => println!("{}", example_path_trace(&scale)),
             "table6.1" | "fig6.1" | "table6.2" | "table6.3" => {
-                let study =
-                    memcached_study.get_or_insert_with(|| profile_memcached(&scale));
+                let study = memcached_study.get_or_insert_with(|| profile_memcached(&scale));
                 let out = match what.as_str() {
                     "table6.1" => study.render_table_6_1(),
                     "fig6.1" => study.render_figure_6_1(),
@@ -74,7 +93,10 @@ fn main() {
             "table6.4" => {
                 let study =
                     apache_peak.get_or_insert_with(|| profile_apache(&scale, ApacheConfig::peak()));
-                println!("{}", study.render_data_profile("Table 6.4", "peak performance"));
+                println!(
+                    "{}",
+                    study.render_data_profile("Table 6.4", "peak performance")
+                );
             }
             "table6.5" => {
                 let study = apache_drop
@@ -100,7 +122,9 @@ fn main() {
                 let rates: Vec<f64> = if quick {
                     vec![0.0, 2_000.0, 6_000.0, 18_000.0]
                 } else {
-                    vec![0.0, 2_000.0, 4_000.0, 6_000.0, 9_000.0, 12_000.0, 15_000.0, 18_000.0]
+                    vec![
+                        0.0, 2_000.0, 4_000.0, 6_000.0, 9_000.0, 12_000.0, 15_000.0, 18_000.0,
+                    ]
                 };
                 println!("Figure 6-2: DProf access-sampling overhead vs IBS sampling rate\n");
                 for which in [WhichWorkload::Memcached, WhichWorkload::Apache] {
@@ -110,7 +134,11 @@ fn main() {
             "table6.7" | "table6.8" | "table6.9" => {
                 let mut rows = Vec::new();
                 for which in [WhichWorkload::Memcached, WhichWorkload::Apache] {
-                    rows.extend(history_overhead_rows(which, &scale, CollectionMode::SingleOffset));
+                    rows.extend(history_overhead_rows(
+                        which,
+                        &scale,
+                        CollectionMode::SingleOffset,
+                    ));
                 }
                 let title = match what.as_str() {
                     "table6.7" => "Table 6.7: object access history collection times and overhead",
@@ -122,7 +150,11 @@ fn main() {
             "table6.10" => {
                 let mut rows = Vec::new();
                 for which in [WhichWorkload::Memcached, WhichWorkload::Apache] {
-                    rows.extend(history_overhead_rows(which, &scale, CollectionMode::Pairwise));
+                    rows.extend(history_overhead_rows(
+                        which,
+                        &scale,
+                        CollectionMode::Pairwise,
+                    ));
                 }
                 println!(
                     "{}",
@@ -133,14 +165,37 @@ fn main() {
                 );
             }
             "fig6.3" => {
-                let set_counts: Vec<usize> =
-                    if quick { vec![1, 2, 4, 8] } else { vec![5, 10, 20, 40, 80, 160] };
+                let set_counts: Vec<usize> = if quick {
+                    vec![1, 2, 4, 8]
+                } else {
+                    vec![5, 10, 20, 40, 80, 160]
+                };
                 let reference = if quick { 16 } else { 240 };
-                println!("Figure 6-3: percent of unique paths captured vs history sets collected\n");
+                println!(
+                    "Figure 6-3: percent of unique paths captured vs history sets collected\n"
+                );
                 let series = [
-                    path_coverage(WhichWorkload::Memcached, &scale, |k| (k.kt.skbuff, "skbuff"), &set_counts, reference),
-                    path_coverage(WhichWorkload::Memcached, &scale, |k| (k.kt.size_1024, "size-1024"), &set_counts, reference),
-                    path_coverage(WhichWorkload::Apache, &scale, |k| (k.kt.tcp_sock, "tcp-sock"), &set_counts, reference),
+                    path_coverage(
+                        WhichWorkload::Memcached,
+                        &scale,
+                        |k| (k.kt.skbuff, "skbuff"),
+                        &set_counts,
+                        reference,
+                    ),
+                    path_coverage(
+                        WhichWorkload::Memcached,
+                        &scale,
+                        |k| (k.kt.size_1024, "size-1024"),
+                        &set_counts,
+                        reference,
+                    ),
+                    path_coverage(
+                        WhichWorkload::Apache,
+                        &scale,
+                        |k| (k.kt.tcp_sock, "tcp-sock"),
+                        &set_counts,
+                        reference,
+                    ),
                 ];
                 for s in &series {
                     println!("{}", s.render());

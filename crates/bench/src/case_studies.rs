@@ -23,7 +23,10 @@ fn dprof_config(scale: &Scale) -> DprofConfig {
         ibs_interval_ops: scale.ibs_interval_ops,
         sample_rounds: scale.sample_rounds,
         history_types: scale.history_types,
-        history: HistoryConfig { history_sets: scale.history_sets, ..Default::default() },
+        history: HistoryConfig {
+            history_sets: scale.history_sets,
+            ..Default::default()
+        },
         hot_node_threshold: 100.0,
     }
 }
@@ -56,12 +59,17 @@ pub fn profile_memcached(scale: &Scale) -> MemcachedStudy {
     for _ in 0..scale.warmup_rounds {
         workload.step(&mut machine, &mut kernel);
     }
-    let profile = Dprof::new(dprof_config(scale)).run(&mut machine, &mut kernel, |m, k| {
-        workload.step(m, k)
-    });
+    let profile =
+        Dprof::new(dprof_config(scale)).run(&mut machine, &mut kernel, |m, k| workload.step(m, k));
     let oprofile = OprofileReport::collect(&machine);
     let lockstat = LockstatReport::collect(&machine, &kernel);
-    MemcachedStudy { profile, oprofile, lockstat, machine, kernel }
+    MemcachedStudy {
+        profile,
+        oprofile,
+        lockstat,
+        machine,
+        kernel,
+    }
 }
 
 impl MemcachedStudy {
@@ -97,7 +105,10 @@ impl MemcachedStudy {
 
     /// Renders Table 6.2: lock-stat for the memcached run.
     pub fn render_table_6_2(&self) -> String {
-        format!("Table 6.2: lock statistics for memcached\n\n{}", self.lockstat.render(8))
+        format!(
+            "Table 6.2: lock statistics for memcached\n\n{}",
+            self.lockstat.render(8)
+        )
     }
 
     /// Renders Table 6.3: OProfile's top functions for the memcached run.
@@ -146,11 +157,24 @@ impl FixResult {
 /// measures a 57 % throughput improvement).
 pub fn memcached_queue_fix(scale: &Scale) -> FixResult {
     let run = |policy| {
-        let cfg = MemcachedConfig { cores: scale.cores, tx_policy: policy, ..Default::default() };
+        let cfg = MemcachedConfig {
+            cores: scale.cores,
+            tx_policy: policy,
+            ..Default::default()
+        };
         let (mut m, mut k, mut w) = Memcached::setup(cfg);
-        measure_throughput(&mut m, &mut k, &mut w, scale.warmup_rounds, scale.measured_rounds)
+        measure_throughput(
+            &mut m,
+            &mut k,
+            &mut w,
+            scale.warmup_rounds,
+            scale.measured_rounds,
+        )
     };
-    FixResult::new(run(TxQueuePolicy::HashTxQueue), run(TxQueuePolicy::LocalQueue))
+    FixResult::new(
+        run(TxQueuePolicy::HashTxQueue),
+        run(TxQueuePolicy::LocalQueue),
+    )
 }
 
 /// Everything produced by profiling one Apache run.
@@ -175,13 +199,18 @@ pub fn profile_apache(scale: &Scale, config: ApacheConfig) -> ApacheStudy {
     for _ in 0..scale.warmup_rounds {
         workload.step(&mut machine, &mut kernel);
     }
-    let profile = Dprof::new(dprof_config(scale)).run(&mut machine, &mut kernel, |m, k| {
-        workload.step(m, k)
-    });
+    let profile =
+        Dprof::new(dprof_config(scale)).run(&mut machine, &mut kernel, |m, k| workload.step(m, k));
     let lockstat = LockstatReport::collect(&machine, &kernel);
     let avg_backlog = workload.avg_backlog(&kernel);
     let avg_latency = machine.hierarchy.stats.avg_latency();
-    ApacheStudy { profile, lockstat, avg_backlog, avg_latency, kernel }
+    ApacheStudy {
+        profile,
+        lockstat,
+        avg_backlog,
+        avg_latency,
+        kernel,
+    }
 }
 
 impl ApacheStudy {
@@ -197,7 +226,10 @@ impl ApacheStudy {
 
     /// Renders Table 6.6: lock-stat for the Apache run.
     pub fn render_table_6_6(&self) -> String {
-        format!("Table 6.6: lock statistics for Apache\n\n{}", self.lockstat.render(8))
+        format!(
+            "Table 6.6: lock statistics for Apache\n\n{}",
+            self.lockstat.render(8)
+        )
     }
 
     /// The working-set bytes DProf attributes to `tcp-sock` — the quantity that explodes
@@ -217,9 +249,18 @@ pub fn apache_admission_fix(scale: &Scale) -> FixResult {
         let mut config = config;
         config.cores = scale.cores;
         let (mut m, mut k, mut w) = Apache::setup(config);
-        measure_throughput(&mut m, &mut k, &mut w, scale.warmup_rounds, scale.measured_rounds)
+        measure_throughput(
+            &mut m,
+            &mut k,
+            &mut w,
+            scale.warmup_rounds,
+            scale.measured_rounds,
+        )
     };
-    FixResult::new(run(ApacheConfig::drop_off()), run(ApacheConfig::admission_control()))
+    FixResult::new(
+        run(ApacheConfig::drop_off()),
+        run(ApacheConfig::admission_control()),
+    )
 }
 
 #[cfg(test)]
@@ -233,8 +274,13 @@ mod tests {
         // The top of the data profile must be packet payload / packet bookkeeping /
         // slab machinery, and they must bounce (Table 6.1's qualitative content).
         assert!(!profile.data_profile.is_empty());
-        let payload = profile.profile_row("size-1024").expect("size-1024 profiled");
-        assert!(payload.bounce, "packet payload must bounce under the hash policy");
+        let payload = profile
+            .profile_row("size-1024")
+            .expect("size-1024 profiled");
+        assert!(
+            payload.bounce,
+            "packet payload must bounce under the hash policy"
+        );
         assert!(
             profile.rank_of("size-1024").unwrap() < 3,
             "size-1024 should be near the top of the data profile"

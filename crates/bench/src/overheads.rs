@@ -40,7 +40,12 @@ impl OverheadSweep {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        writeln!(out, "{} (samples/s/core -> % throughput reduction)", self.workload).unwrap();
+        writeln!(
+            out,
+            "{} (samples/s/core -> % throughput reduction)",
+            self.workload
+        )
+        .unwrap();
         for p in &self.points {
             writeln!(
                 out,
@@ -96,8 +101,13 @@ pub fn ibs_overhead_sweep(
 ) -> OverheadSweep {
     // Baseline: no sampling.
     let (mut m0, mut k0, mut w0) = setup_workload(which, scale);
-    let baseline =
-        measure_throughput(&mut m0, &mut k0, w0.as_mut(), scale.warmup_rounds, scale.measured_rounds);
+    let baseline = measure_throughput(
+        &mut m0,
+        &mut k0,
+        w0.as_mut(),
+        scale.warmup_rounds,
+        scale.measured_rounds,
+    );
 
     // To convert a samples/s/core target into an IBS interval we need the workload's
     // memory-operation rate, which the baseline run gives us.
@@ -203,8 +213,19 @@ pub fn render_history_rows(title: &str, rows: &[HistoryOverheadRow]) -> String {
     writeln!(
         out,
         "{:<10} {:<16} {:>6} {:>10} {:>6} {:>10} {:>9} {:>8} {:>9} {:>9} | {:>5} {:>5} {:>5}",
-        "Benchmark", "Data Type", "Size", "Histories", "Sets", "Time (s)", "Ovhd (%)",
-        "Elem/His", "His/s", "Elem/s", "Int%", "Mem%", "Com%"
+        "Benchmark",
+        "Data Type",
+        "Size",
+        "Histories",
+        "Sets",
+        "Time (s)",
+        "Ovhd (%)",
+        "Elem/His",
+        "His/s",
+        "Elem/s",
+        "Int%",
+        "Mem%",
+        "Com%"
     )
     .unwrap();
     writeln!(out, "{}", "-".repeat(140)).unwrap();
@@ -232,7 +253,10 @@ pub fn render_history_rows(title: &str, rows: &[HistoryOverheadRow]) -> String {
 }
 
 /// The data types Tables 6.7–6.10 profile for each workload.
-pub fn paper_history_types(which: WhichWorkload, kernel: &KernelState) -> Vec<(TypeId, &'static str)> {
+pub fn paper_history_types(
+    which: WhichWorkload,
+    kernel: &KernelState,
+) -> Vec<(TypeId, &'static str)> {
     match which {
         WhichWorkload::Memcached => vec![
             (kernel.kt.size_1024, "size-1024"),
@@ -280,10 +304,17 @@ pub fn history_overhead_rows(
         };
         machine.watchpoints.reset_overhead();
         let before = machine.max_clock();
-        let (_h, mut stats) =
-            collect_histories(&mut machine, &mut kernel, ty, &cfg, |m, k| workload.step(m, k));
+        let (_h, mut stats) = collect_histories(&mut machine, &mut kernel, ty, &cfg, |m, k| {
+            workload.step(m, k)
+        });
         stats.elapsed_cycles = machine.max_clock() - before;
-        rows.push(HistoryOverheadRow::from_stats(workload_name, name, size, &stats, freq));
+        rows.push(HistoryOverheadRow::from_stats(
+            workload_name,
+            name,
+            size,
+            &stats,
+            freq,
+        ));
     }
     rows
 }
@@ -334,7 +365,10 @@ pub fn path_coverage(
         workload.step(&mut machine, &mut kernel);
     }
     let (ty, name) = type_pick(&kernel);
-    let collect = |machine: &mut Machine, kernel: &mut KernelState, workload: &mut Box<dyn Workload>, sets: usize| {
+    let collect = |machine: &mut Machine,
+                   kernel: &mut KernelState,
+                   workload: &mut Box<dyn Workload>,
+                   sets: usize| {
         let cfg = HistoryConfig {
             history_sets: sets,
             offsets_of_interest: Some(vec![0, 24]),
@@ -378,12 +412,17 @@ pub fn example_path_trace(scale: &Scale) -> String {
         ibs_interval_ops: scale.ibs_interval_ops,
         sample_rounds: scale.sample_rounds,
         history_types: 2,
-        history: HistoryConfig { history_sets: scale.history_sets, ..Default::default() },
+        history: HistoryConfig {
+            history_sets: scale.history_sets,
+            ..Default::default()
+        },
         hot_node_threshold: 100.0,
     });
     let profile = dprof.run(&mut machine, &mut kernel, |m, k| workload.step(m, k));
     let skbuff = kernel.kt.skbuff;
-    let mut out = String::from("Table 4.1: sample path trace for a packet structure on the transmit path\n\n");
+    let mut out = String::from(
+        "Table 4.1: sample path trace for a packet structure on the transmit path\n\n",
+    );
     match profile.path_traces.get(&skbuff).and_then(|t| t.first()) {
         Some(trace) => out.push_str(&report::render_path_trace(trace, &machine.symbols)),
         None => out.push_str("(no skbuff path trace collected at this scale)\n"),
@@ -403,7 +442,10 @@ mod tests {
         assert_eq!(sweep.points[0].throughput_reduction_percent, 0.0);
         let low = sweep.points[1].throughput_reduction_percent;
         let high = sweep.points[2].throughput_reduction_percent;
-        assert!(high > low, "heavier sampling must cost more ({high:.2}% vs {low:.2}%)");
+        assert!(
+            high > low,
+            "heavier sampling must cost more ({high:.2}% vs {low:.2}%)"
+        );
         assert!(high > 0.0);
     }
 
@@ -412,7 +454,11 @@ mod tests {
         let mut scale = Scale::quick();
         scale.history_sets = 2;
         scale.warmup_rounds = 5;
-        let rows = history_overhead_rows(WhichWorkload::Memcached, &scale, CollectionMode::SingleOffset);
+        let rows = history_overhead_rows(
+            WhichWorkload::Memcached,
+            &scale,
+            CollectionMode::SingleOffset,
+        );
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert!(r.histories > 0, "no histories for {}", r.type_name);

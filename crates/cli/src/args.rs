@@ -1,0 +1,350 @@
+//! Hand-rolled argument parsing for the `dprof` binary (the workspace builds offline,
+//! so no `clap`).  Flags map one-to-one onto [`crate::driver::RunOptions`] plus the
+//! output controls.
+
+use crate::driver::{ApacheLoad, RunOptions, TxPolicyChoice, WorkloadKind};
+use std::fmt;
+
+/// The four DProf views, as selectable from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum View {
+    /// Types ranked by their share of cache misses (§3.1 / Table 6.1).
+    DataProfile,
+    /// Per-type invalidation / conflict / capacity classification (§3.2).
+    MissClassification,
+    /// Per-type cache footprint and over-subscribed sets (§3.3).
+    WorkingSet,
+    /// Merged object paths with core-crossing edges (§3.4 / Figure 6-1).
+    DataFlow,
+}
+
+impl View {
+    /// Every view, in report order.
+    pub const ALL: [View; 4] = [
+        View::DataProfile,
+        View::MissClassification,
+        View::WorkingSet,
+        View::DataFlow,
+    ];
+
+    /// The CLI / JSON-section spelling of the view.
+    pub fn key(self) -> &'static str {
+        match self {
+            View::DataProfile => "data-profile",
+            View::MissClassification => "miss-classification",
+            View::WorkingSet => "working-set",
+            View::DataFlow => "data-flow",
+        }
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Report output format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Thesis-style text tables.
+    Text,
+    /// The `dprof-report/v1` JSON document.
+    Json,
+}
+
+/// Everything the CLI needs to execute one invocation.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Profiling run parameters (workload, scale, sampling).
+    pub run: RunOptions,
+    /// Which views to include in the report, in report order.
+    pub views: Vec<View>,
+    /// Output format.
+    pub format: Format,
+    /// Maximum rows per table.
+    pub top: usize,
+    /// Write the report here instead of stdout.
+    pub output: Option<String>,
+}
+
+/// Result of parsing a command line.
+#[derive(Debug, Clone)]
+pub enum Parsed {
+    /// Run a profile with these options.
+    Run(Options),
+    /// `--help` was requested.
+    Help,
+    /// `--version` was requested.
+    Version,
+}
+
+/// The `--help` text.
+pub const USAGE: &str = "\
+dprof — data-centric cache profiling of a simulated multicore kernel
+(reproduction of DProf, EuroSys 2010)
+
+USAGE:
+    dprof [OPTIONS]
+
+WORKLOAD:
+    -w, --workload <NAME>     memcached | apache | custom        [default: memcached]
+        --tx-policy <P>       memcached TX queue: hash | local   [default: hash]
+        --apache-load <L>     peak | drop-off | admission-control [default: drop-off]
+        --cores <N>           cores per simulated machine        [default: 4]
+
+PROFILING:
+    -j, --threads <N>         worker threads, one machine each   [default: 1]
+        --warmup <N>          warmup rounds before sampling      [default: 20]
+        --rounds <N>          workload rounds while sampling     [default: 120]
+        --ibs-interval <N>    IBS sampling interval in mem ops   [default: 200]
+        --history-types <N>   top miss types to collect for      [default: 3]
+        --history-sets <N>    history sets per profiled type     [default: 3]
+        --seed <N>            base RNG seed (thread i adds i)    [default: 3471]
+
+REPORT:
+    -v, --view <VIEW>         data-profile | miss-classification | working-set |
+                              data-flow | all (repeatable, comma-separable)
+                                                                 [default: all]
+    -f, --format <F>          text | json                        [default: text]
+        --top <N>             max rows per table                 [default: 8]
+    -o, --output <PATH>       write the report to a file instead of stdout
+
+MISC:
+    -h, --help                print this help
+    -V, --version             print version
+
+EXAMPLES:
+    dprof --workload memcached --threads 4 --format json
+    dprof -w apache --apache-load drop-off -v working-set
+    dprof -w custom -v data-profile -v miss-classification --top 5
+";
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse::<T>()
+        .map_err(|_| format!("invalid value '{value}' for {flag}"))
+}
+
+fn parse_views(value: &str, views: &mut Vec<View>) -> Result<(), String> {
+    for part in value.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        match part {
+            "all" => {
+                for v in View::ALL {
+                    if !views.contains(&v) {
+                        views.push(v);
+                    }
+                }
+            }
+            "data-profile" => push_unique(views, View::DataProfile),
+            "miss-classification" | "miss-class" => push_unique(views, View::MissClassification),
+            "working-set" => push_unique(views, View::WorkingSet),
+            "data-flow" => push_unique(views, View::DataFlow),
+            other => {
+                return Err(format!(
+                    "unknown view '{other}' (expected data-profile, miss-classification, \
+                     working-set, data-flow, or all)"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn push_unique(views: &mut Vec<View>, view: View) {
+    if !views.contains(&view) {
+        views.push(view);
+    }
+}
+
+/// Parses a command line (without the program name).
+pub fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut options = Options {
+        run: RunOptions::default(),
+        views: Vec::new(),
+        format: Format::Text,
+        top: 8,
+        output: None,
+    };
+
+    let mut iter = args.iter().peekable();
+    let take_value = |iter: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                      flag: &str|
+     -> Result<String, String> {
+        iter.next()
+            .map(|s| s.to_string())
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(Parsed::Help),
+            "-V" | "--version" => return Ok(Parsed::Version),
+            "-w" | "--workload" => {
+                let v = take_value(&mut iter, arg)?;
+                options.run.workload = match v.as_str() {
+                    "memcached" => WorkloadKind::Memcached,
+                    "apache" => WorkloadKind::Apache,
+                    "custom" => WorkloadKind::Custom,
+                    other => {
+                        return Err(format!(
+                            "unknown workload '{other}' (expected memcached, apache, or custom)"
+                        ))
+                    }
+                };
+            }
+            "--tx-policy" => {
+                let v = take_value(&mut iter, arg)?;
+                options.run.tx_policy = match v.as_str() {
+                    "hash" => TxPolicyChoice::Hash,
+                    "local" => TxPolicyChoice::Local,
+                    other => {
+                        return Err(format!(
+                            "unknown tx policy '{other}' (expected hash or local)"
+                        ))
+                    }
+                };
+            }
+            "--apache-load" => {
+                let v = take_value(&mut iter, arg)?;
+                options.run.apache_load = match v.as_str() {
+                    "peak" => ApacheLoad::Peak,
+                    "drop-off" => ApacheLoad::DropOff,
+                    "admission-control" => ApacheLoad::AdmissionControl,
+                    other => {
+                        return Err(format!(
+                            "unknown apache load '{other}' (expected peak, drop-off, or \
+                             admission-control)"
+                        ))
+                    }
+                };
+            }
+            "--cores" => options.run.cores = parse_num(arg, &take_value(&mut iter, arg)?)?,
+            "-j" | "--threads" => {
+                options.run.threads = parse_num(arg, &take_value(&mut iter, arg)?)?
+            }
+            "--warmup" => options.run.warmup_rounds = parse_num(arg, &take_value(&mut iter, arg)?)?,
+            "--rounds" => options.run.sample_rounds = parse_num(arg, &take_value(&mut iter, arg)?)?,
+            "--ibs-interval" => {
+                options.run.ibs_interval_ops = parse_num(arg, &take_value(&mut iter, arg)?)?
+            }
+            "--history-types" => {
+                options.run.history_types = parse_num(arg, &take_value(&mut iter, arg)?)?
+            }
+            "--history-sets" => {
+                options.run.history_sets = parse_num(arg, &take_value(&mut iter, arg)?)?
+            }
+            "--seed" => options.run.base_seed = parse_num(arg, &take_value(&mut iter, arg)?)?,
+            "-v" | "--view" => parse_views(&take_value(&mut iter, arg)?, &mut options.views)?,
+            "-f" | "--format" => {
+                let v = take_value(&mut iter, arg)?;
+                options.format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => {
+                        return Err(format!("unknown format '{other}' (expected text or json)"))
+                    }
+                };
+            }
+            "--top" => options.top = parse_num(arg, &take_value(&mut iter, arg)?)?,
+            "-o" | "--output" => options.output = Some(take_value(&mut iter, arg)?),
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+
+    if options.views.is_empty() {
+        options.views = View::ALL.to_vec();
+    }
+    if options.run.threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    if options.run.threads > 256 {
+        return Err("--threads is capped at 256".into());
+    }
+    if options.run.cores == 0 {
+        return Err("--cores must be at least 1".into());
+    }
+    if options.run.cores > 64 {
+        return Err("--cores is capped at 64".into());
+    }
+    if options.run.sample_rounds == 0 {
+        return Err("--rounds must be at least 1".into());
+    }
+    if options.run.ibs_interval_ops == 0 {
+        // Interval 0 means "sampling disabled" to the IBS unit; a profile without
+        // samples is always empty, so reject it rather than mislead.
+        return Err("--ibs-interval must be at least 1".into());
+    }
+    if options.top == 0 {
+        return Err("--top must be at least 1".into());
+    }
+    Ok(Parsed::Run(options))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let Parsed::Run(o) = parse(&[]).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(o.views, View::ALL.to_vec());
+        assert_eq!(o.format, Format::Text);
+        assert_eq!(o.run.threads, 1);
+        assert!(matches!(o.run.workload, WorkloadKind::Memcached));
+    }
+
+    #[test]
+    fn acceptance_command_line() {
+        let Parsed::Run(o) =
+            parse(&args("--workload memcached --threads 4 --format json")).unwrap()
+        else {
+            panic!("expected run")
+        };
+        assert_eq!(o.run.threads, 4);
+        assert_eq!(o.format, Format::Json);
+        assert_eq!(o.views.len(), 4);
+    }
+
+    #[test]
+    fn views_accumulate_and_dedupe() {
+        let Parsed::Run(o) = parse(&args(
+            "-v data-profile,working-set -v data-profile -v data-flow",
+        ))
+        .unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(
+            o.views,
+            vec![View::DataProfile, View::WorkingSet, View::DataFlow]
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_values() {
+        assert!(parse(&args("--frobnicate")).is_err());
+        assert!(parse(&args("--workload nginx")).is_err());
+        assert!(parse(&args("--threads zero")).is_err());
+        assert!(parse(&args("--threads 0")).is_err());
+        assert!(parse(&args("--ibs-interval 0")).is_err());
+        assert!(parse(&args("--threads")).is_err());
+        assert!(parse(&args("-v everything")).is_err());
+    }
+
+    #[test]
+    fn help_and_version() {
+        assert!(matches!(parse(&args("--help")).unwrap(), Parsed::Help));
+        assert!(matches!(parse(&args("-V")).unwrap(), Parsed::Version));
+        // Help wins even with other flags present.
+        assert!(matches!(
+            parse(&args("--threads 4 -h")).unwrap(),
+            Parsed::Help
+        ));
+    }
+}

@@ -1,0 +1,97 @@
+//! # dprof-cli
+//!
+//! The unified command-line driver for the DProf reproduction.  One binary — `dprof` —
+//! selects a workload (memcached / apache / custom false-sharing), a machine
+//! configuration, and any subset of the four data-centric views, runs the profile
+//! across multiple worker threads (one independent simulated machine per thread), and
+//! emits either thesis-style text tables or a `dprof-report/v1` JSON document.
+//!
+//! ```text
+//! cargo run -p dprof-cli -- --workload memcached --threads 4 --format json
+//! ```
+//!
+//! The crate is a thin shell over the workspace: [`driver`] builds machines and runs
+//! [`dprof::core::Dprof`] sessions, [`merge`] folds per-thread profiles into one
+//! report keyed by type / function names, [`render`] emits text or JSON (via the
+//! dependency-free [`json`] module), and [`args`] parses the flag surface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod driver;
+pub mod json;
+pub mod merge;
+pub mod render;
+
+use args::{Parsed, View};
+
+/// Version string reported by `dprof --version`.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Runs the CLI against an already-split argument list (no program name) and returns
+/// the process exit code.  Report text goes to stdout (or `--output`), diagnostics to
+/// stderr.
+pub fn run(args: &[String]) -> i32 {
+    let options = match args::parse(args) {
+        Ok(Parsed::Help) => {
+            print!("{}", args::USAGE);
+            return 0;
+        }
+        Ok(Parsed::Version) => {
+            println!("dprof {VERSION}");
+            return 0;
+        }
+        Ok(Parsed::Run(options)) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("usage: dprof [OPTIONS] (try --help)");
+            return 2;
+        }
+    };
+
+    eprintln!(
+        "profiling {} on {} thread(s) x {} core(s), {} sampling rounds...",
+        options.run.workload.name(),
+        options.run.threads,
+        options.run.cores,
+        options.run.sample_rounds
+    );
+
+    let runs = match driver::run_parallel(&options.run) {
+        Ok(runs) => runs,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return 1;
+        }
+    };
+    let report = merge::merge(&runs);
+
+    let missing_flows = report.data_flows.is_empty()
+        && options.views.contains(&View::DataFlow)
+        && options.run.history_types > 0;
+    if missing_flows {
+        eprintln!(
+            "note: no object access histories were collected; try more --rounds or a \
+             larger --history-sets"
+        );
+    }
+
+    let rendered = render::render(&report, &options);
+    match &options.output {
+        None => {
+            print!("{rendered}");
+            0
+        }
+        Some(path) => match std::fs::write(path, rendered.as_bytes()) {
+            Ok(()) => {
+                eprintln!("report written to {path}");
+                0
+            }
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                1
+            }
+        },
+    }
+}

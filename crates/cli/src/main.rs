@@ -1,0 +1,6 @@
+//! The `dprof` binary: a thin wrapper around [`dprof_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(dprof_cli::run(&args));
+}

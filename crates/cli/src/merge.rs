@@ -1,0 +1,566 @@
+//! Merging of per-thread [`ThreadRun`]s into one report.
+//!
+//! Threads profile *independent* simulated machines, so `TypeId`s are only meaningful
+//! within a thread; merging keys everything by type name and function name instead.
+//! Percentage-style metrics are combined as weighted means (weighted by each thread's
+//! miss-sample count, so a thread that observed more misses counts for more), additive
+//! metrics are summed, and footprint metrics are averaged — mirroring how the paper
+//! averages repeated runs of the real machine.
+//!
+//! All merged collections are sorted on stable keys, so the rendered report is
+//! byte-identical for identical inputs regardless of `HashMap` iteration order.
+
+use crate::driver::ThreadRun;
+use dprof::core::MissClass;
+use std::collections::HashMap;
+
+/// A data-profile row aggregated across threads.
+#[derive(Debug, Clone)]
+pub struct MergedProfileRow {
+    /// Type name.
+    pub name: String,
+    /// Human-readable description.
+    pub description: String,
+    /// Mean working-set footprint across the threads that saw the type, bytes.
+    pub working_set_bytes: f64,
+    /// Miss-weighted share of L1 miss samples, percent.
+    pub pct_of_l1_misses: f64,
+    /// Miss-weighted share of miss cycles, percent.
+    pub pct_of_miss_cycles: f64,
+    /// Whether any thread saw the type bounce between cores.
+    pub bounce: bool,
+    /// Total access samples attributed to the type, all threads.
+    pub samples: u64,
+    /// Number of threads whose profile contained the type.
+    pub threads_seen: usize,
+}
+
+/// A miss-classification row aggregated across threads.
+#[derive(Debug, Clone)]
+pub struct MergedMissRow {
+    /// Type name.
+    pub name: String,
+    /// Total miss samples, all threads.
+    pub miss_samples: u64,
+    /// Miss-weighted fraction of invalidation misses.
+    pub invalidation: f64,
+    /// Miss-weighted fraction of conflict misses.
+    pub conflict: f64,
+    /// Miss-weighted fraction of capacity misses.
+    pub capacity: f64,
+}
+
+impl MergedMissRow {
+    /// The dominant class name of the merged fractions.
+    pub fn dominant(&self) -> &'static str {
+        let mut best = ("invalidation", self.invalidation);
+        for (name, value) in [("conflict", self.conflict), ("capacity", self.capacity)] {
+            if value > best.1 {
+                best = (name, value);
+            }
+        }
+        best.0
+    }
+}
+
+/// A working-set row aggregated across threads.
+#[derive(Debug, Clone)]
+pub struct MergedWorkingSetRow {
+    /// Type name.
+    pub name: String,
+    /// Description.
+    pub description: String,
+    /// Mean of per-thread average live bytes.
+    pub avg_live_bytes: f64,
+    /// Mean of per-thread average live object counts.
+    pub avg_live_objects: f64,
+    /// Maximum peak live bytes seen by any thread.
+    pub peak_live_bytes: u64,
+}
+
+/// The merged working-set view.
+#[derive(Debug, Clone, Default)]
+pub struct MergedWorkingSet {
+    /// Per-type rows, sorted by average live bytes (descending).
+    pub rows: Vec<MergedWorkingSetRow>,
+    /// L2 capacity of one simulated machine, bytes.
+    pub cache_capacity: u64,
+    /// L2 associativity of one simulated machine.
+    pub cache_ways: usize,
+    /// Mean of per-thread total average working-set bytes.
+    pub total_avg_bytes: f64,
+    /// How many threads' working sets exceeded the cache capacity.
+    pub threads_exceeding_capacity: usize,
+    /// Largest number of over-subscribed associativity sets seen by any thread.
+    pub max_conflict_sets: usize,
+}
+
+/// A node of a merged data-flow graph, keyed by kernel function name.
+#[derive(Debug, Clone)]
+pub struct MergedFlowNode {
+    /// Kernel function name.
+    pub function: String,
+    /// Total access samples matched to the node.
+    pub samples: u64,
+    /// Total path-trace weight through the node.
+    pub weight: u64,
+    /// Sample-weighted average access latency, cycles.
+    pub avg_latency: f64,
+}
+
+/// An edge of a merged data-flow graph.
+#[derive(Debug, Clone)]
+pub struct MergedFlowEdge {
+    /// Source function name.
+    pub from: String,
+    /// Destination function name.
+    pub to: String,
+    /// Total traversals, all threads.
+    pub count: u64,
+    /// Whether the object changed cores on this edge.
+    pub cpu_change: bool,
+}
+
+/// The merged data-flow graph for one type.
+#[derive(Debug, Clone)]
+pub struct MergedDataFlow {
+    /// Type name.
+    pub type_name: String,
+    /// Nodes sorted by weight (descending), then name.
+    pub nodes: Vec<MergedFlowNode>,
+    /// Edges sorted by count (descending), then endpoint names.
+    pub edges: Vec<MergedFlowEdge>,
+    /// Total traversals of core-crossing edges.
+    pub core_crossings: u64,
+}
+
+/// Per-thread throughput summary carried into the report.
+#[derive(Debug, Clone)]
+pub struct ThreadSummary {
+    /// Thread index.
+    pub thread: usize,
+    /// Seed the thread ran with.
+    pub seed: u64,
+    /// Requests completed while profiled.
+    pub requests: u64,
+    /// Simulated requests per second.
+    pub rps: f64,
+    /// Fraction of cycles spent in profiling interrupts.
+    pub profiling_fraction: f64,
+    /// Access samples collected.
+    pub samples: u64,
+}
+
+/// Everything the report renderers consume.
+#[derive(Debug, Clone)]
+pub struct MergedReport {
+    /// Per-thread summaries, ordered by thread index.
+    pub threads: Vec<ThreadSummary>,
+    /// Total requests completed across threads while profiled.
+    pub total_requests: u64,
+    /// Sum of per-thread simulated request rates.
+    pub aggregate_rps: f64,
+    /// Cycle-weighted mean profiling overhead fraction.
+    pub profiling_fraction: f64,
+    /// Data-profile rows, sorted by merged miss share (descending).
+    pub data_profile: Vec<MergedProfileRow>,
+    /// Miss-classification rows, sorted by merged miss samples (descending).
+    pub miss_classification: Vec<MergedMissRow>,
+    /// The merged working-set view.
+    pub working_set: MergedWorkingSet,
+    /// Merged data-flow graphs, sorted by type name.
+    pub data_flows: Vec<MergedDataFlow>,
+}
+
+/// Merges per-thread profiling runs into one report.  `runs` must be non-empty.
+pub fn merge(runs: &[ThreadRun]) -> MergedReport {
+    assert!(!runs.is_empty(), "merge requires at least one run");
+
+    // Per-thread weights: the number of L1-miss access samples each thread observed.
+    let weights: Vec<f64> = runs
+        .iter()
+        .map(|r| r.profile.samples.iter().filter(|s| s.is_l1_miss()).count() as f64)
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+
+    MergedReport {
+        threads: runs
+            .iter()
+            .map(|r| ThreadSummary {
+                thread: r.thread,
+                seed: r.seed,
+                requests: r.requests,
+                rps: r.rps(),
+                profiling_fraction: r.profiling_fraction,
+                samples: r.profile.samples.len() as u64,
+            })
+            .collect(),
+        total_requests: runs.iter().map(|r| r.requests).sum(),
+        aggregate_rps: runs.iter().map(|r| r.rps()).sum(),
+        profiling_fraction: {
+            // Cycle-weighted, so a thread that simulated 10x more work counts 10x.
+            let cycles: u64 = runs.iter().map(|r| r.total_cycles).sum();
+            if cycles == 0 {
+                0.0
+            } else {
+                runs.iter()
+                    .map(|r| r.profiling_fraction * r.total_cycles as f64)
+                    .sum::<f64>()
+                    / cycles as f64
+            }
+        },
+        data_profile: merge_data_profile(runs, &weights, total_weight),
+        miss_classification: merge_miss_classification(runs),
+        working_set: merge_working_set(runs),
+        data_flows: merge_data_flows(runs),
+    }
+}
+
+fn merge_data_profile(
+    runs: &[ThreadRun],
+    weights: &[f64],
+    total_weight: f64,
+) -> Vec<MergedProfileRow> {
+    struct Acc {
+        description: String,
+        ws_sum: f64,
+        pct_l1_weighted: f64,
+        pct_cycles_weighted: f64,
+        bounce: bool,
+        samples: u64,
+        threads_seen: usize,
+    }
+    let mut acc: HashMap<String, Acc> = HashMap::new();
+    for (run, &weight) in runs.iter().zip(weights) {
+        for row in &run.profile.data_profile {
+            let entry = acc.entry(row.name.clone()).or_insert_with(|| Acc {
+                description: row.description.clone(),
+                ws_sum: 0.0,
+                pct_l1_weighted: 0.0,
+                pct_cycles_weighted: 0.0,
+                bounce: false,
+                samples: 0,
+                threads_seen: 0,
+            });
+            entry.ws_sum += row.working_set_bytes;
+            entry.pct_l1_weighted += weight * row.pct_of_l1_misses;
+            entry.pct_cycles_weighted += weight * row.pct_of_miss_cycles;
+            entry.bounce |= row.bounce;
+            entry.samples += row.samples;
+            entry.threads_seen += 1;
+        }
+    }
+    let mut rows: Vec<MergedProfileRow> = acc
+        .into_iter()
+        .map(|(name, a)| MergedProfileRow {
+            name,
+            description: a.description,
+            working_set_bytes: a.ws_sum / a.threads_seen as f64,
+            pct_of_l1_misses: if total_weight > 0.0 {
+                a.pct_l1_weighted / total_weight
+            } else {
+                0.0
+            },
+            pct_of_miss_cycles: if total_weight > 0.0 {
+                a.pct_cycles_weighted / total_weight
+            } else {
+                0.0
+            },
+            bounce: a.bounce,
+            samples: a.samples,
+            threads_seen: a.threads_seen,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.pct_of_l1_misses
+            .partial_cmp(&a.pct_of_l1_misses)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    rows
+}
+
+fn merge_miss_classification(runs: &[ThreadRun]) -> Vec<MergedMissRow> {
+    struct Acc {
+        miss_samples: u64,
+        invalidation: f64,
+        conflict: f64,
+        capacity: f64,
+    }
+    let mut acc: HashMap<String, Acc> = HashMap::new();
+    for run in runs {
+        for row in &run.profile.miss_classification {
+            let w = row.miss_samples as f64;
+            let entry = acc.entry(row.name.clone()).or_insert_with(|| Acc {
+                miss_samples: 0,
+                invalidation: 0.0,
+                conflict: 0.0,
+                capacity: 0.0,
+            });
+            entry.miss_samples += row.miss_samples;
+            entry.invalidation += w * row.fraction(MissClass::Invalidation);
+            entry.conflict += w * row.fraction(MissClass::Conflict);
+            entry.capacity += w * row.fraction(MissClass::Capacity);
+        }
+    }
+    let mut rows: Vec<MergedMissRow> = acc
+        .into_iter()
+        .map(|(name, a)| {
+            let w = a.miss_samples.max(1) as f64;
+            MergedMissRow {
+                name,
+                miss_samples: a.miss_samples,
+                invalidation: a.invalidation / w,
+                conflict: a.conflict / w,
+                capacity: a.capacity / w,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.miss_samples
+            .cmp(&a.miss_samples)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    rows
+}
+
+fn merge_working_set(runs: &[ThreadRun]) -> MergedWorkingSet {
+    struct Acc {
+        description: String,
+        bytes_sum: f64,
+        objects_sum: f64,
+        peak: u64,
+        threads_seen: usize,
+    }
+    let mut acc: HashMap<String, Acc> = HashMap::new();
+    for run in runs {
+        for t in &run.profile.working_set.per_type {
+            let entry = acc.entry(t.name.clone()).or_insert_with(|| Acc {
+                description: t.description.clone(),
+                bytes_sum: 0.0,
+                objects_sum: 0.0,
+                peak: 0,
+                threads_seen: 0,
+            });
+            entry.bytes_sum += t.avg_live_bytes;
+            entry.objects_sum += t.avg_live_objects;
+            entry.peak = entry.peak.max(t.peak_live_bytes);
+            entry.threads_seen += 1;
+        }
+    }
+    let mut rows: Vec<MergedWorkingSetRow> = acc
+        .into_iter()
+        .map(|(name, a)| MergedWorkingSetRow {
+            name,
+            description: a.description,
+            avg_live_bytes: a.bytes_sum / a.threads_seen as f64,
+            avg_live_objects: a.objects_sum / a.threads_seen as f64,
+            peak_live_bytes: a.peak,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.avg_live_bytes
+            .partial_cmp(&a.avg_live_bytes)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+
+    let first = &runs[0].profile.working_set;
+    MergedWorkingSet {
+        rows,
+        cache_capacity: first.cache_capacity,
+        cache_ways: first.cache_ways,
+        total_avg_bytes: runs
+            .iter()
+            .map(|r| r.profile.working_set.total_avg_bytes())
+            .sum::<f64>()
+            / runs.len() as f64,
+        threads_exceeding_capacity: runs
+            .iter()
+            .filter(|r| r.profile.working_set.exceeds_capacity())
+            .count(),
+        max_conflict_sets: runs
+            .iter()
+            .map(|r| r.profile.working_set.conflict_sets.len())
+            .max()
+            .unwrap_or(0),
+    }
+}
+
+fn merge_data_flows(runs: &[ThreadRun]) -> Vec<MergedDataFlow> {
+    struct NodeAcc {
+        samples: u64,
+        weight: u64,
+        latency_weighted: f64,
+    }
+    struct FlowAcc {
+        nodes: HashMap<String, NodeAcc>,
+        edges: HashMap<(String, String, bool), u64>,
+    }
+    let mut flows: HashMap<String, FlowAcc> = HashMap::new();
+    for run in runs {
+        for (ty, graph) in &run.profile.data_flows {
+            let type_name = run
+                .type_names
+                .get(ty)
+                .cloned()
+                .unwrap_or_else(|| format!("type#{}", ty.0));
+            let flow = flows.entry(type_name).or_insert_with(|| FlowAcc {
+                nodes: HashMap::new(),
+                edges: HashMap::new(),
+            });
+            for node in &graph.nodes {
+                let acc = flow
+                    .nodes
+                    .entry(node.name.clone())
+                    .or_insert_with(|| NodeAcc {
+                        samples: 0,
+                        weight: 0,
+                        latency_weighted: 0.0,
+                    });
+                acc.samples += node.samples;
+                acc.weight += node.weight;
+                // Per-run avg_latency is a per-sample mean, so weight by samples to
+                // keep the merged value a per-sample mean.
+                acc.latency_weighted += node.samples as f64 * node.avg_latency;
+            }
+            for edge in &graph.edges {
+                let key = (
+                    graph.nodes[edge.from].name.clone(),
+                    graph.nodes[edge.to].name.clone(),
+                    edge.cpu_change,
+                );
+                *flow.edges.entry(key).or_insert(0) += edge.count;
+            }
+        }
+    }
+    let mut merged: Vec<MergedDataFlow> = flows
+        .into_iter()
+        .map(|(type_name, flow)| {
+            let mut nodes: Vec<MergedFlowNode> = flow
+                .nodes
+                .into_iter()
+                .map(|(function, a)| MergedFlowNode {
+                    function,
+                    samples: a.samples,
+                    weight: a.weight,
+                    avg_latency: if a.samples > 0 {
+                        a.latency_weighted / a.samples as f64
+                    } else {
+                        0.0
+                    },
+                })
+                .collect();
+            nodes.sort_by(|a, b| {
+                b.weight
+                    .cmp(&a.weight)
+                    .then_with(|| a.function.cmp(&b.function))
+            });
+            let mut edges: Vec<MergedFlowEdge> = flow
+                .edges
+                .into_iter()
+                .map(|((from, to, cpu_change), count)| MergedFlowEdge {
+                    from,
+                    to,
+                    count,
+                    cpu_change,
+                })
+                .collect();
+            edges.sort_by(|a, b| {
+                b.count
+                    .cmp(&a.count)
+                    .then_with(|| a.from.cmp(&b.from))
+                    .then_with(|| a.to.cmp(&b.to))
+            });
+            let core_crossings = edges.iter().filter(|e| e.cpu_change).map(|e| e.count).sum();
+            MergedDataFlow {
+                type_name,
+                nodes,
+                edges,
+                core_crossings,
+            }
+        })
+        .collect();
+    merged.sort_by(|a, b| a.type_name.cmp(&b.type_name));
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_parallel, RunOptions, WorkloadKind};
+
+    fn runs(threads: usize) -> Vec<crate::driver::ThreadRun> {
+        let options = RunOptions {
+            workload: WorkloadKind::Memcached,
+            threads,
+            cores: 2,
+            warmup_rounds: 5,
+            sample_rounds: 40,
+            history_types: 2,
+            history_sets: 2,
+            ..Default::default()
+        };
+        run_parallel(&options).expect("threads succeed")
+    }
+
+    #[test]
+    fn merged_shares_stay_percentages() {
+        let report = merge(&runs(2));
+        assert!(!report.data_profile.is_empty());
+        let total_pct: f64 = report.data_profile.iter().map(|r| r.pct_of_l1_misses).sum();
+        assert!(
+            total_pct > 50.0 && total_pct <= 100.5,
+            "merged miss shares should sum to ~100%, got {total_pct:.1}"
+        );
+        // Sorted descending.
+        for pair in report.data_profile.windows(2) {
+            assert!(pair[0].pct_of_l1_misses >= pair[1].pct_of_l1_misses);
+        }
+    }
+
+    #[test]
+    fn merged_totals_are_sums_of_threads() {
+        let rs = runs(2);
+        let report = merge(&rs);
+        assert_eq!(
+            report.total_requests,
+            rs.iter().map(|r| r.requests).sum::<u64>()
+        );
+        assert_eq!(report.threads.len(), 2);
+        let samples_total: u64 = report.threads.iter().map(|t| t.samples).sum();
+        assert_eq!(
+            samples_total,
+            rs.iter()
+                .map(|r| r.profile.samples.len() as u64)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn miss_fractions_are_convex_and_flows_merge_by_name() {
+        let report = merge(&runs(2));
+        for row in &report.miss_classification {
+            let sum = row.invalidation + row.conflict + row.capacity;
+            assert!(
+                (0.0..=1.01).contains(&sum),
+                "fractions of {} sum to {sum}",
+                row.name
+            );
+            assert!(["invalidation", "conflict", "capacity"].contains(&row.dominant()));
+        }
+        for flow in &report.data_flows {
+            // A graph may be empty when no traces were built for the type, but edges
+            // always connect known nodes.
+            assert!(!flow.type_name.is_empty());
+            assert!(flow.edges.is_empty() || !flow.nodes.is_empty());
+            let crossing_sum: u64 = flow
+                .edges
+                .iter()
+                .filter(|e| e.cpu_change)
+                .map(|e| e.count)
+                .sum();
+            assert_eq!(crossing_sum, flow.core_crossings);
+        }
+    }
+}

@@ -383,7 +383,11 @@ mod tests {
         let mut m = Machine::new(MachineConfig::with_cores(2));
         let k = KernelState::new(
             &mut m,
-            KernelConfig { cores: 2, workers_per_core: 1, ..Default::default() },
+            KernelConfig {
+                cores: 2,
+                workers_per_core: 1,
+                ..Default::default()
+            },
         );
         (m, k)
     }
@@ -403,7 +407,10 @@ mod tests {
         assert!(stats.elements > 0);
         // The offset-24 field is written on core 0 and read on core 1: the history must
         // show a CPU change.
-        assert!(histories.iter().any(|h| h.bounces()), "expected a bouncing history");
+        assert!(
+            histories.iter().any(|h| h.bounces()),
+            "expected a bouncing history"
+        );
         // All recorded offsets are within the watched granule.
         for h in &histories {
             for e in &h.elements {
@@ -435,7 +442,10 @@ mod tests {
         };
         let skbuff = k.kt.skbuff;
         let (_h, stats) = collect_histories(&mut m, &mut k, skbuff, &cfg, bouncing_step);
-        assert!(stats.communication_cycles > 0, "arming must charge the broadcast cost");
+        assert!(
+            stats.communication_cycles > 0,
+            "arming must charge the broadcast cost"
+        );
         assert!(stats.memory_cycles > 0);
         assert!(stats.overhead_fraction() > 0.0);
         let (i, mem, c) = stats.overhead_breakdown();
@@ -463,14 +473,39 @@ mod tests {
             watched_offsets: vec![0],
             alloc_core: 0,
             elements: vec![
-                HistoryElement { offset: 0, ip: FunctionId(1), cpu: 0, time: 1, is_write: true },
-                HistoryElement { offset: 0, ip: FunctionId(2), cpu: 1, time: 2, is_write: false },
-                HistoryElement { offset: 0, ip: FunctionId(3), cpu: 1, time: 3, is_write: false },
+                HistoryElement {
+                    offset: 0,
+                    ip: FunctionId(1),
+                    cpu: 0,
+                    time: 1,
+                    is_write: true,
+                },
+                HistoryElement {
+                    offset: 0,
+                    ip: FunctionId(2),
+                    cpu: 1,
+                    time: 2,
+                    is_write: false,
+                },
+                HistoryElement {
+                    offset: 0,
+                    ip: FunctionId(3),
+                    cpu: 1,
+                    time: 3,
+                    is_write: false,
+                },
             ],
             lifetime: Some(10),
         };
         let path = h.execution_path();
-        assert_eq!(path, vec![(FunctionId(1), false), (FunctionId(2), true), (FunctionId(3), false)]);
+        assert_eq!(
+            path,
+            vec![
+                (FunctionId(1), false),
+                (FunctionId(2), true),
+                (FunctionId(3), false)
+            ]
+        );
         assert!(h.bounces());
     }
 }

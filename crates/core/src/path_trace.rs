@@ -7,7 +7,9 @@
 //! for the same `(type, offset, ip)`.
 
 use crate::history::ObjectAccessHistory;
-use crate::sample::{aggregate_samples, aggregate_samples_by_ip, AccessSample, SampleKey, SampleStats};
+use crate::sample::{
+    aggregate_samples, aggregate_samples_by_ip, AccessSample, SampleKey, SampleStats,
+};
 use serde::{Deserialize, Serialize};
 use sim_kernel::TypeId;
 use sim_machine::FunctionId;
@@ -88,7 +90,10 @@ pub fn build_path_traces(
 
     // Group histories by execution path.
     let mut groups: HashMap<Vec<(FunctionId, bool)>, Vec<&ObjectAccessHistory>> = HashMap::new();
-    for h in histories.iter().filter(|h| h.type_id == type_id && !h.elements.is_empty()) {
+    for h in histories
+        .iter()
+        .filter(|h| h.type_id == type_id && !h.elements.is_empty())
+    {
         groups.entry(h.execution_path()).or_default().push(h);
     }
 
@@ -114,7 +119,11 @@ pub fn build_path_traces(
                 // the per-ip aggregate.
                 let mut stats = SampleStats::default();
                 for &off in &offsets {
-                    if let Some(s) = by_key.get(&SampleKey { type_id, offset: off & !7, ip }) {
+                    if let Some(s) = by_key.get(&SampleKey {
+                        type_id,
+                        offset: off & !7,
+                        ip,
+                    }) {
                         stats.count += s.count;
                         stats.total_latency += s.total_latency;
                         for (k, v) in &s.level_counts {
@@ -136,8 +145,11 @@ pub fn build_path_traces(
                     stats,
                 });
             }
-            let lifetimes: Vec<f64> =
-                group.iter().filter_map(|h| h.lifetime).map(|l| l as f64).collect();
+            let lifetimes: Vec<f64> = group
+                .iter()
+                .filter_map(|h| h.lifetime)
+                .map(|l| l as f64)
+                .collect();
             PathTrace {
                 type_id,
                 entries,

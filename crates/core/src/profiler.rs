@@ -80,7 +80,11 @@ impl DprofProfile {
     pub fn data_flow(&self, name: &str) -> Option<&DataFlowGraph> {
         self.data_flows
             .iter()
-            .find(|(ty, _)| self.data_profile.iter().any(|r| r.type_id == **ty && r.name == name))
+            .find(|(ty, _)| {
+                self.data_profile
+                    .iter()
+                    .any(|r| r.type_id == **ty && r.name == name)
+            })
             .map(|(_, g)| g)
     }
 }
@@ -126,13 +130,17 @@ impl Dprof {
 
     /// Runs a complete DProf profiling session: access samples, then object access
     /// histories for the top miss-heavy types, then view construction.
-    pub fn run<F>(&self, machine: &mut Machine, kernel: &mut KernelState, mut step: F) -> DprofProfile
+    pub fn run<F>(
+        &self,
+        machine: &mut Machine,
+        kernel: &mut KernelState,
+        mut step: F,
+    ) -> DprofProfile
     where
         F: FnMut(&mut Machine, &mut KernelState),
     {
         // Phase 1: access samples.
-        let (samples, sample_window) =
-            self.collect_access_samples(machine, kernel, &mut step);
+        let (samples, sample_window) = self.collect_access_samples(machine, kernel, &mut step);
 
         // Pick the types with the most L1-miss samples for history collection.
         let mut miss_counts: HashMap<TypeId, u64> = HashMap::new();
@@ -143,8 +151,11 @@ impl Dprof {
         }
         let mut ranked: Vec<(TypeId, u64)> = miss_counts.into_iter().collect();
         ranked.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
-        let top_types: Vec<TypeId> =
-            ranked.iter().take(self.config.history_types).map(|(t, _)| *t).collect();
+        let top_types: Vec<TypeId> = ranked
+            .iter()
+            .take(self.config.history_types)
+            .map(|(t, _)| *t)
+            .collect();
 
         // Phase 2: object access histories for the top types.
         let mut histories: HashMap<TypeId, Vec<ObjectAccessHistory>> = HashMap::new();

@@ -2,8 +2,8 @@
 
 use crate::path_trace::PathTrace;
 use crate::profiler::DprofProfile;
-use crate::views::{DataProfileRow, TypeMissClassification, WorkingSetView};
 use crate::views::miss_class::MissClass;
+use crate::views::{DataProfileRow, TypeMissClassification, WorkingSetView};
 use sim_machine::SymbolTable;
 use std::fmt::Write as _;
 
@@ -48,7 +48,11 @@ pub fn render_data_profile(rows: &[DataProfileRow], top: usize) -> String {
     writeln!(
         out,
         "{:<16} {:<36} {:>12} {:>13.2}% {:>8}",
-        "Total", "", format_bytes(total_ws), total_pct, "-"
+        "Total",
+        "",
+        format_bytes(total_ws),
+        total_pct,
+        "-"
     )
     .unwrap();
     out
@@ -81,16 +85,29 @@ pub fn render_working_set(view: &WorkingSetView, top: usize) -> String {
         "total working set {} vs cache capacity {} => {}",
         format_bytes(view.total_avg_bytes()),
         format_bytes(view.cache_capacity as f64),
-        if view.exceeds_capacity() { "capacity pressure" } else { "fits" }
+        if view.exceeds_capacity() {
+            "capacity pressure"
+        } else {
+            "fits"
+        }
     )
     .unwrap();
     if view.conflict_sets.is_empty() {
         writeln!(out, "no over-subscribed associativity sets").unwrap();
     } else {
-        writeln!(out, "{} over-subscribed associativity sets (top 3):", view.conflict_sets.len())
-            .unwrap();
+        writeln!(
+            out,
+            "{} over-subscribed associativity sets (top 3):",
+            view.conflict_sets.len()
+        )
+        .unwrap();
         for s in view.conflict_sets.iter().take(3) {
-            writeln!(out, "  set {:>4}: {} distinct lines", s.set_index, s.distinct_lines).unwrap();
+            writeln!(
+                out,
+                "  set {:>4}: {} distinct lines",
+                s.set_index, s.distinct_lines
+            )
+            .unwrap();
         }
     }
     out
@@ -174,7 +191,10 @@ pub fn render_profile(profile: &DprofProfile, _symbols: &SymbolTable, top: usize
     writeln!(out, "\n=== Working set ===").unwrap();
     out.push_str(&render_working_set(&profile.working_set, top));
     writeln!(out, "\n=== Miss classification ===").unwrap();
-    out.push_str(&render_miss_classification(&profile.miss_classification, top));
+    out.push_str(&render_miss_classification(
+        &profile.miss_classification,
+        top,
+    ));
     writeln!(out, "\n=== Data flow (core crossings) ===").unwrap();
     for (ty, graph) in &profile.data_flows {
         let name = profile

@@ -50,7 +50,9 @@ pub fn resolve_samples(records: &[IbsRecord], allocator: &SlabAllocator) -> Vec<
     records
         .iter()
         .filter_map(|r| {
-            let resolved = allocator.resolve(r.addr).or_else(|| allocator.resolve_historical(r.addr))?;
+            let resolved = allocator
+                .resolve(r.addr)
+                .or_else(|| allocator.resolve_historical(r.addr))?;
             Some(AccessSample {
                 type_id: resolved.type_id,
                 offset: resolved.offset,
@@ -80,7 +82,10 @@ impl SampleStats {
     /// Adds a sample.
     pub fn add(&mut self, s: &AccessSample) {
         self.count += 1;
-        *self.level_counts.entry(s.level.display_name().to_string()).or_insert(0) += 1;
+        *self
+            .level_counts
+            .entry(s.level.display_name().to_string())
+            .or_insert(0) += 1;
         self.total_latency += s.latency;
     }
 
@@ -98,7 +103,11 @@ impl SampleStats {
         if self.count == 0 {
             return 0.0;
         }
-        let c = self.level_counts.get(level.display_name()).copied().unwrap_or(0);
+        let c = self
+            .level_counts
+            .get(level.display_name())
+            .copied()
+            .unwrap_or(0);
         c as f64 / self.count as f64
     }
 
@@ -124,7 +133,11 @@ pub struct SampleKey {
 pub fn aggregate_samples(samples: &[AccessSample]) -> HashMap<SampleKey, SampleStats> {
     let mut map: HashMap<SampleKey, SampleStats> = HashMap::new();
     for s in samples {
-        let key = SampleKey { type_id: s.type_id, offset: s.offset & !7, ip: s.ip };
+        let key = SampleKey {
+            type_id: s.type_id,
+            offset: s.offset & !7,
+            ip: s.ip,
+        };
         map.entry(key).or_default().add(s);
     }
     map
@@ -132,7 +145,9 @@ pub fn aggregate_samples(samples: &[AccessSample]) -> HashMap<SampleKey, SampleS
 
 /// Aggregates samples by `(type, ip)` regardless of offset (used when a path-trace entry
 /// has no offset-precise match).
-pub fn aggregate_samples_by_ip(samples: &[AccessSample]) -> HashMap<(TypeId, FunctionId), SampleStats> {
+pub fn aggregate_samples_by_ip(
+    samples: &[AccessSample],
+) -> HashMap<(TypeId, FunctionId), SampleStats> {
     let mut map: HashMap<(TypeId, FunctionId), SampleStats> = HashMap::new();
     for s in samples {
         map.entry((s.type_id, s.ip)).or_default().add(s);
@@ -189,7 +204,11 @@ mod tests {
         ];
         let agg = aggregate_samples(&samples);
         assert_eq!(agg.len(), 3);
-        let k = SampleKey { type_id: TypeId(1), offset: 0, ip: FunctionId(10) };
+        let k = SampleKey {
+            type_id: TypeId(1),
+            offset: 0,
+            ip: FunctionId(10),
+        };
         assert_eq!(agg[&k].count, 2);
         let by_ip = aggregate_samples_by_ip(&samples);
         assert_eq!(by_ip[&(TypeId(1), FunctionId(10))].count, 3);

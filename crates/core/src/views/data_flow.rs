@@ -101,11 +101,19 @@ impl DataFlowGraph {
         for (idx, node) in nodes.iter_mut().enumerate() {
             let (total, count) = node_latency[idx];
             node.samples = count;
-            node.avg_latency = if count == 0 { 0.0 } else { total / count as f64 };
+            node.avg_latency = if count == 0 {
+                0.0
+            } else {
+                total / count as f64
+            };
         }
         let mut edges: Vec<DataFlowEdge> = edge_map.into_values().collect();
         edges.sort_by_key(|e| (e.from, e.to));
-        DataFlowGraph { type_id, nodes, edges }
+        DataFlowGraph {
+            type_id,
+            nodes,
+            edges,
+        }
     }
 
     /// The edges that cross cores, most frequent first — the first place a programmer
@@ -127,7 +135,9 @@ impl DataFlowGraph {
         let (Some(f), Some(t)) = (self.node_by_name(from), self.node_by_name(to)) else {
             return false;
         };
-        self.edges.iter().any(|e| e.from == f && e.to == t && e.cpu_change)
+        self.edges
+            .iter()
+            .any(|e| e.from == f && e.to == t && e.cpu_change)
     }
 
     /// Renders the graph in Graphviz DOT format: bold edges are core transitions, dark
@@ -146,7 +156,11 @@ impl DataFlowGraph {
             ));
         }
         for e in &self.edges {
-            let style = if e.cpu_change { ", penwidth=3, color=black" } else { "" };
+            let style = if e.cpu_change {
+                ", penwidth=3, color=black"
+            } else {
+                ""
+            };
             out.push_str(&format!(
                 "  n{} -> n{} [label=\"x{}\"{}];\n",
                 e.from, e.to, e.count, style
@@ -191,7 +205,12 @@ mod tests {
         let traces = vec![
             PathTrace {
                 type_id: TypeId(1),
-                entries: vec![entry(0, false, 3, 1), entry(1, false, 3, 1), entry(2, true, 200, 4), entry(3, false, 15, 1)],
+                entries: vec![
+                    entry(0, false, 3, 1),
+                    entry(1, false, 3, 1),
+                    entry(2, true, 200, 4),
+                    entry(3, false, 15, 1),
+                ],
                 frequency: 10,
                 avg_lifetime: 100.0,
             },
@@ -203,7 +222,11 @@ mod tests {
             },
         ];
         let g = DataFlowGraph::build(TypeId(1), &traces, &symbols());
-        assert_eq!(g.nodes.len(), 4, "shared functions must be merged into single nodes");
+        assert_eq!(
+            g.nodes.len(),
+            4,
+            "shared functions must be merged into single nodes"
+        );
         let alloc = g.node_by_name("__alloc_skb").unwrap();
         assert_eq!(g.nodes[alloc].weight, 13);
         // The dequeue node was reached over a CPU change and has high latency.

@@ -60,9 +60,8 @@ fn invalidation_fraction_from_traces(traces: &[PathTrace]) -> Option<f64> {
     let mut weighted_invalidation = 0.0;
     for t in traces {
         for (i, e) in t.entries.iter().enumerate() {
-            let miss_prob = 1.0
-                - e.stats.hit_probability(HitLevel::L1)
-                - e.stats.hit_probability(HitLevel::L2);
+            let miss_prob =
+                1.0 - e.stats.hit_probability(HitLevel::L1) - e.stats.hit_probability(HitLevel::L2);
             if miss_prob <= 0.0 || e.stats.count == 0 {
                 continue;
             }
@@ -125,7 +124,11 @@ pub fn classify_misses(
         .map(|(ty, a)| {
             // Invalidation fraction: prefer the path-trace backward search, fall back to
             // the fraction of foreign-cache fetches.
-            let sample_fraction = if a.misses == 0 { 0.0 } else { a.remote as f64 / a.misses as f64 };
+            let sample_fraction = if a.misses == 0 {
+                0.0
+            } else {
+                a.remote as f64 / a.misses as f64
+            };
             let invalidation = path_traces
                 .get(&ty)
                 .and_then(|t| invalidation_fraction_from_traces(t))
@@ -229,7 +232,11 @@ mod tests {
                 free_cycle: None,
             })
             .collect();
-        let samples = vec![sample(1, HitLevel::Dram), sample(1, HitLevel::Dram), sample(1, HitLevel::L3)];
+        let samples = vec![
+            sample(1, HitLevel::Dram),
+            sample(1, HitLevel::Dram),
+            sample(1, HitLevel::L3),
+        ];
         let view = ws(&records, geom);
         let rows = classify_misses(&samples, &HashMap::new(), &view, &registry());
         assert_eq!(rows[0].dominant, MissClass::Capacity);
@@ -258,8 +265,11 @@ mod tests {
 
     #[test]
     fn fractions_sum_to_one() {
-        let samples =
-            vec![sample(0, HitLevel::RemoteCache), sample(0, HitLevel::Dram), sample(0, HitLevel::L3)];
+        let samples = vec![
+            sample(0, HitLevel::RemoteCache),
+            sample(0, HitLevel::Dram),
+            sample(0, HitLevel::L3),
+        ];
         let view = ws(&[], CacheGeometry::l2_default());
         let rows = classify_misses(&samples, &HashMap::new(), &view, &registry());
         let total: f64 = rows[0].fractions.values().sum();

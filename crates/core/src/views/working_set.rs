@@ -74,7 +74,9 @@ impl WorkingSetView {
 
     /// True if the type contributes lines to any flagged conflict set.
     pub fn type_in_conflict_set(&self, type_id: TypeId) -> bool {
-        self.conflict_sets.iter().any(|s| s.types.iter().any(|(t, _)| *t == type_id))
+        self.conflict_sets
+            .iter()
+            .any(|s| s.types.iter().any(|(t, _)| *t == type_id))
     }
 }
 
@@ -175,7 +177,11 @@ pub fn build_working_set(
             }
             let mut types: Vec<(TypeId, usize)> = counts.into_iter().collect();
             types.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
-            AssocSetUsage { set_index, distinct_lines: n, types }
+            AssocSetUsage {
+                set_index,
+                distinct_lines: n,
+                types,
+            }
         })
         .collect();
     conflict_sets.sort_by_key(|s| std::cmp::Reverse(s.distinct_lines));
@@ -244,7 +250,7 @@ mod tests {
     fn conflict_sets_detected_when_one_set_is_crowded() {
         let reg = registry();
         let geom = CacheGeometry::new(64, 4, 64); // small cache: 4 ways, 64 sets
-        // 32 one-line objects that all map to set 0 (stride = sets * line).
+                                                  // 32 one-line objects that all map to set 0 (stride = sets * line).
         let stride = (geom.sets * geom.line_size) as u64;
         let mut recs = Vec::new();
         for i in 0..32u64 {
@@ -255,7 +261,10 @@ mod tests {
             recs.push(record(0x20_0040 + i * 64, 0, 64, 0, None));
         }
         let ws = build_working_set(&recs, &reg, geom, 0, 1000);
-        assert!(!ws.conflict_sets.is_empty(), "the crowded set must be flagged");
+        assert!(
+            !ws.conflict_sets.is_empty(),
+            "the crowded set must be flagged"
+        );
         assert_eq!(ws.conflict_sets[0].distinct_lines, 32);
         assert!(ws.type_in_conflict_set(TypeId(1)));
         assert!(!ws.type_in_conflict_set(TypeId(0)));
@@ -265,8 +274,9 @@ mod tests {
     fn capacity_detection() {
         let reg = registry();
         let geom = CacheGeometry::new(64, 2, 16); // 2 KiB cache
-        let recs: Vec<AllocRecord> =
-            (0..8).map(|i| record(0x1000 + i * 1024, 0, 1024, 0, None)).collect();
+        let recs: Vec<AllocRecord> = (0..8)
+            .map(|i| record(0x1000 + i * 1024, 0, 1024, 0, None))
+            .collect();
         let ws = build_working_set(&recs, &reg, geom, 0, 100);
         assert!(ws.exceeds_capacity());
         assert!(ws.total_avg_bytes() >= 8.0 * 1024.0 - 1.0);

@@ -90,7 +90,10 @@ impl SetAssocCache {
     /// Returns a mutable reference to a resident line, if present (no LRU update).
     pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut CacheLine> {
         let range = self.set_range(line);
-        self.slots[range].iter_mut().flatten().find(|l| l.line == line)
+        self.slots[range]
+            .iter_mut()
+            .flatten()
+            .find(|l| l.line == line)
     }
 
     /// Changes the coherence state of a resident line.  Returns `false` if absent.
@@ -175,7 +178,10 @@ impl SetAssocCache {
     /// Number of valid lines in associativity set `set`.
     pub fn set_occupancy(&self, set: usize) -> usize {
         let start = set * self.geometry.ways;
-        self.slots[start..start + self.geometry.ways].iter().filter(|s| s.is_some()).count()
+        self.slots[start..start + self.geometry.ways]
+            .iter()
+            .filter(|s| s.is_some())
+            .count()
     }
 
     /// Number of distinct line addresses ever installed into associativity set `set`.

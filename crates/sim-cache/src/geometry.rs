@@ -24,10 +24,17 @@ impl CacheGeometry {
     /// # Panics
     /// Panics if `line_size` or `sets` is not a power of two, or if any field is zero.
     pub fn new(line_size: usize, ways: usize, sets: usize) -> Self {
-        assert!(line_size.is_power_of_two(), "line_size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line_size must be a power of two"
+        );
         assert!(sets.is_power_of_two(), "sets must be a power of two");
         assert!(ways > 0, "ways must be non-zero");
-        CacheGeometry { line_size, ways, sets }
+        CacheGeometry {
+            line_size,
+            ways,
+            sets,
+        }
     }
 
     /// Geometry from a total capacity in bytes.
@@ -36,7 +43,11 @@ impl CacheGeometry {
     /// Panics if the capacity is not an exact multiple of `line_size * ways` or the
     /// resulting set count is not a power of two.
     pub fn from_capacity(capacity: usize, line_size: usize, ways: usize) -> Self {
-        assert_eq!(capacity % (line_size * ways), 0, "capacity not divisible by way size");
+        assert_eq!(
+            capacity % (line_size * ways),
+            0,
+            "capacity not divisible by way size"
+        );
         let sets = capacity / (line_size * ways);
         Self::new(line_size, ways, sets)
     }

@@ -126,9 +126,9 @@ impl HierarchyConfig {
     pub fn small_test() -> Self {
         HierarchyConfig {
             cores: 2,
-            l1: CacheGeometry::new(64, 2, 16),   // 2 KiB
-            l2: CacheGeometry::new(64, 4, 32),   // 8 KiB
-            l3: CacheGeometry::new(64, 8, 64),   // 32 KiB
+            l1: CacheGeometry::new(64, 2, 16), // 2 KiB
+            l2: CacheGeometry::new(64, 4, 32), // 8 KiB
+            l3: CacheGeometry::new(64, 8, 64), // 32 KiB
             latency: LatencyModel::default(),
         }
     }
@@ -166,10 +166,17 @@ pub struct CacheHierarchy {
 impl CacheHierarchy {
     /// Creates an empty hierarchy.
     pub fn new(config: HierarchyConfig) -> Self {
-        assert!(config.cores >= 1 && config.cores <= 64, "1..=64 cores supported");
+        assert!(
+            config.cores >= 1 && config.cores <= 64,
+            "1..=64 cores supported"
+        );
         CacheHierarchy {
-            l1: (0..config.cores).map(|_| SetAssocCache::new(config.l1)).collect(),
-            l2: (0..config.cores).map(|_| SetAssocCache::new(config.l2)).collect(),
+            l1: (0..config.cores)
+                .map(|_| SetAssocCache::new(config.l1))
+                .collect(),
+            l2: (0..config.cores)
+                .map(|_| SetAssocCache::new(config.l2))
+                .collect(),
             l3: SetAssocCache::new(config.l3),
             directory: HashMap::new(),
             departures: vec![HashMap::new(); config.cores],
@@ -228,7 +235,11 @@ impl CacheHierarchy {
         let (level, extra) = self.access_line(core, line, kind);
         let latency = latency_model.for_level(level) + extra;
 
-        let miss_kind = if level.is_miss() { Some(self.classify_miss(core, line)) } else { None };
+        let miss_kind = if level.is_miss() {
+            Some(self.classify_miss(core, line))
+        } else {
+            None
+        };
 
         // Record that this core has now touched the line and clear any departure note.
         self.touched[core].insert(line, ());
@@ -236,7 +247,13 @@ impl CacheHierarchy {
 
         self.record_stats(core, level, latency, miss_kind);
 
-        AccessOutcome { level, latency, miss_kind, l2_set, line }
+        AccessOutcome {
+            level,
+            latency,
+            miss_kind,
+            l2_set,
+            line,
+        }
     }
 
     /// Core of the access algorithm: returns the satisfying level plus extra latency
@@ -271,14 +288,16 @@ impl CacheHierarchy {
             };
             // Promote into L1.
             let new_state = if is_write { MesiState::Modified } else { state };
-            self.fill_private(core, line, new_state, /*l1_only=*/true);
+            self.fill_private(core, line, new_state, /*l1_only=*/ true);
             return (HitLevel::L2, extra);
         }
 
         // Private miss: consult the directory.
         let entry = self.directory.get(&line).cloned().unwrap_or_default();
         let other_sharers = entry.sharers & !(1u64 << core);
-        let remote_owner = entry.owner.filter(|&o| o != core && Self::holds(&self.l1, &self.l2, o, line));
+        let remote_owner = entry
+            .owner
+            .filter(|&o| o != core && Self::holds(&self.l1, &self.l2, o, line));
 
         let level = if let Some(owner) = remote_owner {
             // Dirty line lives in another core's cache: cache-to-cache transfer.
@@ -339,7 +358,7 @@ impl CacheHierarchy {
         } else {
             MesiState::Exclusive
         };
-        self.fill_private(core, line, state, /*l1_only=*/false);
+        self.fill_private(core, line, state, /*l1_only=*/ false);
 
         // Update directory.
         let e = self.directory.entry(line).or_default();
@@ -436,7 +455,9 @@ impl CacheHierarchy {
 
     fn note_eviction(&mut self, core: CoreId, line: LineAddr) {
         // Invalidation takes precedence if both happened (shouldn't, but be safe).
-        self.departures[core].entry(line).or_insert(DepartReason::Evicted);
+        self.departures[core]
+            .entry(line)
+            .or_insert(DepartReason::Evicted);
         let e = self.directory.entry(line).or_default();
         if !Self::holds(&self.l1, &self.l2, core, line) {
             e.sharers &= !(1u64 << core);
@@ -463,7 +484,13 @@ impl CacheHierarchy {
         }
     }
 
-    fn record_stats(&mut self, core: CoreId, level: HitLevel, latency: u64, miss_kind: Option<MissKind>) {
+    fn record_stats(
+        &mut self,
+        core: CoreId,
+        level: HitLevel,
+        latency: u64,
+        miss_kind: Option<MissKind>,
+    ) {
         for s in [&mut self.stats, &mut self.per_core[core]] {
             s.accesses += 1;
             s.total_latency += latency;
@@ -633,7 +660,11 @@ mod tests {
         }
         // Now the original line should be served from L3, not DRAM.
         let r = h.access(0, 0x30_0000, AccessKind::Read);
-        assert_eq!(r.level, HitLevel::L3, "dirty victim should have been written back to L3");
+        assert_eq!(
+            r.level,
+            HitLevel::L3,
+            "dirty victim should have been written back to L3"
+        );
     }
 
     #[test]

@@ -27,7 +27,14 @@ pub struct LatencyModel {
 
 impl Default for LatencyModel {
     fn default() -> Self {
-        LatencyModel { l1: 3, l2: 15, l3: 45, remote_cache: 200, dram: 250, upgrade: 25 }
+        LatencyModel {
+            l1: 3,
+            l2: 15,
+            l3: 45,
+            remote_cache: 200,
+            dram: 250,
+            upgrade: 25,
+        }
     }
 }
 
@@ -35,7 +42,14 @@ impl LatencyModel {
     /// A latency model where every access costs one cycle; useful in unit tests that
     /// only care about hit/miss behaviour.
     pub fn uniform() -> Self {
-        LatencyModel { l1: 1, l2: 1, l3: 1, remote_cache: 1, dram: 1, upgrade: 0 }
+        LatencyModel {
+            l1: 1,
+            l2: 1,
+            l3: 1,
+            remote_cache: 1,
+            dram: 1,
+            upgrade: 0,
+        }
     }
 
     /// Latency for a given hit level.

@@ -52,7 +52,12 @@ pub struct CacheLine {
 impl CacheLine {
     /// Creates a freshly-filled line.
     pub fn new(line: u64, state: MesiState, now: u64) -> Self {
-        CacheLine { line, state, last_used: now, filled_at: now }
+        CacheLine {
+            line,
+            state,
+            last_used: now,
+            filled_at: now,
+        }
     }
 
     /// True if the line must be written back when evicted.
@@ -75,7 +80,10 @@ mod tests {
 
     #[test]
     fn local_write_transitions_to_modified() {
-        assert_eq!(MesiState::Exclusive.after_local_write(), MesiState::Modified);
+        assert_eq!(
+            MesiState::Exclusive.after_local_write(),
+            MesiState::Modified
+        );
         assert_eq!(MesiState::Shared.after_local_write(), MesiState::Modified);
         assert_eq!(MesiState::Modified.after_local_write(), MesiState::Modified);
         assert_eq!(MesiState::Invalid.after_local_write(), MesiState::Invalid);

@@ -120,15 +120,31 @@ mod tests {
 
     #[test]
     fn miss_ratio_computed() {
-        let s = CacheStats { hits: 3, misses: 1, ..Default::default() };
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
         assert!((s.miss_ratio() - 0.25).abs() < 1e-9);
         assert_eq!(s.lookups(), 4);
     }
 
     #[test]
     fn merge_accumulates() {
-        let mut a = CacheStats { hits: 1, misses: 2, fills: 3, evictions: 4, invalidations: 5 };
-        let b = CacheStats { hits: 10, misses: 20, fills: 30, evictions: 40, invalidations: 50 };
+        let mut a = CacheStats {
+            hits: 1,
+            misses: 2,
+            fills: 3,
+            evictions: 4,
+            invalidations: 5,
+        };
+        let b = CacheStats {
+            hits: 10,
+            misses: 20,
+            fills: 30,
+            evictions: 40,
+            invalidations: 50,
+        };
         a.merge(&b);
         assert_eq!(a.hits, 11);
         assert_eq!(a.invalidations, 55);

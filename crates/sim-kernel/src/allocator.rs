@@ -24,8 +24,8 @@
 use crate::locks::KLock;
 use crate::types::{TypeId, TypeRegistry};
 use serde::{Deserialize, Serialize};
-use sim_machine::{FunctionId, Machine};
 use sim_cache::CoreId;
+use sim_machine::{FunctionId, Machine};
 use std::collections::{BTreeMap, HashMap};
 
 /// Size classes of the generic (`kmalloc`-style) pools.
@@ -275,7 +275,11 @@ impl SlabAllocator {
             type_id,
             obj_size,
             per_core: (0..self.cores)
-                .map(|_| CoreCache { ac_addr: 0, free: Vec::new(), alien: Vec::new() })
+                .map(|_| CoreCache {
+                    ac_addr: 0,
+                    free: Vec::new(),
+                    alien: Vec::new(),
+                })
                 .collect(),
             global_free: Vec::new(),
             slabs: Vec::new(),
@@ -306,14 +310,22 @@ impl SlabAllocator {
 
     /// Live bytes of a specific type.
     pub fn live_bytes_of(&self, type_id: TypeId) -> u64 {
-        self.live.values().filter(|o| o.type_id == type_id).map(|o| o.size).sum()
+        self.live
+            .values()
+            .filter(|o| o.type_id == type_id)
+            .map(|o| o.size)
+            .sum()
     }
 
     /// Resolves an address to the live object containing it.
     pub fn resolve(&self, addr: u64) -> Option<ResolvedAddr> {
         let (&base, obj) = self.live.range(..=addr).next_back()?;
         if addr < base + obj.size {
-            Some(ResolvedAddr { type_id: obj.type_id, base, offset: addr - base })
+            Some(ResolvedAddr {
+                type_id: obj.type_id,
+                base,
+                offset: addr - base,
+            })
         } else {
             None
         }
@@ -327,7 +339,11 @@ impl SlabAllocator {
             .iter()
             .rev()
             .find(|r| addr >= r.addr && addr < r.addr + r.size)
-            .map(|r| ResolvedAddr { type_id: r.type_id, base: r.addr, offset: addr - r.addr })
+            .map(|r| ResolvedAddr {
+                type_id: r.type_id,
+                base: r.addr,
+                offset: addr - r.addr,
+            })
     }
 
     fn bump_pages(&mut self, pages: u64) -> u64 {
@@ -352,7 +368,13 @@ impl SlabAllocator {
         });
         self.live.insert(
             addr,
-            LiveObject { type_id, size, slab_desc: addr, home_core: core, record },
+            LiveObject {
+                type_id,
+                size,
+                slab_desc: addr,
+                home_core: core,
+                record,
+            },
         );
         addr
     }
@@ -383,7 +405,9 @@ impl SlabAllocator {
         let cache = &mut self.caches[cache_idx];
         cache.slabs.push(slab_desc);
         for i in 0..objs_per_slab {
-            cache.global_free.push((base + i * obj_size, slab_desc, core));
+            cache
+                .global_free
+                .push((base + i * obj_size, slab_desc, core));
         }
     }
 
@@ -395,7 +419,8 @@ impl SlabAllocator {
         // Reading and updating the per-core array_cache header.
         machine.write(core, self.syms.cache_alloc_refill, ac, 8);
 
-        self.slab_lock.acquire(machine, core, self.syms.cache_alloc_refill);
+        self.slab_lock
+            .acquire(machine, core, self.syms.cache_alloc_refill);
         if self.caches[cache_idx].global_free.is_empty() {
             self.grow_cache(machine, cache_idx, core);
         }
@@ -406,7 +431,8 @@ impl SlabAllocator {
             machine.write(core, self.syms.cache_alloc_refill, obj.1, 8);
             self.caches[cache_idx].per_core[core].free.push(obj);
         }
-        self.slab_lock.release(machine, core, self.syms.cache_alloc_refill);
+        self.slab_lock
+            .release(machine, core, self.syms.cache_alloc_refill);
     }
 
     fn cache_for_type(&mut self, registry: &TypeRegistry, type_id: TypeId) -> usize {
@@ -465,7 +491,16 @@ impl SlabAllocator {
             free_core: None,
             free_cycle: None,
         });
-        self.live.insert(base, LiveObject { type_id, size, slab_desc, home_core, record });
+        self.live.insert(
+            base,
+            LiveObject {
+                type_id,
+                size,
+                slab_desc,
+                home_core,
+                record,
+            },
+        );
         self.stats.allocs += 1;
 
         // DProf profiling hook: arm the requested watchpoints on this object right now,
@@ -521,7 +556,10 @@ impl SlabAllocator {
     /// Panics if `addr` is not the base address of a live object (double free or wild
     /// free), mirroring the kernel's "bad page state" assertion.
     pub fn free(&mut self, machine: &mut Machine, core: CoreId, addr: u64) {
-        let obj = self.live.remove(&addr).unwrap_or_else(|| panic!("free of non-live address {addr:#x}"));
+        let obj = self
+            .live
+            .remove(&addr)
+            .unwrap_or_else(|| panic!("free of non-live address {addr:#x}"));
         let cycle = machine.clock(core);
         let rec = &mut self.records[obj.record];
         rec.free_core = Some(core);
@@ -530,7 +568,13 @@ impl SlabAllocator {
 
         // DProf profiling hook: when the watched object dies, disarm its watchpoints and
         // hand the record to the profiler.
-        if self.profile_hook.armed.as_ref().map(|a| a.base == addr).unwrap_or(false) {
+        if self
+            .profile_hook
+            .armed
+            .as_ref()
+            .map(|a| a.base == addr)
+            .unwrap_or(false)
+        {
             let mut done = self.profile_hook.armed.take().expect("checked above");
             for &id in &done.watchpoints {
                 machine.disarm_watchpoint(id);
@@ -571,18 +615,25 @@ impl SlabAllocator {
     /// Drains a core's alien cache back to the owning slabs (`__drain_alien_cache`).
     fn drain_alien(&mut self, machine: &mut Machine, cache_idx: usize, core: CoreId) {
         self.stats.drains += 1;
-        let aliens: Vec<_> = self.caches[cache_idx].per_core[core].alien.drain(..).collect();
+        let aliens: Vec<_> = self.caches[cache_idx].per_core[core]
+            .alien
+            .drain(..)
+            .collect();
         let cycle = machine.clock(core);
-        self.slab_lock.acquire(machine, core, self.syms.drain_alien_cache);
+        self.slab_lock
+            .acquire(machine, core, self.syms.drain_alien_cache);
         for (base, slab_desc, home_core) in aliens {
             // Writing the home slab descriptor from this core invalidates the home
             // core's cached copy: this is the slab/array-cache bouncing of Table 6.1.
             machine.write(core, self.syms.drain_alien_cache, slab_desc, 8);
             let home_ac = self.ensure_array_cache(cache_idx, home_core, cycle);
             machine.write(core, self.syms.drain_alien_cache, home_ac, 8);
-            self.caches[cache_idx].global_free.push((base, slab_desc, home_core));
+            self.caches[cache_idx]
+                .global_free
+                .push((base, slab_desc, home_core));
         }
-        self.slab_lock.release(machine, core, self.syms.drain_alien_cache);
+        self.slab_lock
+            .release(machine, core, self.syms.drain_alien_cache);
     }
 
     /// The global list lock ("SLAB cache lock"), exposed for lock-stat reporting.
@@ -634,7 +685,12 @@ mod tests {
         }
         addrs.sort_unstable();
         for w in addrs.windows(2) {
-            assert!(w[1] - w[0] >= 256, "objects overlap: {:#x} {:#x}", w[0], w[1]);
+            assert!(
+                w[1] - w[0] >= 256,
+                "objects overlap: {:#x} {:#x}",
+                w[0],
+                w[1]
+            );
         }
     }
 
@@ -644,7 +700,9 @@ mod tests {
         let addr = a.alloc(&mut m, &reg, 0, kt.udp_sock);
         a.free(&mut m, 0, addr);
         assert!(a.resolve(addr).is_none());
-        let h = a.resolve_historical(addr + 8).expect("historical resolution");
+        let h = a
+            .resolve_historical(addr + 8)
+            .expect("historical resolution");
         assert_eq!(h.type_id, kt.udp_sock);
         assert_eq!(h.offset, 8);
     }
@@ -710,7 +768,10 @@ mod tests {
         let addr1 = a.alloc(&mut m, &reg, 0, kt.skbuff);
         a.free(&mut m, 0, addr1);
         let addr2 = a.alloc(&mut m, &reg, 0, kt.skbuff);
-        assert_eq!(addr1, addr2, "LIFO per-core cache should hand back the same object");
+        assert_eq!(
+            addr1, addr2,
+            "LIFO per-core cache should hand back the same object"
+        );
     }
 
     #[test]
@@ -726,8 +787,12 @@ mod tests {
     #[test]
     fn profile_hook_arms_on_allocation_and_finishes_on_free() {
         let (mut m, reg, kt, mut a) = setup();
-        a.profile_hook.request =
-            Some(ProfileRequest { type_id: kt.skbuff, offsets: vec![24], granularity: 4, skip: 0 });
+        a.profile_hook.request = Some(ProfileRequest {
+            type_id: kt.skbuff,
+            offsets: vec![24],
+            granularity: 4,
+            skip: 0,
+        });
         // Allocating a different type does not trigger the hook.
         a.alloc(&mut m, &reg, 0, kt.udp_sock);
         assert!(a.profile_hook.armed.is_none());
@@ -750,19 +815,34 @@ mod tests {
         assert_eq!(finished.base, addr);
         assert!(finished.free_cycle.is_some());
         m.write(0, f, addr + 24, 4);
-        assert_eq!(m.watchpoints.buffered(), 1, "watchpoint must be disarmed after free");
+        assert_eq!(
+            m.watchpoints.buffered(),
+            1,
+            "watchpoint must be disarmed after free"
+        );
     }
 
     #[test]
     fn profile_hook_skip_count_defers_arming() {
         let (mut m, reg, kt, mut a) = setup();
-        a.profile_hook.request =
-            Some(ProfileRequest { type_id: kt.skbuff, offsets: vec![0], granularity: 8, skip: 2 });
+        a.profile_hook.request = Some(ProfileRequest {
+            type_id: kt.skbuff,
+            offsets: vec![0],
+            granularity: 8,
+            skip: 2,
+        });
         let first = a.alloc(&mut m, &reg, 0, kt.skbuff);
         let second = a.alloc(&mut m, &reg, 0, kt.skbuff);
-        assert!(a.profile_hook.armed.is_none(), "first two allocations are skipped");
+        assert!(
+            a.profile_hook.armed.is_none(),
+            "first two allocations are skipped"
+        );
         let third = a.alloc(&mut m, &reg, 0, kt.skbuff);
-        let armed = a.profile_hook.armed.clone().expect("third allocation armed");
+        let armed = a
+            .profile_hook
+            .armed
+            .clone()
+            .expect("third allocation armed");
         assert_eq!(armed.base, third);
         assert_ne!(armed.base, first);
         assert_ne!(armed.base, second);
@@ -771,7 +851,9 @@ mod tests {
     #[test]
     fn live_counts_track_alloc_and_free() {
         let (mut m, reg, kt, mut a) = setup();
-        let addrs: Vec<_> = (0..10).map(|_| a.alloc(&mut m, &reg, 0, kt.tcp_sock)).collect();
+        let addrs: Vec<_> = (0..10)
+            .map(|_| a.alloc(&mut m, &reg, 0, kt.tcp_sock))
+            .collect();
         assert_eq!(a.live_objects_of(kt.tcp_sock), 10);
         assert_eq!(a.live_bytes_of(kt.tcp_sock), 10 * 1600);
         for addr in &addrs[..5] {

@@ -186,7 +186,10 @@ impl KernelState {
     /// Boots the simulated kernel: registers types and symbols, creates the allocator,
     /// the NIC with one queue per core, and per-core sockets/listeners/tasks.
     pub fn new(m: &mut Machine, config: KernelConfig) -> Self {
-        assert!(config.cores <= m.cores(), "kernel configured with more cores than the machine has");
+        assert!(
+            config.cores <= m.cores(),
+            "kernel configured with more cores than the machine has"
+        );
         let mut types = TypeRegistry::new();
         let kt = KernelTypes::register(&mut types);
         let syms = KernelSymbols::register(m);
@@ -248,7 +251,14 @@ impl KernelState {
     }
 
     /// Copies `len` bytes at `addr` one cache line at a time, attributed to `ip`.
-    fn touch_region(m: &mut Machine, core: CoreId, ip: FunctionId, addr: u64, len: u64, kind: AccessKind) {
+    fn touch_region(
+        m: &mut Machine,
+        core: CoreId,
+        ip: FunctionId,
+        addr: u64,
+        len: u64,
+        kind: AccessKind,
+    ) {
         let mut off = 0;
         while off < len {
             let chunk = 64.min(len - off);
@@ -263,7 +273,11 @@ impl KernelState {
 
     /// `__alloc_skb`: allocates an skbuff plus a `size-1024` payload buffer.
     pub fn alloc_skb(&mut self, m: &mut Machine, core: CoreId, len: u64, fclone: bool) -> Skb {
-        let skb_type = if fclone { self.kt.skbuff_fclone } else { self.kt.skbuff };
+        let skb_type = if fclone {
+            self.kt.skbuff_fclone
+        } else {
+            self.kt.skbuff
+        };
         let skb_addr = self.allocator.alloc(m, &self.types, core, skb_type);
         let data_addr = self.allocator.alloc_sized(m, core, 1024);
         // Initialise the header fields the stack uses.
@@ -303,13 +317,40 @@ impl KernelState {
         let skb = self.alloc_skb(m, core, len, false);
         // The driver writes the DMA descriptor state and the first payload lines
         // (header split / prefetch), then fills skbuff fields.
-        m.write(core, self.syms.ixgbe_clean_rx_irq, skb.skb_addr + skb_off::LEN, 4);
-        m.write(core, self.syms.ixgbe_clean_rx_irq, skb.skb_addr + skb_off::DEV, 8);
-        Self::touch_region(m, core, self.syms.ixgbe_clean_rx_irq, skb.data_addr, 128.min(len), AccessKind::Write);
-        m.read(core, self.syms.ixgbe_set_itr_msix, self.netdev.dev_addr + 64, 8);
+        m.write(
+            core,
+            self.syms.ixgbe_clean_rx_irq,
+            skb.skb_addr + skb_off::LEN,
+            4,
+        );
+        m.write(
+            core,
+            self.syms.ixgbe_clean_rx_irq,
+            skb.skb_addr + skb_off::DEV,
+            8,
+        );
+        Self::touch_region(
+            m,
+            core,
+            self.syms.ixgbe_clean_rx_irq,
+            skb.data_addr,
+            128.min(len),
+            AccessKind::Write,
+        );
+        m.read(
+            core,
+            self.syms.ixgbe_set_itr_msix,
+            self.netdev.dev_addr + 64,
+            8,
+        );
         // Protocol demux.
         m.read(core, self.syms.eth_type_trans, skb.data_addr, 14);
-        m.write(core, self.syms.eth_type_trans, skb.skb_addr + skb_off::PROTOCOL, 2);
+        m.write(
+            core,
+            self.syms.eth_type_trans,
+            skb.skb_addr + skb_off::PROTOCOL,
+            2,
+        );
         m.read(core, self.syms.ip_rcv, skb.data_addr + 14, 20);
         self.netdev.rx_packets += 1;
         skb
@@ -362,8 +403,22 @@ impl KernelState {
         m.read(core, self.syms.udp_recvmsg, skb.skb_addr + skb_off::LEN, 8);
         m.read(core, self.syms.lock_sock_nested, sock_addr + 64, 8);
         // Copy the payload to user space.
-        Self::touch_region(m, core, self.syms.skb_copy_datagram_iovec, skb.data_addr, skb.len, AccessKind::Read);
-        Self::touch_region(m, core, self.syms.copy_user_generic_string, skb.data_addr, skb.len.min(256), AccessKind::Read);
+        Self::touch_region(
+            m,
+            core,
+            self.syms.skb_copy_datagram_iovec,
+            skb.data_addr,
+            skb.len,
+            AccessKind::Read,
+        );
+        Self::touch_region(
+            m,
+            core,
+            self.syms.copy_user_generic_string,
+            skb.data_addr,
+            skb.len.min(256),
+            AccessKind::Read,
+        );
         m.read(core, self.syms.getnstimeofday, self.netdev.dev_addr + 96, 8);
         let len = skb.len;
         self.kfree_skb(m, core, skb, self.syms.kfree_skb);
@@ -378,9 +433,21 @@ impl KernelState {
         m.write(core, self.syms.udp_sendmsg, sock_addr + 64, 8); // sk_wmem_alloc
         let skb = self.alloc_skb(m, core, len, false);
         // Copy the payload from user space and append headers.
-        Self::touch_region(m, core, self.syms.copy_user_generic_string, skb.data_addr, len, AccessKind::Write);
+        Self::touch_region(
+            m,
+            core,
+            self.syms.copy_user_generic_string,
+            skb.data_addr,
+            len,
+            AccessKind::Write,
+        );
         m.write(core, self.syms.skb_put, skb.skb_addr + skb_off::LEN, 8);
-        m.write(core, self.syms.skb_put, skb.data_addr + len.saturating_sub(8).min(1016), 8);
+        m.write(
+            core,
+            self.syms.skb_put,
+            skb.data_addr + len.saturating_sub(8).min(1016),
+            8,
+        );
         m.read(core, self.syms.sock_def_write_space, sock_addr + 64, 8);
         skb
     }
@@ -409,14 +476,24 @@ impl KernelState {
         if queue_idx != core % self.netdev.num_queues() {
             self.remote_enqueues += 1;
         }
-        m.write(core, self.syms.dev_queue_xmit, skb.skb_addr + skb_off::QUEUE_MAPPING, 2);
+        m.write(
+            core,
+            self.syms.dev_queue_xmit,
+            skb.skb_addr + skb_off::QUEUE_MAPPING,
+            2,
+        );
         m.read(core, self.syms.dev_queue_xmit, self.netdev.dev_addr + 16, 8);
 
         // Enqueue under the qdisc lock.
         let q = &mut self.netdev.tx_queues[queue_idx];
         q.lock.acquire(m, core, self.syms.dev_queue_xmit);
         m.write(core, self.syms.pfifo_fast_enqueue, q.qdisc_addr + 64, 8); // q.qlen
-        m.write(core, self.syms.pfifo_fast_enqueue, skb.skb_addr + skb_off::NEXT, 8);
+        m.write(
+            core,
+            self.syms.pfifo_fast_enqueue,
+            skb.skb_addr + skb_off::NEXT,
+            8,
+        );
         q.queue.push_back(skb);
         q.enqueued += 1;
         q.lock.release(m, core, self.syms.dev_queue_xmit);
@@ -436,7 +513,12 @@ impl KernelState {
             m.read(core, self.syms.pfifo_fast_dequeue, q.qdisc_addr + 64, 8);
             let skb = q.queue.pop_front();
             if let Some(skb) = skb {
-                m.read(core, self.syms.pfifo_fast_dequeue, skb.skb_addr + skb_off::NEXT, 8);
+                m.read(
+                    core,
+                    self.syms.pfifo_fast_dequeue,
+                    skb.skb_addr + skb_off::NEXT,
+                    8,
+                );
                 m.write(core, self.syms.pfifo_fast_dequeue, q.qdisc_addr + 64, 8);
             }
             q.lock.release(m, core, self.syms.qdisc_run);
@@ -444,15 +526,52 @@ impl KernelState {
 
             // Hand the packet to the driver: these accesses are the ones that become
             // expensive foreign-cache fetches when the packet was built on another core.
-            m.read(core, self.syms.dev_hard_start_xmit, skb.skb_addr + skb_off::LEN, 8);
-            m.read(core, self.syms.dev_hard_start_xmit, skb.skb_addr + skb_off::DATA, 8);
-            m.read(core, self.syms.dev_hard_start_xmit, self.netdev.dev_addr + 16, 8);
-            m.write(core, self.syms.skb_dma_map, skb.skb_addr + skb_off::DMA_ADDR, 8);
+            m.read(
+                core,
+                self.syms.dev_hard_start_xmit,
+                skb.skb_addr + skb_off::LEN,
+                8,
+            );
+            m.read(
+                core,
+                self.syms.dev_hard_start_xmit,
+                skb.skb_addr + skb_off::DATA,
+                8,
+            );
+            m.read(
+                core,
+                self.syms.dev_hard_start_xmit,
+                self.netdev.dev_addr + 16,
+                8,
+            );
+            m.write(
+                core,
+                self.syms.skb_dma_map,
+                skb.skb_addr + skb_off::DMA_ADDR,
+                8,
+            );
             // Descriptor setup reads the packet headers and the first payload lines.
-            Self::touch_region(m, core, self.syms.ixgbe_xmit_frame, skb.data_addr, 256.min(skb.len.max(64)), AccessKind::Read);
-            m.write(core, self.syms.ixgbe_xmit_frame, skb.skb_addr + skb_off::QUEUE_MAPPING, 2);
+            Self::touch_region(
+                m,
+                core,
+                self.syms.ixgbe_xmit_frame,
+                skb.data_addr,
+                256.min(skb.len.max(64)),
+                AccessKind::Read,
+            );
+            m.write(
+                core,
+                self.syms.ixgbe_xmit_frame,
+                skb.skb_addr + skb_off::QUEUE_MAPPING,
+                2,
+            );
             // Device statistics update: a shared-line write, so net_device bounces.
-            m.write(core, self.syms.ixgbe_xmit_frame, self.netdev.dev_addr + 32, 8);
+            m.write(
+                core,
+                self.syms.ixgbe_xmit_frame,
+                self.netdev.dev_addr + 32,
+                8,
+            );
 
             let q = &mut self.netdev.tx_queues[queue_idx];
             q.completed.push_back(skb);
@@ -470,8 +589,15 @@ impl KernelState {
         let mut cleaned = 0;
         loop {
             let q = &mut self.netdev.tx_queues[queue_idx];
-            let Some(skb) = q.completed.pop_front() else { break };
-            m.read(core, self.syms.ixgbe_clean_tx_irq, skb.skb_addr + skb_off::DMA_ADDR, 8);
+            let Some(skb) = q.completed.pop_front() else {
+                break;
+            };
+            m.read(
+                core,
+                self.syms.ixgbe_clean_tx_irq,
+                skb.skb_addr + skb_off::DMA_ADDR,
+                8,
+            );
             m.read(core, self.syms.ixgbe_clean_tx_irq, q.qdisc_addr + 64, 4);
             self.kfree_skb(m, core, skb, self.syms.dev_kfree_skb_irq);
             cleaned += 1;
@@ -503,7 +629,11 @@ impl KernelState {
         let created_cycle = m.clock(core);
         self.listeners[listener_idx]
             .accept_queue
-            .push_back(TcpConnection { sock_addr, rx_core: core, created_cycle });
+            .push_back(TcpConnection {
+                sock_addr,
+                rx_core: core,
+                created_cycle,
+            });
         self.listeners[listener_idx].enqueued += 1;
         true
     }
@@ -511,7 +641,12 @@ impl KernelState {
     /// `inet_csk_accept`: the application accepts the oldest pending connection.
     /// Touches the new socket (these are the accesses whose latency explodes when the
     /// backlog is deep) and wakes a worker through the futex.
-    pub fn inet_csk_accept(&mut self, m: &mut Machine, core: CoreId, listener_idx: usize) -> Option<TcpConnection> {
+    pub fn inet_csk_accept(
+        &mut self,
+        m: &mut Machine,
+        core: CoreId,
+        listener_idx: usize,
+    ) -> Option<TcpConnection> {
         let listen_addr = self.listeners[listener_idx].sock_addr;
         m.read(core, self.syms.inet_csk_accept, listen_addr + 256, 8);
         let conn = self.listeners[listener_idx].accept_queue.pop_front()?;
@@ -522,7 +657,11 @@ impl KernelState {
         m.write(core, self.syms.lock_sock_nested, conn.sock_addr + 64, 8);
         // Hand the connection to a worker thread.
         self.futex_wake(m, core);
-        self.task_switch(m, core, (conn.sock_addr as usize / 64) % self.tasks[core].len());
+        self.task_switch(
+            m,
+            core,
+            (conn.sock_addr as usize / 64) % self.tasks[core].len(),
+        );
         Some(conn)
     }
 
@@ -542,7 +681,14 @@ impl KernelState {
         m.write(core, self.syms.lock_sock_nested, conn.sock_addr + 64, 8);
         m.read(core, self.syms.tcp_v4_rcv, conn.sock_addr + 128, 8);
         m.write(core, self.syms.tcp_v4_rcv, conn.sock_addr + 128, 4);
-        Self::touch_region(m, core, self.syms.tcp_recvmsg, request_skb.data_addr, request_skb.len, AccessKind::Read);
+        Self::touch_region(
+            m,
+            core,
+            self.syms.tcp_recvmsg,
+            request_skb.data_addr,
+            request_skb.len,
+            AccessKind::Read,
+        );
         Self::touch_region(
             m,
             core,
@@ -556,7 +702,14 @@ impl KernelState {
         // Transmit side: build the response (served from memory, MMapFile-style).
         m.read(core, self.syms.tcp_sendmsg, conn.sock_addr + 512, 8);
         let skb = self.alloc_skb(m, core, resp_len, true);
-        Self::touch_region(m, core, self.syms.copy_user_generic_string, skb.data_addr, resp_len, AccessKind::Write);
+        Self::touch_region(
+            m,
+            core,
+            self.syms.copy_user_generic_string,
+            skb.data_addr,
+            resp_len,
+            AccessKind::Write,
+        );
         m.write(core, self.syms.skb_put, skb.skb_addr + skb_off::LEN, 8);
         m.write(core, self.syms.tcp_write_xmit, conn.sock_addr + 132, 8);
         m.write(core, self.syms.tcp_write_xmit, conn.sock_addr + 512, 8);
@@ -660,7 +813,9 @@ mod tests {
         let core = 1;
         let skb = k.netif_rx(&mut m, core, 100);
         k.udp_deliver(&mut m, core, skb, core);
-        let len = k.udp_app_recv(&mut m, core, core).expect("packet available");
+        let len = k
+            .udp_app_recv(&mut m, core, core)
+            .expect("packet available");
         assert_eq!(len, 100);
         let reply = k.udp_sendmsg(&mut m, core, core, 1000);
         let q = k.dev_queue_xmit(&mut m, core, reply);
@@ -682,7 +837,10 @@ mod tests {
             k.dev_queue_xmit(&mut m, core, reply);
         }
         remote_before += k.remote_enqueues;
-        assert!(remote_before > 10, "hashing should mostly pick remote queues, got {remote_before}");
+        assert!(
+            remote_before > 10,
+            "hashing should mostly pick remote queues, got {remote_before}"
+        );
         // Drain all queues so packets do not leak.
         for core in 0..4 {
             k.qdisc_run(&mut m, core);
@@ -707,7 +865,10 @@ mod tests {
             k.ixgbe_clean_tx_irq(&mut m, q);
         }
         let after = m.hierarchy.stats.remote_hits;
-        assert!(after > before, "remote-queue transmit must fetch lines from the sender's cache");
+        assert!(
+            after > before,
+            "remote-queue transmit must fetch lines from the sender's cache"
+        );
     }
 
     #[test]
@@ -717,7 +878,9 @@ mod tests {
         assert!(k.tcp_syn_rcv(&mut m, core, core));
         assert_eq!(k.listeners[core].backlog(), 1);
         let live_socks = k.allocator.live_objects_of(k.kt.tcp_sock);
-        let conn = k.inet_csk_accept(&mut m, core, core).expect("pending connection");
+        let conn = k
+            .inet_csk_accept(&mut m, core, core)
+            .expect("pending connection");
         let req = k.netif_rx(&mut m, core, 128);
         k.tcp_serve_request(&mut m, core, &conn, req, 1024);
         k.qdisc_run(&mut m, core);
@@ -734,7 +897,10 @@ mod tests {
         for _ in 0..8 {
             assert!(k.tcp_syn_rcv(&mut m, core, core));
         }
-        assert!(!k.tcp_syn_rcv(&mut m, core, core), "9th connection must be rejected");
+        assert!(
+            !k.tcp_syn_rcv(&mut m, core, core),
+            "9th connection must be rejected"
+        );
         assert_eq!(k.listeners[core].dropped, 1);
         assert_eq!(k.listeners[core].backlog(), 8);
     }

@@ -98,7 +98,11 @@ impl KLock {
 
     /// Releases the lock on `core` from function `caller`.
     pub fn release(&mut self, machine: &mut Machine, core: CoreId, caller: FunctionId) {
-        debug_assert!(self.held, "release of a lock that is not held: {}", self.name);
+        debug_assert!(
+            self.held,
+            "release of a lock that is not held: {}",
+            self.name
+        );
         machine.write(core, caller, self.addr, 8);
         let now = machine.clock(core);
         let hold = now.saturating_sub(self.held_since);
@@ -245,7 +249,10 @@ mod tests {
             l.release(&mut m, core, f);
         }
         assert!(
-            m.hierarchy.stats.miss_kind(sim_cache::MissKind::Invalidation) > 0,
+            m.hierarchy
+                .stats
+                .miss_kind(sim_cache::MissKind::Invalidation)
+                > 0,
             "lock ping-pong should cause invalidation misses"
         );
     }

@@ -96,7 +96,12 @@ pub struct NetDevice {
 
 impl NetDevice {
     /// Creates a device with `num_queues` queues; queue *i* is owned by core *i*.
-    pub fn new(dev_addr: u64, num_queues: usize, qdisc_addrs: Vec<u64>, policy: TxQueuePolicy) -> Self {
+    pub fn new(
+        dev_addr: u64,
+        num_queues: usize,
+        qdisc_addrs: Vec<u64>,
+        policy: TxQueuePolicy,
+    ) -> Self {
         assert_eq!(qdisc_addrs.len(), num_queues);
         NetDevice {
             dev_addr,
@@ -155,7 +160,11 @@ mod tests {
         for hash in 0..64u64 {
             seen.insert(p.select_queue(0, hash, 16));
         }
-        assert!(seen.len() > 8, "hashing should spread over many queues, got {}", seen.len());
+        assert!(
+            seen.len() > 8,
+            "hashing should spread over many queues, got {}",
+            seen.len()
+        );
     }
 
     #[test]
@@ -172,7 +181,11 @@ mod tests {
                 remote += 1;
             }
         }
-        assert!(remote as f64 / n as f64 > 0.8, "remote fraction {}", remote as f64 / n as f64);
+        assert!(
+            remote as f64 / n as f64 > 0.8,
+            "remote fraction {}",
+            remote as f64 / n as f64
+        );
     }
 
     #[test]

@@ -70,8 +70,14 @@ mod tests {
 
     #[test]
     fn flow_hash_is_deterministic() {
-        assert_eq!(Skb::flow_hash(0x1000, 512, 7), Skb::flow_hash(0x1000, 512, 7));
-        assert_ne!(Skb::flow_hash(0x1000, 512, 7), Skb::flow_hash(0x1040, 512, 7));
+        assert_eq!(
+            Skb::flow_hash(0x1000, 512, 7),
+            Skb::flow_hash(0x1000, 512, 7)
+        );
+        assert_ne!(
+            Skb::flow_hash(0x1000, 512, 7),
+            Skb::flow_hash(0x1040, 512, 7)
+        );
     }
 
     #[test]
@@ -80,7 +86,11 @@ mod tests {
         for i in 0..256u64 {
             set.insert(Skb::flow_hash(0x1000 + i * 1024, 1024, 0) % 16);
         }
-        assert!(set.len() >= 12, "hash should cover most of 16 buckets, got {}", set.len());
+        assert!(
+            set.len() >= 12,
+            "hash should cover most of 16 buckets, got {}",
+            set.len()
+        );
     }
 
     #[test]

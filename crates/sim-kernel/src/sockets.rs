@@ -28,7 +28,12 @@ pub struct UdpSocket {
 impl UdpSocket {
     /// Creates a socket owned by `owner_core`.
     pub fn new(sock_addr: u64, owner_core: CoreId) -> Self {
-        UdpSocket { sock_addr, owner_core, rx_queue: VecDeque::new(), packets_delivered: 0 }
+        UdpSocket {
+            sock_addr,
+            owner_core,
+            rx_queue: VecDeque::new(),
+            packets_delivered: 0,
+        }
     }
 }
 
@@ -130,7 +135,12 @@ pub struct FutexQueue {
 impl FutexQueue {
     /// Creates the futex queue for a futex word at `futex_addr`.
     pub fn new(futex_addr: u64) -> Self {
-        FutexQueue { futex_addr, lock: KLock::new("futex lock", futex_addr + 8), wakes: 0, waits: 0 }
+        FutexQueue {
+            futex_addr,
+            lock: KLock::new("futex lock", futex_addr + 8),
+            wakes: 0,
+            waits: 0,
+        }
     }
 }
 
@@ -142,8 +152,16 @@ mod tests {
     fn listener_admission_control() {
         let mut l = TcpListener::new(0x1000, 0, 2);
         assert!(l.can_admit());
-        l.accept_queue.push_back(TcpConnection { sock_addr: 1, rx_core: 0, created_cycle: 0 });
-        l.accept_queue.push_back(TcpConnection { sock_addr: 2, rx_core: 0, created_cycle: 0 });
+        l.accept_queue.push_back(TcpConnection {
+            sock_addr: 1,
+            rx_core: 0,
+            created_cycle: 0,
+        });
+        l.accept_queue.push_back(TcpConnection {
+            sock_addr: 2,
+            rx_core: 0,
+            created_cycle: 0,
+        });
         assert!(!l.can_admit());
         assert_eq!(l.backlog(), 2);
     }

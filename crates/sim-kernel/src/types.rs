@@ -43,7 +43,9 @@ pub struct TypeInfo {
 impl TypeInfo {
     /// The field containing `offset`, if any.
     pub fn field_at(&self, offset: u64) -> Option<&FieldInfo> {
-        self.fields.iter().find(|f| offset >= f.offset && offset < f.offset + f.size)
+        self.fields
+            .iter()
+            .find(|f| offset >= f.offset && offset < f.offset + f.size)
     }
 }
 
@@ -87,7 +89,11 @@ impl TypeRegistry {
             offset + size,
             info.size
         );
-        info.fields.push(FieldInfo { name: name.to_string(), offset, size });
+        info.fields.push(FieldInfo {
+            name: name.to_string(),
+            offset,
+            size,
+        });
         info.fields.sort_by_key(|f| f.offset);
     }
 
@@ -103,7 +109,10 @@ impl TypeRegistry {
 
     /// Type name, or `"<unknown>"` for an unregistered id.
     pub fn name(&self, id: TypeId) -> &str {
-        self.types.get(id.0 as usize).map(|t| t.name.as_str()).unwrap_or("<unknown>")
+        self.types
+            .get(id.0 as usize)
+            .map(|t| t.name.as_str())
+            .unwrap_or("<unknown>")
     }
 
     /// Object size of a type.

@@ -29,14 +29,21 @@ pub struct IbsConfig {
 
 impl Default for IbsConfig {
     fn default() -> Self {
-        IbsConfig { interval_ops: 0, interrupt_cost: 2_000, seed: 0x1b5 }
+        IbsConfig {
+            interval_ops: 0,
+            interrupt_cost: 2_000,
+            seed: 0x1b5,
+        }
     }
 }
 
 impl IbsConfig {
     /// Enabled configuration sampling every `interval_ops` operations on average.
     pub fn with_interval(interval_ops: u64) -> Self {
-        IbsConfig { interval_ops, ..Default::default() }
+        IbsConfig {
+            interval_ops,
+            ..Default::default()
+        }
     }
 
     /// True if sampling is enabled.
@@ -140,7 +147,15 @@ impl IbsUnit {
         }
         // Sample fires.
         self.countdown[core] = self.next_interval();
-        self.buffer.push(IbsRecord { core, ip, addr, kind, level, latency, cycle });
+        self.buffer.push(IbsRecord {
+            core,
+            ip,
+            addr,
+            kind,
+            level,
+            latency,
+            cycle,
+        });
         self.samples_taken += 1;
         self.interrupt_cycles += self.config.interrupt_cost;
         self.config.interrupt_cost
@@ -202,7 +217,11 @@ mod tests {
     #[test]
     fn sampling_charges_interrupt_cost() {
         let mut u = IbsUnit::new(1);
-        u.configure(IbsConfig { interval_ops: 10, interrupt_cost: 2_000, seed: 7 });
+        u.configure(IbsConfig {
+            interval_ops: 10,
+            interrupt_cost: 2_000,
+            seed: 7,
+        });
         let (ip, addr, kind, level, lat) = sample_args();
         let mut charged = 0;
         for i in 0..1_000 {
@@ -215,8 +234,20 @@ mod tests {
     #[test]
     fn samples_carry_access_details() {
         let mut u = IbsUnit::new(1);
-        u.configure(IbsConfig { interval_ops: 1, interrupt_cost: 0, seed: 1 });
-        u.on_access(0, FunctionId(9), 0xdead, AccessKind::Write, HitLevel::RemoteCache, 200, 42);
+        u.configure(IbsConfig {
+            interval_ops: 1,
+            interrupt_cost: 0,
+            seed: 1,
+        });
+        u.on_access(
+            0,
+            FunctionId(9),
+            0xdead,
+            AccessKind::Write,
+            HitLevel::RemoteCache,
+            200,
+            42,
+        );
         // interval 1 means every access is eligible; the very first countdown may be 1.
         let drained = u.drain();
         assert!(!drained.is_empty());
@@ -231,7 +262,11 @@ mod tests {
     fn reconfigure_resets_reproducibly() {
         let run = |seed| {
             let mut u = IbsUnit::new(1);
-            u.configure(IbsConfig { interval_ops: 50, interrupt_cost: 0, seed });
+            u.configure(IbsConfig {
+                interval_ops: 50,
+                interrupt_cost: 0,
+                seed,
+            });
             let (ip, addr, kind, level, lat) = sample_args();
             for i in 0..10_000 {
                 u.on_access(0, ip, addr, kind, level, lat, i);

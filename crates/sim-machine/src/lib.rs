@@ -28,8 +28,8 @@ pub use ibs::{IbsConfig, IbsRecord, IbsUnit};
 pub use machine::{FunctionCounters, Machine, MachineConfig};
 pub use symbols::{FunctionId, SymbolTable};
 pub use watchpoint::{
-    Watchpoint, WatchpointCosts, WatchpointError, WatchpointHit, WatchpointId,
-    WatchpointOverhead, WatchpointUnit, MAX_WATCHPOINTS, MAX_WATCH_LEN,
+    Watchpoint, WatchpointCosts, WatchpointError, WatchpointHit, WatchpointId, WatchpointOverhead,
+    WatchpointUnit, MAX_WATCHPOINTS, MAX_WATCH_LEN,
 };
 
 pub use sim_cache::{AccessKind, AccessOutcome, CoreId, HitLevel, MissKind};

@@ -51,7 +51,10 @@ impl MachineConfig {
 
     /// Same as the paper machine but with a custom core count.
     pub fn with_cores(cores: usize) -> Self {
-        MachineConfig { hierarchy: HierarchyConfig::with_cores(cores), ..Self::default() }
+        MachineConfig {
+            hierarchy: HierarchyConfig::with_cores(cores),
+            ..Self::default()
+        }
     }
 }
 
@@ -198,8 +201,9 @@ impl Machine {
 
         // Profiling hardware.
         let cycle = self.clocks[core];
-        let ibs_cost =
-            self.ibs.on_access(core, ip, addr, kind, worst.level, worst.latency, cycle);
+        let ibs_cost = self
+            .ibs
+            .on_access(core, ip, addr, kind, worst.level, worst.latency, cycle);
         let wp_cost = self.watchpoints.on_access(core, ip, addr, len, kind, cycle);
         if ibs_cost + wp_cost > 0 {
             self.clocks[core] += ibs_cost + wp_cost;
@@ -341,7 +345,11 @@ mod tests {
     fn ibs_sampling_adds_profiling_cycles() {
         let mut m = machine();
         let ip = m.fn_id("hot");
-        m.configure_ibs(IbsConfig { interval_ops: 5, interrupt_cost: 2_000, seed: 1 });
+        m.configure_ibs(IbsConfig {
+            interval_ops: 5,
+            interrupt_cost: 2_000,
+            seed: 1,
+        });
         for i in 0..1_000u64 {
             m.read(0, ip, 0x1000 + (i % 16) * 64, 8);
         }

@@ -60,7 +60,10 @@ impl SymbolTable {
         if id == FunctionId::UNKNOWN {
             return "<unknown>";
         }
-        self.names.get(id.0 as usize).map(String::as_str).unwrap_or("<unknown>")
+        self.names
+            .get(id.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("<unknown>")
     }
 
     /// Number of interned symbols.
@@ -75,7 +78,10 @@ impl SymbolTable {
 
     /// Iterates over all `(id, name)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (FunctionId, &str)> {
-        self.names.iter().enumerate().map(|(i, n)| (FunctionId(i as u32), n.as_str()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (FunctionId(i as u32), n.as_str()))
     }
 
     /// Rebuilds the name→id index (needed after deserialization).

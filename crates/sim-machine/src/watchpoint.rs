@@ -43,7 +43,11 @@ pub struct WatchpointCosts {
 
 impl Default for WatchpointCosts {
     fn default() -> Self {
-        WatchpointCosts { interrupt: 1_000, setup_broadcast: 130_000, memory_reserve: 60_000 }
+        WatchpointCosts {
+            interrupt: 1_000,
+            setup_broadcast: 130_000,
+            memory_reserve: 60_000,
+        }
     }
 }
 
@@ -97,7 +101,9 @@ impl std::fmt::Display for WatchpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WatchpointError::Exhausted => write!(f, "all {MAX_WATCHPOINTS} debug registers in use"),
-            WatchpointError::TooLong => write!(f, "watchpoint length exceeds {MAX_WATCH_LEN} bytes"),
+            WatchpointError::TooLong => {
+                write!(f, "watchpoint length exceeds {MAX_WATCH_LEN} bytes")
+            }
             WatchpointError::Empty => write!(f, "watchpoint length must be non-zero"),
         }
     }
@@ -241,7 +247,14 @@ impl WatchpointUnit {
         let mut charged = 0;
         for wp in self.slots.iter().flatten() {
             if wp.overlaps(addr, len) {
-                self.buffer.push(WatchpointHit { wp: wp.id, core, ip, addr, kind, cycle });
+                self.buffer.push(WatchpointHit {
+                    wp: wp.id,
+                    core,
+                    ip,
+                    addr,
+                    kind,
+                    cycle,
+                });
                 self.hits_recorded += 1;
                 charged += self.costs.interrupt;
             }

@@ -56,19 +56,32 @@ impl ApacheConfig {
     /// The peak-performance configuration: offered load matches service capacity, so
     /// the backlog stays shallow (Table 6.4).
     pub fn peak() -> Self {
-        ApacheConfig { arrivals_per_round: 2, accepts_per_round: 2, backlog_limit: 1024, ..Default::default() }
+        ApacheConfig {
+            arrivals_per_round: 2,
+            accepts_per_round: 2,
+            backlog_limit: 1024,
+            ..Default::default()
+        }
     }
 
     /// The drop-off configuration: offered load exceeds service capacity and the deep
     /// backlog fills (Table 6.5).
     pub fn drop_off() -> Self {
-        ApacheConfig { arrivals_per_round: 4, accepts_per_round: 2, backlog_limit: 1024, ..Default::default() }
+        ApacheConfig {
+            arrivals_per_round: 4,
+            accepts_per_round: 2,
+            backlog_limit: 1024,
+            ..Default::default()
+        }
     }
 
     /// The admission-control fix applied to the drop-off load (§6.2.1): same offered
     /// load, bounded accept queue.
     pub fn admission_control() -> Self {
-        ApacheConfig { backlog_limit: 16, ..Self::drop_off() }
+        ApacheConfig {
+            backlog_limit: 16,
+            ..Self::drop_off()
+        }
     }
 }
 
@@ -145,7 +158,9 @@ impl Workload for Apache {
         // Phase 2: each Apache instance accepts and serves up to its capacity.
         for core in 0..self.config.cores {
             for _ in 0..self.config.accepts_per_round {
-                let Some(conn) = kernel.inet_csk_accept(machine, core, core) else { break };
+                let Some(conn) = kernel.inet_csk_accept(machine, core, core) else {
+                    break;
+                };
                 // A worker parks/wakes around the request (Table 6.6's futex traffic).
                 kernel.futex_wait(machine, core);
                 // The HTTP request arrives on the connection.
@@ -200,14 +215,21 @@ mod tests {
         for _ in 0..60 {
             w.step(&mut m, &mut k);
         }
-        assert!(w.avg_backlog(&k) > 50.0, "overload should grow a deep backlog, got {}", w.avg_backlog(&k));
+        assert!(
+            w.avg_backlog(&k) > 50.0,
+            "overload should grow a deep backlog, got {}",
+            w.avg_backlog(&k)
+        );
 
         let (mut m2, mut k2, mut w2) = Apache::setup(small(ApacheConfig::admission_control()));
         for _ in 0..60 {
             w2.step(&mut m2, &mut k2);
         }
         assert!(w2.avg_backlog(&k2) <= 16.0);
-        assert!(w2.connections_dropped > 0, "admission control must reject connections");
+        assert!(
+            w2.connections_dropped > 0,
+            "admission control must reject connections"
+        );
         let _ = m;
         let _ = m2;
     }
@@ -234,10 +256,14 @@ mod tests {
     #[test]
     fn admission_control_improves_overloaded_throughput() {
         let (mut m_bad, mut k_bad, mut w_bad) = Apache::setup(small(ApacheConfig::drop_off()));
-        let (mut m_fix, mut k_fix, mut w_fix) = Apache::setup(small(ApacheConfig::admission_control()));
+        let (mut m_fix, mut k_fix, mut w_fix) =
+            Apache::setup(small(ApacheConfig::admission_control()));
         let bad = measure_throughput(&mut m_bad, &mut k_bad, &mut w_bad, 60, 120);
         let fix = measure_throughput(&mut m_fix, &mut k_fix, &mut w_fix, 60, 120);
         let gain = throughput_change_percent(&bad, &fix);
-        assert!(gain > 3.0, "admission control should improve throughput, got {gain:.1}%");
+        assert!(
+            gain > 3.0,
+            "admission control should improve throughput, got {gain:.1}%"
+        );
     }
 }

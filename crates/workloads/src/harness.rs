@@ -58,7 +58,11 @@ pub fn measure_throughput(
         requests,
         elapsed_seconds: elapsed,
         throughput_rps: requests as f64 / elapsed,
-        avg_request_cycles: if requests == 0 { 0.0 } else { total_cycles as f64 / requests as f64 },
+        avg_request_cycles: if requests == 0 {
+            0.0
+        } else {
+            total_cycles as f64 / requests as f64
+        },
         profiling_fraction: if total_cycles == 0 {
             0.0
         } else {
@@ -108,7 +112,11 @@ mod tests {
         let mut m = Machine::new(MachineConfig::with_cores(2));
         let mut k = KernelState::new(
             &mut m,
-            KernelConfig { cores: 2, workers_per_core: 1, ..Default::default() },
+            KernelConfig {
+                cores: 2,
+                workers_per_core: 1,
+                ..Default::default()
+            },
         );
         let mut w = NullWorkload { requests: 0 };
         let r = measure_throughput(&mut m, &mut k, &mut w, 5, 50);
@@ -127,8 +135,14 @@ mod tests {
             avg_request_cycles: 1.0,
             profiling_fraction: 0.0,
         };
-        let better = ThroughputResult { throughput_rps: 1570.0, ..base };
-        let worse = ThroughputResult { throughput_rps: 900.0, ..base };
+        let better = ThroughputResult {
+            throughput_rps: 1570.0,
+            ..base
+        };
+        let worse = ThroughputResult {
+            throughput_rps: 900.0,
+            ..base
+        };
         assert!((throughput_change_percent(&base, &better) - 57.0).abs() < 1e-9);
         assert!(throughput_change_percent(&base, &worse) < 0.0);
     }

@@ -153,7 +153,11 @@ mod tests {
     use crate::harness::{measure_throughput, throughput_change_percent};
 
     fn small(policy: TxQueuePolicy) -> MemcachedConfig {
-        MemcachedConfig { cores: 4, tx_policy: policy, ..Default::default() }
+        MemcachedConfig {
+            cores: 4,
+            tx_policy: policy,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -163,12 +167,17 @@ mod tests {
             w.step(&mut m, &mut k);
         }
         assert_eq!(w.requests_completed(), 20 * 4);
-        assert_eq!(k.allocator.live_objects_of(k.kt.skbuff), 0, "skbuffs leaked");
+        assert_eq!(
+            k.allocator.live_objects_of(k.kt.skbuff),
+            0,
+            "skbuffs leaked"
+        );
     }
 
     #[test]
     fn hash_policy_bounces_packets_local_policy_does_not() {
-        let (mut m_hash, mut k_hash, mut w_hash) = Memcached::setup(small(TxQueuePolicy::HashTxQueue));
+        let (mut m_hash, mut k_hash, mut w_hash) =
+            Memcached::setup(small(TxQueuePolicy::HashTxQueue));
         let (mut m_loc, mut k_loc, mut w_loc) = Memcached::setup(small(TxQueuePolicy::LocalQueue));
         for _ in 0..30 {
             w_hash.step(&mut m_hash, &mut k_hash);
@@ -186,11 +195,15 @@ mod tests {
 
     #[test]
     fn local_queue_fix_improves_throughput_substantially() {
-        let (mut m_hash, mut k_hash, mut w_hash) = Memcached::setup(small(TxQueuePolicy::HashTxQueue));
+        let (mut m_hash, mut k_hash, mut w_hash) =
+            Memcached::setup(small(TxQueuePolicy::HashTxQueue));
         let (mut m_loc, mut k_loc, mut w_loc) = Memcached::setup(small(TxQueuePolicy::LocalQueue));
         let base = measure_throughput(&mut m_hash, &mut k_hash, &mut w_hash, 20, 100);
         let fixed = measure_throughput(&mut m_loc, &mut k_loc, &mut w_loc, 20, 100);
         let gain = throughput_change_percent(&base, &fixed);
-        assert!(gain > 10.0, "local-queue fix should give a large gain, got {gain:.1}%");
+        assert!(
+            gain > 10.0,
+            "local-queue fix should give a large gain, got {gain:.1}%"
+        );
     }
 }

@@ -21,11 +21,17 @@ fn profile_apache(config: ApacheConfig, label: &str) -> f64 {
     let profile = Dprof::new(dconf).run(&mut machine, &mut kernel, |m, k| workload.step(m, k));
 
     println!("--- Apache at {label} (cf. Tables 6.4 / 6.5) ---");
-    println!("average accept backlog: {:.1} connections", workload.avg_backlog(&kernel));
+    println!(
+        "average accept backlog: {:.1} connections",
+        workload.avg_backlog(&kernel)
+    );
     println!("{}", report::render_data_profile(&profile.data_profile, 6));
     println!("{}", report::render_working_set(&profile.working_set, 6));
 
-    profile.profile_row("tcp-sock").map(|r| r.working_set_bytes).unwrap_or(0.0)
+    profile
+        .profile_row("tcp-sock")
+        .map(|r| r.working_set_bytes)
+        .unwrap_or(0.0)
 }
 
 fn throughput(config: ApacheConfig) -> f64 {
@@ -48,7 +54,11 @@ fn main() {
         "tcp-sock working set grew from {} to {} ({}x)\n",
         report::format_bytes(peak_ws),
         report::format_bytes(drop_ws),
-        if peak_ws > 0.0 { (drop_ws / peak_ws).round() } else { 0.0 }
+        if peak_ws > 0.0 {
+            (drop_ws / peak_ws).round()
+        } else {
+            0.0
+        }
     );
 
     // The fix: limit the number of in-flight connections (the paper reports +16% at the
@@ -58,5 +68,8 @@ fn main() {
     println!("--- fix: accept-queue admission control ---");
     println!("  deep backlog      : {bad:.0} req/s");
     println!("  admission control : {good:.0} req/s");
-    println!("  improvement       : {:+.1}%  (paper: +16%)", 100.0 * (good - bad) / bad);
+    println!(
+        "  improvement       : {:+.1}%  (paper: +16%)",
+        100.0 * (good - bad) / bad
+    );
 }

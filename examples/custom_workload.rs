@@ -19,15 +19,23 @@ fn main() {
     let mut machine = Machine::new(MachineConfig::with_cores(2));
     let mut kernel = KernelState::new(
         &mut machine,
-        KernelConfig { cores: 2, workers_per_core: 1, ..Default::default() },
+        KernelConfig {
+            cores: 2,
+            workers_per_core: 1,
+            ..Default::default()
+        },
     );
 
     // Register a custom type: a per-module statistics block with two counters that
     // share a cache line (offsets 0 and 8).
-    let stats_ty = kernel.types.register("pkt_stats", "per-module packet statistics", 128);
+    let stats_ty = kernel
+        .types
+        .register("pkt_stats", "per-module packet statistics", 128);
     kernel.types.add_field(stats_ty, "rx_count", 0, 8);
     kernel.types.add_field(stats_ty, "tx_count", 8, 8);
-    let stats_addr = kernel.allocator.alloc(&mut machine, &kernel.types, 0, stats_ty);
+    let stats_addr = kernel
+        .allocator
+        .alloc(&mut machine, &kernel.types, 0, stats_ty);
 
     let rx_fn = machine.fn_id("rx_accounting");
     let tx_fn = machine.fn_id("tx_accounting");
@@ -53,7 +61,10 @@ fn main() {
     let profile = Dprof::new(config).run(&mut machine, &mut kernel, step);
 
     println!("{}", report::render_data_profile(&profile.data_profile, 6));
-    println!("{}", report::render_miss_classification(&profile.miss_classification, 6));
+    println!(
+        "{}",
+        report::render_miss_classification(&profile.miss_classification, 6)
+    );
 
     if let Some(row) = profile.profile_row("pkt_stats") {
         println!(

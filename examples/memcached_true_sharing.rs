@@ -12,7 +12,11 @@ use dprof::core::report;
 use dprof::prelude::*;
 
 fn measure_policy(policy: TxQueuePolicy) -> (f64, bool) {
-    let config = MemcachedConfig { cores: 4, tx_policy: policy, ..Default::default() };
+    let config = MemcachedConfig {
+        cores: 4,
+        tx_policy: policy,
+        ..Default::default()
+    };
     let (mut machine, mut kernel, mut workload) = Memcached::setup(config);
     let result = measure_throughput(&mut machine, &mut kernel, &mut workload, 20, 100);
     (result.throughput_rps, kernel.remote_enqueues > 0)
@@ -63,5 +67,8 @@ fn main() {
     println!("--- fix: local transmit-queue selection ---");
     println!("  hash policy : {buggy:.0} req/s (remote enqueues: {buggy_remote})");
     println!("  local policy: {fixed:.0} req/s (remote enqueues: {fixed_remote})");
-    println!("  improvement : {:+.1}%  (paper: +57%)", 100.0 * (fixed - buggy) / buggy);
+    println!(
+        "  improvement : {:+.1}%  (paper: +57%)",
+        100.0 * (fixed - buggy) / buggy
+    );
 }

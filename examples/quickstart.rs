@@ -6,8 +6,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use dprof::prelude::*;
 use dprof::core::report;
+use dprof::prelude::*;
 
 fn main() {
     // 1. Build a small 4-core machine and the memcached workload with the kernel's
@@ -30,9 +30,8 @@ fn main() {
     dprof_config.sample_rounds = 80;
     dprof_config.history_types = 3;
     dprof_config.history.history_sets = 4;
-    let profile = Dprof::new(dprof_config).run(&mut machine, &mut kernel, |m, k| {
-        workload.step(m, k)
-    });
+    let profile =
+        Dprof::new(dprof_config).run(&mut machine, &mut kernel, |m, k| workload.step(m, k));
 
     // 4. Print the views.
     println!("{}", report::render_profile(&profile, &machine.symbols, 8));

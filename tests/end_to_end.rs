@@ -31,8 +31,13 @@ fn memcached_dprof_finds_bouncing_packet_types() {
     // Table 6.1 shape: payload and skbuff near the top, both bouncing; the SLAB
     // bookkeeping types appear and bounce too.
     assert!(!profile.data_profile.is_empty());
-    let payload = profile.profile_row("size-1024").expect("size-1024 in profile");
-    assert!(payload.bounce, "packet payload must bounce with the hash TX policy");
+    let payload = profile
+        .profile_row("size-1024")
+        .expect("size-1024 in profile");
+    assert!(
+        payload.bounce,
+        "packet payload must bounce with the hash TX policy"
+    );
     assert!(payload.pct_of_l1_misses > 5.0);
     assert!(profile.rank_of("size-1024").unwrap() < 4);
     let skbuff = profile.profile_row("skbuff").expect("skbuff in profile");
@@ -69,10 +74,24 @@ fn memcached_data_flow_shows_transmit_path_core_crossing() {
             crossing_functions.push(graph.nodes[e.to].name.clone());
         }
     }
-    assert!(found_crossing, "expected at least one core-crossing edge in the data flows");
-    let tx_related = ["pfifo_fast_enqueue", "pfifo_fast_dequeue", "dev_hard_start_xmit", "ixgbe_xmit_frame", "ixgbe_clean_tx_irq", "dev_kfree_skb_irq", "__kfree_skb", "kfree"];
     assert!(
-        crossing_functions.iter().any(|f| tx_related.contains(&f.as_str())),
+        found_crossing,
+        "expected at least one core-crossing edge in the data flows"
+    );
+    let tx_related = [
+        "pfifo_fast_enqueue",
+        "pfifo_fast_dequeue",
+        "dev_hard_start_xmit",
+        "ixgbe_xmit_frame",
+        "ixgbe_clean_tx_irq",
+        "dev_kfree_skb_irq",
+        "__kfree_skb",
+        "kfree",
+    ];
+    assert!(
+        crossing_functions
+            .iter()
+            .any(|f| tx_related.contains(&f.as_str())),
         "core crossings should involve the transmit path, got {crossing_functions:?}"
     );
 }
@@ -80,7 +99,11 @@ fn memcached_data_flow_shows_transmit_path_core_crossing() {
 #[test]
 fn memcached_local_queue_fix_improves_throughput() {
     let run = |policy| {
-        let config = MemcachedConfig { cores: 4, tx_policy: policy, ..Default::default() };
+        let config = MemcachedConfig {
+            cores: 4,
+            tx_policy: policy,
+            ..Default::default()
+        };
         let (mut m, mut k, mut w) = Memcached::setup(config);
         measure_throughput(&mut m, &mut k, &mut w, 20, 80).throughput_rps
     };
@@ -103,12 +126,18 @@ fn apache_working_set_explodes_at_drop_off_and_admission_control_helps() {
         }
         let profile =
             Dprof::new(quick_dprof()).run(&mut machine, &mut kernel, |m, k| workload.step(m, k));
-        let ws = profile.profile_row("tcp-sock").map(|r| r.working_set_bytes).unwrap_or(0.0);
+        let ws = profile
+            .profile_row("tcp-sock")
+            .map(|r| r.working_set_bytes)
+            .unwrap_or(0.0);
         (ws, workload.avg_backlog(&kernel))
     };
     let (peak_ws, peak_backlog) = profile_run(ApacheConfig::peak());
     let (drop_ws, drop_backlog) = profile_run(ApacheConfig::drop_off());
-    assert!(drop_backlog > peak_backlog, "overload must grow the accept backlog");
+    assert!(
+        drop_backlog > peak_backlog,
+        "overload must grow the accept backlog"
+    );
     assert!(
         drop_ws > peak_ws * 2.0,
         "tcp-sock working set should grow sharply at drop off ({drop_ws:.0} vs {peak_ws:.0} bytes)"
@@ -122,7 +151,10 @@ fn apache_working_set_explodes_at_drop_off_and_admission_control_helps() {
     };
     let bad = tput(ApacheConfig::drop_off());
     let good = tput(ApacheConfig::admission_control());
-    assert!(good > bad, "admission control should improve overloaded throughput ({good:.0} vs {bad:.0})");
+    assert!(
+        good > bad,
+        "admission control should improve overloaded throughput ({good:.0} vs {bad:.0})"
+    );
 }
 
 #[test]
@@ -138,7 +170,10 @@ fn baselines_see_symptoms_but_dprof_names_the_data() {
     }
     // OProfile: many functions above 1% (the thesis counts 29), no data types at all.
     let oprofile = OprofileReport::collect(&machine);
-    assert!(oprofile.functions_above(1.0) >= 8, "expected many warm functions");
+    assert!(
+        oprofile.functions_above(1.0) >= 8,
+        "expected many warm functions"
+    );
     // lock-stat: the Qdisc lock is visible with its acquiring functions.
     let lockstat = LockstatReport::collect(&machine, &kernel);
     let qdisc = lockstat.row("Qdisc lock").expect("Qdisc lock contended");
@@ -151,7 +186,10 @@ fn baselines_see_symptoms_but_dprof_names_the_data() {
 #[test]
 fn dprof_overhead_grows_with_sampling_rate() {
     let run = |interval: u64| {
-        let config = MemcachedConfig { cores: 4, ..Default::default() };
+        let config = MemcachedConfig {
+            cores: 4,
+            ..Default::default()
+        };
         let (mut m, mut k, mut w) = Memcached::setup(config);
         if interval > 0 {
             m.configure_ibs(dprof::machine::IbsConfig::with_interval(interval));

@@ -1,0 +1,322 @@
+//! Vendored minimal stand-in for the `proptest` crate, so the property-based tests in
+//! this workspace run fully offline.
+//!
+//! It supports the subset of the proptest API the test-suite uses:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(..)]` header),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * range strategies (`0usize..4`), [`any`]`::<bool>()`, tuple strategies,
+//!   [`collection::vec`], and [`strategy::Strategy::prop_map`].
+//!
+//! Unlike the real proptest there is no shrinking and no persistence: each test case is
+//! generated from a deterministic per-case seed, so failures are reproducible from the
+//! test name and case index alone.  That trade-off keeps the vendored crate tiny while
+//! preserving the tests' coverage of arbitrary interleavings.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the combinators the workspace uses.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A generator of values of type `Self::Value` (no shrinking in the vendored build).
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`, mirroring `proptest`'s `prop_map`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// Strategy for the full domain of a type; returned by [`crate::any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Any<T> {
+        /// Creates the full-domain strategy for `T`.
+        pub fn new() -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_raw() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    /// Types with a canonical full-domain strategy, mirroring `proptest::arbitrary`.
+    pub trait Arbitrary: Sized {
+        /// The strategy [`crate::any`] returns for this type.
+        type Strategy: Strategy<Value = Self>;
+        /// Builds the full-domain strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = Any<$t>;
+                fn arbitrary() -> Any<$t> {
+                    Any::new()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64);
+}
+
+/// Builds the canonical full-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: strategy::Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Creates a strategy producing vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-runner configuration and the deterministic per-case RNG.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` generated inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// The RNG handed to strategies; deterministic per test case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Creates the RNG for a given case index (the whole suite is reproducible).
+        pub fn for_case(case: u64) -> Self {
+            TestRng {
+                inner: StdRng::seed_from_u64(
+                    0x5eed_0000_0000_0000 ^ case.wrapping_mul(0x9e37_79b9),
+                ),
+            }
+        }
+
+        /// Raw 64 random bits (used by the integer `any` strategies).
+        pub fn next_raw(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-importable surface, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest};
+}
+
+/// Asserts a condition inside a property (plain `assert!` in the vendored build).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property (plain `assert_eq!` in the vendored build).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { .. }` becomes a
+/// `#[test]` that runs the body for `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! {
+            config = (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( config = ($cfg:expr); ) => {};
+    (
+        config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__case as u64);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_tuples(v in crate::collection::vec((0usize..3, any::<bool>()), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (n, _b) in v {
+                prop_assert!(n < 3);
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(x in (0u64..10u64).prop_map(|v| v * 8)) {
+            prop_assert_eq!(x % 8, 0);
+            prop_assert!(x < 80);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 1usize..5) {
+            prop_assert!((1..5).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Vendored stand-in for `serde`, so the workspace builds with zero network access.
+//!
+//! It provides the two marker traits and re-exports the pass-through derive macros from
+//! the vendored [`serde_derive`].  Nothing in the workspace performs generic
+//! serde-based serialization — structured (JSON) output is produced by the hand-written
+//! emitter in `dprof-cli` — so empty marker traits are sufficient for every
+//! `#[derive(Serialize, Deserialize)]` in the tree to compile unchanged.  If the real
+//! `serde` ever becomes available in the build environment, deleting `vendor/serde*`
+//! and pointing the workspace at crates.io restores full functionality without source
+//! changes.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no items in the vendored build).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no items in the vendored build).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,23 @@
+//! Vendored stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The repository builds fully offline, so instead of the real `serde` stack the
+//! workspace vendors a minimal substitute (see `vendor/serde`).  The derive macros here
+//! accept the same invocation surface (`#[derive(Serialize, Deserialize)]` plus
+//! `#[serde(...)]` helper attributes) and expand to nothing: the marker traits in the
+//! vendored `serde` crate have no items, and no code in the workspace performs generic
+//! serde-based serialization.  JSON output is produced by the hand-written emitter in
+//! `dprof-cli` instead.
+
+use proc_macro::TokenStream;
+
+/// Pass-through stand-in for `serde_derive::Serialize`.  Expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Pass-through stand-in for `serde_derive::Deserialize`.  Expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
