@@ -1,0 +1,35 @@
+//! The `hierarchy_throughput` bench: raw simulated-access throughput of the cache
+//! hierarchy, measured by replaying real workload access traces.
+//!
+//! Each case replays the same captured trace through either the optimized hierarchy
+//! (SoA caches + open-addressed directory) or the retained reference implementation
+//! (`Vec<Option<CacheLine>>` + `HashMap` bookkeeping), so the reported difference is
+//! exactly the hot-path rewrite.  `dprof-bench --emit-json` uses the same machinery to
+//! record `BENCH_throughput.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dprof_bench::throughput::{capture_trace, replay_optimized, replay_reference, TraceWorkload};
+use sim_cache::HierarchyConfig;
+
+fn hierarchy_throughput(c: &mut Criterion) {
+    for (which, cores, rounds) in [
+        (TraceWorkload::Memcached, 16, 60),
+        (TraceWorkload::Apache, 16, 60),
+    ] {
+        let trace = capture_trace(which, cores, rounds);
+        let config = HierarchyConfig::with_cores(cores);
+        let name = which.name();
+
+        c.bench_function(
+            &format!("hierarchy_throughput_{name}_{cores}c_optimized"),
+            |b| b.iter(|| replay_optimized(&config, &trace).1),
+        );
+        c.bench_function(
+            &format!("hierarchy_throughput_{name}_{cores}c_reference"),
+            |b| b.iter(|| replay_reference(&config, &trace).1),
+        );
+    }
+}
+
+criterion_group!(benches, hierarchy_throughput);
+criterion_main!(benches);

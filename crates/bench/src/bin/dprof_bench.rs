@@ -1,0 +1,67 @@
+//! `dprof-bench`: measures simulated-access throughput and records the bench
+//! trajectory.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p dprof-bench --bin dprof-bench -- [--quick] [--emit-json [PATH]]
+//! ```
+//!
+//! For each workload (memcached, Apache) and core count, the tool captures the
+//! workload's real memory-access trace, replays it through the retained reference
+//! hierarchy and the optimized hierarchy, and prints accesses/second for both.  With
+//! `--emit-json` the results are also written as a `dprof-bench-throughput/v1` document
+//! (default path `BENCH_throughput.json`), which CI validates on every PR.
+
+use dprof_bench::throughput::{measure_point, render_json, render_table, TraceWorkload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut emit_json: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--emit-json" {
+            let path = args
+                .get(i + 1)
+                .filter(|a| !a.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+            emit_json = Some(path);
+        }
+        i += 1;
+    }
+
+    // Quick mode keeps the CI smoke job fast; paper mode measures the trajectory on
+    // the evaluation machine sizes, ending at the 16-core paper configuration.
+    let (scale_name, core_counts, rounds) = if quick {
+        ("quick", vec![2, 4], 40)
+    } else {
+        ("paper", vec![2, 4, 8, 16], 200)
+    };
+
+    println!(
+        "dprof-bench: replaying workload access traces ({scale_name} scale, \
+         {rounds} rounds per trace)\n"
+    );
+
+    let mut points = Vec::new();
+    for which in [TraceWorkload::Memcached, TraceWorkload::Apache] {
+        for &cores in &core_counts {
+            let p = measure_point(which, cores, rounds);
+            println!(
+                "  {:<10} {:>2} cores: {:>12.0} -> {:>12.0} accesses/s ({:.2}x)",
+                p.workload, p.cores, p.reference_aps, p.optimized_aps, p.speedup
+            );
+            points.push(p);
+        }
+    }
+
+    println!("\n{}", render_table(&points));
+
+    if let Some(path) = emit_json {
+        let doc = render_json(scale_name, &points);
+        std::fs::write(&path, doc).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

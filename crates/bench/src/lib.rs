@@ -19,6 +19,7 @@
 pub mod case_studies;
 pub mod overheads;
 pub mod scale;
+pub mod throughput;
 
 pub use case_studies::{
     apache_admission_fix, memcached_queue_fix, profile_apache, profile_memcached, ApacheStudy,
@@ -30,3 +31,6 @@ pub use overheads::{
     WhichWorkload,
 };
 pub use scale::Scale;
+pub use throughput::{
+    capture_trace, measure_point, render_json, render_table, ThroughputPoint, TraceWorkload,
+};

@@ -1,0 +1,259 @@
+//! Simulated-access throughput measurement: the bench trajectory the ROADMAP asks for.
+//!
+//! The methodology follows the tentpole optimization's acceptance criteria:
+//!
+//! 1. Run a real workload (memcached or Apache) on the full machine with access-trace
+//!    capture enabled, producing a stream of `(core, addr, kind)` events — the actual
+//!    memory traffic of the paper's request paths, not a synthetic pattern.
+//! 2. Replay that identical trace against a fresh hierarchy, once through the retained
+//!    reference implementation (`HashMap` directory, AoS caches) and once through the
+//!    optimized implementation (open-addressed directory, SoA caches), timing each.
+//! 3. Report accesses/second for both, per workload × core count, and emit
+//!    `BENCH_throughput.json` so throughput regressions are visible in review.
+//!
+//! Replays run on freshly-built hierarchies (best of [`REPS`] runs), so the numbers
+//! include cold-structure warm-up exactly once per run for both implementations.
+
+use serde::{Deserialize, Serialize};
+use sim_cache::reference::RefCacheHierarchy;
+use sim_cache::{CacheHierarchy, HierarchyConfig, TraceEvent};
+use std::time::Instant;
+use workloads::{Apache, ApacheConfig, Memcached, MemcachedConfig, Workload};
+
+/// Replay repetitions per measurement; the best (fastest) run is reported.
+pub const REPS: usize = 3;
+
+/// Which workload generated a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceWorkload {
+    /// The §6.1 memcached UDP workload.
+    Memcached,
+    /// The §6.2 Apache TCP workload.
+    Apache,
+}
+
+impl TraceWorkload {
+    /// Stable lower-case name used in benchmark ids and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceWorkload::Memcached => "memcached",
+            TraceWorkload::Apache => "apache",
+        }
+    }
+}
+
+/// One measured point of the throughput trajectory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputPoint {
+    /// Workload whose access trace was replayed.
+    pub workload: String,
+    /// Core count of the simulated machine.
+    pub cores: usize,
+    /// Number of accesses in the replayed trace.
+    pub trace_len: usize,
+    /// Accesses/second through the retained reference (pre-optimization) hierarchy.
+    pub reference_aps: f64,
+    /// Accesses/second through the optimized hierarchy.
+    pub optimized_aps: f64,
+    /// `optimized_aps / reference_aps`.
+    pub speedup: f64,
+}
+
+/// Captures the memory-access trace of `rounds` workload rounds on a `cores`-core
+/// paper-geometry machine.
+pub fn capture_trace(which: TraceWorkload, cores: usize, rounds: usize) -> Vec<TraceEvent> {
+    match which {
+        TraceWorkload::Memcached => {
+            let config = MemcachedConfig {
+                cores,
+                ..Default::default()
+            };
+            let (mut machine, mut kernel, mut workload) = Memcached::setup(config);
+            machine.hierarchy.record_trace(true);
+            for _ in 0..rounds {
+                workload.step(&mut machine, &mut kernel);
+            }
+            machine.hierarchy.take_trace()
+        }
+        TraceWorkload::Apache => {
+            let config = ApacheConfig {
+                cores,
+                ..ApacheConfig::peak()
+            };
+            let (mut machine, mut kernel, mut workload) = Apache::setup(config);
+            machine.hierarchy.record_trace(true);
+            for _ in 0..rounds {
+                workload.step(&mut machine, &mut kernel);
+            }
+            machine.hierarchy.take_trace()
+        }
+    }
+}
+
+/// The shared timed replay loop: elapsed seconds plus a checksum of outcome latencies
+/// (so the work cannot be optimized away, and so the two implementations can be
+/// cross-checked for identical behavior).
+fn replay_with(
+    trace: &[TraceEvent],
+    mut access_latency: impl FnMut(&TraceEvent) -> u64,
+) -> (f64, u64) {
+    let start = Instant::now();
+    let mut checksum = 0u64;
+    for ev in trace {
+        checksum = checksum.wrapping_add(access_latency(ev));
+    }
+    (start.elapsed().as_secs_f64(), checksum)
+}
+
+/// Replays a trace through the optimized hierarchy once.
+pub fn replay_optimized(config: &HierarchyConfig, trace: &[TraceEvent]) -> (f64, u64) {
+    let mut h = CacheHierarchy::new(*config);
+    replay_with(trace, |ev| {
+        h.access(ev.core as usize, ev.addr, ev.kind).latency
+    })
+}
+
+/// Replays a trace through the retained reference hierarchy once.
+pub fn replay_reference(config: &HierarchyConfig, trace: &[TraceEvent]) -> (f64, u64) {
+    let mut h = RefCacheHierarchy::new(*config);
+    replay_with(trace, |ev| {
+        h.access(ev.core as usize, ev.addr, ev.kind).latency
+    })
+}
+
+/// Measures one throughput point: captures the workload trace, replays it through both
+/// implementations ([`REPS`] fresh runs each, best kept), and cross-checks that both
+/// produced identical latency checksums.
+pub fn measure_point(which: TraceWorkload, cores: usize, rounds: usize) -> ThroughputPoint {
+    let trace = capture_trace(which, cores, rounds);
+    let config = HierarchyConfig::with_cores(cores);
+
+    let mut best_ref = f64::INFINITY;
+    let mut best_opt = f64::INFINITY;
+    let mut ref_sum = 0;
+    let mut opt_sum = 0;
+    for _ in 0..REPS {
+        let (t, s) = replay_reference(&config, &trace);
+        best_ref = best_ref.min(t);
+        ref_sum = s;
+        let (t, s) = replay_optimized(&config, &trace);
+        best_opt = best_opt.min(t);
+        opt_sum = s;
+    }
+    assert_eq!(
+        ref_sum,
+        opt_sum,
+        "reference and optimized hierarchies diverged on the {} trace",
+        which.name()
+    );
+
+    let n = trace.len() as f64;
+    let reference_aps = n / best_ref.max(1e-12);
+    let optimized_aps = n / best_opt.max(1e-12);
+    ThroughputPoint {
+        workload: which.name().to_string(),
+        cores,
+        trace_len: trace.len(),
+        reference_aps,
+        optimized_aps,
+        speedup: optimized_aps / reference_aps.max(1e-12),
+    }
+}
+
+/// Renders the points as the `BENCH_throughput.json` document (`dprof-bench-throughput/v1`).
+pub fn render_json(scale_name: &str, points: &[ThroughputPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"dprof-bench-throughput/v1\",\n");
+    out.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+    out.push_str("  \"unit\": \"simulated cache-line accesses per wall-clock second\",\n");
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"cores\": {}, \"trace_len\": {}, \
+             \"reference_aps\": {:.0}, \"optimized_aps\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            p.workload,
+            p.cores,
+            p.trace_len,
+            p.reference_aps,
+            p.optimized_aps,
+            p.speedup,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders a human-readable table of the points.
+pub fn render_table(points: &[ThroughputPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>5} {:>12} {:>16} {:>16} {:>8}\n",
+        "workload", "cores", "trace", "reference a/s", "optimized a/s", "speedup"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:<10} {:>5} {:>12} {:>16.0} {:>16.0} {:>7.2}x\n",
+            p.workload, p.cores, p.trace_len, p.reference_aps, p.optimized_aps, p.speedup
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_capture_produces_events() {
+        let trace = capture_trace(TraceWorkload::Memcached, 2, 3);
+        assert!(!trace.is_empty());
+        assert!(trace.iter().all(|e| (e.core as usize) < 2));
+    }
+
+    #[test]
+    fn measured_point_is_consistent() {
+        let p = measure_point(TraceWorkload::Memcached, 2, 5);
+        assert_eq!(p.workload, "memcached");
+        assert!(p.trace_len > 0);
+        assert!(p.reference_aps > 0.0);
+        assert!(p.optimized_aps > 0.0);
+        assert!(p.speedup > 0.0);
+    }
+
+    #[test]
+    fn json_document_round_trips_through_the_cli_parser() {
+        let points = vec![
+            ThroughputPoint {
+                workload: "memcached".into(),
+                cores: 16,
+                trace_len: 1000,
+                reference_aps: 1.0e7,
+                optimized_aps: 4.0e7,
+                speedup: 4.0,
+            },
+            ThroughputPoint {
+                workload: "apache".into(),
+                cores: 2,
+                trace_len: 500,
+                reference_aps: 2.0e7,
+                optimized_aps: 5.0e7,
+                speedup: 2.5,
+            },
+        ];
+        let doc = render_json("paper", &points);
+        let parsed = dprof_cli::json::Json::parse(&doc).expect("render_json must emit valid JSON");
+        assert_eq!(
+            parsed.get("schema").and_then(|s| s.as_str()),
+            Some("dprof-bench-throughput/v1")
+        );
+        let arr = parsed
+            .get("points")
+            .and_then(|p| p.as_array())
+            .expect("points array");
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("cores").and_then(|c| c.as_f64()), Some(16.0));
+        assert_eq!(arr[1].get("speedup").and_then(|s| s.as_f64()), Some(2.5));
+    }
+}

@@ -12,7 +12,7 @@
 
 use dprof::core::{Dprof, DprofConfig, DprofProfile};
 use dprof::kernel::{KernelConfig, KernelState, TxQueuePolicy, TypeId};
-use dprof::machine::{Machine, MachineConfig};
+use dprof::machine::{AccessReq, Machine, MachineConfig};
 use dprof::workloads::{Apache, ApacheConfig, Memcached, MemcachedConfig, Workload};
 use std::collections::HashMap;
 
@@ -205,17 +205,15 @@ impl Workload for FalseSharing {
         }
         // A rotating "reporter" core sums every counter (as a stats export would), so
         // each counter offset is touched by its owner core *and* the reporter — the
-        // cross-core pattern DProf's path traces flag as a bounce.
+        // cross-core pattern DProf's path traces flag as a bounce.  The whole export
+        // scan is issued as one batched access run.
         let reporter = (self.rounds as usize) % self.cores;
-        for core in 0..self.cores.min(8) {
-            let offset = (core as u64) * 8;
-            machine.read(
-                reporter,
-                self.counter_fns[reporter],
-                self.stats_addr + offset,
-                8,
-            );
+        let mut scan = [AccessReq::read(0, 8); 8];
+        let n = self.cores.min(8);
+        for (core, req) in scan.iter_mut().enumerate().take(n) {
+            *req = AccessReq::read(self.stats_addr + (core as u64) * 8, 8);
         }
+        machine.access_run(reporter, self.counter_fns[reporter], &scan[..n]);
         // Private per-core work so the shared line is not the only traffic.
         for core in 0..self.cores {
             let skb = kernel.netif_rx(machine, core, 100);

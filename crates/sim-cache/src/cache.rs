@@ -1,29 +1,72 @@
-//! A single set-associative cache with LRU replacement.
+//! A single set-associative cache with LRU replacement, stored struct-of-arrays.
+//!
+//! The cache is the innermost data structure of the simulator: every memory access
+//! probes two or three of them.  Lines are therefore kept as packed parallel vectors
+//! (`tags` / `states` / `last_used` / `filled_at`) rather than `Vec<Option<CacheLine>>`:
+//! a way-scan touches a dense run of eight-byte tags instead of striding over 32-byte
+//! option-wrapped structs, and the invalid-slot check is a tag compare against a
+//! sentinel instead of an `Option` discriminant load.
 
 use crate::geometry::CacheGeometry;
 use crate::line::{CacheLine, MesiState};
+use crate::line_table::LineSet;
 use crate::stats::CacheStats;
 use crate::LineAddr;
-use std::collections::HashSet;
 
-/// A set-associative cache holding [`CacheLine`]s, with strict LRU replacement within
-/// each associativity set.
+/// Sentinel tag meaning "slot is invalid".  Real line addresses never reach this value.
+const INVALID: LineAddr = LineAddr::MAX;
+
+/// Opt-in tracker of distinct line addresses installed per associativity set.
+///
+/// The conflict analysis wants "how many distinct lines ever mapped to set `s`", which
+/// the seed implementation kept as one `HashSet<LineAddr>` per set — unbounded growth
+/// on streaming workloads and an allocation on nearly every fill.  The tracker keeps a
+/// single open-addressed [`LineSet`] (8 bytes per distinct line) plus a `u32` counter
+/// per set, and is only instantiated when conflict analysis is requested.
+#[derive(Debug, Clone)]
+struct ConflictTracker {
+    seen: LineSet,
+    per_set: Vec<u32>,
+}
+
+impl ConflictTracker {
+    fn new(sets: usize) -> Self {
+        ConflictTracker {
+            seen: LineSet::new(),
+            per_set: vec![0; sets],
+        }
+    }
+
+    #[inline]
+    fn note(&mut self, set: usize, line: LineAddr) {
+        if self.seen.insert(line) {
+            self.per_set[set] += 1;
+        }
+    }
+}
+
+/// A set-associative cache with strict LRU replacement within each associativity set.
 ///
 /// The cache stores only metadata (tags and coherence state), never data bytes — the
 /// simulation cares about hits, misses, evictions and latencies, not values.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     geometry: CacheGeometry,
-    /// `sets * ways` slots; set `s` occupies `[s*ways, (s+1)*ways)`.
-    slots: Vec<Option<CacheLine>>,
+    /// Line address per slot, [`INVALID`] when empty.  Set `s` occupies
+    /// `[s*ways, (s+1)*ways)` in every parallel vector.
+    tags: Vec<LineAddr>,
+    /// Coherence state per slot (meaningful only where the tag is valid).
+    states: Vec<MesiState>,
+    /// LRU timestamp per slot.
+    last_used: Vec<u64>,
+    /// Fill timestamp per slot.
+    filled_at: Vec<u64>,
     /// Monotonic access counter used as the LRU clock.
     tick: u64,
     /// Hit/miss/eviction statistics.
     pub stats: CacheStats,
-    /// Distinct line addresses ever installed into each set.  Used by the working-set
-    /// and conflict analyses; the per-set cardinality is what DProf's conflict detector
-    /// compares against the set's capacity.
-    distinct_per_set: Vec<HashSet<LineAddr>>,
+    /// Opt-in distinct-lines-per-set tracking for the conflict analysis.
+    conflict: Option<ConflictTracker>,
 }
 
 /// The result of looking up or filling a line.
@@ -36,16 +79,52 @@ pub enum LookupResult {
 }
 
 impl SetAssocCache {
-    /// Creates an empty cache with the given geometry.
+    /// Creates an empty cache with the given geometry.  Conflict tracking is off by
+    /// default; [`Self::with_conflict_tracking`] / [`Self::enable_conflict_tracking`]
+    /// turn on [`Self::distinct_lines_in_set`] for analyses that want per-set
+    /// distinct-line counts from the simulated caches themselves.  (The shipped
+    /// working-set view computes its histogram from allocation records instead, so
+    /// nothing in the profiler pays for tracking it does not use.)
     pub fn new(geometry: CacheGeometry) -> Self {
         let slot_count = geometry.sets * geometry.ways;
         SetAssocCache {
             geometry,
-            slots: vec![None; slot_count],
+            tags: vec![INVALID; slot_count],
+            states: vec![MesiState::Invalid; slot_count],
+            last_used: vec![0; slot_count],
+            filled_at: vec![0; slot_count],
             tick: 0,
             stats: CacheStats::default(),
-            distinct_per_set: vec![HashSet::new(); geometry.sets],
+            conflict: None,
         }
+    }
+
+    /// Creates an empty cache that tracks distinct lines per set for conflict analysis.
+    pub fn with_conflict_tracking(geometry: CacheGeometry) -> Self {
+        let mut c = Self::new(geometry);
+        c.enable_conflict_tracking();
+        c
+    }
+
+    /// Turns on distinct-lines-per-set tracking (idempotent).
+    pub fn enable_conflict_tracking(&mut self) {
+        if self.conflict.is_none() {
+            self.conflict = Some(ConflictTracker::new(self.geometry.sets));
+        }
+    }
+
+    /// True if distinct-lines-per-set tracking is active.
+    pub fn conflict_tracking_enabled(&self) -> bool {
+        self.conflict.is_some()
+    }
+
+    /// Heap bytes consumed by the conflict tracker (zero when tracking is off).  Used
+    /// by the memory-growth regression tests.
+    pub fn conflict_tracking_bytes(&self) -> usize {
+        self.conflict
+            .as_ref()
+            .map(|t| t.seen.heap_bytes() + t.per_set.len() * std::mem::size_of::<u32>())
+            .unwrap_or(0)
     }
 
     /// The cache geometry.
@@ -53,28 +132,38 @@ impl SetAssocCache {
         self.geometry
     }
 
-    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
-        let set = self.geometry.set_index_of_line(line);
-        let start = set * self.geometry.ways;
-        start..start + self.geometry.ways
+    #[inline]
+    fn set_base(&self, line: LineAddr) -> usize {
+        self.geometry.set_index_of_line(line) * self.geometry.ways
     }
 
+    #[inline]
     fn bump(&mut self) -> u64 {
         self.tick += 1;
         self.tick
     }
 
+    /// Slot index of a resident line, if present.
+    #[inline]
+    fn slot_of(&self, line: LineAddr) -> Option<usize> {
+        let base = self.set_base(line);
+        self.tags[base..base + self.geometry.ways]
+            .iter()
+            .position(|&t| t == line)
+            .map(|w| base + w)
+    }
+
     /// Looks up a line, updating LRU and hit/miss statistics.  Does not fill on miss.
+    #[inline]
     pub fn lookup(&mut self, line: LineAddr) -> LookupResult {
         let now = self.bump();
-        let range = self.set_range(line);
-        for slot in &mut self.slots[range] {
-            if let Some(l) = slot {
-                if l.line == line {
-                    l.last_used = now;
-                    self.stats.hits += 1;
-                    return LookupResult::Hit(l.state);
-                }
+        let base = self.set_base(line);
+        let end = base + self.geometry.ways;
+        for i in base..end {
+            if self.tags[i] == line {
+                self.last_used[i] = now;
+                self.stats.hits += 1;
+                return LookupResult::Hit(self.states[i]);
             }
         }
         self.stats.misses += 1;
@@ -82,25 +171,23 @@ impl SetAssocCache {
     }
 
     /// Looks up a line without perturbing LRU order or statistics.
-    pub fn peek(&self, line: LineAddr) -> Option<&CacheLine> {
-        let range = self.set_range(line);
-        self.slots[range].iter().flatten().find(|l| l.line == line)
+    #[inline]
+    pub fn peek(&self, line: LineAddr) -> Option<CacheLine> {
+        self.slot_of(line).map(|i| self.line_at(i))
     }
 
-    /// Returns a mutable reference to a resident line, if present (no LRU update).
-    pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut CacheLine> {
-        let range = self.set_range(line);
-        self.slots[range]
-            .iter_mut()
-            .flatten()
-            .find(|l| l.line == line)
+    /// True if the line is resident (no LRU or statistics update).
+    #[inline]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.slot_of(line).is_some()
     }
 
     /// Changes the coherence state of a resident line.  Returns `false` if absent.
+    #[inline]
     pub fn set_state(&mut self, line: LineAddr, state: MesiState) -> bool {
-        match self.peek_mut(line) {
-            Some(l) => {
-                l.state = state;
+        match self.slot_of(line) {
+            Some(i) => {
+                self.states[i] = state;
                 true
             }
             None => false,
@@ -113,87 +200,113 @@ impl SetAssocCache {
     /// simply updated (no eviction occurs).
     pub fn fill(&mut self, line: LineAddr, state: MesiState) -> Option<CacheLine> {
         let now = self.bump();
-        let range = self.set_range(line);
-        self.distinct_per_set[self.geometry.set_index_of_line(line)].insert(line);
-
-        // Already present: refresh.
-        for slot in &mut self.slots[range.clone()] {
-            if let Some(l) = slot {
-                if l.line == line {
-                    l.state = state;
-                    l.last_used = now;
-                    return None;
-                }
-            }
+        if let Some(t) = self.conflict.as_mut() {
+            t.note(self.geometry.set_index_of_line(line), line);
         }
-        // Free slot available.
-        for slot in &mut self.slots[range.clone()] {
-            if slot.is_none() {
-                *slot = Some(CacheLine::new(line, state, now));
-                self.stats.fills += 1;
+
+        let base = self.set_base(line);
+        let end = base + self.geometry.ways;
+        let mut free = usize::MAX;
+        let mut victim = base;
+        let mut victim_used = u64::MAX;
+        for i in base..end {
+            let tag = self.tags[i];
+            if tag == line {
+                // Already present: refresh.
+                self.states[i] = state;
+                self.last_used[i] = now;
                 return None;
             }
+            if tag == INVALID {
+                if free == usize::MAX {
+                    free = i;
+                }
+            } else if self.last_used[i] < victim_used {
+                victim_used = self.last_used[i];
+                victim = i;
+            }
         }
-        // Evict LRU.
-        let victim_idx = self.slots[range.clone()]
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| l.as_ref().map(|l| l.last_used).unwrap_or(0))
-            .map(|(i, _)| i)
-            .expect("set has at least one way");
-        let abs_idx = range.start + victim_idx;
-        let victim = self.slots[abs_idx].take();
-        self.slots[abs_idx] = Some(CacheLine::new(line, state, now));
+
+        if free != usize::MAX {
+            self.install(free, line, state, now);
+            self.stats.fills += 1;
+            return None;
+        }
+
+        let evicted = self.line_at(victim);
+        self.install(victim, line, state, now);
         self.stats.fills += 1;
         self.stats.evictions += 1;
-        victim
+        Some(evicted)
     }
 
     /// Removes a line (e.g. due to a coherence invalidation).  Returns the removed line.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<CacheLine> {
-        let range = self.set_range(line);
-        for slot in &mut self.slots[range] {
-            if let Some(l) = slot {
-                if l.line == line {
-                    let removed = *l;
-                    *slot = None;
-                    self.stats.invalidations += 1;
-                    return Some(removed);
-                }
-            }
+        let i = self.slot_of(line)?;
+        let removed = self.line_at(i);
+        self.tags[i] = INVALID;
+        self.states[i] = MesiState::Invalid;
+        self.stats.invalidations += 1;
+        Some(removed)
+    }
+
+    #[inline]
+    fn install(&mut self, i: usize, line: LineAddr, state: MesiState, now: u64) {
+        self.tags[i] = line;
+        self.states[i] = state;
+        self.last_used[i] = now;
+        self.filled_at[i] = now;
+    }
+
+    #[inline]
+    fn line_at(&self, i: usize) -> CacheLine {
+        CacheLine {
+            line: self.tags[i],
+            state: self.states[i],
+            last_used: self.last_used[i],
+            filled_at: self.filled_at[i],
         }
-        None
     }
 
     /// Number of valid lines currently resident.
     pub fn occupancy(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.tags.iter().filter(|&&t| t != INVALID).count()
     }
 
     /// Iterates over all resident lines.
-    pub fn resident_lines(&self) -> impl Iterator<Item = &CacheLine> {
-        self.slots.iter().flatten()
+    pub fn resident_lines(&self) -> impl Iterator<Item = CacheLine> + '_ {
+        self.tags
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t != INVALID)
+            .map(|(i, _)| self.line_at(i))
     }
 
     /// Number of valid lines in associativity set `set`.
     pub fn set_occupancy(&self, set: usize) -> usize {
         let start = set * self.geometry.ways;
-        self.slots[start..start + self.geometry.ways]
+        self.tags[start..start + self.geometry.ways]
             .iter()
-            .filter(|s| s.is_some())
+            .filter(|&&t| t != INVALID)
             .count()
     }
 
     /// Number of distinct line addresses ever installed into associativity set `set`.
+    ///
+    /// Always zero unless conflict tracking was enabled (see [`Self::new`]).
     pub fn distinct_lines_in_set(&self, set: usize) -> usize {
-        self.distinct_per_set[set].len()
+        self.conflict
+            .as_ref()
+            .map(|t| t.per_set[set] as usize)
+            .unwrap_or(0)
     }
 
     /// Resets statistics and distinct-line tracking (contents are preserved).
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
-        for s in &mut self.distinct_per_set {
-            s.clear();
+        if let Some(t) = self.conflict.as_mut() {
+            t.seen.clear();
+            t.per_set.fill(0);
         }
     }
 }
@@ -253,14 +366,38 @@ mod tests {
     }
 
     #[test]
-    fn distinct_lines_tracked_per_set() {
-        let mut c = tiny();
+    fn distinct_lines_tracked_per_set_when_enabled() {
+        let mut c = SetAssocCache::with_conflict_tracking(CacheGeometry::new(64, 2, 4));
         c.fill(0, MesiState::Exclusive);
         c.fill(4, MesiState::Exclusive);
         c.fill(8, MesiState::Exclusive); // evicts, still counts as distinct
         c.fill(0, MesiState::Exclusive); // already counted
         assert_eq!(c.distinct_lines_in_set(0), 3);
         assert_eq!(c.distinct_lines_in_set(1), 0);
+    }
+
+    #[test]
+    fn distinct_tracking_off_by_default() {
+        let mut c = tiny();
+        assert!(!c.conflict_tracking_enabled());
+        for i in 0..100u64 {
+            c.fill(i, MesiState::Exclusive);
+        }
+        assert_eq!(c.distinct_lines_in_set(0), 0);
+        assert_eq!(c.conflict_tracking_bytes(), 0);
+    }
+
+    #[test]
+    fn reset_clears_distinct_tracking() {
+        let mut c = SetAssocCache::with_conflict_tracking(CacheGeometry::new(64, 2, 4));
+        c.fill(0, MesiState::Exclusive);
+        c.fill(4, MesiState::Exclusive);
+        c.reset_stats();
+        assert_eq!(c.distinct_lines_in_set(0), 0);
+        // Contents preserved; refilling the same lines counts them again.
+        assert!(c.peek(0).is_some());
+        c.fill(0, MesiState::Exclusive);
+        assert_eq!(c.distinct_lines_in_set(0), 1);
     }
 
     #[test]
@@ -284,5 +421,20 @@ mod tests {
         let _ = c.lookup(4);
         let evicted = c.fill(8, MesiState::Exclusive).unwrap();
         assert_eq!(evicted.line, 0);
+    }
+
+    #[test]
+    fn eviction_prefers_first_way_on_lru_tie() {
+        // Normal operation never produces equal timestamps (every lookup/fill bumps
+        // the tick), but the victim scan must still match the reference's
+        // `min_by_key` keep-first semantics if it ever sees one — pin it by forcing
+        // a tie directly.
+        let mut c = tiny();
+        c.fill(0, MesiState::Exclusive);
+        c.fill(4, MesiState::Exclusive);
+        c.last_used[0] = 7;
+        c.last_used[1] = 7;
+        let evicted = c.fill(8, MesiState::Exclusive).unwrap();
+        assert_eq!(evicted.line, 0, "first way must win an exact LRU tie");
     }
 }

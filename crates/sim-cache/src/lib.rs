@@ -41,14 +41,19 @@ pub mod geometry;
 pub mod hierarchy;
 pub mod latency;
 pub mod line;
+pub mod line_table;
+#[doc(hidden)]
+pub mod reference;
 pub mod stats;
 
 pub use cache::SetAssocCache;
 pub use geometry::CacheGeometry;
-pub use hierarchy::{AccessKind, AccessOutcome, CacheHierarchy, HierarchyConfig, HitLevel};
+pub use hierarchy::{
+    AccessKind, AccessOutcome, CacheHierarchy, HierarchyConfig, HitLevel, TraceEvent,
+};
 pub use latency::LatencyModel;
 pub use line::{CacheLine, MesiState};
-pub use stats::{CacheStats, HierarchyStats, MissKind};
+pub use stats::{CacheStats, HierarchyStats, MissKind, MissKindCounts};
 
 /// Identifier of a simulated CPU core.
 pub type CoreId = usize;

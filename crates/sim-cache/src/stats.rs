@@ -1,7 +1,6 @@
 //! Statistics collected by the caches and the hierarchy.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Counters for a single cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -61,8 +60,45 @@ pub enum MissKind {
     Eviction,
 }
 
+/// Per-[`MissKind`] counters, stored as plain fields so the hierarchy's hot path can
+/// bump them without hashing or allocating.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MissKindCounts {
+    /// Compulsory (first-touch) misses.
+    pub cold: u64,
+    /// Misses caused by a remote core's invalidation.
+    pub invalidation: u64,
+    /// Misses caused by replacement pressure.
+    pub eviction: u64,
+}
+
+impl MissKindCounts {
+    /// The counter for a given kind.
+    pub fn get(&self, kind: MissKind) -> u64 {
+        match kind {
+            MissKind::Cold => self.cold,
+            MissKind::Invalidation => self.invalidation,
+            MissKind::Eviction => self.eviction,
+        }
+    }
+
+    /// Increments the counter for a given kind.
+    pub fn bump(&mut self, kind: MissKind) {
+        match kind {
+            MissKind::Cold => self.cold += 1,
+            MissKind::Invalidation => self.invalidation += 1,
+            MissKind::Eviction => self.eviction += 1,
+        }
+    }
+
+    /// Total misses across all kinds.
+    pub fn total(&self) -> u64 {
+        self.cold + self.invalidation + self.eviction
+    }
+}
+
 /// Aggregated statistics for the whole hierarchy.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct HierarchyStats {
     /// Total accesses issued.
     pub accesses: u64,
@@ -77,7 +113,7 @@ pub struct HierarchyStats {
     /// Accesses satisfied by DRAM.
     pub dram_fills: u64,
     /// Per miss-kind counts (for accesses that missed the local private caches).
-    pub miss_kinds: HashMap<MissKind, u64>,
+    pub miss_kinds: MissKindCounts,
     /// Total cycles of memory latency incurred.
     pub total_latency: u64,
 }
@@ -104,7 +140,7 @@ impl HierarchyStats {
 
     /// Count for a particular miss kind.
     pub fn miss_kind(&self, kind: MissKind) -> u64 {
-        self.miss_kinds.get(&kind).copied().unwrap_or(0)
+        self.miss_kinds.get(kind)
     }
 }
 

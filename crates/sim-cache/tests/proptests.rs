@@ -1,6 +1,7 @@
 //! Property-based tests for the cache substrate.
 
 use proptest::prelude::*;
+use sim_cache::reference::RefCacheHierarchy;
 use sim_cache::{
     AccessKind, CacheGeometry, CacheHierarchy, HierarchyConfig, HitLevel, MesiState, SetAssocCache,
 };
@@ -85,6 +86,51 @@ proptest! {
             prop_assert!(out.latency >= lat.l1);
             prop_assert!(out.latency <= lat.dram + lat.upgrade);
         }
+    }
+
+    /// The optimized SoA/open-addressed hierarchy is observationally identical to the
+    /// retained reference implementation: byte-identical [`sim_cache::AccessOutcome`]
+    /// sequences and identical final statistics for any access stream.
+    #[test]
+    fn optimized_hierarchy_matches_reference(
+        accesses in proptest::collection::vec(access_strategy(4), 1..600),
+    ) {
+        let mut cfg = HierarchyConfig::small_test();
+        cfg.cores = 4;
+        let mut new_h = CacheHierarchy::new(cfg);
+        let mut ref_h = RefCacheHierarchy::new(cfg);
+        for (i, (core, addr, write)) in accesses.iter().enumerate() {
+            let kind = if *write { AccessKind::Write } else { AccessKind::Read };
+            let new_out = new_h.access(*core, *addr, kind);
+            let ref_out = ref_h.access(*core, *addr, kind);
+            prop_assert_eq!(
+                new_out, ref_out,
+                "outcome diverged at access #{} (core {}, addr {:#x}, write {})",
+                i, core, addr, write
+            );
+        }
+        prop_assert_eq!(&new_h.stats, &ref_h.stats, "aggregate stats diverged");
+        prop_assert_eq!(&new_h.per_core, &ref_h.per_core, "per-core stats diverged");
+        prop_assert!(new_h.check_coherence_invariants().is_ok());
+        prop_assert!(ref_h.check_coherence_invariants().is_ok());
+    }
+
+    /// Same equivalence on the paper-scale 16-core geometry, exercising wide sharer
+    /// masks and the batched invalidation path.
+    #[test]
+    fn optimized_matches_reference_paper_machine(
+        accesses in proptest::collection::vec(access_strategy(16), 1..300),
+    ) {
+        let cfg = HierarchyConfig::paper_machine();
+        let mut new_h = CacheHierarchy::new(cfg);
+        let mut ref_h = RefCacheHierarchy::new(cfg);
+        for (core, addr, write) in accesses {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            // Cluster addresses so cores actually contend for lines.
+            let addr = addr % 0x4000;
+            prop_assert_eq!(new_h.access(core, addr, kind), ref_h.access(core, addr, kind));
+        }
+        prop_assert_eq!(&new_h.stats, &ref_h.stats);
     }
 }
 

@@ -14,7 +14,7 @@ use crate::skbuff::{offsets as skb_off, Skb};
 use crate::sockets::{EventPoll, FutexQueue, TcpConnection, TcpListener, UdpSocket};
 use crate::types::{KernelTypes, TypeRegistry};
 use sim_cache::{AccessKind, CoreId};
-use sim_machine::{FunctionId, Machine};
+use sim_machine::{AccessReq, FunctionId, Machine};
 
 /// All kernel function symbols the simulated paths attribute their accesses to.
 ///
@@ -251,6 +251,10 @@ impl KernelState {
     }
 
     /// Copies `len` bytes at `addr` one cache line at a time, attributed to `ip`.
+    ///
+    /// The per-line operations are issued through the machine's batched
+    /// [`Machine::access_run`] API, so a payload copy pays the profiling-hardware
+    /// checks once per region instead of once per line.
     fn touch_region(
         m: &mut Machine,
         core: CoreId,
@@ -259,11 +263,22 @@ impl KernelState {
         len: u64,
         kind: AccessKind,
     ) {
+        const BATCH: usize = 32;
+        let mut reqs = [AccessReq::read(0, 1); BATCH];
         let mut off = 0;
         while off < len {
-            let chunk = 64.min(len - off);
-            m.access(core, ip, addr + off, chunk, kind);
-            off += chunk;
+            let mut n = 0;
+            while off < len && n < BATCH {
+                let chunk = 64.min(len - off);
+                reqs[n] = AccessReq {
+                    addr: addr + off,
+                    len: chunk,
+                    kind,
+                };
+                n += 1;
+                off += chunk;
+            }
+            m.access_run(core, ip, &reqs[..n]);
         }
     }
 

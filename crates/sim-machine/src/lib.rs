@@ -25,7 +25,7 @@ pub mod symbols;
 pub mod watchpoint;
 
 pub use ibs::{IbsConfig, IbsRecord, IbsUnit};
-pub use machine::{FunctionCounters, Machine, MachineConfig};
+pub use machine::{AccessReq, FunctionCounters, Machine, MachineConfig};
 pub use symbols::{FunctionId, SymbolTable};
 pub use watchpoint::{
     Watchpoint, WatchpointCosts, WatchpointError, WatchpointHit, WatchpointId, WatchpointOverhead,

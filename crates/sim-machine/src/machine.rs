@@ -72,6 +72,37 @@ pub struct FunctionCounters {
     pub l2_misses: u64,
 }
 
+/// One memory operation in a batched [`Machine::access_run`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessReq {
+    /// Byte address of the first accessed byte.
+    pub addr: u64,
+    /// Access length in bytes (non-zero; may span cache lines).
+    pub len: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl AccessReq {
+    /// A read request.
+    pub fn read(addr: u64, len: u64) -> Self {
+        AccessReq {
+            addr,
+            len,
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// A write request.
+    pub fn write(addr: u64, len: u64) -> Self {
+        AccessReq {
+            addr,
+            len,
+            kind: AccessKind::Write,
+        }
+    }
+}
+
 /// The simulated machine.
 #[derive(Debug, Clone)]
 pub struct Machine {
@@ -85,7 +116,14 @@ pub struct Machine {
     /// The debug-register watchpoint unit.
     pub watchpoints: WatchpointUnit,
     clocks: Vec<u64>,
-    fn_counters: HashMap<FunctionId, FunctionCounters>,
+    /// Per-function counters, indexed densely by [`FunctionId`] (interned ids are
+    /// small sequential integers, so this is an array index instead of a hash lookup
+    /// on every access).
+    fn_counters: Vec<FunctionCounters>,
+    /// Counters attributed to [`FunctionId::UNKNOWN`].
+    unknown_counters: FunctionCounters,
+    /// Reused outcome buffer for [`Self::access_run`].
+    run_outcomes: Vec<AccessOutcome>,
     /// Cycles charged for profiling interrupts, per core (IBS + watchpoints), so the
     /// overhead experiments can separate application time from profiling time.
     profiling_cycles: Vec<u64>,
@@ -101,10 +139,34 @@ impl Machine {
             ibs: IbsUnit::new(cores),
             watchpoints: WatchpointUnit::new(),
             clocks: vec![0; cores],
-            fn_counters: HashMap::new(),
+            fn_counters: Vec::new(),
+            unknown_counters: FunctionCounters::default(),
+            run_outcomes: Vec::new(),
             profiling_cycles: vec![0; cores],
             config,
         }
+    }
+
+    /// The mutable counter slot for a function id (dense-array fast path).
+    ///
+    /// Ids must come from this machine's symbol table ([`Self::fn_id`]) or be
+    /// [`FunctionId::UNKNOWN`]; interned ids are small sequential integers, which is
+    /// what makes the dense array safe to size by id.
+    #[inline]
+    fn counters_mut(&mut self, ip: FunctionId) -> &mut FunctionCounters {
+        if ip == FunctionId::UNKNOWN {
+            return &mut self.unknown_counters;
+        }
+        let idx = ip.0 as usize;
+        if idx >= self.fn_counters.len() {
+            assert!(
+                idx < self.symbols.len(),
+                "FunctionId({idx}) was not interned by this machine's symbol table"
+            );
+            self.fn_counters
+                .resize(idx + 1, FunctionCounters::default());
+        }
+        &mut self.fn_counters[idx]
     }
 
     /// The machine configuration.
@@ -151,7 +213,7 @@ impl Machine {
     /// `ip` in the per-function counters.
     pub fn compute(&mut self, core: CoreId, ip: FunctionId, cycles: u64) {
         self.clocks[core] += cycles;
-        self.fn_counters.entry(ip).or_default().cycles += cycles;
+        self.counters_mut(ip).cycles += cycles;
     }
 
     /// Performs a memory access of `len` bytes at `addr` on `core`, attributed to `ip`.
@@ -165,6 +227,49 @@ impl Machine {
         addr: u64,
         len: u64,
         kind: AccessKind,
+    ) -> AccessOutcome {
+        let ibs_on = self.ibs.config().enabled();
+        let wp_armed = self.watchpoints.any_armed();
+        self.access_inner(core, ip, addr, len, kind, ibs_on, wp_armed)
+    }
+
+    /// Performs a batch of memory accesses on `core`, all attributed to `ip`, returning
+    /// one outcome per request (same order).
+    ///
+    /// Semantically identical to calling [`Self::access`] once per request, but the
+    /// profiling-hardware checks ("is IBS enabled?", "is any watchpoint armed?") are
+    /// hoisted out of the loop — neither can change mid-batch — and the outcomes land
+    /// in a buffer reused across calls, so a batch performs no allocation in the steady
+    /// state.  This is the API the workload request paths drive: a payload copy becomes
+    /// one `access_run` instead of N individually-dispatched accesses.
+    pub fn access_run(
+        &mut self,
+        core: CoreId,
+        ip: FunctionId,
+        reqs: &[AccessReq],
+    ) -> &[AccessOutcome] {
+        let ibs_on = self.ibs.config().enabled();
+        let wp_armed = self.watchpoints.any_armed();
+        let mut out = std::mem::take(&mut self.run_outcomes);
+        out.clear();
+        out.reserve(reqs.len());
+        for r in reqs {
+            out.push(self.access_inner(core, ip, r.addr, r.len, r.kind, ibs_on, wp_armed));
+        }
+        self.run_outcomes = out;
+        &self.run_outcomes
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn access_inner(
+        &mut self,
+        core: CoreId,
+        ip: FunctionId,
+        addr: u64,
+        len: u64,
+        kind: AccessKind,
+        ibs_on: bool,
+        wp_armed: bool,
     ) -> AccessOutcome {
         assert!(len > 0, "zero-length access");
         let line_size = self.hierarchy.line_size() as u64;
@@ -189,7 +294,7 @@ impl Machine {
         // Charge the core and the function counters.
         let charged = total_latency + self.config.op_cost;
         self.clocks[core] += charged;
-        let counters = self.fn_counters.entry(ip).or_default();
+        let counters = self.counters_mut(ip);
         counters.cycles += charged;
         counters.accesses += 1;
         if worst.level != HitLevel::L1 {
@@ -199,15 +304,22 @@ impl Machine {
             counters.l2_misses += 1;
         }
 
-        // Profiling hardware.
-        let cycle = self.clocks[core];
-        let ibs_cost = self
-            .ibs
-            .on_access(core, ip, addr, kind, worst.level, worst.latency, cycle);
-        let wp_cost = self.watchpoints.on_access(core, ip, addr, len, kind, cycle);
-        if ibs_cost + wp_cost > 0 {
-            self.clocks[core] += ibs_cost + wp_cost;
-            self.profiling_cycles[core] += ibs_cost + wp_cost;
+        // Profiling hardware (skipped entirely when idle).
+        if ibs_on || wp_armed {
+            let cycle = self.clocks[core];
+            let mut cost = 0;
+            if ibs_on {
+                cost += self
+                    .ibs
+                    .on_access(core, ip, addr, kind, worst.level, worst.latency, cycle);
+            }
+            if wp_armed {
+                cost += self.watchpoints.on_access(core, ip, addr, len, kind, cycle);
+            }
+            if cost > 0 {
+                self.clocks[core] += cost;
+                self.profiling_cycles[core] += cost;
+            }
         }
 
         worst
@@ -253,9 +365,21 @@ impl Machine {
         self.watchpoints.disarm(id);
     }
 
-    /// The per-function counters (OProfile's raw material).
-    pub fn function_counters(&self) -> &HashMap<FunctionId, FunctionCounters> {
-        &self.fn_counters
+    /// The per-function counters (OProfile's raw material), as a map keyed by function
+    /// id.  Functions with no recorded activity are omitted.  Built on demand — the hot
+    /// path stores counters in a dense array, not a hash map.
+    pub fn function_counters(&self) -> HashMap<FunctionId, FunctionCounters> {
+        let mut map: HashMap<FunctionId, FunctionCounters> = self
+            .fn_counters
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c != FunctionCounters::default())
+            .map(|(i, c)| (FunctionId(i as u32), *c))
+            .collect();
+        if self.unknown_counters != FunctionCounters::default() {
+            map.insert(FunctionId::UNKNOWN, self.unknown_counters);
+        }
+        map
     }
 
     /// Ground-truth count of misses of a given kind observed by the hierarchy.
@@ -274,6 +398,7 @@ impl Machine {
             *p = 0;
         }
         self.fn_counters.clear();
+        self.unknown_counters = FunctionCounters::default();
         self.watchpoints.reset_overhead();
     }
 }
@@ -400,5 +525,71 @@ mod tests {
         let mut m = machine();
         let ip = m.fn_id("f");
         m.read(0, ip, 0x1000, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not interned")]
+    fn non_interned_function_id_rejected() {
+        let mut m = machine();
+        m.compute(0, FunctionId(999), 1);
+    }
+
+    #[test]
+    fn access_run_equivalent_to_sequential_accesses() {
+        // Two identical machines with IBS sampling on and a watchpoint armed: a batch
+        // must produce exactly the same outcomes, clocks, counters and profiling
+        // charges as the per-access API.
+        let build = || {
+            let mut m = machine();
+            m.configure_ibs(IbsConfig {
+                interval_ops: 3,
+                interrupt_cost: 500,
+                seed: 11,
+            });
+            m.arm_watchpoint(0, 0x2000, 8).unwrap();
+            m
+        };
+        let mut seq = build();
+        let mut bat = build();
+        let ip_seq = seq.fn_id("hot");
+        let ip_bat = bat.fn_id("hot");
+
+        let reqs: Vec<AccessReq> = (0..64u64)
+            .map(|i| {
+                let addr = 0x2000 + (i % 7) * 24;
+                if i % 3 == 0 {
+                    AccessReq::write(addr, 16)
+                } else {
+                    AccessReq::read(addr, 8)
+                }
+            })
+            .collect();
+
+        let seq_outcomes: Vec<AccessOutcome> = reqs
+            .iter()
+            .map(|r| seq.access(0, ip_seq, r.addr, r.len, r.kind))
+            .collect();
+        let bat_outcomes = bat.access_run(0, ip_bat, &reqs).to_vec();
+
+        assert_eq!(seq_outcomes, bat_outcomes);
+        assert_eq!(seq.clock(0), bat.clock(0));
+        assert_eq!(seq.profiling_cycles(0), bat.profiling_cycles(0));
+        assert_eq!(seq.function_counters(), bat.function_counters());
+        assert_eq!(seq.watchpoints.buffered(), bat.watchpoints.buffered());
+        assert_eq!(seq.ibs.samples_taken, bat.ibs.samples_taken);
+        assert!(bat.watchpoints.buffered() > 0, "watchpoint must have fired");
+    }
+
+    #[test]
+    fn access_run_reuses_outcome_buffer() {
+        let mut m = machine();
+        let ip = m.fn_id("f");
+        let reqs = [AccessReq::read(0x1000, 8), AccessReq::write(0x1040, 8)];
+        let first: Vec<AccessOutcome> = m.access_run(0, ip, &reqs).to_vec();
+        assert_eq!(first.len(), 2);
+        // Second run over the warmed lines: both hit L1.
+        let second = m.access_run(0, ip, &reqs);
+        assert_eq!(second.len(), 2);
+        assert!(second.iter().all(|o| o.level == HitLevel::L1));
     }
 }

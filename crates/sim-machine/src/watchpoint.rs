@@ -152,6 +152,14 @@ pub struct WatchpointUnit {
     costs: WatchpointCosts,
     slots: [Option<Watchpoint>; MAX_WATCHPOINTS],
     buffer: Vec<WatchpointHit>,
+    /// Armed ranges `(start, end, id)` sorted by start address, rebuilt on arm/disarm.
+    /// This is the access fast path: an empty cache means "nothing armed" without
+    /// scanning the slots, and the sorted order lets the overlap scan stop early.
+    armed_cache: Vec<(u64, u64, WatchpointId)>,
+    /// Smallest watched address (meaningful only when `armed_cache` is non-empty).
+    min_start: u64,
+    /// One past the largest watched address (meaningful only when non-empty).
+    max_end: u64,
     /// Accumulated overhead, never reset implicitly.
     pub overhead: WatchpointOverhead,
     /// Number of hits recorded over the unit's lifetime.
@@ -172,10 +180,34 @@ impl WatchpointUnit {
             costs,
             slots: [None; MAX_WATCHPOINTS],
             buffer: Vec::new(),
+            armed_cache: Vec::new(),
+            min_start: 0,
+            max_end: 0,
             overhead: WatchpointOverhead::default(),
             hits_recorded: 0,
             arms: 0,
         }
+    }
+
+    /// Rebuilds the sorted armed-range cache after an arm/disarm.
+    fn rebuild_armed_cache(&mut self) {
+        self.armed_cache.clear();
+        self.min_start = u64::MAX;
+        self.max_end = 0;
+        for wp in self.slots.iter().flatten() {
+            let end = wp.addr + wp.len;
+            self.armed_cache.push((wp.addr, end, wp.id));
+            self.min_start = self.min_start.min(wp.addr);
+            self.max_end = self.max_end.max(end);
+        }
+        self.armed_cache.sort_by_key(|&(start, _, _)| start);
+    }
+
+    /// True if at least one watchpoint is armed.  O(1); callers batching accesses can
+    /// hoist this check and skip [`Self::on_access`] entirely.
+    #[inline]
+    pub fn any_armed(&self) -> bool {
+        !self.armed_cache.is_empty()
     }
 
     /// The cost model in effect.
@@ -206,6 +238,7 @@ impl WatchpointUnit {
         self.slots[slot] = Some(Watchpoint { id, addr, len });
         self.arms += 1;
         self.overhead.communication_cycles += self.costs.setup_broadcast;
+        self.rebuild_armed_cache();
         Ok((id, self.costs.setup_broadcast))
     }
 
@@ -221,11 +254,13 @@ impl WatchpointUnit {
         if let Some(slot) = self.slots.get_mut(id.0 as usize) {
             *slot = None;
         }
+        self.rebuild_armed_cache();
     }
 
     /// Disarms everything.
     pub fn disarm_all(&mut self) {
         self.slots = [None; MAX_WATCHPOINTS];
+        self.rebuild_armed_cache();
     }
 
     /// Currently armed watchpoints.
@@ -235,6 +270,11 @@ impl WatchpointUnit {
 
     /// Notifies the unit of a memory access.  If it overlaps an armed watchpoint a hit
     /// is recorded and the interrupt cost returned (to be charged to the core).
+    ///
+    /// The common case — nothing armed, or the access outside the watched address
+    /// band — is a cached-emptiness check plus one bounds compare; only accesses that
+    /// could overlap walk the (sorted, start-ordered) range list, stopping at the first
+    /// range beyond the access.
     pub fn on_access(
         &mut self,
         core: CoreId,
@@ -244,11 +284,21 @@ impl WatchpointUnit {
         kind: AccessKind,
         cycle: u64,
     ) -> u64 {
+        if self.armed_cache.is_empty() {
+            return 0;
+        }
+        let end = addr + len;
+        if addr >= self.max_end || end <= self.min_start {
+            return 0;
+        }
         let mut charged = 0;
-        for wp in self.slots.iter().flatten() {
-            if wp.overlaps(addr, len) {
+        for &(start, stop, id) in &self.armed_cache {
+            if start >= end {
+                break; // sorted by start: no later range can overlap
+            }
+            if addr < stop {
                 self.buffer.push(WatchpointHit {
-                    wp: wp.id,
+                    wp: id,
                     core,
                     ip,
                     addr,
@@ -337,6 +387,56 @@ mod tests {
         let (i, m, c) = u.overhead.breakdown();
         assert!((i + m + c - 1.0).abs() < 1e-9);
         assert!(u.overhead.total() > 0);
+    }
+
+    #[test]
+    fn cached_scan_agrees_with_overlap_predicate() {
+        // The fast-path range walk must fire exactly where Watchpoint::overlaps says,
+        // for every access, so the two formulations cannot drift apart.
+        let mut u = WatchpointUnit::new();
+        u.arm(0x100, 8).unwrap();
+        u.arm(0x140, 4).unwrap();
+        u.arm(0x90, 2).unwrap();
+        for addr in (0x80..0x160u64).step_by(3) {
+            for len in [1u64, 4, 8, 16] {
+                let expected = u.armed().filter(|wp| wp.overlaps(addr, len)).count() as u64
+                    * u.costs().interrupt;
+                let charged = u.on_access(0, IP, addr, len, AccessKind::Read, 0);
+                assert_eq!(
+                    charged, expected,
+                    "disagreement at addr {addr:#x} len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn any_armed_tracks_arm_and_disarm() {
+        let mut u = WatchpointUnit::new();
+        assert!(!u.any_armed());
+        let (id, _) = u.arm(0x1000, 8).unwrap();
+        assert!(u.any_armed());
+        u.disarm(id);
+        assert!(!u.any_armed());
+        u.arm(0x1000, 8).unwrap();
+        u.arm(0x9000, 8).unwrap();
+        u.disarm_all();
+        assert!(!u.any_armed());
+    }
+
+    #[test]
+    fn out_of_band_accesses_take_the_bounds_fast_path() {
+        let mut u = WatchpointUnit::new();
+        u.arm(0x5000, 8).unwrap();
+        u.arm(0x6000, 4).unwrap();
+        // Below the band, above the band, and inside the band but between ranges.
+        assert_eq!(u.on_access(0, IP, 0x100, 8, AccessKind::Read, 0), 0);
+        assert_eq!(u.on_access(0, IP, 0x7000, 8, AccessKind::Read, 0), 0);
+        assert_eq!(u.on_access(0, IP, 0x5800, 8, AccessKind::Read, 0), 0);
+        assert_eq!(u.buffered(), 0);
+        // Straddling the band edge still hits.
+        assert!(u.on_access(0, IP, 0x4ffc, 8, AccessKind::Write, 0) > 0);
+        assert_eq!(u.buffered(), 1);
     }
 
     #[test]

@@ -110,7 +110,9 @@ impl Memcached {
         }
 
         // Hash lookup for a non-existent key: touch this instance's hash bucket array
-        // and burn the application cycles.
+        // and burn the application cycles.  (The request's payload copies go through
+        // the batched access API inside the kernel; this single probe stays on the
+        // one-shot path — a batch of one would only add buffer churn.)
         let bucket = self.rng.gen_range(0u64..16) * 64;
         machine.read(core, self.app_fn, self.hashtable[core] + bucket, 8);
         machine.compute(core, self.app_fn, self.config.app_cycles);
