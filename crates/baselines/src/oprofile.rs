@@ -76,7 +76,7 @@ impl OprofileReport {
     pub fn render(&self, top: usize) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        writeln!(out, "{:>8} {:>12}  {}", "% CLK", "% L2 miss", "function").unwrap();
+        writeln!(out, "{:>8} {:>12}  function", "% CLK", "% L2 miss").unwrap();
         writeln!(out, "{}", "-".repeat(60)).unwrap();
         for r in self.rows.iter().take(top) {
             writeln!(

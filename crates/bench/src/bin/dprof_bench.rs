@@ -4,7 +4,8 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p dprof-bench --bin dprof-bench -- [--quick] [--emit-json [PATH]]
+//! cargo run --release -p dprof-bench --bin dprof-bench -- \
+//!     [--quick] [--emit-json [PATH]] [--save-traces DIR | --traces DIR]
 //! ```
 //!
 //! For each workload (memcached, Apache) and core count, the tool captures the
@@ -12,24 +13,55 @@
 //! hierarchy and the optimized hierarchy, and prints accesses/second for both.  With
 //! `--emit-json` the results are also written as a `dprof-bench-throughput/v1` document
 //! (default path `BENCH_throughput.json`), which CI validates on every PR.
+//!
+//! Trace reuse: `--save-traces DIR` writes each captured workload stream as an
+//! access-only `.dtrace` file (named `<workload>_<cores>c.dtrace`) and measures from
+//! it; `--traces DIR` skips capture entirely and replays those files, so successive
+//! bench runs measure the *identical* access stream instead of re-simulating the
+//! workload each time.
 
-use dprof_bench::throughput::{measure_point, render_json, render_table, TraceWorkload};
+use dprof_bench::throughput::{
+    capture_trace_file, measure_point, measure_point_from_trace, render_json, render_table,
+    trace_file_name, trace_io, TraceWorkload,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let mut emit_json: Option<String> = None;
+    let mut traces_dir: Option<String> = None;
+    let mut save_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--emit-json" {
-            let path = args
-                .get(i + 1)
-                .filter(|a| !a.starts_with("--"))
-                .cloned()
-                .unwrap_or_else(|| "BENCH_throughput.json".to_string());
-            emit_json = Some(path);
+        match args[i].as_str() {
+            "--emit-json" => {
+                let path = args
+                    .get(i + 1)
+                    .filter(|a| !a.starts_with("--"))
+                    .cloned()
+                    .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+                emit_json = Some(path);
+            }
+            "--traces" => {
+                traces_dir = args.get(i + 1).filter(|a| !a.starts_with("--")).cloned();
+                if traces_dir.is_none() {
+                    eprintln!("--traces requires a directory");
+                    std::process::exit(2);
+                }
+            }
+            "--save-traces" => {
+                save_dir = args.get(i + 1).filter(|a| !a.starts_with("--")).cloned();
+                if save_dir.is_none() {
+                    eprintln!("--save-traces requires a directory");
+                    std::process::exit(2);
+                }
+            }
+            _ => {}
         }
         i += 1;
+    }
+    if let Some(dir) = &save_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {dir}: {e}"));
     }
 
     // Quick mode keeps the CI smoke job fast; paper mode measures the trajectory on
@@ -48,7 +80,23 @@ fn main() {
     let mut points = Vec::new();
     for which in [TraceWorkload::Memcached, TraceWorkload::Apache] {
         for &cores in &core_counts {
-            let p = measure_point(which, cores, rounds);
+            let p = if let Some(dir) = &traces_dir {
+                // Replay a previously saved capture instead of re-running the workload.
+                let path = format!("{dir}/{}", trace_file_name(which, cores));
+                let file = trace_io::File::read(&path).unwrap_or_else(|e| {
+                    panic!("{e}; run with --save-traces {dir} first to capture the set")
+                });
+                let trace = trace_io::to_line_events(&file);
+                measure_point_from_trace(which.name(), cores, &trace)
+            } else if let Some(dir) = &save_dir {
+                let file = capture_trace_file(which, cores, rounds);
+                let path = format!("{dir}/{}", trace_file_name(which, cores));
+                file.write(&path).unwrap_or_else(|e| panic!("{e}"));
+                let trace = trace_io::to_line_events(&file);
+                measure_point_from_trace(which.name(), cores, &trace)
+            } else {
+                measure_point(which, cores, rounds)
+            };
             println!(
                 "  {:<10} {:>2} cores: {:>12.0} -> {:>12.0} accesses/s ({:.2}x)",
                 p.workload, p.cores, p.reference_aps, p.optimized_aps, p.speedup

@@ -121,11 +121,90 @@ pub fn replay_reference(config: &HierarchyConfig, trace: &[TraceEvent]) -> (f64,
     })
 }
 
-/// Measures one throughput point: captures the workload trace, replays it through both
-/// implementations ([`REPS`] fresh runs each, best kept), and cross-checks that both
-/// produced identical latency checksums.
-pub fn measure_point(which: TraceWorkload, cores: usize, rounds: usize) -> ThroughputPoint {
+/// The canonical `.dtrace` file name of a bench capture inside a trace directory.
+pub fn trace_file_name(which: TraceWorkload, cores: usize) -> String {
+    format!("{}_{}c.dtrace", which.name(), cores)
+}
+
+/// Captures a workload's access trace and wraps it as an access-only `.dtrace` file,
+/// so later bench runs can replay the identical stream instead of re-capturing (and
+/// so regressions are measured against a *fixed* workload, not a re-simulated one).
+pub fn capture_trace_file(which: TraceWorkload, cores: usize, rounds: usize) -> trace_io::File {
     let trace = capture_trace(which, cores, rounds);
+    trace_io::from_line_events(which, cores, rounds, &trace)
+}
+
+/// Helpers converting between the hierarchy-level line streams the replay loops
+/// consume and the access-only `.dtrace` container.
+pub mod trace_io {
+    use super::TraceWorkload;
+    use dprof_trace::line::session_to_line_events;
+    use dprof_trace::{SessionParams, ThreadStream, TraceFile, TraceKind};
+    use sim_cache::TraceEvent;
+    use sim_machine::{FunctionId, SessionEvent};
+
+    /// Re-export so callers need not depend on `dprof-trace` directly.
+    pub use dprof_trace::TraceFile as File;
+
+    /// Wraps a per-line access stream as an access-only trace file.
+    pub fn from_line_events(
+        which: TraceWorkload,
+        cores: usize,
+        rounds: usize,
+        trace: &[TraceEvent],
+    ) -> TraceFile {
+        let events: Vec<SessionEvent> = trace
+            .iter()
+            .map(|ev| SessionEvent::Access {
+                core: ev.core,
+                ip: FunctionId::UNKNOWN,
+                addr: ev.addr,
+                // Per-line events are already split; length 1 keeps the lowering 1:1.
+                len: 1,
+                kind: ev.kind,
+            })
+            .collect();
+        TraceFile {
+            kind: TraceKind::AccessOnly,
+            machine: sim_machine::MachineConfig::with_cores(cores),
+            params: SessionParams {
+                workload: which.name().to_string(),
+                threads: 1,
+                cores,
+                warmup_rounds: 0,
+                sample_rounds: rounds,
+                ibs_interval_ops: 0,
+                history_types: 0,
+                history_sets: 0,
+                base_seed: 0,
+            },
+            streams: vec![ThreadStream {
+                seed: 0,
+                requests: 0,
+                symbols: Vec::new(),
+                types: Vec::new(),
+                events,
+            }],
+        }
+    }
+
+    /// Extracts the per-line access stream from a trace file (either kind: a
+    /// full-session trace lowers its spanning accesses at line boundaries).
+    pub fn to_line_events(file: &TraceFile) -> Vec<TraceEvent> {
+        let line_size = file.machine.hierarchy.l1.line_size as u64;
+        file.streams
+            .iter()
+            .flat_map(|s| session_to_line_events(&s.events, line_size))
+            .collect()
+    }
+}
+
+/// Measures one throughput point from an already-captured trace.
+pub fn measure_point_from_trace(
+    workload_name: &str,
+    cores: usize,
+    trace: &[TraceEvent],
+) -> ThroughputPoint {
     let config = HierarchyConfig::with_cores(cores);
 
     let mut best_ref = f64::INFINITY;
@@ -133,31 +212,37 @@ pub fn measure_point(which: TraceWorkload, cores: usize, rounds: usize) -> Throu
     let mut ref_sum = 0;
     let mut opt_sum = 0;
     for _ in 0..REPS {
-        let (t, s) = replay_reference(&config, &trace);
+        let (t, s) = replay_reference(&config, trace);
         best_ref = best_ref.min(t);
         ref_sum = s;
-        let (t, s) = replay_optimized(&config, &trace);
+        let (t, s) = replay_optimized(&config, trace);
         best_opt = best_opt.min(t);
         opt_sum = s;
     }
     assert_eq!(
-        ref_sum,
-        opt_sum,
-        "reference and optimized hierarchies diverged on the {} trace",
-        which.name()
+        ref_sum, opt_sum,
+        "reference and optimized hierarchies diverged on the {workload_name} trace"
     );
 
     let n = trace.len() as f64;
     let reference_aps = n / best_ref.max(1e-12);
     let optimized_aps = n / best_opt.max(1e-12);
     ThroughputPoint {
-        workload: which.name().to_string(),
+        workload: workload_name.to_string(),
         cores,
         trace_len: trace.len(),
         reference_aps,
         optimized_aps,
         speedup: optimized_aps / reference_aps.max(1e-12),
     }
+}
+
+/// Measures one throughput point: captures the workload trace, replays it through both
+/// implementations ([`REPS`] fresh runs each, best kept), and cross-checks that both
+/// produced identical latency checksums.
+pub fn measure_point(which: TraceWorkload, cores: usize, rounds: usize) -> ThroughputPoint {
+    let trace = capture_trace(which, cores, rounds);
+    measure_point_from_trace(which.name(), cores, &trace)
 }
 
 /// Renders the points as the `BENCH_throughput.json` document (`dprof-bench-throughput/v1`).
@@ -210,6 +295,21 @@ mod tests {
         let trace = capture_trace(TraceWorkload::Memcached, 2, 3);
         assert!(!trace.is_empty());
         assert!(trace.iter().all(|e| (e.core as usize) < 2));
+    }
+
+    #[test]
+    fn trace_file_round_trip_preserves_the_line_stream() {
+        let trace = capture_trace(TraceWorkload::Memcached, 2, 3);
+        let file = trace_io::from_line_events(TraceWorkload::Memcached, 2, 3, &trace);
+        let decoded = trace_io::File::decode(&file.encode()).expect("bench trace decodes");
+        let back = trace_io::to_line_events(&decoded);
+        assert_eq!(
+            back, trace,
+            "dtrace round trip must preserve the line stream"
+        );
+        let p = measure_point_from_trace("memcached", 2, &back);
+        assert_eq!(p.trace_len, trace.len());
+        assert!(p.reference_aps > 0.0 && p.optimized_aps > 0.0);
     }
 
     #[test]

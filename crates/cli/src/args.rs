@@ -66,13 +66,32 @@ pub struct Options {
     pub top: usize,
     /// Write the report here instead of stdout.
     pub output: Option<String>,
+    /// `dprof record`: also write the recorded session trace to this `.dtrace` path.
+    pub trace_out: Option<String>,
+}
+
+/// Options of a `dprof replay` invocation.
+#[derive(Debug, Clone)]
+pub struct ReplayOptions {
+    /// The `.dtrace` file to replay.
+    pub input: String,
+    /// Which views to include in the report, in report order.
+    pub views: Vec<View>,
+    /// Output format.
+    pub format: Format,
+    /// Maximum rows per table.
+    pub top: usize,
+    /// Write the report here instead of stdout.
+    pub output: Option<String>,
 }
 
 /// Result of parsing a command line.
 #[derive(Debug, Clone)]
 pub enum Parsed {
-    /// Run a profile with these options.
+    /// Run a profile with these options (`dprof` / `dprof run` / `dprof record`).
     Run(Options),
+    /// Replay a recorded trace (`dprof replay`).
+    Replay(ReplayOptions),
     /// `--help` was requested.
     Help,
     /// `--version` was requested.
@@ -85,7 +104,15 @@ dprof — data-centric cache profiling of a simulated multicore kernel
 (reproduction of DProf, EuroSys 2010)
 
 USAGE:
-    dprof [OPTIONS]
+    dprof [run] [OPTIONS]         profile a workload live
+    dprof record [OPTIONS]        profile AND capture a replayable .dtrace session
+    dprof replay <FILE> [OPTIONS] re-profile a recorded session (no workload runs;
+                                  the report is byte-identical to the recorded run's)
+
+RECORD/REPLAY:
+        --trace <PATH>        (record) session trace output   [default: dprof.dtrace]
+    replay accepts only the REPORT options below; the workload, machine and sampling
+    parameters are read from the trace header.
 
 WORKLOAD:
     -w, --workload <NAME>     memcached | apache | custom        [default: memcached]
@@ -118,6 +145,8 @@ EXAMPLES:
     dprof --workload memcached --threads 4 --format json
     dprof -w apache --apache-load drop-off -v working-set
     dprof -w custom -v data-profile -v miss-classification --top 5
+    dprof record -w memcached --trace session.dtrace -f json -o live.json
+    dprof replay session.dtrace -f json -o replayed.json   # byte-identical to live.json
 ";
 
 fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
@@ -157,25 +186,96 @@ fn push_unique(views: &mut Vec<View>, view: View) {
     }
 }
 
+fn take_value(
+    iter: &mut std::iter::Peekable<std::slice::Iter<String>>,
+    flag: &str,
+) -> Result<String, String> {
+    iter.next()
+        .map(|s| s.to_string())
+        .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn parse_format(value: &str) -> Result<Format, String> {
+    match value {
+        "text" => Ok(Format::Text),
+        "json" => Ok(Format::Json),
+        other => Err(format!("unknown format '{other}' (expected text or json)")),
+    }
+}
+
 /// Parses a command line (without the program name).
+///
+/// The first argument may be a subcommand: `run` (the default), `record` (run plus
+/// `.dtrace` capture) or `replay` (re-profile a recorded trace).
 pub fn parse(args: &[String]) -> Result<Parsed, String> {
+    match args.first().map(String::as_str) {
+        Some("replay") => parse_replay(&args[1..]),
+        Some("record") => {
+            let parsed = parse_run(&args[1..])?;
+            if let Parsed::Run(mut options) = parsed {
+                options.run.record_session = true;
+                options
+                    .trace_out
+                    .get_or_insert_with(|| "dprof.dtrace".to_string());
+                Ok(Parsed::Run(options))
+            } else {
+                Ok(parsed)
+            }
+        }
+        Some("run") => parse_run(&args[1..]),
+        _ => parse_run(args),
+    }
+}
+
+/// Parses the flags of a `dprof replay` invocation.
+fn parse_replay(args: &[String]) -> Result<Parsed, String> {
+    let mut input: Option<String> = None;
+    let mut views: Vec<View> = Vec::new();
+    let mut format = Format::Text;
+    let mut top = 8usize;
+    let mut output: Option<String> = None;
+
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(Parsed::Help),
+            "-V" | "--version" => return Ok(Parsed::Version),
+            "-v" | "--view" => parse_views(&take_value(&mut iter, arg)?, &mut views)?,
+            "-f" | "--format" => format = parse_format(&take_value(&mut iter, arg)?)?,
+            "--top" => top = parse_num(arg, &take_value(&mut iter, arg)?)?,
+            "-o" | "--output" => output = Some(take_value(&mut iter, arg)?),
+            other if !other.starts_with('-') && input.is_none() => input = Some(other.to_string()),
+            other => return Err(format!("unknown replay argument '{other}' (try --help)")),
+        }
+    }
+    if views.is_empty() {
+        views = View::ALL.to_vec();
+    }
+    if top == 0 {
+        return Err("--top must be at least 1".into());
+    }
+    let input = input.ok_or("replay requires a .dtrace file argument")?;
+    Ok(Parsed::Replay(ReplayOptions {
+        input,
+        views,
+        format,
+        top,
+        output,
+    }))
+}
+
+/// Parses the flags shared by `dprof run` and `dprof record`.
+fn parse_run(args: &[String]) -> Result<Parsed, String> {
     let mut options = Options {
         run: RunOptions::default(),
         views: Vec::new(),
         format: Format::Text,
         top: 8,
         output: None,
+        trace_out: None,
     };
 
     let mut iter = args.iter().peekable();
-    let take_value = |iter: &mut std::iter::Peekable<std::slice::Iter<String>>,
-                      flag: &str|
-     -> Result<String, String> {
-        iter.next()
-            .map(|s| s.to_string())
-            .ok_or_else(|| format!("{flag} requires a value"))
-    };
-
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "-h" | "--help" => return Ok(Parsed::Help),
@@ -236,18 +336,10 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
             }
             "--seed" => options.run.base_seed = parse_num(arg, &take_value(&mut iter, arg)?)?,
             "-v" | "--view" => parse_views(&take_value(&mut iter, arg)?, &mut options.views)?,
-            "-f" | "--format" => {
-                let v = take_value(&mut iter, arg)?;
-                options.format = match v.as_str() {
-                    "text" => Format::Text,
-                    "json" => Format::Json,
-                    other => {
-                        return Err(format!("unknown format '{other}' (expected text or json)"))
-                    }
-                };
-            }
+            "-f" | "--format" => options.format = parse_format(&take_value(&mut iter, arg)?)?,
             "--top" => options.top = parse_num(arg, &take_value(&mut iter, arg)?)?,
             "-o" | "--output" => options.output = Some(take_value(&mut iter, arg)?),
+            "--trace" => options.trace_out = Some(take_value(&mut iter, arg)?),
             other => return Err(format!("unknown argument '{other}' (try --help)")),
         }
     }
@@ -277,6 +369,10 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
     }
     if options.top == 0 {
         return Err("--top must be at least 1".into());
+    }
+    // `--trace` implies recording even without the `record` subcommand spelling.
+    if options.trace_out.is_some() {
+        options.run.record_session = true;
     }
     Ok(Parsed::Run(options))
 }
@@ -335,6 +431,59 @@ mod tests {
         assert!(parse(&args("--ibs-interval 0")).is_err());
         assert!(parse(&args("--threads")).is_err());
         assert!(parse(&args("-v everything")).is_err());
+    }
+
+    #[test]
+    fn record_subcommand_enables_recording_with_default_path() {
+        let Parsed::Run(o) = parse(&args("record -w memcached --threads 2")).unwrap() else {
+            panic!("expected run")
+        };
+        assert!(o.run.record_session);
+        assert_eq!(o.trace_out.as_deref(), Some("dprof.dtrace"));
+        // Explicit path wins; bare --trace implies recording too.
+        let Parsed::Run(o) = parse(&args("--trace s.dtrace")).unwrap() else {
+            panic!("expected run")
+        };
+        assert!(o.run.record_session);
+        assert_eq!(o.trace_out.as_deref(), Some("s.dtrace"));
+        // Plain runs record nothing.
+        let Parsed::Run(o) = parse(&args("run -w apache")).unwrap() else {
+            panic!("expected run")
+        };
+        assert!(!o.run.record_session);
+        assert!(o.trace_out.is_none());
+    }
+
+    #[test]
+    fn replay_subcommand_parses_file_and_report_flags() {
+        let Parsed::Replay(r) = parse(&args(
+            "replay session.dtrace -f json -v working-set --top 5 -o out.json",
+        ))
+        .unwrap() else {
+            panic!("expected replay")
+        };
+        assert_eq!(r.input, "session.dtrace");
+        assert_eq!(r.format, Format::Json);
+        assert_eq!(r.views, vec![View::WorkingSet]);
+        assert_eq!(r.top, 5);
+        assert_eq!(r.output.as_deref(), Some("out.json"));
+        // Defaults: all views, text format.
+        let Parsed::Replay(r) = parse(&args("replay x.dtrace")).unwrap() else {
+            panic!("expected replay")
+        };
+        assert_eq!(r.views, View::ALL.to_vec());
+        assert_eq!(r.format, Format::Text);
+    }
+
+    #[test]
+    fn replay_rejects_missing_file_and_run_flags() {
+        assert!(parse(&args("replay")).is_err());
+        assert!(parse(&args("replay x.dtrace --workload memcached")).is_err());
+        assert!(parse(&args("replay x.dtrace --top 0")).is_err());
+        assert!(matches!(
+            parse(&args("replay --help")).unwrap(),
+            Parsed::Help
+        ));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use dprof::core::{Dprof, DprofConfig, DprofProfile};
 use dprof::kernel::{KernelConfig, KernelState, TxQueuePolicy, TypeId};
 use dprof::machine::{AccessReq, Machine, MachineConfig};
+use dprof::trace::{FieldDump, RecordedStream, ThreadStream, TypeDump};
 use dprof::workloads::{Apache, ApacheConfig, Memcached, MemcachedConfig, Workload};
 use std::collections::HashMap;
 
@@ -84,6 +85,8 @@ pub struct RunOptions {
     pub apache_load: ApacheLoad,
     /// Base RNG seed; thread i uses `base_seed + i`.
     pub base_seed: u64,
+    /// Record the full session event stream of every thread (for `dprof record`).
+    pub record_session: bool,
 }
 
 impl Default for RunOptions {
@@ -100,6 +103,7 @@ impl Default for RunOptions {
             tx_policy: TxPolicyChoice::Hash,
             apache_load: ApacheLoad::DropOff,
             base_seed: 3471,
+            record_session: false,
         }
     }
 }
@@ -123,6 +127,8 @@ pub struct ThreadRun {
     pub total_cycles: u64,
     /// Fraction of profiled-window cycles spent in profiling interrupts.
     pub profiling_fraction: f64,
+    /// The recorded session stream, when [`RunOptions::record_session`] was on.
+    pub recorded: Option<RecordedStream>,
 }
 
 impl ThreadRun {
@@ -186,7 +192,7 @@ impl Workload for FalseSharing {
 
     fn step(&mut self, machine: &mut Machine, kernel: &mut KernelState) {
         self.rounds += 1;
-        if self.rounds % Self::REALLOC_PERIOD == 0 {
+        if self.rounds.is_multiple_of(Self::REALLOC_PERIOD) {
             // Periodically recycle the stats block (as a real subsystem would on
             // reconfiguration) so object access histories can be collected for it.
             kernel.allocator.free(machine, 0, self.stats_addr);
@@ -237,6 +243,7 @@ fn build_workload(options: &RunOptions, seed: u64) -> (Machine, KernelState, Box
                     TxPolicyChoice::Local => TxQueuePolicy::LocalQueue,
                 },
                 seed,
+                record_session: options.record_session,
                 ..Default::default()
             };
             let (machine, kernel, workload) = Memcached::setup(config);
@@ -249,11 +256,15 @@ fn build_workload(options: &RunOptions, seed: u64) -> (Machine, KernelState, Box
                 ApacheLoad::AdmissionControl => ApacheConfig::admission_control(),
             };
             config.cores = options.cores;
+            config.record_session = options.record_session;
             let (machine, kernel, workload) = Apache::setup(config);
             (machine, kernel, Box::new(workload))
         }
         WorkloadKind::Custom => {
             let mut machine = Machine::new(MachineConfig::with_cores(options.cores));
+            if options.record_session {
+                machine.start_session_recording();
+            }
             let mut kernel = KernelState::new(
                 &mut machine,
                 KernelConfig {
@@ -272,11 +283,15 @@ fn build_workload(options: &RunOptions, seed: u64) -> (Machine, KernelState, Box
 pub fn run_single(options: &RunOptions, thread: usize) -> ThreadRun {
     let seed = options.base_seed.wrapping_add(thread as u64);
     let (mut machine, mut kernel, mut workload) = build_workload(options, seed);
+    // When recording, mark the setup/warmup/profiling round boundaries the replay
+    // driver steps through (no-ops otherwise).
+    machine.mark_session_round();
 
     // Phase-shift each thread so even seedless workloads (Apache) produce distinct
     // sample streams.
     for _ in 0..options.warmup_rounds + thread {
         workload.step(&mut machine, &mut kernel);
+        machine.mark_session_round();
     }
     // Snapshot counters after warmup, so the reported throughput/overhead cover only
     // the profiled window.  (We deliberately do not `reset_measurement()`: that would
@@ -286,14 +301,22 @@ pub fn run_single(options: &RunOptions, thread: usize) -> ThreadRun {
     let cycles_before: u64 = (0..machine.cores()).map(|c| machine.clock(c)).sum();
     let profiling_before = machine.total_profiling_cycles();
 
-    let mut config = DprofConfig::default();
-    config.ibs_interval_ops = options.ibs_interval_ops;
-    config.sample_rounds = options.sample_rounds;
-    config.history_types = options.history_types;
-    config.history.history_sets = options.history_sets;
-    config.history.seed = seed;
+    let config = DprofConfig {
+        ibs_interval_ops: options.ibs_interval_ops,
+        sample_rounds: options.sample_rounds,
+        history_types: options.history_types,
+        history: dprof::core::HistoryConfig {
+            history_sets: options.history_sets,
+            seed,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
 
-    let profile = Dprof::new(config).run(&mut machine, &mut kernel, |m, k| workload.step(m, k));
+    let profile = Dprof::new(config).run(&mut machine, &mut kernel, |m, k| {
+        workload.step(m, k);
+        m.mark_session_round();
+    });
 
     let mut type_names: HashMap<TypeId, String> = profile
         .data_profile
@@ -310,6 +333,43 @@ pub fn run_single(options: &RunOptions, thread: usize) -> ThreadRun {
     let total_cycles: u64 =
         (0..machine.cores()).map(|c| machine.clock(c)).sum::<u64>() - cycles_before;
     let profiling = machine.total_profiling_cycles() - profiling_before;
+
+    let recorded = if options.record_session {
+        Some(RecordedStream {
+            machine: *machine.config(),
+            stream: ThreadStream {
+                seed,
+                requests,
+                symbols: machine
+                    .symbols
+                    .iter()
+                    .map(|(_, name)| name.to_string())
+                    .collect(),
+                types: kernel
+                    .types
+                    .iter()
+                    .map(|t| TypeDump {
+                        name: t.name.clone(),
+                        description: t.description.clone(),
+                        size: t.size,
+                        fields: t
+                            .fields
+                            .iter()
+                            .map(|f| FieldDump {
+                                name: f.name.clone(),
+                                offset: f.offset,
+                                size: f.size,
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+                events: machine.take_session_events(),
+            },
+        })
+    } else {
+        None
+    };
+
     ThreadRun {
         thread,
         seed,
@@ -323,6 +383,7 @@ pub fn run_single(options: &RunOptions, thread: usize) -> ThreadRun {
         } else {
             profiling as f64 / total_cycles as f64
         },
+        recorded,
     }
 }
 

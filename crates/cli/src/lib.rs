@@ -42,10 +42,11 @@ pub fn run(args: &[String]) -> i32 {
             println!("dprof {VERSION}");
             return 0;
         }
+        Ok(Parsed::Replay(options)) => return run_replay(&options),
         Ok(Parsed::Run(options)) => options,
         Err(message) => {
             eprintln!("error: {message}");
-            eprintln!("usage: dprof [OPTIONS] (try --help)");
+            eprintln!("usage: dprof [run|record|replay] [OPTIONS] (try --help)");
             return 2;
         }
     };
@@ -58,13 +59,35 @@ pub fn run(args: &[String]) -> i32 {
         options.run.sample_rounds
     );
 
-    let runs = match driver::run_parallel(&options.run) {
+    let mut runs = match driver::run_parallel(&options.run) {
         Ok(runs) => runs,
         Err(message) => {
             eprintln!("error: {message}");
             return 1;
         }
     };
+
+    // `dprof record`: persist the session trace before rendering the report.
+    if let Some(trace_path) = &options.trace_out {
+        match build_trace_file(&options, &mut runs) {
+            Some(file) => {
+                if let Err(message) = file.write(trace_path) {
+                    eprintln!("error: {message}");
+                    return 1;
+                }
+                let events: usize = file.streams.iter().map(|s| s.events.len()).sum();
+                eprintln!(
+                    "session trace written to {trace_path} ({} stream(s), {events} events)",
+                    file.streams.len()
+                );
+            }
+            None => {
+                eprintln!("error: recording produced no session streams");
+                return 1;
+            }
+        }
+    }
+
     let report = merge::merge(&runs);
 
     let missing_flows = report.data_flows.is_empty()
@@ -78,7 +101,11 @@ pub fn run(args: &[String]) -> i32 {
     }
 
     let rendered = render::render(&report, &options);
-    match &options.output {
+    emit(&rendered, &options.output)
+}
+
+fn emit(rendered: &str, output: &Option<String>) -> i32 {
+    match output {
         None => {
             print!("{rendered}");
             0
@@ -94,4 +121,126 @@ pub fn run(args: &[String]) -> i32 {
             }
         },
     }
+}
+
+/// Assembles the `.dtrace` file from a recorded multi-thread run, taking the streams
+/// by move — they can hold millions of events per thread, and nothing after the trace
+/// write needs them.
+fn build_trace_file(
+    options: &args::Options,
+    runs: &mut [driver::ThreadRun],
+) -> Option<dprof::trace::TraceFile> {
+    let machine = runs.first()?.recorded.as_ref()?.machine;
+    let streams: Vec<dprof::trace::ThreadStream> = runs
+        .iter_mut()
+        .filter_map(|r| r.recorded.take().map(|rec| rec.stream))
+        .collect();
+    if streams.len() != runs.len() {
+        return None;
+    }
+    Some(dprof::trace::TraceFile {
+        kind: dprof::trace::TraceKind::FullSession,
+        machine,
+        params: dprof::trace::SessionParams {
+            workload: options.run.workload.name().to_string(),
+            threads: options.run.threads,
+            cores: options.run.cores,
+            warmup_rounds: options.run.warmup_rounds,
+            sample_rounds: options.run.sample_rounds,
+            ibs_interval_ops: options.run.ibs_interval_ops,
+            history_types: options.run.history_types,
+            history_sets: options.run.history_sets,
+            base_seed: options.run.base_seed,
+        },
+        streams,
+    })
+}
+
+/// `dprof replay`: re-profiles a recorded session and renders the report.  The run
+/// parameters come from the trace header, so the emitted report is byte-identical to
+/// the recorded run's (given the same report options).
+fn run_replay(options: &args::ReplayOptions) -> i32 {
+    let file = match dprof::trace::TraceFile::read(&options.input) {
+        Ok(file) => file,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return 1;
+        }
+    };
+    eprintln!(
+        "replaying {} ({} workload, {} stream(s), {} events)...",
+        options.input,
+        file.params.workload,
+        file.streams.len(),
+        file.streams.iter().map(|s| s.events.len()).sum::<usize>()
+    );
+
+    let replays = match dprof::trace::replay_all(&file) {
+        Ok(replays) => replays,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return 1;
+        }
+    };
+    for r in &replays {
+        if r.trailing_events > 0 {
+            eprintln!(
+                "warning: stream {} diverged from the recording ({} trailing event(s)); \
+                 the trace was probably produced by a different build",
+                r.thread, r.trailing_events
+            );
+        }
+    }
+
+    let runs: Vec<driver::ThreadRun> = replays
+        .into_iter()
+        .map(|r| driver::ThreadRun {
+            thread: r.thread,
+            seed: r.seed,
+            profile: r.profile,
+            type_names: r.type_names,
+            requests: r.requests,
+            elapsed_seconds: r.elapsed_seconds,
+            total_cycles: r.total_cycles,
+            profiling_fraction: r.profiling_fraction,
+            recorded: None,
+        })
+        .collect();
+    let report = merge::merge(&runs);
+
+    // Rebuild the options the recorded run rendered with, so the `run` section of the
+    // report (and the text header) match the live output byte-for-byte.
+    let workload = match file.params.workload.as_str() {
+        "memcached" => driver::WorkloadKind::Memcached,
+        "apache" => driver::WorkloadKind::Apache,
+        "custom" => driver::WorkloadKind::Custom,
+        other => {
+            eprintln!(
+                "warning: trace header names unknown workload '{other}'; the report's run \
+                 section will say 'memcached'"
+            );
+            driver::WorkloadKind::Memcached
+        }
+    };
+    let render_options = args::Options {
+        run: driver::RunOptions {
+            workload,
+            threads: file.streams.len(),
+            cores: file.params.cores,
+            warmup_rounds: file.params.warmup_rounds,
+            sample_rounds: file.params.sample_rounds,
+            ibs_interval_ops: file.params.ibs_interval_ops,
+            history_types: file.params.history_types,
+            history_sets: file.params.history_sets,
+            base_seed: file.params.base_seed,
+            ..Default::default()
+        },
+        views: options.views.clone(),
+        format: options.format,
+        top: options.top,
+        output: options.output.clone(),
+        trace_out: None,
+    };
+    let rendered = render::render(&report, &render_options);
+    emit(&rendered, &options.output)
 }

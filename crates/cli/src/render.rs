@@ -77,8 +77,8 @@ fn text_miss_classification(out: &mut String, report: &MergedReport, top: usize)
     writeln!(out, "\n=== Miss classification ===").unwrap();
     writeln!(
         out,
-        "{:<16} {:>10} {:>14} {:>10} {:>10}  {}",
-        "Type name", "Misses", "Invalidation", "Conflict", "Capacity", "Dominant"
+        "{:<16} {:>10} {:>14} {:>10} {:>10}  Dominant",
+        "Type name", "Misses", "Invalidation", "Conflict", "Capacity"
     )
     .unwrap();
     writeln!(out, "{}", "-".repeat(78)).unwrap();
@@ -385,6 +385,7 @@ mod tests {
             format: Format::Json,
             top: 8,
             output: None,
+            trace_out: None,
         }
     }
 

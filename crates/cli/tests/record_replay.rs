@@ -1,0 +1,109 @@
+//! Record/replay determinism through the real CLI surface.
+//!
+//! Two layers of enforcement:
+//!
+//! 1. A fresh `dprof record` → `dprof replay` round trip must produce byte-identical
+//!    JSON reports (the tentpole acceptance criterion).
+//! 2. The checked-in golden traces under `tests/golden/` must replay to byte-identical
+//!    copies of their committed golden reports — the same gate the CI determinism job
+//!    applies, enforced locally on every `cargo test`.
+
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn tmp(name: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dprof-cli-test-{}-{name}", std::process::id()));
+    p.to_string_lossy().into_owned()
+}
+
+fn run(args: &[&str]) -> i32 {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    dprof_cli::run(&args)
+}
+
+#[test]
+fn fresh_record_then_replay_is_byte_identical() {
+    let trace = tmp("fresh.dtrace");
+    let live = tmp("fresh-live.json");
+    let replayed = tmp("fresh-replayed.json");
+
+    assert_eq!(
+        run(&[
+            "record",
+            "-w",
+            "memcached",
+            "--cores",
+            "2",
+            "--threads",
+            "2",
+            "--warmup",
+            "3",
+            "--rounds",
+            "15",
+            "--history-types",
+            "1",
+            "--history-sets",
+            "1",
+            "--trace",
+            &trace,
+            "-f",
+            "json",
+            "-o",
+            &live,
+        ]),
+        0,
+        "record must succeed"
+    );
+    assert_eq!(run(&["replay", &trace, "-f", "json", "-o", &replayed]), 0);
+
+    let live_bytes = std::fs::read(&live).expect("live report exists");
+    let replayed_bytes = std::fs::read(&replayed).expect("replayed report exists");
+    assert!(
+        live_bytes == replayed_bytes,
+        "replayed report differs from the live report"
+    );
+
+    for p in [trace, live, replayed] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn golden_traces_replay_to_their_committed_reports() {
+    for name in ["memcached_quick", "false_sharing_quick"] {
+        let trace = golden_dir().join(format!("{name}.dtrace"));
+        let golden = golden_dir().join(format!("{name}.report.json"));
+        let out = tmp(&format!("{name}.json"));
+        assert_eq!(
+            run(&["replay", trace.to_str().unwrap(), "-f", "json", "-o", &out]),
+            0,
+            "replay of {name} must succeed"
+        );
+        let expected = std::fs::read(&golden).expect("golden report exists");
+        let got = std::fs::read(&out).expect("replayed report exists");
+        assert!(
+            expected == got,
+            "{name}: replayed report is not byte-identical to the committed golden report; \
+             if the profiler/simulator changed intentionally, regenerate tests/golden/ with \
+             `dprof record` (see README)"
+        );
+        let _ = std::fs::remove_file(out);
+    }
+}
+
+#[test]
+fn replay_rejects_garbage_and_missing_files() {
+    let bogus = tmp("bogus.dtrace");
+    std::fs::write(&bogus, b"definitely not a trace").unwrap();
+    assert_ne!(run(&["replay", &bogus]), 0, "bad magic must fail");
+    assert_ne!(
+        run(&["replay", "/nonexistent/nope.dtrace"]),
+        0,
+        "missing file must fail"
+    );
+    let _ = std::fs::remove_file(bogus);
+}

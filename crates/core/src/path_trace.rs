@@ -162,7 +162,17 @@ pub fn build_path_traces(
             }
         })
         .collect();
-    traces.sort_by_key(|t| std::cmp::Reverse(t.frequency));
+    // Equal-frequency paths tie-break on the execution path itself: the group map's
+    // iteration order is not stable across processes, and the trace order feeds the
+    // data-flow graph's node numbering (and therefore the rendered report).
+    traces.sort_by(|a, b| {
+        b.frequency.cmp(&a.frequency).then_with(|| {
+            a.entries
+                .iter()
+                .map(|e| (e.ip, e.cpu_change))
+                .cmp(b.entries.iter().map(|e| (e.ip, e.cpu_change)))
+        })
+    });
     traces
 }
 

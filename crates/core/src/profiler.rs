@@ -150,7 +150,11 @@ impl Dprof {
             }
         }
         let mut ranked: Vec<(TypeId, u64)> = miss_counts.into_iter().collect();
-        ranked.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+        // Ties must break on the stable type id, not on HashMap iteration order: the
+        // selected set determines the entire history-collection phase, and trace replay
+        // requires a recorded run and its replay (different processes, different
+        // SipHash keys) to pick identical types.
+        ranked.sort_by_key(|&(t, n)| (std::cmp::Reverse(n), t));
         let top_types: Vec<TypeId> = ranked
             .iter()
             .take(self.config.history_types)

@@ -118,8 +118,8 @@ pub fn render_miss_classification(rows: &[TypeMissClassification], top: usize) -
     let mut out = String::new();
     writeln!(
         out,
-        "{:<16} {:>10} {:>14} {:>10} {:>10}  {}",
-        "Type name", "Misses", "Invalidation", "Conflict", "Capacity", "Dominant"
+        "{:<16} {:>10} {:>14} {:>10} {:>10}  Dominant",
+        "Type name", "Misses", "Invalidation", "Conflict", "Capacity"
     )
     .unwrap();
     writeln!(out, "{}", "-".repeat(86)).unwrap();

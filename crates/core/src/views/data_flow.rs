@@ -178,9 +178,11 @@ mod tests {
     use crate::sample::SampleStats;
 
     fn entry(ip: u32, cpu_change: bool, latency: u64, count: u64) -> PathTraceEntry {
-        let mut stats = SampleStats::default();
-        stats.count = count;
-        stats.total_latency = latency * count;
+        let stats = SampleStats {
+            count,
+            total_latency: latency * count,
+            ..Default::default()
+        };
         PathTraceEntry {
             ip: FunctionId(ip),
             cpu_change,

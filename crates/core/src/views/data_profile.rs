@@ -100,7 +100,15 @@ pub fn build_data_profile(
             }
         })
         .collect();
-    rows.sort_by(|a, b| b.pct_of_l1_misses.partial_cmp(&a.pct_of_l1_misses).unwrap());
+    // Tie-break on the type name: equal miss shares must order identically across
+    // processes (trace replay compares reports byte-for-byte), and HashMap iteration
+    // order is not stable between runs.
+    rows.sort_by(|a, b| {
+        b.pct_of_l1_misses
+            .partial_cmp(&a.pct_of_l1_misses)
+            .unwrap()
+            .then_with(|| a.name.cmp(&b.name))
+    });
     rows
 }
 

@@ -151,15 +151,22 @@ pub fn classify_misses(
                 (0.0, rest)
             };
 
+            // Pick the dominant class from a fixed-order list, not the HashMap: ties
+            // must resolve identically across processes for trace replay.
+            let ordered = [
+                (MissClass::Invalidation, invalidation),
+                (MissClass::Conflict, conflict),
+                (MissClass::Capacity, capacity),
+            ];
+            let dominant = ordered
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .map(|(k, _)| *k)
+                .unwrap();
             let mut fractions = HashMap::new();
             fractions.insert(MissClass::Invalidation, invalidation);
             fractions.insert(MissClass::Conflict, conflict);
             fractions.insert(MissClass::Capacity, capacity);
-            let dominant = *fractions
-                .iter()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .map(|(k, _)| k)
-                .unwrap();
             TypeMissClassification {
                 type_id: ty,
                 name: registry.name(ty).to_string(),
@@ -169,7 +176,12 @@ pub fn classify_misses(
             }
         })
         .collect();
-    rows.sort_by_key(|r| std::cmp::Reverse(r.miss_samples));
+    // Name tie-break for cross-process determinism (see build_data_profile).
+    rows.sort_by(|a, b| {
+        b.miss_samples
+            .cmp(&a.miss_samples)
+            .then_with(|| a.name.cmp(&b.name))
+    });
     rows
 }
 

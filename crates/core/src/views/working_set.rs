@@ -144,7 +144,13 @@ pub fn build_working_set(
             }
         })
         .collect();
-    per_type.sort_by(|a, b| b.avg_live_bytes.partial_cmp(&a.avg_live_bytes).unwrap());
+    // Name tie-break for cross-process determinism (trace replay byte-compares reports).
+    per_type.sort_by(|a, b| {
+        b.avg_live_bytes
+            .partial_cmp(&a.avg_live_bytes)
+            .unwrap()
+            .then_with(|| a.name.cmp(&b.name))
+    });
 
     // Associativity-set histogram over the objects live at any point in the window.
     let mut per_set_lines: Vec<HashMap<u64, TypeId>> = vec![HashMap::new(); geometry.sets];
@@ -176,7 +182,7 @@ pub fn build_working_set(
                 *counts.entry(*ty).or_insert(0) += 1;
             }
             let mut types: Vec<(TypeId, usize)> = counts.into_iter().collect();
-            types.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+            types.sort_by_key(|&(ty, n)| (std::cmp::Reverse(n), ty));
             AssocSetUsage {
                 set_index,
                 distinct_lines: n,
@@ -184,7 +190,7 @@ pub fn build_working_set(
             }
         })
         .collect();
-    conflict_sets.sort_by_key(|s| std::cmp::Reverse(s.distinct_lines));
+    conflict_sets.sort_by_key(|s| (std::cmp::Reverse(s.distinct_lines), s.set_index));
 
     WorkingSetView {
         per_type,

@@ -271,22 +271,8 @@ impl CacheHierarchy {
         let l2_set = self.config.l2.set_index_of_line(line);
         let latency_model = self.config.latency;
 
-        let (level, extra) = self.access_line(core, line, kind);
+        let (level, extra, miss_kind) = self.access_line(core, line, kind);
         let latency = latency_model.for_level(level) + extra;
-
-        let miss_kind = if level.is_miss() {
-            // One directory probe classifies the miss, marks the line touched and
-            // clears the departure note.  Private hits skip all of this — a hit
-            // implies the line was filled by an earlier miss on this core, which
-            // already set the touched bit and cleared any note.
-            let e = self.table.entry_mut(line);
-            let kind = Self::classify_entry(e, core);
-            e.touched |= 1u64 << core;
-            e.clear_departure(core);
-            Some(kind)
-        } else {
-            None
-        };
 
         self.record_stats(core, level, latency, miss_kind);
 
@@ -299,9 +285,21 @@ impl CacheHierarchy {
         }
     }
 
-    /// Core of the access algorithm: returns the satisfying level plus extra latency
-    /// (e.g. a shared-to-modified upgrade penalty).
-    fn access_line(&mut self, core: CoreId, line: LineAddr, kind: AccessKind) -> (HitLevel, u64) {
+    /// Core of the access algorithm: returns the satisfying level, extra latency (e.g.
+    /// a shared-to-modified upgrade penalty) and, for private misses, the ground-truth
+    /// miss classification.
+    ///
+    /// The miss path resolves the line's directory slot once ([`LineTable::ensure_slot`])
+    /// and threads it through every directory update, including the final
+    /// classification — the seed probed the table 3-4 times per miss.  The slot is
+    /// re-resolved only if filling the line grew the table (victim bookkeeping can
+    /// insert new lines, and growth invalidates slot indices).
+    fn access_line(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        kind: AccessKind,
+    ) -> (HitLevel, u64, Option<MissKind>) {
         let is_write = kind.is_write();
 
         // L1 lookup.
@@ -315,7 +313,7 @@ impl CacheHierarchy {
             } else {
                 0
             };
-            return (HitLevel::L1, extra);
+            return (HitLevel::L1, extra, None);
         }
 
         // L2 lookup.
@@ -332,11 +330,15 @@ impl CacheHierarchy {
             // Promote into L1.
             let new_state = if is_write { MesiState::Modified } else { state };
             self.fill_private(core, line, new_state, /*l1_only=*/ true);
-            return (HitLevel::L2, extra);
+            return (HitLevel::L2, extra, None);
         }
 
-        // Private miss: consult the directory.
-        let entry = self.table.get(line).copied().unwrap_or_default();
+        // Private miss: resolve the directory slot once.  Every miss ends with a
+        // directory update for this line, so inserting the (default) entry up front
+        // changes nothing observable and lets the rest of the path reuse the slot.
+        let generation = self.table.generation();
+        let mut slot = self.table.ensure_slot(line);
+        let entry = *self.table.entry_at(slot);
         let other_sharers = entry.sharers & !(1u64 << core);
         let remote_owner = entry
             .owner_core()
@@ -345,19 +347,19 @@ impl CacheHierarchy {
         let level = if let Some(owner) = remote_owner {
             // Dirty line lives in another core's cache: cache-to-cache transfer.
             if is_write {
-                self.invalidate_remote_copies(core, line, entry.sharers);
+                self.invalidate_remote_copies(core, line, entry.sharers, slot);
             } else {
                 // Owner downgrades to Shared; line is also pushed to L3.
                 self.l1[owner].set_state(line, MesiState::Shared);
                 self.l2[owner].set_state(line, MesiState::Shared);
                 self.l3.fill(line, MesiState::Shared);
-                self.table.entry_mut(line).set_owner(None);
+                self.table.entry_at_mut(slot).set_owner(None);
             }
             HitLevel::RemoteCache
         } else if other_sharers != 0 && self.any_core_holds(other_sharers, line) {
             // Clean copy in some other private cache (and possibly L3).
             if is_write {
-                self.invalidate_remote_copies(core, line, entry.sharers);
+                self.invalidate_remote_copies(core, line, entry.sharers, slot);
             } else {
                 // Remote Exclusive copies must downgrade to Shared so a later write on
                 // that core performs a visible upgrade (and invalidates us).
@@ -369,8 +371,8 @@ impl CacheHierarchy {
                     self.l2[c].set_state(line, MesiState::Shared);
                 }
                 // At most one of the downgraded cores can be the recorded owner;
-                // clear it with a single directory probe.
-                let e = self.table.entry_mut(line);
+                // clear it through the already-resolved slot.
+                let e = self.table.entry_at_mut(slot);
                 if let Some(o) = e.owner_core() {
                     if other_sharers & (1u64 << o) != 0 {
                         e.set_owner(None);
@@ -387,12 +389,12 @@ impl CacheHierarchy {
         } else if self.l3.contains(line) {
             let _ = self.l3.lookup(line);
             if is_write {
-                self.invalidate_remote_copies(core, line, entry.sharers);
+                self.invalidate_remote_copies(core, line, entry.sharers, slot);
             }
             HitLevel::L3
         } else {
             if is_write {
-                self.invalidate_remote_copies(core, line, entry.sharers);
+                self.invalidate_remote_copies(core, line, entry.sharers, slot);
             }
             HitLevel::Dram
         };
@@ -407,8 +409,17 @@ impl CacheHierarchy {
         };
         self.fill_private(core, line, state, /*l1_only=*/ false);
 
-        // Update directory.
-        let e = self.table.entry_mut(line);
+        // Victim bookkeeping in fill_private may have inserted new lines and grown the
+        // table; re-resolve the slot only in that (rare) case.
+        if self.table.generation() != generation {
+            slot = self
+                .table
+                .slot_of(line)
+                .expect("a resolved line survives table growth");
+        }
+
+        // Update the directory and classify the miss with the single resolved slot.
+        let e = self.table.entry_at_mut(slot);
         e.sharers |= 1 << core;
         if is_write {
             e.set_owner(Some(core));
@@ -417,8 +428,11 @@ impl CacheHierarchy {
         } else if state == MesiState::Exclusive {
             e.set_owner(None);
         }
+        let miss_kind = Self::classify_entry(e, core);
+        e.touched |= 1u64 << core;
+        e.clear_departure(core);
 
-        (level, 0)
+        (level, 0, Some(miss_kind))
     }
 
     /// True if core `c` holds `line` in either private level.
@@ -451,11 +465,15 @@ impl CacheHierarchy {
 
     /// Write hit on a Shared line: invalidate all other copies and take ownership.
     fn upgrade_to_modified(&mut self, core: CoreId, line: LineAddr) {
-        let sharers = self.table.get(line).map(|e| e.sharers).unwrap_or(0);
-        self.invalidate_remote_copies(core, line, sharers);
+        // One probe resolves the slot for the sharer read, the invalidation updates
+        // and the ownership grab.  A write-hit line is always in the table already
+        // (its fill inserted it), so ensure_slot cannot grow here.
+        let slot = self.table.ensure_slot(line);
+        let sharers = self.table.entry_at(slot).sharers;
+        self.invalidate_remote_copies(core, line, sharers, slot);
         self.l1[core].set_state(line, MesiState::Modified);
         self.l2[core].set_state(line, MesiState::Modified);
-        let e = self.table.entry_mut(line);
+        let e = self.table.entry_at_mut(slot);
         e.set_owner(Some(core));
         e.sharers = 1 << core;
     }
@@ -465,8 +483,15 @@ impl CacheHierarchy {
     ///
     /// `sharers` is the directory's (conservative superset) sharer mask, so only the
     /// cores that can possibly hold the line are visited — the seed implementation
-    /// scanned all cores' sets unconditionally.
-    fn invalidate_remote_copies(&mut self, writer: CoreId, line: LineAddr, sharers: u64) {
+    /// scanned all cores' sets unconditionally.  `slot` is the line's already-resolved
+    /// directory slot; nothing in here inserts new lines, so it stays valid throughout.
+    fn invalidate_remote_copies(
+        &mut self,
+        writer: CoreId,
+        line: LineAddr,
+        sharers: u64,
+        slot: usize,
+    ) {
         let mut mask = sharers & !(1u64 << writer);
         let mut departed = 0u64;
         while mask != 0 {
@@ -485,7 +510,7 @@ impl CacheHierarchy {
         }
         // A remote write also invalidates the stale L3 copy.
         self.l3.invalidate(line);
-        let e = self.table.entry_mut(line);
+        let e = self.table.entry_at_mut(slot);
         let mut d = departed;
         while d != 0 {
             let c = d.trailing_zeros() as CoreId;

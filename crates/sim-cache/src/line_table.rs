@@ -151,6 +151,9 @@ pub struct LineTable {
     entries: Vec<DirEntry>,
     mask: usize,
     len: usize,
+    /// Incremented on every growth.  Slot indices obtained from [`Self::ensure_slot`] /
+    /// [`Self::slot_of`] are valid only while the generation is unchanged.
+    generation: u64,
 }
 
 impl Default for LineTable {
@@ -167,7 +170,60 @@ impl LineTable {
             entries: vec![DirEntry::default(); INITIAL_CAPACITY],
             mask: INITIAL_CAPACITY - 1,
             len: 0,
+            generation: 0,
         }
+    }
+
+    /// The growth generation.  A slot index is invalidated whenever this changes (any
+    /// operation that can insert a *new* line may grow the table); callers threading a
+    /// slot through multi-step operations re-resolve with [`Self::slot_of`] when the
+    /// generation moved.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The slot holding `line`, inserting a default entry if absent.  Amortized O(1);
+    /// combined with [`Self::entry_at_mut`] this lets the hierarchy's miss path probe
+    /// the table once and reuse the slot for every subsequent directory update.
+    #[inline]
+    pub fn ensure_slot(&mut self, line: LineAddr) -> usize {
+        debug_assert_ne!(line, EMPTY, "line address collides with the empty sentinel");
+        match probe(&self.keys, self.mask, line) {
+            Ok(i) => i,
+            Err(mut i) => {
+                if needs_grow(self.len + 1, self.keys.len()) {
+                    self.grow();
+                    i = probe(&self.keys, self.mask, line)
+                        .expect_err("line cannot appear during growth");
+                }
+                self.keys[i] = line;
+                self.entries[i] = DirEntry::default();
+                self.len += 1;
+                i
+            }
+        }
+    }
+
+    /// The slot holding `line`, if present.
+    #[inline]
+    pub fn slot_of(&self, line: LineAddr) -> Option<usize> {
+        probe(&self.keys, self.mask, line).ok()
+    }
+
+    /// The entry at an occupied slot (from [`Self::ensure_slot`] / [`Self::slot_of`],
+    /// same generation).
+    #[inline]
+    pub fn entry_at(&self, slot: usize) -> &DirEntry {
+        debug_assert_ne!(self.keys[slot], EMPTY, "slot is not occupied");
+        &self.entries[slot]
+    }
+
+    /// Mutable entry at an occupied slot.
+    #[inline]
+    pub fn entry_at_mut(&mut self, slot: usize) -> &mut DirEntry {
+        debug_assert_ne!(self.keys[slot], EMPTY, "slot is not occupied");
+        &mut self.entries[slot]
     }
 
     /// Number of distinct lines recorded.
@@ -199,21 +255,8 @@ impl LineTable {
     /// the table past its load factor — lookups of existing lines never grow it.
     #[inline]
     pub fn entry_mut(&mut self, line: LineAddr) -> &mut DirEntry {
-        debug_assert_ne!(line, EMPTY, "line address collides with the empty sentinel");
-        match probe(&self.keys, self.mask, line) {
-            Ok(i) => &mut self.entries[i],
-            Err(mut i) => {
-                if needs_grow(self.len + 1, self.keys.len()) {
-                    self.grow();
-                    i = probe(&self.keys, self.mask, line)
-                        .expect_err("line cannot appear during growth");
-                }
-                self.keys[i] = line;
-                self.entries[i] = DirEntry::default();
-                self.len += 1;
-                &mut self.entries[i]
-            }
-        }
+        let slot = self.ensure_slot(line);
+        &mut self.entries[slot]
     }
 
     /// Iterates over all `(line, entry)` pairs (slot order, not insertion order).
@@ -236,6 +279,7 @@ impl LineTable {
         let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
         let old_entries = std::mem::replace(&mut self.entries, vec![DirEntry::default(); new_cap]);
         self.mask = new_cap - 1;
+        self.generation += 1;
         for (k, e) in old_keys.into_iter().zip(old_entries) {
             if k == EMPTY {
                 continue;
@@ -385,6 +429,27 @@ mod tests {
         // The next genuinely new line crosses the threshold and doubles.
         t.entry_mut(threshold as u64);
         assert_eq!(t.capacity(), cap * 2);
+    }
+
+    #[test]
+    fn slots_survive_until_growth_and_generation_tracks_it() {
+        let mut t = LineTable::new();
+        let slot = t.ensure_slot(77);
+        t.entry_at_mut(slot).sharers = 0b11;
+        assert_eq!(t.slot_of(77), Some(slot));
+        assert_eq!(t.entry_at(slot).sharers, 0b11);
+        let gen = t.generation();
+        // Inserting existing lines never grows.
+        assert_eq!(t.ensure_slot(77), slot);
+        assert_eq!(t.generation(), gen);
+        // Push past the load factor: the table grows, the generation moves, and the
+        // line is still findable at its (possibly new) slot.
+        for i in 0..INITIAL_CAPACITY as u64 {
+            t.ensure_slot(1_000_000 + i);
+        }
+        assert!(t.generation() > gen, "growth must bump the generation");
+        let new_slot = t.slot_of(77).expect("line survives growth");
+        assert_eq!(t.entry_at(new_slot).sharers, 0b11);
     }
 
     #[test]

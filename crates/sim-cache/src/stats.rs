@@ -188,14 +188,16 @@ mod tests {
 
     #[test]
     fn hierarchy_derived_counts() {
-        let mut h = HierarchyStats::default();
-        h.accesses = 10;
-        h.l1_hits = 5;
-        h.l2_hits = 2;
-        h.l3_hits = 1;
-        h.remote_hits = 1;
-        h.dram_fills = 1;
-        h.total_latency = 100;
+        let h = HierarchyStats {
+            accesses: 10,
+            l1_hits: 5,
+            l2_hits: 2,
+            l3_hits: 1,
+            remote_hits: 1,
+            dram_fills: 1,
+            total_latency: 100,
+            ..Default::default()
+        };
         assert_eq!(h.l1_misses(), 5);
         assert_eq!(h.private_misses(), 3);
         assert!((h.avg_latency() - 10.0).abs() < 1e-9);

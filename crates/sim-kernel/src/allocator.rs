@@ -354,7 +354,14 @@ impl SlabAllocator {
 
     /// Allocates a bookkeeping object (slab descriptor or array_cache) straight from the
     /// page allocator, registering it in the address set so it shows up in profiles.
-    fn alloc_bookkeeping(&mut self, type_id: TypeId, size: u64, core: CoreId, cycle: u64) -> u64 {
+    fn alloc_bookkeeping(
+        &mut self,
+        machine: &mut Machine,
+        type_id: TypeId,
+        size: u64,
+        core: CoreId,
+        cycle: u64,
+    ) -> u64 {
         let addr = self.bump_pages(1);
         let record = self.records.len();
         self.records.push(AllocRecord {
@@ -376,13 +383,20 @@ impl SlabAllocator {
                 record,
             },
         );
+        machine.record_session_alloc(core, type_id.0, size, addr, cycle, false);
         addr
     }
 
     /// Ensures the per-core array_cache bookkeeping object exists, returning its address.
-    fn ensure_array_cache(&mut self, cache_idx: usize, core: CoreId, cycle: u64) -> u64 {
+    fn ensure_array_cache(
+        &mut self,
+        machine: &mut Machine,
+        cache_idx: usize,
+        core: CoreId,
+        cycle: u64,
+    ) -> u64 {
         if self.caches[cache_idx].per_core[core].ac_addr == 0 {
-            let addr = self.alloc_bookkeeping(self.array_cache_type, 128, core, cycle);
+            let addr = self.alloc_bookkeeping(machine, self.array_cache_type, 128, core, cycle);
             self.caches[cache_idx].per_core[core].ac_addr = addr;
         }
         self.caches[cache_idx].per_core[core].ac_addr
@@ -395,7 +409,7 @@ impl SlabAllocator {
         let pages = (objs_per_slab * obj_size).div_ceil(PAGE_SIZE);
         let cycle = machine.clock(core);
 
-        let slab_desc = self.alloc_bookkeeping(self.slab_type, 256, core, cycle);
+        let slab_desc = self.alloc_bookkeeping(machine, self.slab_type, 256, core, cycle);
         let base = self.bump_pages(pages);
         self.stats.slabs_created += 1;
 
@@ -415,7 +429,7 @@ impl SlabAllocator {
     fn refill(&mut self, machine: &mut Machine, cache_idx: usize, core: CoreId) {
         self.stats.refills += 1;
         let cycle = machine.clock(core);
-        let ac = self.ensure_array_cache(cache_idx, core, cycle);
+        let ac = self.ensure_array_cache(machine, cache_idx, core, cycle);
         // Reading and updating the per-core array_cache header.
         machine.write(core, self.syms.cache_alloc_refill, ac, 8);
 
@@ -467,7 +481,7 @@ impl SlabAllocator {
 
     fn alloc_from_cache(&mut self, machine: &mut Machine, cache_idx: usize, core: CoreId) -> u64 {
         let cycle = machine.clock(core);
-        let ac = self.ensure_array_cache(cache_idx, core, cycle);
+        let ac = self.ensure_array_cache(machine, cache_idx, core, cycle);
         // Fast path: pop from the per-core array cache (touches the ac header + entry).
         machine.read(core, self.syms.kmem_cache_alloc_node, ac, 8);
         if self.caches[cache_idx].per_core[core].free.is_empty() {
@@ -502,9 +516,25 @@ impl SlabAllocator {
             },
         );
         self.stats.allocs += 1;
+        machine.record_session_alloc(core, type_id.0, size, base, cycle, true);
+        self.arm_profile_hook_if_requested(machine, base, type_id, size, core, cycle);
+        base
+    }
 
-        // DProf profiling hook: arm the requested watchpoints on this object right now,
-        // while the allocator still has control (mirrors the real allocator cooperation).
+    /// DProf profiling hook: arms the requested watchpoints on a just-allocated object
+    /// while the allocator still has control (mirrors the real allocator cooperation).
+    /// Shared by the live allocation path and [`Self::replay_alloc`], so a replayed
+    /// session re-makes exactly the same arming decision at the same point in the
+    /// access stream.
+    fn arm_profile_hook_if_requested(
+        &mut self,
+        machine: &mut Machine,
+        base: u64,
+        type_id: TypeId,
+        size: u64,
+        core: CoreId,
+        cycle: u64,
+    ) {
         let wants_this = self
             .profile_hook
             .request
@@ -522,7 +552,7 @@ impl SlabAllocator {
                 }
             };
             if skip_this_one {
-                return base;
+                return;
             }
             let req = self.profile_hook.request.take().expect("checked above");
             machine.charge_profiling_reservation(core);
@@ -546,8 +576,6 @@ impl SlabAllocator {
                 watchpoints,
             });
         }
-
-        base
     }
 
     /// Frees an object by base address on `core`.
@@ -565,29 +593,14 @@ impl SlabAllocator {
         rec.free_core = Some(core);
         rec.free_cycle = Some(cycle);
         self.stats.frees += 1;
-
-        // DProf profiling hook: when the watched object dies, disarm its watchpoints and
-        // hand the record to the profiler.
-        if self
-            .profile_hook
-            .armed
-            .as_ref()
-            .map(|a| a.base == addr)
-            .unwrap_or(false)
-        {
-            let mut done = self.profile_hook.armed.take().expect("checked above");
-            for &id in &done.watchpoints {
-                machine.disarm_watchpoint(id);
-            }
-            done.free_cycle = Some(cycle);
-            self.profile_hook.finished = Some(done);
-        }
+        machine.record_session_free(core, addr, cycle);
+        self.finish_profile_hook_on_free(machine, addr, cycle);
 
         let cache_idx = *self
             .cache_of_type
             .get(&obj.type_id)
             .expect("freed object belongs to a known cache");
-        let ac = self.ensure_array_cache(cache_idx, core, cycle);
+        let ac = self.ensure_array_cache(machine, cache_idx, core, cycle);
         machine.read(core, self.syms.kmem_cache_free, ac, 8);
 
         let entry = (addr, obj.slab_desc, obj.home_core);
@@ -626,7 +639,7 @@ impl SlabAllocator {
             // Writing the home slab descriptor from this core invalidates the home
             // core's cached copy: this is the slab/array-cache bouncing of Table 6.1.
             machine.write(core, self.syms.drain_alien_cache, slab_desc, 8);
-            let home_ac = self.ensure_array_cache(cache_idx, home_core, cycle);
+            let home_ac = self.ensure_array_cache(machine, cache_idx, home_core, cycle);
             machine.write(core, self.syms.drain_alien_cache, home_ac, 8);
             self.caches[cache_idx]
                 .global_free
@@ -634,6 +647,128 @@ impl SlabAllocator {
         }
         self.slab_lock
             .release(machine, core, self.syms.drain_alien_cache);
+    }
+
+    /// DProf profiling hook, free side: when the watched object dies, disarm its
+    /// watchpoints and hand the record to the profiler.  Shared by [`Self::free`] and
+    /// [`Self::replay_free`].
+    fn finish_profile_hook_on_free(&mut self, machine: &mut Machine, addr: u64, cycle: u64) {
+        if self
+            .profile_hook
+            .armed
+            .as_ref()
+            .map(|a| a.base == addr)
+            .unwrap_or(false)
+        {
+            let mut done = self.profile_hook.armed.take().expect("checked above");
+            for &id in &done.watchpoints {
+                machine.disarm_watchpoint(id);
+            }
+            done.free_cycle = Some(cycle);
+            self.profile_hook.finished = Some(done);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Trace replay support.
+    //
+    // A replayed session applies recorded `Alloc`/`Free` events as pure bookkeeping:
+    // the allocator's own memory traffic was captured as access events and is re-issued
+    // by the replay driver, so these methods must NOT touch the machine's memory — only
+    // the address set, the live map and the profile hook (whose watchpoint arming and
+    // cycle charges are deliberately re-run, exactly as the live allocator ran them).
+    // ------------------------------------------------------------------
+
+    /// Creates a bare allocator for trace replay: no pools, no caches — just the
+    /// address-set/live-map bookkeeping that [`Self::replay_alloc`] and
+    /// [`Self::replay_free`] maintain, plus a working profile hook.
+    ///
+    /// `registry` must already contain the `slab` and `array-cache` types (a replayed
+    /// registry always does: the live kernel registered them before the type dump was
+    /// taken).  Calling the normal `alloc`/`free` paths on a replay allocator is a
+    /// logic error.
+    pub fn for_replay(machine: &mut Machine, registry: &TypeRegistry, cores: usize) -> Self {
+        let syms = AllocSymbols {
+            kmem_cache_alloc_node: machine.fn_id("kmem_cache_alloc_node"),
+            cache_alloc_refill: machine.fn_id("cache_alloc_refill"),
+            kmem_cache_free: machine.fn_id("kmem_cache_free"),
+            drain_alien_cache: machine.fn_id("__drain_alien_cache"),
+        };
+        let slab_type = registry.lookup("slab").expect("replay registry has slab");
+        let array_cache_type = registry
+            .lookup("array-cache")
+            .expect("replay registry has array-cache");
+        SlabAllocator {
+            cores,
+            page_cursor: HEAP_BASE + PAGE_SIZE,
+            caches: Vec::new(),
+            cache_of_type: HashMap::new(),
+            generic_caches: Vec::new(),
+            live: BTreeMap::new(),
+            records: Vec::new(),
+            syms,
+            slab_type,
+            array_cache_type,
+            slab_lock: KLock::new("SLAB cache lock", HEAP_BASE),
+            profile_hook: ProfileHook::default(),
+            stats: AllocStats::default(),
+        }
+    }
+
+    /// Applies a recorded allocation event: inserts the address-set record and live
+    /// entry with the live-recorded cycle stamp, then (for hookable allocations)
+    /// re-runs the profile-hook arming decision.
+    #[allow(clippy::too_many_arguments)]
+    pub fn replay_alloc(
+        &mut self,
+        machine: &mut Machine,
+        core: CoreId,
+        type_id: TypeId,
+        size: u64,
+        addr: u64,
+        cycle: u64,
+        hookable: bool,
+    ) {
+        let record = self.records.len();
+        self.records.push(AllocRecord {
+            addr,
+            type_id,
+            size,
+            alloc_core: core,
+            alloc_cycle: cycle,
+            free_core: None,
+            free_cycle: None,
+        });
+        self.live.insert(
+            addr,
+            LiveObject {
+                type_id,
+                size,
+                // Pool geometry is irrelevant during replay; the slab/home fields are
+                // only consulted by the live free path, which replay never takes.
+                slab_desc: addr,
+                home_core: core,
+                record,
+            },
+        );
+        if hookable {
+            self.stats.allocs += 1;
+            self.arm_profile_hook_if_requested(machine, addr, type_id, size, core, cycle);
+        }
+    }
+
+    /// Applies a recorded free event: completes the address-set record, removes the
+    /// live entry and re-runs the profile-hook completion.
+    pub fn replay_free(&mut self, machine: &mut Machine, core: CoreId, addr: u64, cycle: u64) {
+        let obj = self
+            .live
+            .remove(&addr)
+            .unwrap_or_else(|| panic!("replayed free of non-live address {addr:#x}"));
+        let rec = &mut self.records[obj.record];
+        rec.free_core = Some(core);
+        rec.free_cycle = Some(cycle);
+        self.stats.frees += 1;
+        self.finish_profile_hook_on_free(machine, addr, cycle);
     }
 
     /// The global list lock ("SLAB cache lock"), exposed for lock-stat reporting.

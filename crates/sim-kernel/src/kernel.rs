@@ -250,6 +250,40 @@ impl KernelState {
         }
     }
 
+    /// Builds a kernel shell for trace replay: the given (trace-rebuilt) type registry
+    /// and a bare [`SlabAllocator::for_replay`] allocator, with no network or socket
+    /// state and — crucially — no machine traffic.
+    ///
+    /// A replayed session only exercises `types` and `allocator` (sample resolution,
+    /// working-set construction and the profile hook); every access the live kernel
+    /// performed is re-issued from the recorded event stream instead of from these
+    /// structures.
+    pub fn for_replay(m: &mut Machine, cores: usize, types: TypeRegistry) -> Self {
+        let kt = KernelTypes::resolve(&types);
+        let syms = KernelSymbols::register(m);
+        let allocator = SlabAllocator::for_replay(m, &types, cores);
+        KernelState {
+            types,
+            kt,
+            syms,
+            allocator,
+            netdev: NetDevice::new(0, cores, vec![0; cores], TxQueuePolicy::LocalQueue),
+            udp_socks: Vec::new(),
+            epolls: Vec::new(),
+            listeners: Vec::new(),
+            futex: FutexQueue::new(0),
+            tasks: Vec::new(),
+            remote_enqueues: 0,
+            config: KernelConfig {
+                cores,
+                tx_policy: TxQueuePolicy::LocalQueue,
+                accept_backlog_limit: 0,
+                workers_per_core: 0,
+            },
+            hash_salt: 0,
+        }
+    }
+
     /// Copies `len` bytes at `addr` one cache line at a time, attributed to `ip`.
     ///
     /// The per-line operations are issued through the machine's batched

@@ -246,6 +246,34 @@ impl KernelTypes {
             futex,
         }
     }
+
+    /// Resolves the well-known types against a registry that already contains them
+    /// (e.g. one rebuilt from a recorded trace's type dump).
+    ///
+    /// # Panics
+    /// Panics if any well-known type is missing — a live kernel always registers all of
+    /// them before any dump can be taken, so a miss means the registry is not a kernel
+    /// registry.
+    pub fn resolve(reg: &TypeRegistry) -> Self {
+        let get = |name: &str| {
+            reg.lookup(name)
+                .unwrap_or_else(|| panic!("registry is missing well-known type '{name}'"))
+        };
+        KernelTypes {
+            size_1024: get("size-1024"),
+            skbuff: get("skbuff"),
+            skbuff_fclone: get("skbuff_fclone"),
+            slab: get("slab"),
+            array_cache: get("array-cache"),
+            net_device: get("net_device"),
+            udp_sock: get("udp-sock"),
+            tcp_sock: get("tcp-sock"),
+            task_struct: get("task-struct"),
+            qdisc: get("qdisc"),
+            epitem: get("epitem"),
+            futex: get("futex"),
+        }
+    }
 }
 
 #[cfg(test)]

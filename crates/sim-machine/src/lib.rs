@@ -21,11 +21,13 @@
 
 pub mod ibs;
 pub mod machine;
+pub mod session;
 pub mod symbols;
 pub mod watchpoint;
 
 pub use ibs::{IbsConfig, IbsRecord, IbsUnit};
 pub use machine::{AccessReq, FunctionCounters, Machine, MachineConfig};
+pub use session::{SessionEvent, SessionRecorder};
 pub use symbols::{FunctionId, SymbolTable};
 pub use watchpoint::{
     Watchpoint, WatchpointCosts, WatchpointError, WatchpointHit, WatchpointId, WatchpointOverhead,

@@ -3,6 +3,7 @@
 //! sampling unit and the watchpoint unit.
 
 use crate::ibs::{IbsConfig, IbsUnit};
+use crate::session::{SessionEvent, SessionRecorder};
 use crate::symbols::{FunctionId, SymbolTable};
 use crate::watchpoint::{WatchpointError, WatchpointId, WatchpointUnit};
 use serde::{Deserialize, Serialize};
@@ -127,6 +128,9 @@ pub struct Machine {
     /// Cycles charged for profiling interrupts, per core (IBS + watchpoints), so the
     /// overhead experiments can separate application time from profiling time.
     profiling_cycles: Vec<u64>,
+    /// Session-event recorder for the trace record/replay subsystem.  `None` (the
+    /// default) keeps the hot path to a single branch per access.
+    session: Option<Box<SessionRecorder>>,
 }
 
 impl Machine {
@@ -143,7 +147,74 @@ impl Machine {
             unknown_counters: FunctionCounters::default(),
             run_outcomes: Vec::new(),
             profiling_cycles: vec![0; cores],
+            session: None,
             config,
+        }
+    }
+
+    /// Turns on session-event recording (see [`crate::session`]).  To capture a
+    /// replayable session this must be called before any accesses are issued — i.e.
+    /// right after [`Machine::new`], before the kernel and workload are built — since
+    /// replay reconstructs the machine's evolution from birth.
+    pub fn start_session_recording(&mut self) {
+        if self.session.is_none() {
+            self.session = Some(Box::new(SessionRecorder::new()));
+        }
+    }
+
+    /// True if session recording is active.
+    pub fn session_recording(&self) -> bool {
+        self.session.is_some()
+    }
+
+    /// Drains the recorded session events (empty if recording was never enabled).
+    pub fn take_session_events(&mut self) -> Vec<SessionEvent> {
+        self.session.as_mut().map(|s| s.take()).unwrap_or_default()
+    }
+
+    /// Marks a workload-round boundary in the session recording.  No-op when not
+    /// recording, so drivers can call it unconditionally.
+    #[inline]
+    pub fn mark_session_round(&mut self) {
+        if let Some(s) = self.session.as_mut() {
+            s.push(SessionEvent::RoundEnd);
+        }
+    }
+
+    /// Records an allocator address-set insertion.  Called by the kernel allocator;
+    /// no-op when not recording.
+    #[inline]
+    pub fn record_session_alloc(
+        &mut self,
+        core: CoreId,
+        type_id: u32,
+        size: u64,
+        addr: u64,
+        cycle: u64,
+        hookable: bool,
+    ) {
+        if let Some(s) = self.session.as_mut() {
+            s.push(SessionEvent::Alloc {
+                core: core as u32,
+                type_id,
+                size,
+                addr,
+                cycle,
+                hookable,
+            });
+        }
+    }
+
+    /// Records an allocator address-set removal.  Called by the kernel allocator;
+    /// no-op when not recording.
+    #[inline]
+    pub fn record_session_free(&mut self, core: CoreId, addr: u64, cycle: u64) {
+        if let Some(s) = self.session.as_mut() {
+            s.push(SessionEvent::Free {
+                core: core as u32,
+                addr,
+                cycle,
+            });
         }
     }
 
@@ -212,6 +283,13 @@ impl Machine {
     /// Advances a core's clock by `cycles` of non-memory work, attributing the cycles to
     /// `ip` in the per-function counters.
     pub fn compute(&mut self, core: CoreId, ip: FunctionId, cycles: u64) {
+        if let Some(s) = self.session.as_mut() {
+            s.push(SessionEvent::Compute {
+                core: core as u32,
+                ip,
+                cycles,
+            });
+        }
         self.clocks[core] += cycles;
         self.counters_mut(ip).cycles += cycles;
     }
@@ -272,6 +350,15 @@ impl Machine {
         wp_armed: bool,
     ) -> AccessOutcome {
         assert!(len > 0, "zero-length access");
+        if let Some(s) = self.session.as_mut() {
+            s.push(SessionEvent::Access {
+                core: core as u32,
+                ip,
+                addr,
+                len,
+                kind,
+            });
+        }
         let line_size = self.hierarchy.line_size() as u64;
         let mut offset = 0u64;
         let mut worst: Option<AccessOutcome> = None;

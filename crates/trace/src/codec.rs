@@ -1,0 +1,401 @@
+//! Varint/zigzag primitives and the session-event wire encoding.
+//!
+//! The event stream is dominated by memory accesses, so the encoding optimizes for
+//! them: consecutive accesses with the same `(core, ip)` are coalesced into one
+//! *access run* (the on-disk mirror of a `Machine::access_run` batch), and addresses
+//! are delta-encoded against the issuing core's previous address — workload request
+//! paths walk objects with small strides, so the zigzag deltas are usually 1-2 bytes
+//! instead of 5-6 for an absolute address.
+//!
+//! Wire grammar (all integers LEB128 varints unless noted):
+//!
+//! ```text
+//! event      := access-run | compute | alloc | free | round-end
+//! access-run := 0x00 core ip count item*count
+//! item       := zigzag(addr - prev_addr[core])  (len << 1 | is_write)
+//! compute    := 0x01 core ip cycles
+//! alloc      := 0x02 flags(u8: bit0 = hookable) core type_id size addr cycle
+//! free       := 0x03 core addr cycle
+//! round-end  := 0x04
+//! ```
+//!
+//! `prev_addr[core]` starts at 0 and is updated to each access's address; the decoder
+//! mirrors the encoder's state, so the mapping is bijective.
+
+use crate::TraceError;
+use sim_cache::AccessKind;
+use sim_machine::{FunctionId, SessionEvent};
+
+const OP_ACCESS_RUN: u8 = 0x00;
+const OP_COMPUTE: u8 = 0x01;
+const OP_ALLOC: u8 = 0x02;
+const OP_FREE: u8 = 0x03;
+const OP_ROUND_END: u8 = 0x04;
+
+/// Appends a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint.
+pub fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*pos).ok_or(TraceError::UnexpectedEof)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(TraceError::Corrupt("varint overflows u64".into()));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(TraceError::Corrupt("varint too long".into()));
+        }
+    }
+}
+
+/// Zigzag-encodes a signed value into an unsigned varint payload.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Reads a length-prefixed UTF-8 string.
+pub fn get_string(bytes: &[u8], pos: &mut usize) -> Result<String, TraceError> {
+    let len = get_varint(bytes, pos)? as usize;
+    if bytes.len() - *pos < len {
+        return Err(TraceError::UnexpectedEof);
+    }
+    let s = std::str::from_utf8(&bytes[*pos..*pos + len])
+        .map_err(|_| TraceError::Corrupt("string is not valid UTF-8".into()))?
+        .to_string();
+    *pos += len;
+    Ok(s)
+}
+
+/// The hierarchy supports at most 64 cores (see `CacheHierarchy::new`); bounding core
+/// ids during decode keeps a crafted varint from sizing the per-core delta table (or
+/// any later per-core state) to an attacker-controlled length.
+const MAX_CORES: u64 = 64;
+
+fn get_core(bytes: &[u8], pos: &mut usize) -> Result<u32, TraceError> {
+    let core = get_varint(bytes, pos)?;
+    if core >= MAX_CORES {
+        return Err(TraceError::Corrupt(format!(
+            "core id {core} exceeds the {MAX_CORES}-core maximum"
+        )));
+    }
+    Ok(core as u32)
+}
+
+fn prev_addr(table: &mut Vec<u64>, core: u32) -> &mut u64 {
+    let idx = core as usize;
+    if idx >= table.len() {
+        table.resize(idx + 1, 0);
+    }
+    &mut table[idx]
+}
+
+/// Encodes a session-event stream, coalescing consecutive same-`(core, ip)` accesses
+/// into access runs.
+pub fn encode_events(events: &[SessionEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(events.len() * 3);
+    let mut prev: Vec<u64> = Vec::new();
+    let mut i = 0;
+    while i < events.len() {
+        match events[i] {
+            SessionEvent::Access { core, ip, .. } => {
+                // Find the run of accesses sharing this (core, ip).
+                let mut end = i + 1;
+                while end < events.len() {
+                    match events[end] {
+                        SessionEvent::Access { core: c, ip: f, .. } if c == core && f == ip => {
+                            end += 1
+                        }
+                        _ => break,
+                    }
+                }
+                out.push(OP_ACCESS_RUN);
+                put_varint(&mut out, u64::from(core));
+                put_varint(&mut out, u64::from(ip.0));
+                put_varint(&mut out, (end - i) as u64);
+                for ev in &events[i..end] {
+                    let SessionEvent::Access {
+                        addr, len, kind, ..
+                    } = *ev
+                    else {
+                        unreachable!("run contains only accesses");
+                    };
+                    let p = prev_addr(&mut prev, core);
+                    put_varint(&mut out, zigzag(addr.wrapping_sub(*p) as i64));
+                    *p = addr;
+                    put_varint(&mut out, (len << 1) | u64::from(kind.is_write()));
+                }
+                i = end;
+            }
+            SessionEvent::Compute { core, ip, cycles } => {
+                out.push(OP_COMPUTE);
+                put_varint(&mut out, u64::from(core));
+                put_varint(&mut out, u64::from(ip.0));
+                put_varint(&mut out, cycles);
+                i += 1;
+            }
+            SessionEvent::Alloc {
+                core,
+                type_id,
+                size,
+                addr,
+                cycle,
+                hookable,
+            } => {
+                out.push(OP_ALLOC);
+                out.push(u8::from(hookable));
+                put_varint(&mut out, u64::from(core));
+                put_varint(&mut out, u64::from(type_id));
+                put_varint(&mut out, size);
+                put_varint(&mut out, addr);
+                put_varint(&mut out, cycle);
+                i += 1;
+            }
+            SessionEvent::Free { core, addr, cycle } => {
+                out.push(OP_FREE);
+                put_varint(&mut out, u64::from(core));
+                put_varint(&mut out, addr);
+                put_varint(&mut out, cycle);
+                i += 1;
+            }
+            SessionEvent::RoundEnd => {
+                out.push(OP_ROUND_END);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Decodes an event stream previously produced by [`encode_events`].  `expected` is
+/// the event count recorded in the stream header; a mismatch (or any structural
+/// problem) is an error.
+pub fn decode_events(bytes: &[u8], expected: usize) -> Result<Vec<SessionEvent>, TraceError> {
+    let mut events = Vec::with_capacity(expected.min(bytes.len()));
+    let mut prev: Vec<u64> = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let op = bytes[pos];
+        pos += 1;
+        match op {
+            OP_ACCESS_RUN => {
+                let core = get_core(bytes, &mut pos)?;
+                let ip = FunctionId(
+                    u32::try_from(get_varint(bytes, &mut pos)?)
+                        .map_err(|_| TraceError::Corrupt("function id overflows u32".into()))?,
+                );
+                let count = get_varint(bytes, &mut pos)? as usize;
+                // Each item is at least two bytes; reject counts a truncated or
+                // corrupt stream cannot possibly satisfy before reserving memory.
+                if count > bytes.len().saturating_sub(pos).div_ceil(2).max(1) {
+                    return Err(TraceError::Corrupt(format!(
+                        "access run of {count} items exceeds the remaining stream"
+                    )));
+                }
+                for _ in 0..count {
+                    let delta = unzigzag(get_varint(bytes, &mut pos)?);
+                    let packed = get_varint(bytes, &mut pos)?;
+                    let p = prev_addr(&mut prev, core);
+                    let addr = p.wrapping_add(delta as u64);
+                    *p = addr;
+                    let kind = if packed & 1 == 1 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    events.push(SessionEvent::Access {
+                        core,
+                        ip,
+                        addr,
+                        len: packed >> 1,
+                        kind,
+                    });
+                }
+            }
+            OP_COMPUTE => {
+                let core = get_core(bytes, &mut pos)?;
+                let ip = FunctionId(
+                    u32::try_from(get_varint(bytes, &mut pos)?)
+                        .map_err(|_| TraceError::Corrupt("function id overflows u32".into()))?,
+                );
+                let cycles = get_varint(bytes, &mut pos)?;
+                events.push(SessionEvent::Compute { core, ip, cycles });
+            }
+            OP_ALLOC => {
+                let flags = *bytes.get(pos).ok_or(TraceError::UnexpectedEof)?;
+                pos += 1;
+                let core = get_core(bytes, &mut pos)?;
+                let type_id = u32::try_from(get_varint(bytes, &mut pos)?)
+                    .map_err(|_| TraceError::Corrupt("type id overflows u32".into()))?;
+                let size = get_varint(bytes, &mut pos)?;
+                let addr = get_varint(bytes, &mut pos)?;
+                let cycle = get_varint(bytes, &mut pos)?;
+                events.push(SessionEvent::Alloc {
+                    core,
+                    type_id,
+                    size,
+                    addr,
+                    cycle,
+                    hookable: flags & 1 == 1,
+                });
+            }
+            OP_FREE => {
+                let core = get_core(bytes, &mut pos)?;
+                let addr = get_varint(bytes, &mut pos)?;
+                let cycle = get_varint(bytes, &mut pos)?;
+                events.push(SessionEvent::Free { core, addr, cycle });
+            }
+            OP_ROUND_END => events.push(SessionEvent::RoundEnd),
+            other => {
+                return Err(TraceError::Corrupt(format!(
+                    "unknown event opcode {other:#04x} at byte {}",
+                    pos - 1
+                )))
+            }
+        }
+    }
+    if events.len() != expected {
+        return Err(TraceError::Corrupt(format!(
+            "stream decoded to {} events but the header declared {expected}",
+            events.len()
+        )));
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip_boundaries() {
+        let mut out = Vec::new();
+        let values = [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            out.clear();
+            put_varint(&mut out, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&out, &mut pos).unwrap(), v);
+            assert_eq!(pos, out.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn access_runs_coalesce_and_round_trip() {
+        let ip = FunctionId(7);
+        let events = vec![
+            SessionEvent::Access {
+                core: 0,
+                ip,
+                addr: 0x1000,
+                len: 8,
+                kind: AccessKind::Read,
+            },
+            SessionEvent::Access {
+                core: 0,
+                ip,
+                addr: 0x1008,
+                len: 8,
+                kind: AccessKind::Write,
+            },
+            SessionEvent::Access {
+                core: 1,
+                ip,
+                addr: 0x1000,
+                len: 64,
+                kind: AccessKind::Read,
+            },
+            SessionEvent::RoundEnd,
+            SessionEvent::Compute {
+                core: 1,
+                ip,
+                cycles: 1_500,
+            },
+        ];
+        let bytes = encode_events(&events);
+        assert_eq!(decode_events(&bytes, events.len()).unwrap(), events);
+        // Coalescing: the same accesses with distinct (core, ip) pairs cannot share a
+        // run header, so they must encode strictly larger.
+        let mut uncoalesced = events.clone();
+        if let SessionEvent::Access { ip, .. } = &mut uncoalesced[1] {
+            *ip = FunctionId(8);
+        }
+        assert!(
+            bytes.len() < encode_events(&uncoalesced).len(),
+            "same-(core, ip) accesses must coalesce into one run"
+        );
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let events = vec![SessionEvent::Alloc {
+            core: 3,
+            type_id: 9,
+            size: 256,
+            addr: 0x0001_0000_4000,
+            cycle: 12_345,
+            hookable: true,
+        }];
+        let bytes = encode_events(&events);
+        for cut in 1..bytes.len() {
+            assert!(
+                decode_events(&bytes[..cut], 1).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_declared_count_is_an_error() {
+        let bytes = encode_events(&[SessionEvent::RoundEnd]);
+        assert!(matches!(
+            decode_events(&bytes, 2),
+            Err(TraceError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_opcode_is_an_error() {
+        assert!(matches!(
+            decode_events(&[0xff], 0),
+            Err(TraceError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,555 @@
+//! The `.dtrace` container format.
+//!
+//! ```text
+//! file    := magic("DPROFTRC") version(u16 LE) kind(u8) machine params
+//!            stream_count streams...
+//! machine := cores l1 l2 l3 latency cycles_per_second op_cost
+//! geom    := line_size ways sets                      (one per cache level)
+//! latency := l1 l2 l3 remote_cache dram upgrade
+//! params  := workload(string) threads cores warmup_rounds sample_rounds
+//!            ibs_interval_ops history_types history_sets base_seed
+//! stream  := seed requests symbol_count symbol* type_count type*
+//!            event_count byte_len event_bytes
+//! type    := name(string) description(string) size field_count field*
+//! field   := name(string) offset size
+//! ```
+//!
+//! All integers are LEB128 varints except the version.  Strings are length-prefixed
+//! UTF-8.  Event bytes use the [`crate::codec`] wire encoding.  See
+//! `docs/trace-format.md` for the full specification and versioning rules.
+
+use crate::codec::{decode_events, encode_events, get_string, get_varint, put_string, put_varint};
+use crate::TraceError;
+use sim_cache::{CacheGeometry, HierarchyConfig, LatencyModel};
+use sim_machine::{MachineConfig, SessionEvent};
+
+/// File magic, first eight bytes of every `.dtrace`.
+pub const MAGIC: &[u8; 8] = b"DPROFTRC";
+
+/// Current format version.  Bump on any incompatible layout change; decoders reject
+/// versions they do not know (see `docs/trace-format.md` for the rules).
+pub const VERSION: u16 = 1;
+
+/// What a trace contains, and therefore what it can be used for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A complete recorded profiling session (accesses + computes + allocator events
+    /// + round marks): replayable through the full profiler pipeline.
+    FullSession,
+    /// Accesses only (e.g. a `dprof-bench` workload capture): replayable against a
+    /// cache hierarchy, but not through the profiler.
+    AccessOnly,
+}
+
+impl TraceKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            TraceKind::FullSession => 1,
+            TraceKind::AccessOnly => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, TraceError> {
+        match b {
+            1 => Ok(TraceKind::FullSession),
+            2 => Ok(TraceKind::AccessOnly),
+            other => Err(TraceError::Corrupt(format!("unknown trace kind {other}"))),
+        }
+    }
+}
+
+/// The session parameters needed to re-run the profiler against a recorded stream
+/// (mirrors the CLI's `RunOptions` as far as replay is concerned).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionParams {
+    /// Workload name ("memcached", "apache", "custom", ...).  Informational: replay
+    /// never instantiates the workload.
+    pub workload: String,
+    /// Recorded worker threads (equals the stream count).
+    pub threads: usize,
+    /// Cores per simulated machine.
+    pub cores: usize,
+    /// Warmup rounds before sampling (thread `i` ran `warmup_rounds + i`).
+    pub warmup_rounds: usize,
+    /// Workload rounds during the access-sampling phase.
+    pub sample_rounds: usize,
+    /// IBS sampling interval in memory operations.
+    pub ibs_interval_ops: u64,
+    /// Top miss-heavy types histories were collected for.
+    pub history_types: usize,
+    /// History sets per profiled type.
+    pub history_sets: usize,
+    /// Base RNG seed (thread `i` used `base_seed + i`).
+    pub base_seed: u64,
+}
+
+/// One dumped field of a registered type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDump {
+    /// Field name.
+    pub name: String,
+    /// Byte offset within the type.
+    pub offset: u64,
+    /// Field size in bytes.
+    pub size: u64,
+}
+
+/// One dumped type-registry entry.  Dumps are ordered by type id, so re-registering
+/// them in order reproduces the live run's `TypeId` assignment exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeDump {
+    /// Type name.
+    pub name: String,
+    /// Human-readable description.
+    pub description: String,
+    /// Object size in bytes.
+    pub size: u64,
+    /// Named fields.
+    pub fields: Vec<FieldDump>,
+}
+
+/// One recorded worker thread: its identity, its symbol/type universe and its event
+/// stream.  Symbols are ordered by `FunctionId`, so re-interning them in order
+/// reproduces the live id assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadStream {
+    /// The seed this thread ran with (`base_seed + thread_index`).
+    pub seed: u64,
+    /// Application requests completed during the profiled window (replay cannot
+    /// recount them — there is no application — so the live value is carried).
+    pub requests: u64,
+    /// Interned symbol names, ordered by id.
+    pub symbols: Vec<String>,
+    /// Registered types, ordered by id.
+    pub types: Vec<TypeDump>,
+    /// The recorded event stream.
+    pub events: Vec<SessionEvent>,
+}
+
+/// A fully recorded stream plus the machine configuration it ran on, as handed from
+/// the profiling driver to the trace writer.
+#[derive(Debug, Clone)]
+pub struct RecordedStream {
+    /// Configuration of the machine that produced the stream.
+    pub machine: MachineConfig,
+    /// The stream itself.
+    pub stream: ThreadStream,
+}
+
+/// An in-memory `.dtrace` file.
+#[derive(Debug, Clone)]
+pub struct TraceFile {
+    /// What the trace contains.
+    pub kind: TraceKind,
+    /// Machine configuration shared by all streams.
+    pub machine: MachineConfig,
+    /// Session parameters.
+    pub params: SessionParams,
+    /// Per-thread streams.
+    pub streams: Vec<ThreadStream>,
+}
+
+fn put_geometry(out: &mut Vec<u8>, g: &CacheGeometry) {
+    put_varint(out, g.line_size as u64);
+    put_varint(out, g.ways as u64);
+    put_varint(out, g.sets as u64);
+}
+
+fn get_geometry(bytes: &[u8], pos: &mut usize) -> Result<CacheGeometry, TraceError> {
+    let line_size = get_varint(bytes, pos)? as usize;
+    let ways = get_varint(bytes, pos)? as usize;
+    let sets = get_varint(bytes, pos)? as usize;
+    if line_size == 0 || !line_size.is_power_of_two() || sets == 0 || !sets.is_power_of_two() {
+        return Err(TraceError::Corrupt(format!(
+            "invalid cache geometry {line_size}B x {ways}w x {sets}s"
+        )));
+    }
+    if ways == 0 {
+        return Err(TraceError::Corrupt("zero-way cache geometry".into()));
+    }
+    Ok(CacheGeometry {
+        line_size,
+        ways,
+        sets,
+    })
+}
+
+fn put_machine(out: &mut Vec<u8>, m: &MachineConfig) {
+    put_varint(out, m.hierarchy.cores as u64);
+    put_geometry(out, &m.hierarchy.l1);
+    put_geometry(out, &m.hierarchy.l2);
+    put_geometry(out, &m.hierarchy.l3);
+    let lat = &m.hierarchy.latency;
+    for v in [
+        lat.l1,
+        lat.l2,
+        lat.l3,
+        lat.remote_cache,
+        lat.dram,
+        lat.upgrade,
+    ] {
+        put_varint(out, v);
+    }
+    put_varint(out, m.cycles_per_second);
+    put_varint(out, m.op_cost);
+}
+
+fn get_machine(bytes: &[u8], pos: &mut usize) -> Result<MachineConfig, TraceError> {
+    let cores = get_varint(bytes, pos)? as usize;
+    if cores == 0 || cores > 64 {
+        return Err(TraceError::Corrupt(format!("{cores} cores out of range")));
+    }
+    let l1 = get_geometry(bytes, pos)?;
+    let l2 = get_geometry(bytes, pos)?;
+    let l3 = get_geometry(bytes, pos)?;
+    let mut lat = [0u64; 6];
+    for v in &mut lat {
+        *v = get_varint(bytes, pos)?;
+    }
+    let cycles_per_second = get_varint(bytes, pos)?;
+    let op_cost = get_varint(bytes, pos)?;
+    Ok(MachineConfig {
+        hierarchy: HierarchyConfig {
+            cores,
+            l1,
+            l2,
+            l3,
+            latency: LatencyModel {
+                l1: lat[0],
+                l2: lat[1],
+                l3: lat[2],
+                remote_cache: lat[3],
+                dram: lat[4],
+                upgrade: lat[5],
+            },
+        },
+        cycles_per_second,
+        op_cost,
+    })
+}
+
+fn put_params(out: &mut Vec<u8>, p: &SessionParams) {
+    put_string(out, &p.workload);
+    put_varint(out, p.threads as u64);
+    put_varint(out, p.cores as u64);
+    put_varint(out, p.warmup_rounds as u64);
+    put_varint(out, p.sample_rounds as u64);
+    put_varint(out, p.ibs_interval_ops);
+    put_varint(out, p.history_types as u64);
+    put_varint(out, p.history_sets as u64);
+    put_varint(out, p.base_seed);
+}
+
+fn get_params(bytes: &[u8], pos: &mut usize) -> Result<SessionParams, TraceError> {
+    Ok(SessionParams {
+        workload: get_string(bytes, pos)?,
+        threads: get_varint(bytes, pos)? as usize,
+        cores: get_varint(bytes, pos)? as usize,
+        warmup_rounds: get_varint(bytes, pos)? as usize,
+        sample_rounds: get_varint(bytes, pos)? as usize,
+        ibs_interval_ops: get_varint(bytes, pos)?,
+        history_types: get_varint(bytes, pos)? as usize,
+        history_sets: get_varint(bytes, pos)? as usize,
+        base_seed: get_varint(bytes, pos)?,
+    })
+}
+
+fn put_stream(out: &mut Vec<u8>, s: &ThreadStream) {
+    put_varint(out, s.seed);
+    put_varint(out, s.requests);
+    put_varint(out, s.symbols.len() as u64);
+    for name in &s.symbols {
+        put_string(out, name);
+    }
+    put_varint(out, s.types.len() as u64);
+    for t in &s.types {
+        put_string(out, &t.name);
+        put_string(out, &t.description);
+        put_varint(out, t.size);
+        put_varint(out, t.fields.len() as u64);
+        for f in &t.fields {
+            put_string(out, &f.name);
+            put_varint(out, f.offset);
+            put_varint(out, f.size);
+        }
+    }
+    let encoded = encode_events(&s.events);
+    put_varint(out, s.events.len() as u64);
+    put_varint(out, encoded.len() as u64);
+    out.extend_from_slice(&encoded);
+}
+
+fn get_stream(bytes: &[u8], pos: &mut usize) -> Result<ThreadStream, TraceError> {
+    let seed = get_varint(bytes, pos)?;
+    let requests = get_varint(bytes, pos)?;
+    let symbol_count = get_varint(bytes, pos)? as usize;
+    if symbol_count > bytes.len() - *pos {
+        return Err(TraceError::Corrupt("symbol count exceeds stream".into()));
+    }
+    let mut symbols = Vec::with_capacity(symbol_count);
+    for _ in 0..symbol_count {
+        symbols.push(get_string(bytes, pos)?);
+    }
+    let type_count = get_varint(bytes, pos)? as usize;
+    if type_count > bytes.len() - *pos {
+        return Err(TraceError::Corrupt("type count exceeds stream".into()));
+    }
+    let mut types = Vec::with_capacity(type_count);
+    for _ in 0..type_count {
+        let name = get_string(bytes, pos)?;
+        let description = get_string(bytes, pos)?;
+        let size = get_varint(bytes, pos)?;
+        let field_count = get_varint(bytes, pos)? as usize;
+        if field_count > bytes.len() - *pos {
+            return Err(TraceError::Corrupt("field count exceeds stream".into()));
+        }
+        let mut fields = Vec::with_capacity(field_count);
+        for _ in 0..field_count {
+            fields.push(FieldDump {
+                name: get_string(bytes, pos)?,
+                offset: get_varint(bytes, pos)?,
+                size: get_varint(bytes, pos)?,
+            });
+        }
+        types.push(TypeDump {
+            name,
+            description,
+            size,
+            fields,
+        });
+    }
+    let event_count = get_varint(bytes, pos)? as usize;
+    let byte_len = get_varint(bytes, pos)? as usize;
+    if bytes.len() - *pos < byte_len {
+        return Err(TraceError::UnexpectedEof);
+    }
+    let events = decode_events(&bytes[*pos..*pos + byte_len], event_count)?;
+    *pos += byte_len;
+    Ok(ThreadStream {
+        seed,
+        requests,
+        symbols,
+        types,
+        events,
+    })
+}
+
+/// Largest access length a stream may carry.  Live accesses are at most a few KiB
+/// (payload copies chunk at 64 bytes); the generous 1 MiB bound exists purely so a
+/// crafted trace cannot make replay's line-split loop iterate ~2^54 times.
+const MAX_ACCESS_LEN: u64 = 1 << 20;
+
+/// Semantic validation applied after structural decoding: every event must be
+/// applicable to the declared machine (core in range, sane access extents), so a
+/// decodable-but-invalid trace is rejected here instead of panicking or hanging
+/// mid-replay.
+fn validate_stream_events(stream: &ThreadStream, cores: usize) -> Result<(), TraceError> {
+    for (i, ev) in stream.events.iter().enumerate() {
+        let (core, extent) = match *ev {
+            SessionEvent::Access {
+                core, addr, len, ..
+            } => (core, Some((addr, len))),
+            SessionEvent::Compute { core, .. }
+            | SessionEvent::Alloc { core, .. }
+            | SessionEvent::Free { core, .. } => (core, None),
+            SessionEvent::RoundEnd => continue,
+        };
+        if core as usize >= cores {
+            return Err(TraceError::Corrupt(format!(
+                "event {i} targets core {core} but the machine has {cores} cores"
+            )));
+        }
+        if let Some((addr, len)) = extent {
+            if len == 0 || len > MAX_ACCESS_LEN {
+                return Err(TraceError::Corrupt(format!(
+                    "event {i} has access length {len} (must be 1..={MAX_ACCESS_LEN})"
+                )));
+            }
+            if addr.checked_add(len).is_none() {
+                return Err(TraceError::Corrupt(format!(
+                    "event {i} wraps the address space ({addr:#x} + {len})"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+impl TraceFile {
+    /// Serializes the trace to its on-disk byte form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(self.kind.to_byte());
+        put_machine(&mut out, &self.machine);
+        put_params(&mut out, &self.params);
+        put_varint(&mut out, self.streams.len() as u64);
+        for s in &self.streams {
+            put_stream(&mut out, s);
+        }
+        out
+    }
+
+    /// Parses a `.dtrace` byte stream, validating magic, version and structure.
+    pub fn decode(bytes: &[u8]) -> Result<Self, TraceError> {
+        if bytes.len() < MAGIC.len() + 2 || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let mut pos = MAGIC.len();
+        let version = u16::from_le_bytes([bytes[pos], bytes[pos + 1]]);
+        pos += 2;
+        if version != VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let kind_byte = *bytes.get(pos).ok_or(TraceError::UnexpectedEof)?;
+        pos += 1;
+        let kind = TraceKind::from_byte(kind_byte)?;
+        let machine = get_machine(bytes, &mut pos)?;
+        let params = get_params(bytes, &mut pos)?;
+        let stream_count = get_varint(bytes, &mut pos)? as usize;
+        if stream_count > bytes.len() - pos {
+            return Err(TraceError::Corrupt("stream count exceeds file".into()));
+        }
+        let mut streams = Vec::with_capacity(stream_count);
+        for _ in 0..stream_count {
+            let stream = get_stream(bytes, &mut pos)?;
+            validate_stream_events(&stream, machine.hierarchy.cores)?;
+            streams.push(stream);
+        }
+        if pos != bytes.len() {
+            return Err(TraceError::Corrupt(format!(
+                "{} trailing bytes after the last stream",
+                bytes.len() - pos
+            )));
+        }
+        Ok(TraceFile {
+            kind,
+            machine,
+            params,
+            streams,
+        })
+    }
+
+    /// Reads and decodes a `.dtrace` file from disk.
+    pub fn read(path: &str) -> Result<Self, String> {
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Self::decode(&bytes).map_err(|e| format!("{path}: {e}"))
+    }
+
+    /// Encodes and writes the trace to disk.
+    pub fn write(&self, path: &str) -> Result<(), String> {
+        std::fs::write(path, self.encode()).map_err(|e| format!("cannot write {path}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_cache::AccessKind;
+    use sim_machine::FunctionId;
+
+    fn sample_file() -> TraceFile {
+        TraceFile {
+            kind: TraceKind::FullSession,
+            machine: MachineConfig::small_test(),
+            params: SessionParams {
+                workload: "memcached".into(),
+                threads: 1,
+                cores: 2,
+                warmup_rounds: 5,
+                sample_rounds: 30,
+                ibs_interval_ops: 200,
+                history_types: 2,
+                history_sets: 2,
+                base_seed: 3471,
+            },
+            streams: vec![ThreadStream {
+                seed: 3471,
+                requests: 120,
+                symbols: vec!["__alloc_skb".into(), "udp_rcv".into()],
+                types: vec![TypeDump {
+                    name: "skbuff".into(),
+                    description: "packet bookkeeping structure".into(),
+                    size: 256,
+                    fields: vec![FieldDump {
+                        name: "len".into(),
+                        offset: 24,
+                        size: 4,
+                    }],
+                }],
+                events: vec![
+                    SessionEvent::RoundEnd,
+                    SessionEvent::Access {
+                        core: 0,
+                        ip: FunctionId(1),
+                        addr: 0x1_0000_1000,
+                        len: 8,
+                        kind: AccessKind::Write,
+                    },
+                    SessionEvent::Alloc {
+                        core: 0,
+                        type_id: 1,
+                        size: 256,
+                        addr: 0x1_0000_2000,
+                        cycle: 42,
+                        hookable: true,
+                    },
+                    SessionEvent::Free {
+                        core: 1,
+                        addr: 0x1_0000_2000,
+                        cycle: 99,
+                    },
+                    SessionEvent::RoundEnd,
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn file_round_trips() {
+        let file = sample_file();
+        let bytes = file.encode();
+        let back = TraceFile::decode(&bytes).expect("decodes");
+        assert_eq!(back.kind, file.kind);
+        assert_eq!(back.params, file.params);
+        assert_eq!(back.streams, file.streams);
+        assert_eq!(back.machine.hierarchy.cores, 2);
+        assert_eq!(back.machine.hierarchy.l1, file.machine.hierarchy.l1);
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let mut bytes = sample_file().encode();
+        assert_eq!(
+            TraceFile::decode(b"NOTATRACE").unwrap_err(),
+            TraceError::BadMagic
+        );
+        bytes[8] = 0xfe; // clobber the version
+        assert!(matches!(
+            TraceFile::decode(&bytes),
+            Err(TraceError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = sample_file().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                TraceFile::decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample_file().encode();
+        bytes.push(0);
+        assert!(matches!(
+            TraceFile::decode(&bytes),
+            Err(TraceError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,67 @@
+//! # dprof-trace
+//!
+//! The `.dtrace` binary access-trace subsystem: a compact, versioned on-disk format for
+//! recorded DProf sessions, plus the machinery to replay a trace through the *full*
+//! profiler pipeline — IBS access sampling, watchpoint-based object access histories
+//! and all four data-centric views — without instantiating a workload.
+//!
+//! A recorded session captures, per worker thread, the machine's complete externally
+//! driven event stream from birth (see [`sim_machine::session`]): every memory access
+//! with its attributed function, every compute step, every allocator address-set
+//! mutation, and workload-round boundaries.  Because the simulator is deterministic,
+//! re-running the real [`dprof_core::Dprof`] profiler against that stream reproduces
+//! the live run exactly: the replayed report is **byte-identical** to the recorded
+//! run's report, which is what lets CI gate on golden reports instead of smoke-checking
+//! schemas.
+//!
+//! Layout:
+//!
+//! * [`codec`] — hand-rolled varint/zigzag event encoding with per-core address deltas
+//!   and `AccessReq`-run coalescing (no external dependencies).
+//! * [`mod@format`] — the `.dtrace` container: magic, version, machine configuration,
+//!   session parameters and per-thread streams (symbol + type dumps, encoded events).
+//! * [`replay`] — sharded replay: one worker thread per recorded stream, each driving
+//!   a fresh machine + replay kernel through the profiler; results merge through the
+//!   CLI's existing merge path.
+//! * [`mod@line`] — lowering of session events to per-cache-line
+//!   [`sim_cache::TraceEvent`] streams, used by `dprof-bench` to replay captured
+//!   workloads against alternative hierarchy implementations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod format;
+pub mod line;
+pub mod replay;
+
+pub use format::{
+    FieldDump, RecordedStream, SessionParams, ThreadStream, TraceFile, TraceKind, TypeDump,
+};
+pub use replay::{replay_all, replay_stream, ReplayRun};
+
+/// Errors produced while decoding a `.dtrace` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The file does not start with the `DPROFTRC` magic.
+    BadMagic,
+    /// The format version is not supported by this build.
+    UnsupportedVersion(u16),
+    /// The byte stream ended in the middle of a field.
+    UnexpectedEof,
+    /// A structurally invalid value (bad opcode, impossible geometry, length overflow).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a dprof trace (bad magic)"),
+            TraceError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::UnexpectedEof => write!(f, "truncated trace (unexpected end of file)"),
+            TraceError::Corrupt(why) => write!(f, "corrupt trace: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}

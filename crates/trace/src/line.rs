@@ -1,0 +1,99 @@
+//! Lowering of session events to per-cache-line access streams.
+//!
+//! The cache hierarchy consumes one access per line ([`CacheHierarchy::access`]
+//! asserts single-line accesses); the machine splits multi-line requests at line
+//! boundaries.  This module replicates that split so a recorded machine-level stream
+//! can drive a bare hierarchy — which is exactly what `dprof-bench` does when it
+//! replays `.dtrace` workload captures against the reference and optimized
+//! implementations.
+//!
+//! [`CacheHierarchy::access`]: sim_cache::CacheHierarchy::access
+
+use sim_cache::TraceEvent;
+use sim_machine::SessionEvent;
+
+/// Converts a session-event stream into the per-line [`TraceEvent`] stream the
+/// hierarchy-level replay consumes, splitting multi-line accesses exactly as
+/// `Machine::access` does.  Non-access events are skipped.
+pub fn session_to_line_events(events: &[SessionEvent], line_size: u64) -> Vec<TraceEvent> {
+    assert!(
+        line_size.is_power_of_two() && line_size > 0,
+        "line size must be a power of two"
+    );
+    let mut out = Vec::with_capacity(events.len());
+    for ev in events {
+        let SessionEvent::Access {
+            core,
+            addr,
+            len,
+            kind,
+            ..
+        } = *ev
+        else {
+            continue;
+        };
+        let mut offset = 0u64;
+        while offset < len {
+            let a = addr + offset;
+            let line_end = (a / line_size + 1) * line_size;
+            let chunk = (line_end - a).min(len - offset);
+            out.push(TraceEvent {
+                core,
+                addr: a,
+                kind,
+            });
+            offset += chunk;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_cache::AccessKind;
+    use sim_machine::FunctionId;
+
+    #[test]
+    fn spanning_access_splits_at_line_boundaries() {
+        let events = vec![
+            SessionEvent::Access {
+                core: 1,
+                ip: FunctionId(0),
+                addr: 0x1038,
+                len: 16,
+                kind: AccessKind::Write,
+            },
+            SessionEvent::RoundEnd,
+            SessionEvent::Access {
+                core: 0,
+                ip: FunctionId(0),
+                addr: 0x2000,
+                len: 8,
+                kind: AccessKind::Read,
+            },
+        ];
+        let lines = session_to_line_events(&events, 64);
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].addr, 0x1038);
+        assert_eq!(lines[1].addr, 0x1040);
+        assert_eq!(lines[1].core, 1);
+        assert_eq!(lines[2].addr, 0x2000);
+        assert_eq!(lines[2].kind, AccessKind::Read);
+    }
+
+    #[test]
+    fn exact_line_multiple_splits_cleanly() {
+        let events = [SessionEvent::Access {
+            core: 0,
+            ip: FunctionId(0),
+            addr: 0x1000,
+            len: 128,
+            kind: AccessKind::Read,
+        }];
+        let lines = session_to_line_events(&events, 64);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].addr, 0x1000);
+        assert_eq!(lines[1].addr, 0x1040);
+    }
+}

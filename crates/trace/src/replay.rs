@@ -1,0 +1,236 @@
+//! Full-pipeline trace replay.
+//!
+//! A recorded stream is the machine's complete event history from birth, punctuated by
+//! round markers.  Replay rebuilds the identical universe — a machine with the recorded
+//! configuration and pre-interned symbols, a kernel shell whose type registry and
+//! allocator are rebuilt from the stream's dumps and events — and then runs the *real*
+//! profiler ([`Dprof::run`]) with a `step` closure that feeds events up to the next
+//! round marker instead of stepping a workload.
+//!
+//! Determinism does the rest: the replayed machine's clocks, cache state, IBS samples
+//! and watchpoint hits evolve exactly as the live run's did, the profiler re-makes the
+//! same decisions (same config, same seeds, same sample streams), and the resulting
+//! [`DprofProfile`] — and therefore the rendered report — is byte-identical to the
+//! live run's.
+//!
+//! Sharding: streams are independent machines (one per recorded worker thread), so
+//! [`replay_all`] replays them on parallel worker threads and the caller merges the
+//! per-thread profiles through the CLI's existing merge path, exactly as a live
+//! multi-threaded run would.
+
+use crate::format::{ThreadStream, TraceFile, TraceKind};
+use dprof_core::{Dprof, DprofConfig, DprofProfile};
+use sim_kernel::{KernelState, TypeId, TypeRegistry};
+use sim_machine::{Machine, SessionEvent};
+use std::collections::HashMap;
+
+/// The outcome of replaying one recorded stream: everything the CLI needs to build a
+/// `ThreadRun` and merge it alongside (or instead of) live runs.
+#[derive(Debug)]
+pub struct ReplayRun {
+    /// Stream index (the live run's thread index).
+    pub thread: usize,
+    /// The seed the recorded thread ran with.
+    pub seed: u64,
+    /// The full profile produced by the replayed profiler.
+    pub profile: DprofProfile,
+    /// Type names for every `TypeId` appearing in the profile's maps.
+    pub type_names: HashMap<TypeId, String>,
+    /// Application requests completed in the profiled window (carried from the trace).
+    pub requests: u64,
+    /// Simulated elapsed seconds of the profiled window.
+    pub elapsed_seconds: f64,
+    /// Total simulated cycles (all cores) spent in the profiled window.
+    pub total_cycles: u64,
+    /// Fraction of profiled-window cycles spent in profiling interrupts.
+    pub profiling_fraction: f64,
+    /// Events left unconsumed after the profiler finished.  Zero for a faithful
+    /// replay; non-zero means the replayed profiler diverged from the recording
+    /// (e.g. a trace produced by a different build).
+    pub trailing_events: usize,
+}
+
+/// A cursor feeding recorded events into the machine/kernel, one round per call.
+struct EventCursor<'a> {
+    events: &'a [SessionEvent],
+    pos: usize,
+    /// Set if the cursor ran dry mid-round — replay divergence, reported to the user.
+    exhausted: bool,
+}
+
+impl EventCursor<'_> {
+    /// Applies events up to and including the next round marker.
+    fn run_round(&mut self, machine: &mut Machine, kernel: &mut KernelState) {
+        while self.pos < self.events.len() {
+            let ev = self.events[self.pos];
+            self.pos += 1;
+            match ev {
+                SessionEvent::RoundEnd => return,
+                SessionEvent::Access {
+                    core,
+                    ip,
+                    addr,
+                    len,
+                    kind,
+                } => {
+                    machine.access(core as usize, ip, addr, len, kind);
+                }
+                SessionEvent::Compute { core, ip, cycles } => {
+                    machine.compute(core as usize, ip, cycles);
+                }
+                SessionEvent::Alloc {
+                    core,
+                    type_id,
+                    size,
+                    addr,
+                    cycle,
+                    hookable,
+                } => kernel.allocator.replay_alloc(
+                    machine,
+                    core as usize,
+                    TypeId(type_id),
+                    size,
+                    addr,
+                    cycle,
+                    hookable,
+                ),
+                SessionEvent::Free { core, addr, cycle } => {
+                    kernel
+                        .allocator
+                        .replay_free(machine, core as usize, addr, cycle)
+                }
+            }
+        }
+        self.exhausted = true;
+    }
+}
+
+/// Replays a single stream of a full-session trace through the profiler pipeline.
+///
+/// # Panics
+/// Panics if `thread` is out of range or the trace is not [`TraceKind::FullSession`]
+/// (callers validate the kind up front; see [`replay_all`]).
+pub fn replay_stream(file: &TraceFile, thread: usize) -> ReplayRun {
+    assert_eq!(
+        file.kind,
+        TraceKind::FullSession,
+        "only full-session traces replay through the profiler"
+    );
+    let stream: &ThreadStream = &file.streams[thread];
+
+    // Rebuild the live run's universe: same machine configuration, symbols interned in
+    // recorded id order (so every FunctionId in the event stream resolves to the same
+    // name), and the type registry re-registered in recorded id order (so every TypeId
+    // matches).  The kernel shell must be built *after* pre-interning: its own interning
+    // then maps onto existing ids instead of minting new ones.
+    let mut machine = Machine::new(file.machine);
+    for name in &stream.symbols {
+        machine.fn_id(name);
+    }
+    let mut types = TypeRegistry::new();
+    for t in &stream.types {
+        let id = types.register(&t.name, &t.description, t.size);
+        for f in &t.fields {
+            types.add_field(id, &f.name, f.offset, f.size);
+        }
+    }
+    let mut kernel = KernelState::for_replay(&mut machine, file.params.cores, types);
+
+    let mut cursor = EventCursor {
+        events: &stream.events,
+        pos: 0,
+        exhausted: false,
+    };
+
+    // Segment 0: kernel/workload setup traffic (everything before the first marker).
+    cursor.run_round(&mut machine, &mut kernel);
+    // Warmup, phase-shifted per thread exactly as the live driver ran it.
+    for _ in 0..file.params.warmup_rounds + thread {
+        cursor.run_round(&mut machine, &mut kernel);
+    }
+
+    // Snapshot counters after warmup, mirroring the live driver's measurement window.
+    let elapsed_before = machine.elapsed_seconds();
+    let cycles_before: u64 = (0..machine.cores()).map(|c| machine.clock(c)).sum();
+    let profiling_before = machine.total_profiling_cycles();
+
+    let config = DprofConfig {
+        ibs_interval_ops: file.params.ibs_interval_ops,
+        sample_rounds: file.params.sample_rounds,
+        history_types: file.params.history_types,
+        history: dprof_core::HistoryConfig {
+            history_sets: file.params.history_sets,
+            seed: stream.seed,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    let profile = Dprof::new(config).run(&mut machine, &mut kernel, |m, k| cursor.run_round(m, k));
+
+    let mut type_names: HashMap<TypeId, String> = profile
+        .data_profile
+        .iter()
+        .map(|row| (row.type_id, row.name.clone()))
+        .collect();
+    for ty in profile.data_flows.keys() {
+        type_names
+            .entry(*ty)
+            .or_insert_with(|| format!("type#{}", ty.0));
+    }
+
+    let total_cycles: u64 =
+        (0..machine.cores()).map(|c| machine.clock(c)).sum::<u64>() - cycles_before;
+    let profiling = machine.total_profiling_cycles() - profiling_before;
+    let trailing_events = stream.events.len() - cursor.pos + usize::from(cursor.exhausted);
+
+    ReplayRun {
+        thread,
+        seed: stream.seed,
+        profile,
+        type_names,
+        requests: stream.requests,
+        elapsed_seconds: machine.elapsed_seconds() - elapsed_before,
+        total_cycles,
+        profiling_fraction: if total_cycles == 0 {
+            0.0
+        } else {
+            profiling as f64 / total_cycles as f64
+        },
+        trailing_events,
+    }
+}
+
+/// Replays every stream of a full-session trace, sharded across one worker thread per
+/// stream, returning the runs ordered by stream index.  Panics in workers are surfaced
+/// as an `Err` naming the stream.
+pub fn replay_all(file: &TraceFile) -> Result<Vec<ReplayRun>, String> {
+    if file.kind != TraceKind::FullSession {
+        return Err(
+            "trace is access-only (e.g. a bench capture); it has no profiler session to replay"
+                .into(),
+        );
+    }
+    if file.streams.is_empty() {
+        return Err("trace contains no streams".into());
+    }
+    // Even a single stream replays on a scoped worker thread: a panic while applying
+    // a semantically inconsistent event stream (e.g. a crafted free of a never
+    // allocated address) then surfaces as a clean error instead of aborting the CLI.
+    let mut runs: Vec<ReplayRun> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..file.streams.len())
+            .map(|thread| scope.spawn(move || replay_stream(file, thread)))
+            .collect();
+        let joined: Vec<(usize, std::thread::Result<ReplayRun>)> = handles
+            .into_iter()
+            .enumerate()
+            .map(|(thread, handle)| (thread, handle.join()))
+            .collect();
+        joined
+            .into_iter()
+            .map(|(thread, result)| result.map_err(|_| format!("replay thread {thread} panicked")))
+            .collect::<Result<Vec<_>, String>>()
+    })?;
+    runs.sort_by_key(|r| r.thread);
+    Ok(runs)
+}

@@ -1,0 +1,134 @@
+//! Property tests for the `.dtrace` codec: encode → decode must be the identity over
+//! arbitrary event streams, and damaged inputs (truncation, corrupt headers) must be
+//! rejected rather than misdecoded.
+
+use dprof_trace::codec::{decode_events, encode_events};
+use dprof_trace::{SessionParams, ThreadStream, TraceFile, TraceKind};
+use proptest::prelude::*;
+use sim_cache::AccessKind;
+use sim_machine::{FunctionId, MachineConfig, SessionEvent};
+
+/// Strategy producing one arbitrary session event.
+fn event_strategy() -> impl Strategy<Value = SessionEvent> {
+    (
+        (0u8..5, 0u32..8),
+        (0u64..0x2_0000_0000, 1u64..4096, 0u64..200, any::<bool>()),
+    )
+        .prop_map(|((tag, core), (addr, len, small, flag))| match tag {
+            0 => SessionEvent::Access {
+                core,
+                ip: FunctionId(small as u32),
+                addr,
+                len,
+                kind: if flag {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+            },
+            1 => SessionEvent::Compute {
+                core,
+                ip: FunctionId(small as u32),
+                cycles: addr,
+            },
+            2 => SessionEvent::Alloc {
+                core,
+                type_id: small as u32,
+                size: len,
+                addr,
+                cycle: addr ^ len,
+                hookable: flag,
+            },
+            3 => SessionEvent::Free {
+                core,
+                addr,
+                cycle: addr.wrapping_mul(3),
+            },
+            _ => SessionEvent::RoundEnd,
+        })
+}
+
+fn full_file(events: Vec<SessionEvent>) -> TraceFile {
+    TraceFile {
+        kind: TraceKind::FullSession,
+        // Eight cores: the event strategy draws cores from 0..8, and decoding
+        // validates every event against the declared machine.
+        machine: MachineConfig::with_cores(8),
+        params: SessionParams {
+            workload: "memcached".into(),
+            threads: 1,
+            cores: 8,
+            warmup_rounds: 3,
+            sample_rounds: 10,
+            ibs_interval_ops: 100,
+            history_types: 2,
+            history_sets: 2,
+            base_seed: 1,
+        },
+        streams: vec![ThreadStream {
+            seed: 1,
+            requests: 7,
+            symbols: vec!["f".into(), "g".into()],
+            types: Vec::new(),
+            events,
+        }],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// encode → decode is the identity for arbitrary event streams.
+    #[test]
+    fn events_round_trip(events in proptest::collection::vec(event_strategy(), 0..400)) {
+        let bytes = encode_events(&events);
+        let decoded = decode_events(&bytes, events.len()).expect("decodes");
+        prop_assert_eq!(decoded, events);
+    }
+
+    /// The whole-file container also round-trips through its byte form.
+    #[test]
+    fn files_round_trip(events in proptest::collection::vec(event_strategy(), 0..120)) {
+        let file = full_file(events);
+        let back = TraceFile::decode(&file.encode()).expect("decodes");
+        prop_assert_eq!(back.streams[0].events.clone(), file.streams[0].events.clone());
+        prop_assert_eq!(back.params, file.params);
+    }
+
+    /// No truncation of a valid file decodes successfully (every prefix is rejected,
+    /// never misinterpreted).
+    #[test]
+    fn truncations_never_decode(events in proptest::collection::vec(event_strategy(), 1..60),
+                                cut_fraction in 0u64..1000) {
+        let bytes = full_file(events).encode();
+        let cut = (bytes.len() as u64 * cut_fraction / 1000) as usize;
+        prop_assert!(cut < bytes.len());
+        prop_assert!(TraceFile::decode(&bytes[..cut]).is_err());
+    }
+
+    /// A corrupted header byte (magic or version region) is always rejected.
+    #[test]
+    fn corrupt_header_rejected(events in proptest::collection::vec(event_strategy(), 0..40),
+                               byte in 0usize..10, bit in 0u32..8) {
+        let mut bytes = full_file(events).encode();
+        bytes[byte] ^= 1 << bit;
+        // Flipping any bit of the magic or the version must fail to decode as v1.
+        prop_assert!(TraceFile::decode(&bytes).is_err());
+    }
+
+    /// Decodable events targeting a core the declared machine does not have are
+    /// rejected at decode time (they would otherwise panic mid-replay).
+    #[test]
+    fn out_of_range_cores_rejected_at_decode(events in proptest::collection::vec(event_strategy(), 1..40)) {
+        let has_high_core = events.iter().any(|e| matches!(e,
+            SessionEvent::Access { core, .. }
+            | SessionEvent::Compute { core, .. }
+            | SessionEvent::Alloc { core, .. }
+            | SessionEvent::Free { core, .. } if *core >= 2));
+        let mut file = full_file(events);
+        file.machine = MachineConfig::small_test(); // 2 cores
+        file.params.cores = 2;
+        let decoded = TraceFile::decode(&file.encode());
+        prop_assert_eq!(decoded.is_err(), has_high_core);
+    }
+}

@@ -1,0 +1,156 @@
+//! End-to-end record → replay determinism at the profiler level: a live memcached
+//! session recorded to a trace and replayed through [`dprof_trace::replay_stream`]
+//! must reproduce the live profile exactly — same IBS samples, same object access
+//! histories, same view contents — after a full encode/decode round trip of the
+//! trace bytes.
+
+use dprof_core::{Dprof, DprofConfig, DprofProfile};
+use dprof_trace::{FieldDump, SessionParams, ThreadStream, TraceFile, TraceKind, TypeDump};
+use workloads::{Memcached, MemcachedConfig, Workload};
+
+const WARMUP: usize = 4;
+const SAMPLE_ROUNDS: usize = 25;
+const SEED: u64 = 3471;
+
+/// Runs a live recorded session exactly as the CLI driver does for one thread, and
+/// returns the live profile plus the recorded trace file.
+fn record_live() -> (DprofProfile, u64, TraceFile) {
+    let config = MemcachedConfig {
+        cores: 2,
+        seed: SEED,
+        record_session: true,
+        ..Default::default()
+    };
+    let (mut machine, mut kernel, mut workload) = Memcached::setup(config);
+    machine.mark_session_round(); // end of setup segment
+
+    for _ in 0..WARMUP {
+        workload.step(&mut machine, &mut kernel);
+        machine.mark_session_round();
+    }
+    let requests_before = workload.requests_completed();
+
+    let dprof_config = DprofConfig {
+        ibs_interval_ops: 150,
+        sample_rounds: SAMPLE_ROUNDS,
+        history_types: 2,
+        history: dprof_core::HistoryConfig {
+            history_sets: 2,
+            seed: SEED,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let profile = Dprof::new(dprof_config).run(&mut machine, &mut kernel, |m, k| {
+        workload.step(m, k);
+        m.mark_session_round();
+    });
+    let requests = workload.requests_completed() - requests_before;
+
+    let stream = ThreadStream {
+        seed: SEED,
+        requests,
+        symbols: machine
+            .symbols
+            .iter()
+            .map(|(_, name)| name.to_string())
+            .collect(),
+        types: kernel
+            .types
+            .iter()
+            .map(|t| TypeDump {
+                name: t.name.clone(),
+                description: t.description.clone(),
+                size: t.size,
+                fields: t
+                    .fields
+                    .iter()
+                    .map(|f| FieldDump {
+                        name: f.name.clone(),
+                        offset: f.offset,
+                        size: f.size,
+                    })
+                    .collect(),
+            })
+            .collect(),
+        events: machine.take_session_events(),
+    };
+    let file = TraceFile {
+        kind: TraceKind::FullSession,
+        machine: *machine.config(),
+        params: SessionParams {
+            workload: "memcached".into(),
+            threads: 1,
+            cores: 2,
+            warmup_rounds: WARMUP,
+            sample_rounds: SAMPLE_ROUNDS,
+            ibs_interval_ops: 150,
+            history_types: 2,
+            history_sets: 2,
+            base_seed: SEED,
+        },
+        streams: vec![stream],
+    };
+    (profile, requests, file)
+}
+
+#[test]
+fn replayed_profile_is_identical_to_the_live_run() {
+    let (live, live_requests, file) = record_live();
+
+    // Round-trip through the on-disk byte form first: the replay below therefore
+    // also proves the codec preserves everything the profiler depends on.
+    let decoded = TraceFile::decode(&file.encode()).expect("trace decodes");
+    let replayed = dprof_trace::replay_stream(&decoded, 0);
+
+    assert_eq!(
+        replayed.trailing_events, 0,
+        "replay must consume the recorded stream exactly"
+    );
+    assert_eq!(replayed.requests, live_requests);
+
+    // The profiler's raw material must match sample-for-sample...
+    assert_eq!(replayed.profile.samples, live.samples);
+    assert_eq!(replayed.profile.sample_window, live.sample_window);
+    // ...and so must the collected object access histories...
+    assert_eq!(replayed.profile.histories, live.histories);
+    // ...and the derived views (row identity via the fields that feed the report).
+    assert_eq!(replayed.profile.data_profile.len(), live.data_profile.len());
+    for (r, l) in replayed
+        .profile
+        .data_profile
+        .iter()
+        .zip(live.data_profile.iter())
+    {
+        assert_eq!(r.name, l.name);
+        assert_eq!(r.samples, l.samples);
+        assert_eq!(r.bounce, l.bounce);
+        assert!((r.pct_of_l1_misses - l.pct_of_l1_misses).abs() < 1e-12);
+        assert!((r.working_set_bytes - l.working_set_bytes).abs() < 1e-12);
+    }
+    assert_eq!(
+        replayed.profile.miss_classification.len(),
+        live.miss_classification.len()
+    );
+    assert_eq!(
+        replayed.profile.working_set.per_type.len(),
+        live.working_set.per_type.len()
+    );
+    assert_eq!(replayed.profile.data_flows.len(), live.data_flows.len());
+    for (ty, graph) in &live.data_flows {
+        let r = replayed
+            .profile
+            .data_flows
+            .get(ty)
+            .expect("replayed flow for the same type");
+        assert_eq!(r.nodes.len(), graph.nodes.len());
+        assert_eq!(r.edges.len(), graph.edges.len());
+    }
+}
+
+#[test]
+fn replay_all_rejects_access_only_traces() {
+    let (_, _, mut file) = record_live();
+    file.kind = TraceKind::AccessOnly;
+    assert!(dprof_trace::replay_all(&file).is_err());
+}

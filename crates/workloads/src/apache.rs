@@ -35,6 +35,9 @@ pub struct ApacheConfig {
     pub workers_per_core: usize,
     /// Application-level work per request, in cycles (parsing, logging).
     pub app_cycles: u64,
+    /// Record the full session event stream (see `sim_machine::session`) from machine
+    /// birth, for `dprof record`.
+    pub record_session: bool,
 }
 
 impl Default for ApacheConfig {
@@ -48,6 +51,7 @@ impl Default for ApacheConfig {
             backlog_limit: 1024,
             workers_per_core: 28,
             app_cycles: 3_000,
+            record_session: false,
         }
     }
 }
@@ -109,6 +113,9 @@ impl Apache {
     /// Convenience constructor building machine + kernel + workload.
     pub fn setup(config: ApacheConfig) -> (Machine, KernelState, Self) {
         let mut machine = Machine::new(MachineConfig::with_cores(config.cores));
+        if config.record_session {
+            machine.start_session_recording();
+        }
         let mut kernel = KernelState::new(
             &mut machine,
             KernelConfig {

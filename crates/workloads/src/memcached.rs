@@ -33,6 +33,9 @@ pub struct MemcachedConfig {
     pub app_cycles: u64,
     /// RNG seed for key selection.
     pub seed: u64,
+    /// Record the full session event stream (see `sim_machine::session`) from machine
+    /// birth, for `dprof record`.
+    pub record_session: bool,
 }
 
 impl Default for MemcachedConfig {
@@ -44,6 +47,7 @@ impl Default for MemcachedConfig {
             tx_policy: TxQueuePolicy::HashTxQueue,
             app_cycles: 1_500,
             seed: 0x6d63,
+            record_session: false,
         }
     }
 }
@@ -80,6 +84,9 @@ impl Memcached {
     /// the evaluation-scale defaults.
     pub fn setup(config: MemcachedConfig) -> (Machine, KernelState, Self) {
         let mut machine = Machine::new(MachineConfig::with_cores(config.cores));
+        if config.record_session {
+            machine.start_session_recording();
+        }
         let mut kernel = KernelState::new(
             &mut machine,
             KernelConfig {

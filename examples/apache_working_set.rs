@@ -15,9 +15,14 @@ fn profile_apache(config: ApacheConfig, label: &str) -> f64 {
     for _ in 0..30 {
         workload.step(&mut machine, &mut kernel);
     }
-    let mut dconf = DprofConfig::default();
-    dconf.sample_rounds = 60;
-    dconf.history.history_sets = 3;
+    let dconf = DprofConfig {
+        sample_rounds: 60,
+        history: HistoryConfig {
+            history_sets: 3,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
     let profile = Dprof::new(dconf).run(&mut machine, &mut kernel, |m, k| workload.step(m, k));
 
     println!("--- Apache at {label} (cf. Tables 6.4 / 6.5) ---");

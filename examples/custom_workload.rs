@@ -54,10 +54,15 @@ fn main() {
     };
 
     // Profile it.
-    let mut config = DprofConfig::default();
-    config.sample_rounds = 400;
-    config.history_types = 2;
-    config.history.history_sets = 4;
+    let config = DprofConfig {
+        sample_rounds: 400,
+        history_types: 2,
+        history: HistoryConfig {
+            history_sets: 4,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
     let profile = Dprof::new(config).run(&mut machine, &mut kernel, step);
 
     println!("{}", report::render_data_profile(&profile.data_profile, 6));

@@ -33,9 +33,14 @@ fn main() {
     for _ in 0..20 {
         workload.step(&mut machine, &mut kernel);
     }
-    let mut dconf = DprofConfig::default();
-    dconf.sample_rounds = 80;
-    dconf.history.history_sets = 4;
+    let dconf = DprofConfig {
+        sample_rounds: 80,
+        history: HistoryConfig {
+            history_sets: 4,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
     let profile = Dprof::new(dconf).run(&mut machine, &mut kernel, |m, k| workload.step(m, k));
 
     println!("--- DProf data profile (cf. Table 6.1) ---");

@@ -26,10 +26,15 @@ fn main() {
 
     // 3. Profile it with DProf: access samples via IBS-style sampling, then object
     //    access histories for the top miss-heavy types via debug-register watchpoints.
-    let mut dprof_config = DprofConfig::default();
-    dprof_config.sample_rounds = 80;
-    dprof_config.history_types = 3;
-    dprof_config.history.history_sets = 4;
+    let dprof_config = DprofConfig {
+        sample_rounds: 80,
+        history_types: 3,
+        history: HistoryConfig {
+            history_sets: 4,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
     let profile =
         Dprof::new(dprof_config).run(&mut machine, &mut kernel, |m, k| workload.step(m, k));
 

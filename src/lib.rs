@@ -12,6 +12,8 @@
 //! * [`kernel`] ([`sim_kernel`]) — the Linux-like kernel substrate (typed SLAB
 //!   allocator, network stack, locks).
 //! * [`workloads`] — the memcached and Apache workloads from the evaluation.
+//! * [`trace`] ([`dprof_trace`]) — the `.dtrace` record/replay subsystem: binary
+//!   access-trace format, full-pipeline deterministic replay, bench trace lowering.
 //! * [`baselines`] — OProfile-style and lock-stat baselines.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and the `dprof-bench` crate for
@@ -22,6 +24,7 @@
 
 pub use baselines;
 pub use dprof_core as core;
+pub use dprof_trace as trace;
 pub use sim_cache as cache;
 pub use sim_kernel as kernel;
 pub use sim_machine as machine;

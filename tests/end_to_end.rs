@@ -7,11 +7,15 @@ use dprof::core::report;
 use dprof::prelude::*;
 
 fn quick_dprof() -> DprofConfig {
-    let mut c = DprofConfig::default();
-    c.sample_rounds = 60;
-    c.history_types = 3;
-    c.history.history_sets = 3;
-    c
+    DprofConfig {
+        sample_rounds: 60,
+        history_types: 3,
+        history: HistoryConfig {
+            history_sets: 3,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
 }
 
 #[test]
