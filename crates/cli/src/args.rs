@@ -2,7 +2,7 @@
 //! so no `clap`).  Flags map one-to-one onto [`crate::driver::RunOptions`] plus the
 //! output controls.
 
-use crate::driver::{ApacheLoad, RunOptions, TxPolicyChoice, WorkloadKind};
+use crate::driver::{parse_workload_spec, ApacheLoad, RunOptions, TxPolicyChoice, WorkloadKind};
 use std::fmt;
 
 /// The four DProf views, as selectable from the command line.
@@ -85,6 +85,23 @@ pub struct ReplayOptions {
     pub output: Option<String>,
 }
 
+/// Options of a `dprof diff` invocation.
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// The baseline report (JSON).
+    pub a: String,
+    /// The comparison report (JSON).
+    pub b: String,
+    /// Focus type for the verdict; defaults to A's top miss type.
+    pub focus: Option<String>,
+    /// Output format.
+    pub format: Format,
+    /// Maximum delta rows in the text table.
+    pub top: usize,
+    /// Write the diff here instead of stdout.
+    pub output: Option<String>,
+}
+
 /// Result of parsing a command line.
 #[derive(Debug, Clone)]
 pub enum Parsed {
@@ -92,6 +109,8 @@ pub enum Parsed {
     Run(Options),
     /// Replay a recorded trace (`dprof replay`).
     Replay(ReplayOptions),
+    /// Compare two reports (`dprof diff`).
+    Diff(DiffOptions),
     /// `--help` was requested.
     Help,
     /// `--version` was requested.
@@ -108,14 +127,26 @@ USAGE:
     dprof record [OPTIONS]        profile AND capture a replayable .dtrace session
     dprof replay <FILE> [OPTIONS] re-profile a recorded session (no workload runs;
                                   the report is byte-identical to the recorded run's)
+    dprof diff <A.json> <B.json>  compare two JSON reports: per-type deltas plus a
+                                  bottleneck verdict (eliminated / moved / reduced /
+                                  unchanged / worsened)
 
 RECORD/REPLAY:
         --trace <PATH>        (record) session trace output   [default: dprof.dtrace]
     replay accepts only the REPORT options below; the workload, machine and sampling
     parameters are read from the trace header.
 
+DIFF:
+        --focus <TYPE>        type the verdict is about    [default: A's top miss type]
+    diff also accepts --format, --top and --output from REPORT below.
+
 WORKLOAD:
-    -w, --workload <NAME>     memcached | apache | custom        [default: memcached]
+    -w, --workload <NAME>     memcached | apache | custom, or a bottleneck scenario
+                              <scenario>[:buggy|:fixed]  (bare name = buggy):
+                                remote-hot-lock, ring-false-sharing, streaming-scan,
+                                hash-capacity-thrash, read-mostly-true-sharing,
+                                job-migration-bounce     (see docs/scenarios.md)
+                                                                 [default: memcached]
         --tx-policy <P>       memcached TX queue: hash | local   [default: hash]
         --apache-load <L>     peak | drop-off | admission-control [default: drop-off]
         --cores <N>           cores per simulated machine        [default: 4]
@@ -147,6 +178,9 @@ EXAMPLES:
     dprof -w custom -v data-profile -v miss-classification --top 5
     dprof record -w memcached --trace session.dtrace -f json -o live.json
     dprof replay session.dtrace -f json -o replayed.json   # byte-identical to live.json
+    dprof -w ring-false-sharing:buggy -f json -o buggy.json
+    dprof -w ring-false-sharing:fixed -f json -o fixed.json
+    dprof diff buggy.json fixed.json --focus ring_desc     # => bottleneck eliminated
 ";
 
 fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
@@ -210,6 +244,7 @@ fn parse_format(value: &str) -> Result<Format, String> {
 pub fn parse(args: &[String]) -> Result<Parsed, String> {
     match args.first().map(String::as_str) {
         Some("replay") => parse_replay(&args[1..]),
+        Some("diff") => parse_diff(&args[1..]),
         Some("record") => {
             let parsed = parse_run(&args[1..])?;
             if let Parsed::Run(mut options) = parsed {
@@ -225,6 +260,54 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
         Some("run") => parse_run(&args[1..]),
         _ => parse_run(args),
     }
+}
+
+/// Parses the flags of a `dprof diff` invocation.
+fn parse_diff(args: &[String]) -> Result<Parsed, String> {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut focus: Option<String> = None;
+    let mut format = Format::Text;
+    let mut top = 8usize;
+    let mut output: Option<String> = None;
+
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(Parsed::Help),
+            "-V" | "--version" => return Ok(Parsed::Version),
+            "--focus" => focus = Some(take_value(&mut iter, arg)?),
+            "-f" | "--format" => format = parse_format(&take_value(&mut iter, arg)?)?,
+            "--top" => top = parse_num(arg, &take_value(&mut iter, arg)?)?,
+            "-o" | "--output" => output = Some(take_value(&mut iter, arg)?),
+            "-w" | "--workload" | "-v" | "--view" | "--trace" => {
+                return Err(format!(
+                    "'{arg}' conflicts with diff: diff compares two existing reports \
+                     and runs no workload (try --help)"
+                ))
+            }
+            other if !other.starts_with('-') => inputs.push(other.to_string()),
+            other => return Err(format!("unknown diff argument '{other}' (try --help)")),
+        }
+    }
+    if top == 0 {
+        return Err("--top must be at least 1".into());
+    }
+    if inputs.len() != 2 {
+        return Err(format!(
+            "diff requires exactly two report files (got {})",
+            inputs.len()
+        ));
+    }
+    let b = inputs.pop().expect("two inputs");
+    let a = inputs.pop().expect("two inputs");
+    Ok(Parsed::Diff(DiffOptions {
+        a,
+        b,
+        focus,
+        format,
+        top,
+        output,
+    }))
 }
 
 /// Parses the flags of a `dprof replay` invocation.
@@ -281,17 +364,7 @@ fn parse_run(args: &[String]) -> Result<Parsed, String> {
             "-h" | "--help" => return Ok(Parsed::Help),
             "-V" | "--version" => return Ok(Parsed::Version),
             "-w" | "--workload" => {
-                let v = take_value(&mut iter, arg)?;
-                options.run.workload = match v.as_str() {
-                    "memcached" => WorkloadKind::Memcached,
-                    "apache" => WorkloadKind::Apache,
-                    "custom" => WorkloadKind::Custom,
-                    other => {
-                        return Err(format!(
-                            "unknown workload '{other}' (expected memcached, apache, or custom)"
-                        ))
-                    }
-                };
+                options.run.workload = parse_workload_spec(&take_value(&mut iter, arg)?)?;
             }
             "--tx-policy" => {
                 let v = take_value(&mut iter, arg)?;
@@ -359,6 +432,14 @@ fn parse_run(args: &[String]) -> Result<Parsed, String> {
     if options.run.cores > 64 {
         return Err("--cores is capped at 64".into());
     }
+    if options.run.cores < 2 && matches!(options.run.workload, WorkloadKind::Scenario { .. }) {
+        // Every scenario plants a cross-core or capacity pathology; on one core there
+        // is nothing to detect (and the builders assert the same minimum).
+        return Err(format!(
+            "scenario '{}' needs --cores of at least 2",
+            options.run.workload.name()
+        ));
+    }
     if options.run.sample_rounds == 0 {
         return Err("--rounds must be at least 1".into());
     }
@@ -380,9 +461,78 @@ fn parse_run(args: &[String]) -> Result<Parsed, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dprof::workloads::scenarios::{self, Variant};
 
     fn args(s: &str) -> Vec<String> {
         s.split_whitespace().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn scenario_workloads_parse_with_and_without_variants() {
+        let Parsed::Run(o) = parse(&args("-w ring-false-sharing:fixed")).unwrap() else {
+            panic!("expected run")
+        };
+        let WorkloadKind::Scenario { index, variant } = o.run.workload else {
+            panic!("expected scenario workload, got {:?}", o.run.workload)
+        };
+        assert_eq!(scenarios::registry()[index].name, "ring-false-sharing");
+        assert_eq!(variant, Variant::Fixed);
+        // Bare scenario name = buggy variant; every registered name parses.
+        for spec in scenarios::registry() {
+            let Parsed::Run(o) = parse(&["--workload".to_string(), spec.name.to_string()]).unwrap()
+            else {
+                panic!("expected run")
+            };
+            assert!(matches!(
+                o.run.workload,
+                WorkloadKind::Scenario {
+                    variant: Variant::Buggy,
+                    ..
+                }
+            ));
+            assert_eq!(o.run.workload.name(), spec.buggy_name);
+        }
+        // Bad variants and variant suffixes on built-ins are rejected.
+        assert!(parse(&args("-w ring-false-sharing:borked")).is_err());
+        assert!(parse(&args("-w memcached:fixed")).is_err());
+        // Scenarios need at least 2 cores; a clean error, not the builder's panic.
+        assert!(parse(&args("-w remote-hot-lock --cores 1"))
+            .unwrap_err()
+            .contains("at least 2"));
+        assert!(parse(&args("record -w remote-hot-lock --cores 1")).is_err());
+        assert!(parse(&args("-w memcached --cores 1")).is_ok());
+    }
+
+    #[test]
+    fn diff_subcommand_parses_two_files_and_flags() {
+        let Parsed::Diff(d) = parse(&args(
+            "diff a.json b.json --focus ring_desc -f json --top 5 -o out.json",
+        ))
+        .unwrap() else {
+            panic!("expected diff")
+        };
+        assert_eq!(d.a, "a.json");
+        assert_eq!(d.b, "b.json");
+        assert_eq!(d.focus.as_deref(), Some("ring_desc"));
+        assert_eq!(d.format, Format::Json);
+        assert_eq!(d.top, 5);
+        assert_eq!(d.output.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn diff_rejects_wrong_arity_and_conflicting_flags() {
+        assert!(parse(&args("diff only.json"))
+            .unwrap_err()
+            .contains("exactly two report files (got 1)"));
+        assert!(parse(&args("diff a.json b.json c.json"))
+            .unwrap_err()
+            .contains("exactly two report files (got 3)"));
+        assert!(parse(&args("diff a.json b.json --workload memcached"))
+            .unwrap_err()
+            .contains("conflicts with diff"));
+        assert!(parse(&args("diff a.json b.json -v data-flow")).is_err());
+        assert!(parse(&args("diff a.json b.json --top 0")).is_err());
+        assert!(matches!(parse(&args("diff --help")).unwrap(), Parsed::Help));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use dprof::core::{Dprof, DprofConfig, DprofProfile};
 use dprof::kernel::{KernelConfig, KernelState, TxQueuePolicy, TypeId};
 use dprof::machine::{AccessReq, Machine, MachineConfig};
 use dprof::trace::{FieldDump, RecordedStream, ThreadStream, TypeDump};
+use dprof::workloads::scenarios::{self, ScenarioConfig, Variant};
 use dprof::workloads::{Apache, ApacheConfig, Memcached, MemcachedConfig, Workload};
 use std::collections::HashMap;
 
@@ -27,15 +28,50 @@ pub enum WorkloadKind {
     /// A synthetic false-sharing workload (two per-subsystem counters in one cache
     /// line), mirroring `examples/custom_workload.rs`.
     Custom,
+    /// One variant of a registered bottleneck scenario (see
+    /// [`dprof::workloads::scenarios`]).
+    Scenario {
+        /// Index into [`scenarios::registry`].
+        index: usize,
+        /// Buggy or fixed variant.
+        variant: Variant,
+    },
 }
 
 impl WorkloadKind {
-    /// The CLI spelling of the workload.
+    /// The CLI spelling of the workload (scenarios spell as `name:variant`).
     pub fn name(self) -> &'static str {
         match self {
             WorkloadKind::Memcached => "memcached",
             WorkloadKind::Apache => "apache",
             WorkloadKind::Custom => "custom",
+            WorkloadKind::Scenario { index, variant } => {
+                scenarios::registry()[index].full_name(variant)
+            }
+        }
+    }
+}
+
+/// Resolves a `--workload` argument (or a trace header's workload string): one of the
+/// built-in workloads, or `<scenario>[:buggy|:fixed]` from the scenario registry.
+pub fn parse_workload_spec(spec: &str) -> Result<WorkloadKind, String> {
+    match spec {
+        "memcached" => Ok(WorkloadKind::Memcached),
+        "apache" => Ok(WorkloadKind::Apache),
+        "custom" => Ok(WorkloadKind::Custom),
+        other => {
+            if let Some((base, _)) = other.split_once(':') {
+                if matches!(base, "memcached" | "apache" | "custom") {
+                    return Err(format!(
+                        "workload '{base}' does not take a ':variant' suffix (only \
+                         scenarios have buggy/fixed variants)"
+                    ));
+                }
+            }
+            let (index, variant) = scenarios::parse_spec(other).map_err(|e| {
+                format!("unknown workload '{other}': {e} (or memcached, apache, custom)")
+            })?;
+            Ok(WorkloadKind::Scenario { index, variant })
         }
     }
 }
@@ -276,6 +312,14 @@ fn build_workload(options: &RunOptions, seed: u64) -> (Machine, KernelState, Box
             let workload = FalseSharing::new(&mut machine, &mut kernel, options.cores);
             (machine, kernel, Box::new(workload))
         }
+        WorkloadKind::Scenario { index, variant } => {
+            scenarios::registry()[index].build(&ScenarioConfig {
+                variant,
+                cores: options.cores,
+                seed,
+                record_session: options.record_session,
+            })
+        }
     }
 }
 
@@ -494,5 +538,21 @@ mod tests {
         let run = run_single(&tiny(WorkloadKind::Apache), 0);
         assert!(!run.profile.data_profile.is_empty());
         assert!(run.type_names.values().any(|n| n == "tcp-sock"));
+    }
+
+    #[test]
+    fn scenario_workload_runs_and_profiles_planted_type() {
+        let (index, spec) = scenarios::find("ring-false-sharing").expect("registered");
+        let mut options = tiny(WorkloadKind::Scenario {
+            index,
+            variant: Variant::Buggy,
+        });
+        options.sample_rounds = 60;
+        let run = run_single(&options, 0);
+        assert!(
+            run.type_names.values().any(|n| n == spec.planted.type_name),
+            "planted type missing from the profile"
+        );
+        assert_eq!(options.workload.name(), "ring-false-sharing:buggy");
     }
 }

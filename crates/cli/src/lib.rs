@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod diff;
 pub mod driver;
 pub mod json;
 pub mod merge;
@@ -43,6 +44,7 @@ pub fn run(args: &[String]) -> i32 {
             return 0;
         }
         Ok(Parsed::Replay(options)) => return run_replay(&options),
+        Ok(Parsed::Diff(options)) => return diff::run_diff(&options),
         Ok(Parsed::Run(options)) => options,
         Err(message) => {
             eprintln!("error: {message}");
@@ -210,14 +212,13 @@ fn run_replay(options: &args::ReplayOptions) -> i32 {
 
     // Rebuild the options the recorded run rendered with, so the `run` section of the
     // report (and the text header) match the live output byte-for-byte.
-    let workload = match file.params.workload.as_str() {
-        "memcached" => driver::WorkloadKind::Memcached,
-        "apache" => driver::WorkloadKind::Apache,
-        "custom" => driver::WorkloadKind::Custom,
-        other => {
+    let workload = match driver::parse_workload_spec(&file.params.workload) {
+        Ok(kind) => kind,
+        Err(_) => {
             eprintln!(
-                "warning: trace header names unknown workload '{other}'; the report's run \
-                 section will say 'memcached'"
+                "warning: trace header names unknown workload '{}'; the report's run \
+                 section will say 'memcached'",
+                file.params.workload
             );
             driver::WorkloadKind::Memcached
         }

@@ -1,0 +1,274 @@
+//! Integration tests of the `dprof diff` subcommand and the scenario workload surface
+//! through the real binary: happy paths (neutral self-diff of a golden report, a
+//! scenario run feeding a diff) and every error path, each of which must exit non-zero
+//! with a one-line actionable message on stderr.
+
+use dprof_cli::json::Json;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn dprof() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dprof"))
+}
+
+fn golden_report() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/memcached_quick.report.json")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dprof-diff-test-{}-{name}", std::process::id()));
+    p
+}
+
+/// Asserts an error invocation: non-zero exit, a single-line `error:` diagnostic on
+/// stderr containing `needle`.
+fn assert_error(output: &Output, needle: &str) {
+    assert!(
+        !output.status.success(),
+        "expected failure, got success with stdout: {}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    let error_lines: Vec<&str> = stderr.lines().filter(|l| l.starts_with("error:")).collect();
+    assert_eq!(
+        error_lines.len(),
+        1,
+        "expected exactly one error line, got stderr: {stderr}"
+    );
+    assert!(
+        error_lines[0].contains(needle),
+        "error line '{}' should mention '{needle}'",
+        error_lines[0]
+    );
+}
+
+#[test]
+fn self_diff_of_a_golden_report_is_neutral_in_json_and_text() {
+    let golden = golden_report();
+    let out_path = tmp("self.json");
+    let output = dprof()
+        .arg("diff")
+        .arg(&golden)
+        .arg(&golden)
+        .args(["-f", "json", "-o"])
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "diff failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let doc = Json::parse(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("dprof-diff/v1")
+    );
+    assert_eq!(doc.get("verdict").and_then(Json::as_str), Some("unchanged"));
+    assert_eq!(doc.get("neutral").and_then(Json::as_bool), Some(true));
+    for row in doc.get("types").and_then(Json::as_array).unwrap() {
+        assert_eq!(row.get("delta_pct").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(
+            row.get("delta_miss_samples").and_then(Json::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(
+            row.get("delta_core_crossings").and_then(Json::as_f64),
+            Some(0.0)
+        );
+    }
+    let text = dprof()
+        .arg("diff")
+        .arg(&golden)
+        .arg(&golden)
+        .output()
+        .unwrap();
+    assert!(text.status.success());
+    let stdout = String::from_utf8_lossy(&text.stdout);
+    assert!(stdout.contains("verdict: bottleneck unchanged"));
+    assert!(stdout.contains("reports are identical"));
+    std::fs::remove_file(&out_path).ok();
+}
+
+#[test]
+fn scenario_run_feeds_diff_end_to_end() {
+    // The oracle's quick scale (tests/scenario_oracle.rs uses the same numbers
+    // in-process); smaller runs yield too few miss samples for a meaningful verdict.
+    let scale = [
+        "--threads",
+        "1",
+        "--cores",
+        "2",
+        "--warmup",
+        "6",
+        "--rounds",
+        "80",
+        "--ibs-interval",
+        "32",
+        "--history-types",
+        "2",
+        "--history-sets",
+        "1",
+    ];
+    let buggy = tmp("scenario-buggy.json");
+    let fixed = tmp("scenario-fixed.json");
+    for (variant, path) in [("buggy", &buggy), ("fixed", &fixed)] {
+        let output = dprof()
+            .args([
+                "-w",
+                &format!("ring-false-sharing:{variant}"),
+                "-f",
+                "json",
+                "-o",
+            ])
+            .arg(path)
+            .args(scale)
+            .output()
+            .unwrap();
+        assert!(
+            output.status.success(),
+            "scenario {variant} run failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let doc = Json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("run")
+                .unwrap()
+                .get("workload")
+                .and_then(Json::as_str),
+            Some(format!("ring-false-sharing:{variant}").as_str())
+        );
+        let rows = doc
+            .get("data_profile")
+            .unwrap()
+            .get("rows")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert!(
+            rows.iter()
+                .any(|r| r.get("type").and_then(Json::as_str) == Some("ring_desc")),
+            "ring_desc missing from the {variant} profile"
+        );
+    }
+    let output = dprof()
+        .arg("diff")
+        .arg(&buggy)
+        .arg(&fixed)
+        .args(["--focus", "ring_desc", "-f", "json"])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "diff failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let doc = Json::parse(&String::from_utf8_lossy(&output.stdout)).unwrap();
+    assert_eq!(doc.get("focus").and_then(Json::as_str), Some("ring_desc"));
+    assert_eq!(
+        doc.get("verdict").and_then(Json::as_str),
+        Some("eliminated"),
+        "diff of the buggy vs fixed ring profiles should eliminate the bottleneck"
+    );
+    for p in [buggy, fixed] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn unknown_workloads_and_scenario_variants_fail_with_one_line_errors() {
+    let unknown = dprof().args(["--workload", "nginx"]).output().unwrap();
+    assert_error(&unknown, "unknown workload 'nginx'");
+
+    let bad_variant = dprof()
+        .args(["--workload", "ring-false-sharing:borked"])
+        .output()
+        .unwrap();
+    assert_error(&bad_variant, "unknown scenario variant 'borked'");
+
+    let builtin_variant = dprof()
+        .args(["--workload", "memcached:fixed"])
+        .output()
+        .unwrap();
+    assert_error(&builtin_variant, "does not take a ':variant' suffix");
+}
+
+#[test]
+fn diff_against_missing_or_malformed_files_fails_cleanly() {
+    let golden = golden_report();
+
+    let missing = dprof()
+        .arg("diff")
+        .arg(&golden)
+        .arg("/nonexistent/nope.json")
+        .output()
+        .unwrap();
+    assert_error(&missing, "cannot read report '/nonexistent/nope.json'");
+
+    let not_json = tmp("not-json.txt");
+    std::fs::write(&not_json, "this is not json").unwrap();
+    let garbage = dprof()
+        .arg("diff")
+        .arg(&not_json)
+        .arg(&golden)
+        .output()
+        .unwrap();
+    assert_error(&garbage, "not valid JSON");
+
+    let wrong_schema = tmp("wrong-schema.json");
+    std::fs::write(&wrong_schema, "{\"schema\": \"some-other-tool/v2\"}").unwrap();
+    let mismatched = dprof()
+        .arg("diff")
+        .arg(&golden)
+        .arg(&wrong_schema)
+        .output()
+        .unwrap();
+    assert_error(&mismatched, "some-other-tool/v2");
+
+    let no_profile = tmp("no-profile.json");
+    std::fs::write(
+        &no_profile,
+        "{\"schema\": \"dprof-report/v1\", \"throughput\": {}}",
+    )
+    .unwrap();
+    let sectionless = dprof()
+        .arg("diff")
+        .arg(&no_profile)
+        .arg(&golden)
+        .output()
+        .unwrap();
+    assert_error(&sectionless, "no data_profile section");
+
+    for p in [not_json, wrong_schema, no_profile] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn diff_arity_conflicting_flags_and_bad_focus_are_rejected() {
+    let golden = golden_report();
+
+    let one_file = dprof().arg("diff").arg(&golden).output().unwrap();
+    assert_eq!(one_file.status.code(), Some(2));
+    assert_error(&one_file, "exactly two report files");
+
+    let conflicting = dprof()
+        .arg("diff")
+        .arg(&golden)
+        .arg(&golden)
+        .args(["--workload", "memcached"])
+        .output()
+        .unwrap();
+    assert_eq!(conflicting.status.code(), Some(2));
+    assert_error(&conflicting, "conflicts with diff");
+
+    let bad_focus = dprof()
+        .arg("diff")
+        .arg(&golden)
+        .arg(&golden)
+        .args(["--focus", "no_such_type"])
+        .output()
+        .unwrap();
+    assert_error(&bad_focus, "appears in neither report");
+}

@@ -74,7 +74,7 @@ fn fresh_record_then_replay_is_byte_identical() {
 
 #[test]
 fn golden_traces_replay_to_their_committed_reports() {
-    for name in ["memcached_quick", "false_sharing_quick"] {
+    for name in ["memcached_quick", "false_sharing_quick", "apache_quick"] {
         let trace = golden_dir().join(format!("{name}.dtrace"));
         let golden = golden_dir().join(format!("{name}.report.json"));
         let out = tmp(&format!("{name}.json"));
@@ -92,6 +92,58 @@ fn golden_traces_replay_to_their_committed_reports() {
              `dprof record` (see README)"
         );
         let _ = std::fs::remove_file(out);
+    }
+}
+
+#[test]
+fn scenario_record_replay_round_trips_byte_identically() {
+    // Scenarios implement the same Workload trait as the built-ins, so the
+    // record/replay subsystem must cover them with no scenario-specific code: the
+    // trace header carries the `name:variant` spelling and the replayed report is
+    // byte-identical, run section included.
+    let trace = tmp("scenario.dtrace");
+    let live = tmp("scenario-live.json");
+    let replayed = tmp("scenario-replayed.json");
+    assert_eq!(
+        run(&[
+            "record",
+            "-w",
+            "job-migration-bounce:buggy",
+            "--cores",
+            "2",
+            "--threads",
+            "1",
+            "--warmup",
+            "3",
+            "--rounds",
+            "15",
+            "--history-types",
+            "1",
+            "--history-sets",
+            "1",
+            "--trace",
+            &trace,
+            "-f",
+            "json",
+            "-o",
+            &live,
+        ]),
+        0,
+        "scenario record must succeed"
+    );
+    assert_eq!(run(&["replay", &trace, "-f", "json", "-o", &replayed]), 0);
+    let live_bytes = std::fs::read(&live).expect("live report exists");
+    assert!(
+        String::from_utf8_lossy(&live_bytes).contains("job-migration-bounce:buggy"),
+        "run section must carry the scenario spelling"
+    );
+    let replayed_bytes = std::fs::read(&replayed).expect("replayed report exists");
+    assert!(
+        live_bytes == replayed_bytes,
+        "replayed scenario report differs from the live report"
+    );
+    for p in [trace, live, replayed] {
+        let _ = std::fs::remove_file(p);
     }
 }
 

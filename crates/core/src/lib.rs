@@ -66,6 +66,9 @@ pub use history::{
 };
 pub use path_trace::{build_path_traces, count_unique_paths, PathTrace, PathTraceEntry};
 pub use profiler::{popular_offsets, Dprof, DprofConfig, DprofProfile};
+pub use report::diff::{
+    diff, diff_with, DiffThresholds, ReportDiff, ReportSummary, TypeDelta, TypeSummary, Verdict,
+};
 pub use sample::{aggregate_samples, resolve_samples, AccessSample, SampleKey, SampleStats};
 pub use views::{
     build_data_profile, build_working_set, classify_misses, DataFlowEdge, DataFlowGraph,

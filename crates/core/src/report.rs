@@ -1,4 +1,7 @@
-//! Textual rendering of DProf views in the style of the thesis' tables.
+//! Textual rendering of DProf views in the style of the thesis' tables, plus the
+//! [`diff`] module comparing two reports (the paper's before/after-fix methodology).
+
+pub mod diff;
 
 use crate::path_trace::PathTrace;
 use crate::profiler::DprofProfile;

@@ -1,0 +1,588 @@
+//! Differential report comparison — the paper's before/after methodology as code.
+//!
+//! Every DProf case study ends the same way: profile the workload, localise the
+//! offending data type, apply a fix, re-profile, and check that the bottleneck is gone
+//! (memcached's TX-queue false sharing in §6.1, Apache's working-set explosion in
+//! §6.2).  This module turns that comparison into a first-class operation: two
+//! [`ReportSummary`]s go in, a structured [`ReportDiff`] comes out — per-type deltas in
+//! miss share, miss-class mix, working-set rank and data-flow core crossings, plus a
+//! threshold-based [`Verdict`] on the focus type ("bottleneck eliminated / moved /
+//! unchanged").
+//!
+//! [`ReportSummary`] is deliberately name-keyed and self-contained: it can be built
+//! from an in-process [`DprofProfile`] (the scenario-oracle harness does this) or
+//! parsed back out of a `dprof-report/v1` JSON document (the `dprof diff` subcommand
+//! does that), so recorded reports from different machines remain comparable.
+
+use crate::profiler::DprofProfile;
+use crate::views::miss_class::MissClass;
+use serde::{Deserialize, Serialize};
+
+/// Spelling of a miss class as it appears in reports ("invalidation" / "conflict" /
+/// "capacity").
+pub fn miss_class_key(class: MissClass) -> &'static str {
+    match class {
+        MissClass::Invalidation => "invalidation",
+        MissClass::Conflict => "conflict",
+        MissClass::Capacity => "capacity",
+    }
+}
+
+/// Everything the diff needs to know about one data type in one report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypeSummary {
+    /// Type name (the cross-report join key).
+    pub name: String,
+    /// Share of L1-miss samples attributed to the type, in percent.
+    pub pct_of_l1_misses: f64,
+    /// Miss samples behind the classification (0 when unknown).
+    pub miss_samples: u64,
+    /// Whether the type was flagged as bouncing between cores.
+    pub bounce: bool,
+    /// Average live bytes (working-set footprint).
+    pub working_set_bytes: f64,
+    /// Fraction of misses classified as invalidation.
+    pub invalidation: f64,
+    /// Fraction of misses classified as associativity conflict.
+    pub conflict: f64,
+    /// Fraction of misses classified as capacity.
+    pub capacity: f64,
+    /// Dominant miss class, when a classification exists.
+    pub dominant_miss: Option<String>,
+    /// Core-crossing traversals in the type's data-flow graph.
+    pub core_crossings: u64,
+}
+
+impl TypeSummary {
+    /// A neutral (all-zero) summary for a type that does not appear in a report.
+    pub fn absent(name: &str) -> TypeSummary {
+        TypeSummary {
+            name: name.to_string(),
+            pct_of_l1_misses: 0.0,
+            miss_samples: 0,
+            bounce: false,
+            working_set_bytes: 0.0,
+            invalidation: 0.0,
+            conflict: 0.0,
+            capacity: 0.0,
+            dominant_miss: None,
+            core_crossings: 0,
+        }
+    }
+}
+
+/// The per-type digest of one report, the input to [`diff`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReportSummary {
+    /// One row per type, in no particular order (the diff never depends on it).
+    pub types: Vec<TypeSummary>,
+}
+
+impl ReportSummary {
+    /// Builds the summary straight from an in-process profile.
+    pub fn from_profile(profile: &DprofProfile) -> ReportSummary {
+        let mut types: Vec<TypeSummary> = profile
+            .data_profile
+            .iter()
+            .map(|row| {
+                let class = profile
+                    .miss_classification
+                    .iter()
+                    .find(|c| c.type_id == row.type_id);
+                let crossings = profile
+                    .data_flows
+                    .get(&row.type_id)
+                    .map(|g| g.cpu_crossing_edges().iter().map(|e| e.count).sum())
+                    .unwrap_or(0);
+                let ws = profile
+                    .working_set
+                    .for_type(row.type_id)
+                    .map(|t| t.avg_live_bytes)
+                    .unwrap_or(row.working_set_bytes);
+                TypeSummary {
+                    name: row.name.clone(),
+                    pct_of_l1_misses: row.pct_of_l1_misses,
+                    miss_samples: class.map(|c| c.miss_samples).unwrap_or(0),
+                    bounce: row.bounce,
+                    working_set_bytes: ws,
+                    invalidation: class
+                        .map(|c| c.fraction(MissClass::Invalidation))
+                        .unwrap_or(0.0),
+                    conflict: class
+                        .map(|c| c.fraction(MissClass::Conflict))
+                        .unwrap_or(0.0),
+                    capacity: class
+                        .map(|c| c.fraction(MissClass::Capacity))
+                        .unwrap_or(0.0),
+                    dominant_miss: class.map(|c| miss_class_key(c.dominant).to_string()),
+                    core_crossings: crossings,
+                }
+            })
+            .collect();
+        // Types that only show up in the working-set view (footprint without samples)
+        // still matter for rank deltas.
+        for t in &profile.working_set.per_type {
+            if !types.iter().any(|row| row.name == t.name) {
+                let mut row = TypeSummary::absent(&t.name);
+                row.working_set_bytes = t.avg_live_bytes;
+                types.push(row);
+            }
+        }
+        ReportSummary { types }
+    }
+
+    /// The summary row for a type name.
+    pub fn get(&self, name: &str) -> Option<&TypeSummary> {
+        self.types.iter().find(|t| t.name == name)
+    }
+
+    /// The type with the largest miss share (ties break on name, so the answer does not
+    /// depend on row order).
+    pub fn top_type(&self) -> Option<&TypeSummary> {
+        self.types.iter().min_by(|a, b| {
+            b.pct_of_l1_misses
+                .partial_cmp(&a.pct_of_l1_misses)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.name.cmp(&b.name))
+        })
+    }
+
+    /// 0-based rank of a type by working-set footprint (largest first, name
+    /// tie-break); `None` if the type is absent.
+    pub fn working_set_rank(&self, name: &str) -> Option<usize> {
+        let row = self.get(name)?;
+        let mut rank = 0;
+        for t in &self.types {
+            let bigger = t.working_set_bytes > row.working_set_bytes
+                || (t.working_set_bytes == row.working_set_bytes && t.name.as_str() < name);
+            if bigger {
+                rank += 1;
+            }
+        }
+        Some(rank)
+    }
+}
+
+/// Thresholds steering the [`Verdict`] classification.
+///
+/// The verdict compares the focus type's **miss magnitude** across the two reports:
+/// its miss-sample count when both reports carry classification counts (the paper's
+/// before/after tables compare absolute misses at fixed load), falling back to its
+/// share of L1 misses when counts are unavailable.  Shares alone cannot express a
+/// fixed bottleneck whose removal shrinks the whole miss pool — the survivor's share
+/// of almost nothing approaches 100 %.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DiffThresholds {
+    /// Relative drop in the focus type's miss magnitude needed to call the bottleneck
+    /// eliminated (0.6 = it fell by at least 60 %).
+    pub eliminated_drop: f64,
+    /// Relative change below which the bottleneck counts as unchanged.
+    pub unchanged_band: f64,
+    /// A *different* type whose miss-sample count reaches this fraction of the focus
+    /// type's old count **and** at least doubled its own count is a moved bottleneck.
+    pub moved_count_factor: f64,
+    /// Focus shares below this (percent points) are noise; the verdict is `Unchanged`.
+    pub min_share_points: f64,
+    /// Focus miss-sample counts below this are noise; the verdict is `Unchanged`.
+    pub min_focus_samples: u64,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> Self {
+        DiffThresholds {
+            eliminated_drop: 0.6,
+            unchanged_band: 0.15,
+            moved_count_factor: 0.6,
+            min_share_points: 1.0,
+            min_focus_samples: 10,
+        }
+    }
+}
+
+/// The outcome of comparing the focus type across two reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The focus type's miss share collapsed and no other type took its place.
+    Eliminated,
+    /// The focus type's share collapsed but another type's misses grew to fill the gap.
+    Moved,
+    /// The share dropped noticeably, short of elimination.
+    Reduced,
+    /// The share is within the no-change band (or there was no bottleneck to begin
+    /// with).
+    Unchanged,
+    /// The share grew.
+    Worsened,
+}
+
+impl Verdict {
+    /// The stable lowercase spelling used in JSON and CI assertions.
+    pub fn key(self) -> &'static str {
+        match self {
+            Verdict::Eliminated => "eliminated",
+            Verdict::Moved => "moved",
+            Verdict::Reduced => "reduced",
+            Verdict::Unchanged => "unchanged",
+            Verdict::Worsened => "worsened",
+        }
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Per-type differences between the two reports.  For every numeric field the
+/// convention is `delta = b - a`, so swapping the diff's arguments negates every delta.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypeDelta {
+    /// Type name.
+    pub name: String,
+    /// Whether the type appears in report A / report B at all.
+    pub in_a: bool,
+    /// See [`TypeDelta::in_a`].
+    pub in_b: bool,
+    /// Miss share in A, percent.
+    pub pct_a: f64,
+    /// Miss share in B, percent.
+    pub pct_b: f64,
+    /// `pct_b - pct_a`.
+    pub delta_pct: f64,
+    /// Miss samples in A.
+    pub miss_samples_a: u64,
+    /// Miss samples in B.
+    pub miss_samples_b: u64,
+    /// `miss_samples_b - miss_samples_a`.
+    pub delta_miss_samples: i64,
+    /// Invalidation-fraction change.
+    pub delta_invalidation: f64,
+    /// Conflict-fraction change.
+    pub delta_conflict: f64,
+    /// Capacity-fraction change.
+    pub delta_capacity: f64,
+    /// Dominant miss class in A.
+    pub dominant_a: Option<String>,
+    /// Dominant miss class in B.
+    pub dominant_b: Option<String>,
+    /// Working-set rank in A (0 = largest footprint).
+    pub ws_rank_a: Option<usize>,
+    /// Working-set rank in B.
+    pub ws_rank_b: Option<usize>,
+    /// Working-set byte change.
+    pub delta_working_set_bytes: f64,
+    /// Data-flow core crossings in A.
+    pub core_crossings_a: u64,
+    /// Data-flow core crossings in B.
+    pub core_crossings_b: u64,
+    /// `core_crossings_b - core_crossings_a`.
+    pub delta_core_crossings: i64,
+    /// Bounce flag in A.
+    pub bounce_a: bool,
+    /// Bounce flag in B.
+    pub bounce_b: bool,
+}
+
+/// The structured comparison of two reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportDiff {
+    /// The type the verdict is about.
+    pub focus: String,
+    /// The verdict on the focus type.
+    pub verdict: Verdict,
+    /// Focus miss share in A, percent.
+    pub focus_share_a: f64,
+    /// Focus miss share in B, percent.
+    pub focus_share_b: f64,
+    /// Focus miss-sample count in A (0 when the report carries no counts).
+    pub focus_misses_a: u64,
+    /// Focus miss-sample count in B.
+    pub focus_misses_b: u64,
+    /// When the verdict is [`Verdict::Moved`], the type the bottleneck moved to.
+    pub moved_to: Option<String>,
+    /// Per-type deltas over the union of both reports' types, ordered by
+    /// `max(pct_a, pct_b)` descending (name tie-break) — stable under row reordering
+    /// of either input and symmetric under argument swap.
+    pub types: Vec<TypeDelta>,
+}
+
+impl ReportDiff {
+    /// True when the diff carries no signal: every delta is (numerically) zero and
+    /// nothing appeared or disappeared.  `diff(a, a)` is always neutral.
+    pub fn is_neutral(&self) -> bool {
+        const EPS: f64 = 1e-9;
+        self.verdict == Verdict::Unchanged
+            && self.types.iter().all(|t| {
+                t.in_a == t.in_b
+                    && t.delta_pct.abs() < EPS
+                    && t.delta_miss_samples == 0
+                    && t.delta_invalidation.abs() < EPS
+                    && t.delta_conflict.abs() < EPS
+                    && t.delta_capacity.abs() < EPS
+                    && t.delta_working_set_bytes.abs() < EPS
+                    && t.delta_core_crossings == 0
+                    && t.dominant_a == t.dominant_b
+                    && t.ws_rank_a == t.ws_rank_b
+                    && t.bounce_a == t.bounce_b
+            })
+    }
+
+    /// The delta row for a type name.
+    pub fn for_type(&self, name: &str) -> Option<&TypeDelta> {
+        self.types.iter().find(|t| t.name == name)
+    }
+}
+
+/// Compares report `b` against baseline `a`.
+///
+/// `focus` picks the type the verdict is about; `None` focuses the top miss type of
+/// `a`.  Uses [`DiffThresholds::default`]; see [`diff_with`] to tune them.
+pub fn diff(a: &ReportSummary, b: &ReportSummary, focus: Option<&str>) -> ReportDiff {
+    diff_with(a, b, focus, &DiffThresholds::default())
+}
+
+/// [`diff`] with explicit thresholds.
+pub fn diff_with(
+    a: &ReportSummary,
+    b: &ReportSummary,
+    focus: Option<&str>,
+    thresholds: &DiffThresholds,
+) -> ReportDiff {
+    let focus_name = focus
+        .map(|s| s.to_string())
+        .or_else(|| a.top_type().map(|t| t.name.clone()))
+        .unwrap_or_default();
+
+    // Union of type names, deduplicated; ordering is fixed later from values only.
+    let mut names: Vec<&str> = a
+        .types
+        .iter()
+        .chain(b.types.iter())
+        .map(|t| t.name.as_str())
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+
+    let mut types: Vec<TypeDelta> = names
+        .into_iter()
+        .map(|name| {
+            let ra = a.get(name);
+            let rb = b.get(name);
+            let absent = TypeSummary::absent(name);
+            let sa = ra.unwrap_or(&absent);
+            let sb = rb.unwrap_or(&absent);
+            TypeDelta {
+                name: name.to_string(),
+                in_a: ra.is_some(),
+                in_b: rb.is_some(),
+                pct_a: sa.pct_of_l1_misses,
+                pct_b: sb.pct_of_l1_misses,
+                delta_pct: sb.pct_of_l1_misses - sa.pct_of_l1_misses,
+                miss_samples_a: sa.miss_samples,
+                miss_samples_b: sb.miss_samples,
+                delta_miss_samples: sb.miss_samples as i64 - sa.miss_samples as i64,
+                delta_invalidation: sb.invalidation - sa.invalidation,
+                delta_conflict: sb.conflict - sa.conflict,
+                delta_capacity: sb.capacity - sa.capacity,
+                dominant_a: sa.dominant_miss.clone(),
+                dominant_b: sb.dominant_miss.clone(),
+                ws_rank_a: a.working_set_rank(name),
+                ws_rank_b: b.working_set_rank(name),
+                delta_working_set_bytes: sb.working_set_bytes - sa.working_set_bytes,
+                core_crossings_a: sa.core_crossings,
+                core_crossings_b: sb.core_crossings,
+                delta_core_crossings: sb.core_crossings as i64 - sa.core_crossings as i64,
+                bounce_a: sa.bounce,
+                bounce_b: sb.bounce,
+            }
+        })
+        .collect();
+    types.sort_by(|x, y| {
+        let kx = x.pct_a.max(x.pct_b);
+        let ky = y.pct_a.max(y.pct_b);
+        ky.partial_cmp(&kx)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| x.name.cmp(&y.name))
+    });
+
+    let share_a = a
+        .get(&focus_name)
+        .map(|t| t.pct_of_l1_misses)
+        .unwrap_or(0.0);
+    let share_b = b
+        .get(&focus_name)
+        .map(|t| t.pct_of_l1_misses)
+        .unwrap_or(0.0);
+    let (verdict, moved_to) = classify(a, b, &focus_name, share_a, share_b, thresholds);
+
+    ReportDiff {
+        focus: focus_name.clone(),
+        verdict,
+        focus_share_a: share_a,
+        focus_share_b: share_b,
+        focus_misses_a: a.get(&focus_name).map(|t| t.miss_samples).unwrap_or(0),
+        focus_misses_b: b.get(&focus_name).map(|t| t.miss_samples).unwrap_or(0),
+        moved_to,
+        types,
+    }
+}
+
+fn classify(
+    a: &ReportSummary,
+    b: &ReportSummary,
+    focus: &str,
+    share_a: f64,
+    share_b: f64,
+    th: &DiffThresholds,
+) -> (Verdict, Option<String>) {
+    // Prefer absolute miss-sample counts when both reports carry them; a report with
+    // no classification counts anywhere (e.g. rendered without the
+    // miss-classification view) falls back to shares.
+    let counts_available =
+        a.types.iter().any(|t| t.miss_samples > 0) && b.types.iter().any(|t| t.miss_samples > 0);
+    let (magnitude_a, magnitude_b, floor) = if counts_available {
+        (
+            a.get(focus).map(|t| t.miss_samples).unwrap_or(0) as f64,
+            b.get(focus).map(|t| t.miss_samples).unwrap_or(0) as f64,
+            th.min_focus_samples as f64,
+        )
+    } else {
+        (share_a, share_b, th.min_share_points)
+    };
+    if magnitude_a < floor {
+        // There was no bottleneck on the focus type to begin with.
+        return (Verdict::Unchanged, None);
+    }
+    let rel = (magnitude_b - magnitude_a) / magnitude_a;
+    if rel.abs() <= th.unchanged_band {
+        return (Verdict::Unchanged, None);
+    }
+    if rel > 0.0 {
+        return (Verdict::Worsened, None);
+    }
+    if rel > -th.eliminated_drop {
+        return (Verdict::Reduced, None);
+    }
+    // The focus collapsed; decide eliminated vs moved.  Shares always re-normalise to
+    // 100 %, so a *rising share* of a shrinking miss pool is not a new bottleneck —
+    // only a type whose absolute miss-sample count grew to rival the old focus counts.
+    let focus_misses_a = a.get(focus).map(|t| t.miss_samples).unwrap_or(0);
+    let moved_to = b
+        .types
+        .iter()
+        .filter(|t| t.name != focus && t.miss_samples > 0 && focus_misses_a > 0)
+        .filter(|t| {
+            let before = a.get(&t.name).map(|p| p.miss_samples).unwrap_or(0);
+            t.miss_samples as f64 >= th.moved_count_factor * focus_misses_a as f64
+                && t.miss_samples >= before.saturating_mul(2).max(before + 1)
+        })
+        .max_by(|x, y| {
+            x.miss_samples
+                .cmp(&y.miss_samples)
+                .then_with(|| y.name.cmp(&x.name))
+        })
+        .map(|t| t.name.clone());
+    match moved_to {
+        Some(name) => (Verdict::Moved, Some(name)),
+        None => (Verdict::Eliminated, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ty(name: &str, pct: f64, misses: u64) -> TypeSummary {
+        TypeSummary {
+            name: name.to_string(),
+            pct_of_l1_misses: pct,
+            miss_samples: misses,
+            bounce: false,
+            working_set_bytes: pct * 100.0,
+            invalidation: 0.5,
+            conflict: 0.25,
+            capacity: 0.25,
+            dominant_miss: Some("invalidation".to_string()),
+            core_crossings: 0,
+        }
+    }
+
+    fn summary(rows: &[TypeSummary]) -> ReportSummary {
+        ReportSummary {
+            types: rows.to_vec(),
+        }
+    }
+
+    #[test]
+    fn self_diff_is_neutral_and_unchanged() {
+        let a = summary(&[ty("skbuff", 60.0, 600), ty("payload", 40.0, 400)]);
+        let d = diff(&a, &a, None);
+        assert_eq!(d.verdict, Verdict::Unchanged);
+        assert!(d.is_neutral());
+        assert_eq!(d.focus, "skbuff");
+    }
+
+    #[test]
+    fn collapse_without_replacement_is_eliminated() {
+        let a = summary(&[ty("hot", 70.0, 700), ty("skbuff", 30.0, 300)]);
+        // Misses on `hot` vanish; skbuff's share rises to ~100 % but its *count* does
+        // not grow — a shrinking pie, not a moved bottleneck.
+        let b = summary(&[ty("hot", 3.0, 9), ty("skbuff", 97.0, 310)]);
+        let d = diff(&a, &b, Some("hot"));
+        assert_eq!(d.verdict, Verdict::Eliminated);
+        assert!(d.moved_to.is_none());
+    }
+
+    #[test]
+    fn collapse_with_growing_rival_is_moved() {
+        let a = summary(&[ty("hot", 70.0, 700), ty("other", 10.0, 100)]);
+        let b = summary(&[ty("hot", 5.0, 50), ty("other", 80.0, 800)]);
+        let d = diff(&a, &b, Some("hot"));
+        assert_eq!(d.verdict, Verdict::Moved);
+        assert_eq!(d.moved_to.as_deref(), Some("other"));
+    }
+
+    #[test]
+    fn small_changes_are_unchanged_and_growth_is_worsened() {
+        let a = summary(&[ty("hot", 50.0, 500)]);
+        assert_eq!(
+            diff(&a, &summary(&[ty("hot", 53.0, 530)]), Some("hot")).verdict,
+            Verdict::Unchanged
+        );
+        assert_eq!(
+            diff(&a, &summary(&[ty("hot", 75.0, 900)]), Some("hot")).verdict,
+            Verdict::Worsened
+        );
+        assert_eq!(
+            diff(&a, &summary(&[ty("hot", 30.0, 300)]), Some("hot")).verdict,
+            Verdict::Reduced
+        );
+    }
+
+    #[test]
+    fn deltas_are_signed_b_minus_a_and_cover_the_union() {
+        let a = summary(&[ty("only-a", 10.0, 100), ty("both", 20.0, 200)]);
+        let b = summary(&[ty("both", 30.0, 320), ty("only-b", 5.0, 50)]);
+        let d = diff(&a, &b, Some("both"));
+        assert_eq!(d.types.len(), 3);
+        let both = d.for_type("both").unwrap();
+        assert!((both.delta_pct - 10.0).abs() < 1e-9);
+        assert_eq!(both.delta_miss_samples, 120);
+        let only_a = d.for_type("only-a").unwrap();
+        assert!(only_a.in_a && !only_a.in_b);
+        assert!((only_a.delta_pct + 10.0).abs() < 1e-9);
+        let only_b = d.for_type("only-b").unwrap();
+        assert!(!only_b.in_a && only_b.in_b);
+    }
+
+    #[test]
+    fn working_set_rank_is_order_independent() {
+        let a = summary(&[ty("small", 1.0, 10), ty("big", 50.0, 500)]);
+        let reordered = summary(&[ty("big", 50.0, 500), ty("small", 1.0, 10)]);
+        assert_eq!(a.working_set_rank("big"), Some(0));
+        assert_eq!(a.working_set_rank("small"), Some(1));
+        assert_eq!(a.working_set_rank("big"), reordered.working_set_rank("big"));
+        assert_eq!(a.working_set_rank("missing"), None);
+    }
+}

@@ -2,7 +2,9 @@
 //!
 //! The two workloads the DProf evaluation uses — a memcached-like UDP key/value server
 //! (§6.1) and an Apache-like TCP static-file server (§6.2) — implemented on top of the
-//! simulated kernel, plus the throughput-measurement harness used by all experiments.
+//! simulated kernel, plus the throughput-measurement harness used by all experiments
+//! and the [`scenarios`] corpus of planted-bottleneck workloads (buggy/fixed variant
+//! pairs with declared expected findings, machine-checked by the scenario oracle).
 //!
 //! Both workloads are *closed-loop* drivers: each [`harness::Workload::step`] performs
 //! one round of per-core requests, keeping all simulated cores busy in lockstep as the
@@ -14,7 +16,9 @@
 pub mod apache;
 pub mod harness;
 pub mod memcached;
+pub mod scenarios;
 
 pub use apache::{Apache, ApacheConfig};
 pub use harness::{measure_throughput, throughput_change_percent, ThroughputResult, Workload};
 pub use memcached::{Memcached, MemcachedConfig};
+pub use scenarios::{ExpectedView, Planted, ScenarioConfig, ScenarioSpec, Variant};

@@ -1,0 +1,1014 @@
+//! A corpus of parameterized bottleneck scenarios, each with a *buggy* and a *fixed*
+//! variant and a declared planted bottleneck.
+//!
+//! DProf's methodology is differential: profile, localise the offending data type,
+//! fix, re-profile, confirm (§6.1 memcached TX-queue false sharing, §6.2 Apache
+//! working-set explosion).  Each scenario here plants one specific cache pathology in
+//! a known data type, ships the corresponding fix, and *declares* what DProf is
+//! expected to report — which view the type must top and which miss class must
+//! dominate.  The top-level `tests/scenario_oracle.rs` harness and the CI
+//! `scenario-oracle` job machine-check those declarations on every change, so a
+//! hot-path refactor that silently breaks detection fails loudly.
+//!
+//! Every scenario implements [`crate::Workload`], so it works unmodified with
+//! `dprof record`/`replay`, `dprof-bench`, and the throughput harness.
+
+use crate::harness::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sim_kernel::{KernelConfig, KernelState, TypeId};
+use sim_machine::{AccessReq, FunctionId, Machine, MachineConfig};
+
+/// Which variant of a scenario to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// The variant with the planted bottleneck.
+    Buggy,
+    /// The variant with the fix applied.
+    Fixed,
+}
+
+impl Variant {
+    /// The CLI spelling ("buggy" / "fixed").
+    pub fn key(self) -> &'static str {
+        match self {
+            Variant::Buggy => "buggy",
+            Variant::Fixed => "fixed",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<Variant> {
+        match s {
+            "buggy" => Some(Variant::Buggy),
+            "fixed" => Some(Variant::Fixed),
+            _ => None,
+        }
+    }
+}
+
+/// The DProf view a planted bottleneck is expected to top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpectedView {
+    /// Types ranked by share of L1 misses.
+    DataProfile,
+    /// Types ranked by classified miss samples.
+    MissClassification,
+    /// Types ranked by average live bytes.
+    WorkingSet,
+    /// Types ranked by data-flow core crossings.
+    DataFlow,
+}
+
+impl ExpectedView {
+    /// The report-section spelling of the view.
+    pub fn key(self) -> &'static str {
+        match self {
+            ExpectedView::DataProfile => "data-profile",
+            ExpectedView::MissClassification => "miss-classification",
+            ExpectedView::WorkingSet => "working-set",
+            ExpectedView::DataFlow => "data-flow",
+        }
+    }
+}
+
+/// What a scenario promises DProf will find in its buggy variant.
+#[derive(Debug, Clone, Copy)]
+pub struct Planted {
+    /// The data type carrying the planted bottleneck.
+    pub type_name: &'static str,
+    /// The view the type must rank in the top-k of.
+    pub expected_view: ExpectedView,
+    /// The dominant miss class DProf must report for the type, if the scenario pins
+    /// one ("invalidation" / "conflict" / "capacity").
+    pub expected_dominant: Option<&'static str>,
+    /// Whether the type must carry the cross-core bounce flag.
+    pub expect_bounce: bool,
+}
+
+/// Build-time parameters of a scenario instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioConfig {
+    /// Which variant to build.
+    pub variant: Variant,
+    /// Simulated cores (scenarios need at least 2).
+    pub cores: usize,
+    /// RNG seed for randomized access patterns.
+    pub seed: u64,
+    /// Record the full session event stream (for `dprof record`).
+    pub record_session: bool,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            variant: Variant::Buggy,
+            cores: 2,
+            seed: 0x5ce7,
+            record_session: false,
+        }
+    }
+}
+
+/// What a scenario builder returns: a ready machine + kernel + boxed workload.
+pub type BuiltScenario = (Machine, KernelState, Box<dyn Workload>);
+
+/// One registered scenario: names, narrative, planted expectation, and builder.
+pub struct ScenarioSpec {
+    /// Registry name ("ring-false-sharing").
+    pub name: &'static str,
+    /// `name:buggy`, as spelled on the command line and in trace headers.
+    pub buggy_name: &'static str,
+    /// `name:fixed`.
+    pub fixed_name: &'static str,
+    /// One-line summary of the workload.
+    pub summary: &'static str,
+    /// The planted bug, in words.
+    pub bug: &'static str,
+    /// The applied fix, in words.
+    pub fix: &'static str,
+    /// What DProf must find.
+    pub planted: Planted,
+    build: fn(&ScenarioConfig) -> BuiltScenario,
+}
+
+impl std::fmt::Debug for ScenarioSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioSpec")
+            .field("name", &self.name)
+            .field("planted", &self.planted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ScenarioSpec {
+    /// Builds the machine, kernel and workload for one variant.
+    pub fn build(&self, config: &ScenarioConfig) -> BuiltScenario {
+        assert!(config.cores >= 2, "scenarios need at least 2 cores");
+        (self.build)(config)
+    }
+
+    /// The full `name:variant` spelling for a variant.
+    pub fn full_name(&self, variant: Variant) -> &'static str {
+        match variant {
+            Variant::Buggy => self.buggy_name,
+            Variant::Fixed => self.fixed_name,
+        }
+    }
+}
+
+/// Every registered scenario, in stable order (CLI `--workload` and the oracle
+/// harness both index into this).
+pub fn registry() -> &'static [ScenarioSpec] {
+    &REGISTRY
+}
+
+/// Looks a scenario up by registry name.
+pub fn find(name: &str) -> Option<(usize, &'static ScenarioSpec)> {
+    REGISTRY.iter().enumerate().find(|(_, s)| s.name == name)
+}
+
+/// Parses a `<scenario>[:<variant>]` spec; a bare scenario name means the buggy
+/// variant (the one worth profiling).
+pub fn parse_spec(spec: &str) -> Result<(usize, Variant), String> {
+    let (base, variant) = match spec.split_once(':') {
+        Some((base, v)) => {
+            let variant = Variant::parse(v).ok_or_else(|| {
+                format!("unknown scenario variant '{v}' (expected buggy or fixed)")
+            })?;
+            (base, variant)
+        }
+        None => (spec, Variant::Buggy),
+    };
+    match find(base) {
+        Some((index, _)) => Ok((index, variant)),
+        None => Err(format!(
+            "unknown scenario '{base}' (expected one of: {})",
+            scenario_names().join(", ")
+        )),
+    }
+}
+
+/// The registry's scenario names, in order.
+pub fn scenario_names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|s| s.name).collect()
+}
+
+static REGISTRY: [ScenarioSpec; 6] = [
+    ScenarioSpec {
+        name: "remote-hot-lock",
+        buggy_name: "remote-hot-lock:buggy",
+        fixed_name: "remote-hot-lock:fixed",
+        summary: "every core hammers one global lock word + counter",
+        bug: "a single global `conn_lock` (lock word + hit counter in one cache line) \
+              is acquired by every core on every operation, so the line ping-pongs \
+              between private caches",
+        fix: "the lock and counter are sharded per core; each core only touches its \
+              own shard",
+        planted: Planted {
+            type_name: "conn_lock",
+            expected_view: ExpectedView::DataProfile,
+            expected_dominant: Some("invalidation"),
+            expect_bounce: true,
+        },
+        build: build_remote_hot_lock,
+    },
+    ScenarioSpec {
+        name: "ring-false-sharing",
+        buggy_name: "ring-false-sharing:buggy",
+        fixed_name: "ring-false-sharing:fixed",
+        summary: "producer/consumer ring with head and tail indices sharing a line",
+        bug: "the ring descriptor packs the producer's head and the consumer's tail \
+              into one cache line, and both sides re-read the peer index on every \
+              operation — every push/pop invalidates the other core's copy",
+        fix: "the tail moves to its own cache line and each side batches: it re-reads \
+              the peer index once per burst instead of once per operation",
+        planted: Planted {
+            type_name: "ring_desc",
+            expected_view: ExpectedView::MissClassification,
+            expected_dominant: Some("invalidation"),
+            expect_bounce: true,
+        },
+        build: build_ring_false_sharing,
+    },
+    ScenarioSpec {
+        name: "streaming-scan",
+        buggy_name: "streaming-scan:buggy",
+        fixed_name: "streaming-scan:fixed",
+        summary: "per-round scan of freshly allocated buffers (compulsory misses)",
+        bug: "every round each core allocates a fresh 4 KiB `scan_buffer`, streams \
+              through it once, and retires it through a deep in-flight FIFO — every \
+              line of every scan is a cold (compulsory) miss",
+        fix: "each core reuses one long-lived buffer, so after the first round the \
+              scan runs entirely out of its private cache",
+        planted: Planted {
+            type_name: "scan_buffer",
+            expected_view: ExpectedView::MissClassification,
+            expected_dominant: Some("capacity"),
+            expect_bounce: false,
+        },
+        build: build_streaming_scan,
+    },
+    ScenarioSpec {
+        name: "hash-capacity-thrash",
+        buggy_name: "hash-capacity-thrash:buggy",
+        fixed_name: "hash-capacity-thrash:fixed",
+        summary: "uniform random probes of a hash table 3x larger than the L2",
+        bug: "a 1.5 MiB `hash_bucket` table is probed uniformly at random, so the \
+              working set never fits the 512 KiB L2 and nearly every probe misses to \
+              the shared cache",
+        fix: "the table is restructured so the hot entries fit in 32 KiB (hot/cold \
+              split), and probes stay cache-resident",
+        planted: Planted {
+            type_name: "hash_bucket",
+            expected_view: ExpectedView::WorkingSet,
+            expected_dominant: Some("capacity"),
+            expect_bounce: false,
+        },
+        build: build_hash_capacity_thrash,
+    },
+    ScenarioSpec {
+        name: "read-mostly-true-sharing",
+        buggy_name: "read-mostly-true-sharing:buggy",
+        fixed_name: "read-mostly-true-sharing:fixed",
+        summary: "one writer invalidates every reader of a shared config block",
+        bug: "core 0 bumps the `route_cache` generation counter before every read \
+              burst, so all other cores' cached copies are invalidated and every read \
+              fetches the line from the writer's cache",
+        fix: "the writer batches updates (one bump every 32 rounds), letting readers \
+              run from their L1 copies in between",
+        planted: Planted {
+            type_name: "route_cache",
+            expected_view: ExpectedView::MissClassification,
+            expected_dominant: Some("invalidation"),
+            expect_bounce: true,
+        },
+        build: build_read_mostly_sharing,
+    },
+    ScenarioSpec {
+        name: "job-migration-bounce",
+        buggy_name: "job-migration-bounce:buggy",
+        fixed_name: "job-migration-bounce:fixed",
+        summary: "scheduler migrates each job to a new core every round",
+        bug: "each 256-byte `migrating_job` is processed by a different core every \
+              round (round-robin migration), so all four of its cache lines are \
+              re-fetched remotely on every execution",
+        fix: "jobs are pinned to their home core (affinity), so their state stays in \
+              that core's private cache",
+        planted: Planted {
+            type_name: "migrating_job",
+            expected_view: ExpectedView::DataFlow,
+            expected_dominant: Some("invalidation"),
+            expect_bounce: true,
+        },
+        build: build_job_migration_bounce,
+    },
+];
+
+/// How often scenarios recycle their planted objects, so the profiler's
+/// history-collection phase (which arms watchpoints at allocation time) always gets
+/// fresh objects to watch.
+const REALLOC_PERIOD: u64 = 12;
+
+fn base_machine(config: &ScenarioConfig) -> (Machine, KernelState) {
+    let mut machine = Machine::new(MachineConfig::with_cores(config.cores));
+    if config.record_session {
+        machine.start_session_recording();
+    }
+    let kernel = KernelState::new(
+        &mut machine,
+        KernelConfig {
+            cores: config.cores,
+            workers_per_core: 1,
+            ..Default::default()
+        },
+    );
+    (machine, kernel)
+}
+
+/// One round of per-core background traffic (an RX'd and freed packet per core).
+/// Keeps a steady base of unrelated misses in every scenario, so a fixed variant's
+/// miss shares redistribute onto real other types instead of degenerating.
+fn background_round(machine: &mut Machine, kernel: &mut KernelState, cores: usize) -> u64 {
+    for core in 0..cores {
+        let skb = kernel.netif_rx(machine, core, 100);
+        kernel.kfree_skb(machine, core, skb, kernel.syms.kfree_skb);
+    }
+    cores as u64
+}
+
+// ---------------------------------------------------------------------------
+// remote-hot-lock
+// ---------------------------------------------------------------------------
+
+struct RemoteHotLock {
+    full_name: &'static str,
+    variant: Variant,
+    cores: usize,
+    lock_ty: TypeId,
+    /// One address in the buggy variant, one per core in the fixed variant.
+    locks: Vec<u64>,
+    lock_fn: FunctionId,
+    requests: u64,
+    rounds: u64,
+}
+
+impl RemoteHotLock {
+    const OPS_PER_ROUND: usize = 8;
+
+    fn alloc_locks(&mut self, machine: &mut Machine, kernel: &mut KernelState) {
+        for (core, slot) in self.locks.iter_mut().enumerate() {
+            *slot = kernel
+                .allocator
+                .alloc(machine, &kernel.types, core % self.cores, self.lock_ty);
+        }
+    }
+
+    fn free_locks(&mut self, machine: &mut Machine, kernel: &mut KernelState) {
+        for &addr in &self.locks {
+            kernel.allocator.free(machine, 0, addr);
+        }
+    }
+}
+
+impl Workload for RemoteHotLock {
+    fn name(&self) -> &str {
+        self.full_name
+    }
+
+    fn step(&mut self, machine: &mut Machine, kernel: &mut KernelState) {
+        self.rounds += 1;
+        if self.rounds.is_multiple_of(REALLOC_PERIOD) {
+            self.free_locks(machine, kernel);
+            self.alloc_locks(machine, kernel);
+        }
+        for _ in 0..Self::OPS_PER_ROUND {
+            for core in 0..self.cores {
+                let lock = match self.variant {
+                    Variant::Buggy => self.locks[0],
+                    Variant::Fixed => self.locks[core],
+                };
+                // Acquire (CAS on the lock word), bump the counter, release.
+                machine.write(core, self.lock_fn, lock, 8);
+                machine.read(core, self.lock_fn, lock + 8, 8);
+                machine.write(core, self.lock_fn, lock + 8, 8);
+                machine.write(core, self.lock_fn, lock, 8);
+            }
+        }
+        self.requests += background_round(machine, kernel, self.cores);
+    }
+
+    fn requests_completed(&self) -> u64 {
+        self.requests
+    }
+}
+
+fn build_remote_hot_lock(config: &ScenarioConfig) -> BuiltScenario {
+    let (mut machine, mut kernel) = base_machine(config);
+    let lock_ty = kernel
+        .types
+        .register("conn_lock", "global connection-table lock", 64);
+    kernel.types.add_field(lock_ty, "owner", 0, 8);
+    kernel.types.add_field(lock_ty, "hits", 8, 8);
+    let spec = &REGISTRY[0];
+    let mut w = RemoteHotLock {
+        full_name: spec.full_name(config.variant),
+        variant: config.variant,
+        cores: config.cores,
+        lock_ty,
+        locks: vec![
+            0;
+            match config.variant {
+                Variant::Buggy => 1,
+                Variant::Fixed => config.cores,
+            }
+        ],
+        lock_fn: machine.fn_id("conn_table_lookup"),
+        requests: 0,
+        rounds: 0,
+    };
+    w.alloc_locks(&mut machine, &mut kernel);
+    (machine, kernel, Box::new(w))
+}
+
+// ---------------------------------------------------------------------------
+// ring-false-sharing
+// ---------------------------------------------------------------------------
+
+struct RingFalseSharing {
+    full_name: &'static str,
+    variant: Variant,
+    cores: usize,
+    ring_ty: TypeId,
+    /// One descriptor per producer/consumer core pair.
+    rings: Vec<u64>,
+    tail_offset: u64,
+    produce_fn: FunctionId,
+    consume_fn: FunctionId,
+    requests: u64,
+    rounds: u64,
+}
+
+impl RingFalseSharing {
+    const BURST: usize = 8;
+
+    fn alloc_rings(&mut self, machine: &mut Machine, kernel: &mut KernelState) {
+        for (pair, slot) in self.rings.iter_mut().enumerate() {
+            *slot = kernel.allocator.alloc(
+                machine,
+                &kernel.types,
+                (pair * 2) % self.cores,
+                self.ring_ty,
+            );
+        }
+    }
+
+    fn free_rings(&mut self, machine: &mut Machine, kernel: &mut KernelState) {
+        for &addr in &self.rings {
+            kernel.allocator.free(machine, 0, addr);
+        }
+    }
+}
+
+impl Workload for RingFalseSharing {
+    fn name(&self) -> &str {
+        self.full_name
+    }
+
+    fn step(&mut self, machine: &mut Machine, kernel: &mut KernelState) {
+        self.rounds += 1;
+        if self.rounds.is_multiple_of(REALLOC_PERIOD) {
+            self.free_rings(machine, kernel);
+            self.alloc_rings(machine, kernel);
+        }
+        for (pair, &ring) in self.rings.iter().enumerate() {
+            let producer = (pair * 2) % self.cores;
+            let consumer = (pair * 2 + 1) % self.cores;
+            let head = ring; // head index at offset 0
+            let tail = ring + self.tail_offset;
+            match self.variant {
+                Variant::Buggy => {
+                    // Every operation re-reads the peer's index from the shared line
+                    // and writes its own — two writers, one line.
+                    for _ in 0..Self::BURST {
+                        machine.read(producer, self.produce_fn, tail, 8);
+                        machine.write(producer, self.produce_fn, head, 8);
+                        machine.read(consumer, self.consume_fn, head, 8);
+                        machine.write(consumer, self.consume_fn, tail, 8);
+                    }
+                }
+                Variant::Fixed => {
+                    // Padded indices + batched peer reads: one snapshot per burst,
+                    // then each side updates only its own line.
+                    machine.read(producer, self.produce_fn, tail, 8);
+                    machine.read(consumer, self.consume_fn, head, 8);
+                    for _ in 0..Self::BURST {
+                        machine.write(producer, self.produce_fn, head, 8);
+                        machine.write(consumer, self.consume_fn, tail, 8);
+                    }
+                }
+            }
+        }
+        self.requests += background_round(machine, kernel, self.cores);
+    }
+
+    fn requests_completed(&self) -> u64 {
+        self.requests
+    }
+}
+
+fn build_ring_false_sharing(config: &ScenarioConfig) -> BuiltScenario {
+    let (mut machine, mut kernel) = base_machine(config);
+    let tail_offset = match config.variant {
+        Variant::Buggy => 8,
+        Variant::Fixed => 64,
+    };
+    let ring_ty = kernel
+        .types
+        .register("ring_desc", "producer/consumer ring descriptor", 128);
+    kernel.types.add_field(ring_ty, "head", 0, 8);
+    kernel.types.add_field(ring_ty, "tail", tail_offset, 8);
+    let spec = &REGISTRY[1];
+    let mut w = RingFalseSharing {
+        full_name: spec.full_name(config.variant),
+        variant: config.variant,
+        cores: config.cores,
+        ring_ty,
+        rings: vec![0; (config.cores / 2).max(1)],
+        tail_offset,
+        produce_fn: machine.fn_id("ring_produce"),
+        consume_fn: machine.fn_id("ring_consume"),
+        requests: 0,
+        rounds: 0,
+    };
+    w.alloc_rings(&mut machine, &mut kernel);
+    (machine, kernel, Box::new(w))
+}
+
+// ---------------------------------------------------------------------------
+// streaming-scan
+// ---------------------------------------------------------------------------
+
+struct StreamingScan {
+    full_name: &'static str,
+    variant: Variant,
+    cores: usize,
+    buf_ty: TypeId,
+    buf_size: u64,
+    /// Buggy variant: per-core FIFO of in-flight buffers.  The depth times the buffer
+    /// size exceeds the 64 KiB L1, so by the time the slab hands an address out again
+    /// its lines have aged out of the cache and every scan is cold.
+    in_flight: Vec<std::collections::VecDeque<u64>>,
+    /// Fixed variant: the per-core long-lived buffers.
+    reused: Vec<u64>,
+    scan_fn: FunctionId,
+    requests: u64,
+    rounds: u64,
+}
+
+impl StreamingScan {
+    /// 32 x 4 KiB = 128 KiB of in-flight data per core, 2x the L1.
+    const FIFO_DEPTH: usize = 32;
+
+    fn scan(&self, machine: &mut Machine, core: usize, buf: u64) {
+        // Stream through the buffer one line at a time, as one batched access run.
+        let lines = (self.buf_size / 64) as usize;
+        let mut reqs = Vec::with_capacity(lines);
+        for i in 0..lines {
+            reqs.push(AccessReq::read(buf + (i as u64) * 64, 8));
+        }
+        machine.access_run(core, self.scan_fn, &reqs);
+    }
+
+    fn alloc_reused(&mut self, machine: &mut Machine, kernel: &mut KernelState) {
+        for (core, slot) in self.reused.iter_mut().enumerate() {
+            *slot = kernel
+                .allocator
+                .alloc(machine, &kernel.types, core, self.buf_ty);
+        }
+    }
+}
+
+impl Workload for StreamingScan {
+    fn name(&self) -> &str {
+        self.full_name
+    }
+
+    fn step(&mut self, machine: &mut Machine, kernel: &mut KernelState) {
+        self.rounds += 1;
+        match self.variant {
+            Variant::Buggy => {
+                // A fresh buffer every round on every core: all compulsory misses.
+                // Buffers are retired through a deep FIFO, as a real streaming pipeline
+                // keeps data in flight, so the allocator never hands back a cache-warm
+                // address.
+                for core in 0..self.cores {
+                    let buf = kernel
+                        .allocator
+                        .alloc(machine, &kernel.types, core, self.buf_ty);
+                    self.scan(machine, core, buf);
+                    self.in_flight[core].push_back(buf);
+                    if self.in_flight[core].len() > Self::FIFO_DEPTH {
+                        let old = self.in_flight[core].pop_front().expect("non-empty fifo");
+                        kernel.allocator.free(machine, core, old);
+                    }
+                }
+            }
+            Variant::Fixed => {
+                // Reuse long-lived buffers; recycle them only rarely (and so stay
+                // watchable for history collection).
+                if self.rounds.is_multiple_of(REALLOC_PERIOD) {
+                    for core in 0..self.cores {
+                        kernel.allocator.free(machine, core, self.reused[core]);
+                    }
+                    self.alloc_reused(machine, kernel);
+                }
+                for core in 0..self.cores {
+                    self.scan(machine, core, self.reused[core]);
+                }
+            }
+        }
+        self.requests += background_round(machine, kernel, self.cores);
+    }
+
+    fn requests_completed(&self) -> u64 {
+        self.requests
+    }
+}
+
+fn build_streaming_scan(config: &ScenarioConfig) -> BuiltScenario {
+    let (mut machine, mut kernel) = base_machine(config);
+    let buf_size = 4096;
+    let buf_ty = kernel
+        .types
+        .register("scan_buffer", "per-request scan buffer", buf_size);
+    let spec = &REGISTRY[2];
+    let mut w = StreamingScan {
+        full_name: spec.full_name(config.variant),
+        variant: config.variant,
+        cores: config.cores,
+        buf_ty,
+        buf_size,
+        in_flight: vec![std::collections::VecDeque::new(); config.cores],
+        reused: vec![0; config.cores],
+        scan_fn: machine.fn_id("scan_records"),
+        requests: 0,
+        rounds: 0,
+    };
+    if config.variant == Variant::Fixed {
+        w.alloc_reused(&mut machine, &mut kernel);
+    }
+    (machine, kernel, Box::new(w))
+}
+
+// ---------------------------------------------------------------------------
+// hash-capacity-thrash
+// ---------------------------------------------------------------------------
+
+struct HashCapacityThrash {
+    full_name: &'static str,
+    cores: usize,
+    bucket_ty: TypeId,
+    buckets: Vec<u64>,
+    probe_fn: FunctionId,
+    rng: StdRng,
+    /// Next bucket to recycle (round-robin), keeping histories collectible.
+    recycle_cursor: usize,
+    requests: u64,
+    rounds: u64,
+}
+
+impl HashCapacityThrash {
+    const PROBES_PER_CORE: usize = 32;
+    const BUCKET_SIZE: u64 = 1024;
+}
+
+impl Workload for HashCapacityThrash {
+    fn name(&self) -> &str {
+        self.full_name
+    }
+
+    fn step(&mut self, machine: &mut Machine, kernel: &mut KernelState) {
+        self.rounds += 1;
+        if self.rounds.is_multiple_of(REALLOC_PERIOD / 2) {
+            // Recycle one bucket (hash-table resize churn), so watchpoints can arm.
+            let i = self.recycle_cursor % self.buckets.len();
+            self.recycle_cursor += 1;
+            kernel.allocator.free(machine, 0, self.buckets[i]);
+            self.buckets[i] = kernel
+                .allocator
+                .alloc(machine, &kernel.types, 0, self.bucket_ty);
+        }
+        for core in 0..self.cores {
+            let mut reqs = [AccessReq::read(0, 8); Self::PROBES_PER_CORE];
+            for req in reqs.iter_mut() {
+                let bucket =
+                    self.buckets[self.rng.gen_range(0..self.buckets.len() as u64) as usize];
+                let line = self.rng.gen_range(0u64..Self::BUCKET_SIZE / 64) * 64;
+                *req = AccessReq::read(bucket + line, 8);
+            }
+            machine.access_run(core, self.probe_fn, &reqs);
+        }
+        self.requests += background_round(machine, kernel, self.cores);
+    }
+
+    fn requests_completed(&self) -> u64 {
+        self.requests
+    }
+}
+
+fn build_hash_capacity_thrash(config: &ScenarioConfig) -> BuiltScenario {
+    let (mut machine, mut kernel) = base_machine(config);
+    let bucket_ty = kernel
+        .types
+        .register("hash_bucket", "flow-table bucket array segment", 1024);
+    // Buggy: ~1.5 MiB of buckets, 3x the 512 KiB L2.  Fixed: 32 KiB, which probes
+    // stay resident in even half of the 64 KiB L1.
+    let bucket_count = match config.variant {
+        Variant::Buggy => 1536,
+        Variant::Fixed => 32,
+    };
+    let buckets = (0..bucket_count)
+        .map(|i| {
+            kernel
+                .allocator
+                .alloc(&mut machine, &kernel.types, i % config.cores, bucket_ty)
+        })
+        .collect();
+    let spec = &REGISTRY[3];
+    let w = HashCapacityThrash {
+        full_name: spec.full_name(config.variant),
+        cores: config.cores,
+        bucket_ty,
+        buckets,
+        probe_fn: machine.fn_id("flow_table_lookup"),
+        rng: StdRng::seed_from_u64(config.seed),
+        recycle_cursor: 0,
+        requests: 0,
+        rounds: 0,
+    };
+    (machine, kernel, Box::new(w))
+}
+
+// ---------------------------------------------------------------------------
+// read-mostly-true-sharing
+// ---------------------------------------------------------------------------
+
+struct ReadMostlySharing {
+    full_name: &'static str,
+    variant: Variant,
+    cores: usize,
+    cache_ty: TypeId,
+    cache_addr: u64,
+    update_fn: FunctionId,
+    lookup_fn: FunctionId,
+    requests: u64,
+    rounds: u64,
+}
+
+impl ReadMostlySharing {
+    const READS_PER_ROUND: usize = 8;
+    /// The fixed variant batches writer updates to one every this many rounds.
+    const FIXED_UPDATE_PERIOD: u64 = 32;
+}
+
+impl Workload for ReadMostlySharing {
+    fn name(&self) -> &str {
+        self.full_name
+    }
+
+    fn step(&mut self, machine: &mut Machine, kernel: &mut KernelState) {
+        self.rounds += 1;
+        if self.rounds.is_multiple_of(REALLOC_PERIOD) {
+            kernel.allocator.free(machine, 0, self.cache_addr);
+            self.cache_addr = kernel
+                .allocator
+                .alloc(machine, &kernel.types, 0, self.cache_ty);
+        }
+        for burst in 0..Self::READS_PER_ROUND {
+            let write_now = match self.variant {
+                Variant::Buggy => true,
+                Variant::Fixed => {
+                    burst == 0 && self.rounds.is_multiple_of(Self::FIXED_UPDATE_PERIOD)
+                }
+            };
+            if write_now {
+                // Core 0 publishes a new generation before the readers come through.
+                machine.write(0, self.update_fn, self.cache_addr, 8);
+            }
+            for core in 0..self.cores {
+                machine.read(core, self.lookup_fn, self.cache_addr, 8);
+                machine.read(core, self.lookup_fn, self.cache_addr + 8, 8);
+            }
+        }
+        self.requests += background_round(machine, kernel, self.cores);
+    }
+
+    fn requests_completed(&self) -> u64 {
+        self.requests
+    }
+}
+
+fn build_read_mostly_sharing(config: &ScenarioConfig) -> BuiltScenario {
+    let (mut machine, mut kernel) = base_machine(config);
+    let cache_ty = kernel
+        .types
+        .register("route_cache", "shared routing cache header", 64);
+    kernel.types.add_field(cache_ty, "generation", 0, 8);
+    kernel.types.add_field(cache_ty, "route", 8, 8);
+    let cache_addr = kernel
+        .allocator
+        .alloc(&mut machine, &kernel.types, 0, cache_ty);
+    let spec = &REGISTRY[4];
+    let w = ReadMostlySharing {
+        full_name: spec.full_name(config.variant),
+        variant: config.variant,
+        cores: config.cores,
+        cache_ty,
+        cache_addr,
+        update_fn: machine.fn_id("route_cache_update"),
+        lookup_fn: machine.fn_id("route_cache_lookup"),
+        requests: 0,
+        rounds: 0,
+    };
+    (machine, kernel, Box::new(w))
+}
+
+// ---------------------------------------------------------------------------
+// job-migration-bounce
+// ---------------------------------------------------------------------------
+
+struct JobMigrationBounce {
+    full_name: &'static str,
+    variant: Variant,
+    cores: usize,
+    job_ty: TypeId,
+    jobs: Vec<u64>,
+    exec_fn: FunctionId,
+    requests: u64,
+    rounds: u64,
+}
+
+impl JobMigrationBounce {
+    const JOB_LINES: u64 = 4; // 256 bytes
+
+    fn alloc_jobs(&mut self, machine: &mut Machine, kernel: &mut KernelState) {
+        for (i, slot) in self.jobs.iter_mut().enumerate() {
+            *slot = kernel
+                .allocator
+                .alloc(machine, &kernel.types, i % self.cores, self.job_ty);
+        }
+    }
+
+    fn free_jobs(&mut self, machine: &mut Machine, kernel: &mut KernelState) {
+        for &addr in &self.jobs {
+            kernel.allocator.free(machine, 0, addr);
+        }
+    }
+}
+
+impl Workload for JobMigrationBounce {
+    fn name(&self) -> &str {
+        self.full_name
+    }
+
+    fn step(&mut self, machine: &mut Machine, kernel: &mut KernelState) {
+        self.rounds += 1;
+        if self.rounds.is_multiple_of(REALLOC_PERIOD) {
+            self.free_jobs(machine, kernel);
+            self.alloc_jobs(machine, kernel);
+        }
+        for (i, &job) in self.jobs.iter().enumerate() {
+            let core = match self.variant {
+                // The "scheduler" moves every job to the next core each round.
+                Variant::Buggy => (i + self.rounds as usize) % self.cores,
+                // Affinity: the job always runs on its home core.
+                Variant::Fixed => i % self.cores,
+            };
+            // Execute the job: read + update every line of its state.
+            for line in 0..Self::JOB_LINES {
+                machine.read(core, self.exec_fn, job + line * 64, 8);
+                machine.write(core, self.exec_fn, job + line * 64 + 8, 8);
+            }
+        }
+        self.requests += background_round(machine, kernel, self.cores);
+    }
+
+    fn requests_completed(&self) -> u64 {
+        self.requests
+    }
+}
+
+fn build_job_migration_bounce(config: &ScenarioConfig) -> BuiltScenario {
+    let (mut machine, mut kernel) = base_machine(config);
+    let job_ty = kernel
+        .types
+        .register("migrating_job", "per-connection worker job state", 256);
+    kernel.types.add_field(job_ty, "state", 0, 8);
+    kernel.types.add_field(job_ty, "stats", 64, 8);
+    let spec = &REGISTRY[5];
+    let mut w = JobMigrationBounce {
+        full_name: spec.full_name(config.variant),
+        variant: config.variant,
+        cores: config.cores,
+        job_ty,
+        jobs: vec![0; config.cores * 2],
+        exec_fn: machine.fn_id("job_exec"),
+        requests: 0,
+        rounds: 0,
+    };
+    w.alloc_jobs(&mut machine, &mut kernel);
+    (machine, kernel, Box::new(w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_well_formed() {
+        let names = scenario_names();
+        assert_eq!(names.len(), 6);
+        for spec in registry() {
+            assert_eq!(spec.buggy_name, format!("{}:buggy", spec.name));
+            assert_eq!(spec.fixed_name, format!("{}:fixed", spec.name));
+            assert!(find(spec.name).is_some());
+        }
+        // Names are unique.
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+
+    #[test]
+    fn spec_parsing_accepts_variants_and_rejects_garbage() {
+        let (idx, variant) = parse_spec("ring-false-sharing:fixed").unwrap();
+        assert_eq!(registry()[idx].name, "ring-false-sharing");
+        assert_eq!(variant, Variant::Fixed);
+        let (_, variant) = parse_spec("ring-false-sharing").unwrap();
+        assert_eq!(variant, Variant::Buggy);
+        assert!(parse_spec("ring-false-sharing:borked").is_err());
+        assert!(parse_spec("no-such-scenario").is_err());
+    }
+
+    #[test]
+    fn every_scenario_variant_steps_and_completes_requests() {
+        for spec in registry() {
+            for variant in [Variant::Buggy, Variant::Fixed] {
+                let config = ScenarioConfig {
+                    variant,
+                    cores: 2,
+                    ..Default::default()
+                };
+                let (mut machine, mut kernel, mut w) = spec.build(&config);
+                assert_eq!(w.name(), spec.full_name(variant));
+                for _ in 0..30 {
+                    w.step(&mut machine, &mut kernel);
+                }
+                assert!(
+                    w.requests_completed() > 0,
+                    "{} produced no requests",
+                    w.name()
+                );
+                assert_eq!(
+                    kernel.allocator.live_objects_of(kernel.kt.skbuff),
+                    0,
+                    "{} leaked skbuffs",
+                    w.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn buggy_variants_generate_more_remote_traffic_where_sharing_is_planted() {
+        for name in [
+            "remote-hot-lock",
+            "ring-false-sharing",
+            "read-mostly-true-sharing",
+            "job-migration-bounce",
+        ] {
+            let (_, spec) = find(name).unwrap();
+            let run = |variant| {
+                let config = ScenarioConfig {
+                    variant,
+                    cores: 2,
+                    ..Default::default()
+                };
+                let (mut machine, mut kernel, mut w) = spec.build(&config);
+                for _ in 0..40 {
+                    w.step(&mut machine, &mut kernel);
+                }
+                machine.hierarchy.stats.remote_hits
+            };
+            let buggy = run(Variant::Buggy);
+            let fixed = run(Variant::Fixed);
+            assert!(
+                buggy > fixed.saturating_mul(2),
+                "{name}: buggy should fetch far more lines from foreign caches \
+                 ({buggy} vs {fixed})"
+            );
+        }
+    }
+}

@@ -11,7 +11,8 @@
 //! * [`cache`] ([`sim_cache`]) — the set-associative, MESI-coherent cache hierarchy.
 //! * [`kernel`] ([`sim_kernel`]) — the Linux-like kernel substrate (typed SLAB
 //!   allocator, network stack, locks).
-//! * [`workloads`] — the memcached and Apache workloads from the evaluation.
+//! * [`workloads`] — the memcached and Apache workloads from the evaluation, plus the
+//!   planted-bottleneck scenario corpus (`workloads::scenarios`).
 //! * [`trace`] ([`dprof_trace`]) — the `.dtrace` record/replay subsystem: binary
 //!   access-trace format, full-pipeline deterministic replay, bench trace lowering.
 //! * [`baselines`] — OProfile-style and lock-stat baselines.
