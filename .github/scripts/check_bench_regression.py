@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Throughput-regression gate for the CI `perf-regression` job.
+
+Compares a fresh `dprof-bench --quick --emit-json` run against the checked-in
+baseline (`BENCH_throughput.json`, schema `dprof-bench-throughput/v1`): for
+every (workload, cores) point present in BOTH documents, the fresh optimized
+accesses/s must be at least `--tolerance` (default 0.7) times the baseline's.
+The generous tolerance absorbs runner-speed variance between the machine that
+recorded the baseline and the CI machine of the day; a real hot-path
+regression (the kind PR 2 existed to prevent) loses far more than 30%.
+
+Refreshing the baseline (e.g. after an intentional trade-off, or when the CI
+runner fleet changes speed class): run
+
+    cargo run --release -p dprof-bench --bin dprof-bench -- --emit-json
+
+on the reference machine and commit the regenerated BENCH_throughput.json in
+the same PR, noting the reason in the PR description.  The baseline is `paper`
+scale; only the core counts the quick run also measures are compared.
+
+Exit status: 0 when every compared point clears the tolerance, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_points(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "dprof-bench-throughput/v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {(p["workload"], p["cores"]): p for p in doc["points"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="checked-in BENCH_throughput.json")
+    ap.add_argument("fresh", help="freshly measured bench JSON")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.7,
+        help="minimum fresh/baseline optimized-aps ratio (default 0.7)",
+    )
+    args = ap.parse_args()
+
+    baseline = load_points(args.baseline)
+    fresh = load_points(args.fresh)
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        sys.exit("no (workload, cores) points shared between baseline and fresh run")
+
+    failures = []
+    print(f"{'workload':<12} {'cores':>5} {'baseline a/s':>14} {'fresh a/s':>14} {'ratio':>7}")
+    for key in shared:
+        base_aps = baseline[key]["optimized_aps"]
+        fresh_aps = fresh[key]["optimized_aps"]
+        ratio = fresh_aps / base_aps
+        status = "ok" if ratio >= args.tolerance else "REGRESSION"
+        print(
+            f"{key[0]:<12} {key[1]:>5} {base_aps:>14,.0f} {fresh_aps:>14,.0f} "
+            f"{ratio:>6.2f}x  {status}"
+        )
+        if ratio < args.tolerance:
+            failures.append((key, ratio))
+
+    if failures:
+        for (workload, cores), ratio in failures:
+            print(
+                f"::error::throughput regression: {workload}/{cores}c at "
+                f"{ratio:.2f}x of baseline (tolerance {args.tolerance}x)",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"all {len(shared)} compared points within tolerance {args.tolerance}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,7 @@ use workloads::{
 /// Builds the DProf configuration used by the case studies.
 fn dprof_config(scale: &Scale) -> DprofConfig {
     DprofConfig {
-        ibs_interval_ops: scale.ibs_interval_ops,
+        sampling: sim_machine::SamplingPolicy::fixed(scale.ibs_interval_ops),
         sample_rounds: scale.sample_rounds,
         history_types: scale.history_types,
         history: HistoryConfig {
@@ -28,6 +28,7 @@ fn dprof_config(scale: &Scale) -> DprofConfig {
             ..Default::default()
         },
         hot_node_threshold: 100.0,
+        collect_ground_truth: false,
     }
 }
 

@@ -409,7 +409,7 @@ pub fn example_path_trace(scale: &Scale) -> String {
         workload.step(&mut machine, &mut kernel);
     }
     let dprof = Dprof::new(DprofConfig {
-        ibs_interval_ops: scale.ibs_interval_ops,
+        sampling: sim_machine::SamplingPolicy::fixed(scale.ibs_interval_ops),
         sample_rounds: scale.sample_rounds,
         history_types: 2,
         history: HistoryConfig {
@@ -417,6 +417,7 @@ pub fn example_path_trace(scale: &Scale) -> String {
             ..Default::default()
         },
         hot_node_threshold: 100.0,
+        collect_ground_truth: false,
     });
     let profile = dprof.run(&mut machine, &mut kernel, |m, k| workload.step(m, k));
     let skbuff = kernel.kt.skbuff;

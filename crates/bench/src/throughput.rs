@@ -173,7 +173,7 @@ pub mod trace_io {
                 cores,
                 warmup_rounds: 0,
                 sample_rounds: rounds,
-                ibs_interval_ops: 0,
+                sampling: sim_machine::SamplingPolicy::Disabled,
                 history_types: 0,
                 history_sets: 0,
                 base_seed: 0,

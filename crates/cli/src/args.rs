@@ -3,6 +3,7 @@
 //! output controls.
 
 use crate::driver::{parse_workload_spec, ApacheLoad, RunOptions, TxPolicyChoice, WorkloadKind};
+use dprof::machine::SamplingPolicy;
 use std::fmt;
 
 /// The four DProf views, as selectable from the command line.
@@ -102,6 +103,20 @@ pub struct DiffOptions {
     pub output: Option<String>,
 }
 
+/// Options of a `dprof accuracy` invocation.
+#[derive(Debug, Clone)]
+pub struct AccuracyOptions {
+    /// The profiling run to measure (ground truth is always collected; history
+    /// collection is skipped — accuracy compares rankings, not paths).
+    pub run: RunOptions,
+    /// How many top ground-truth types the rank-agreement metric covers.
+    pub top_k: usize,
+    /// Output format.
+    pub format: Format,
+    /// Write the accuracy report here instead of stdout.
+    pub output: Option<String>,
+}
+
 /// Result of parsing a command line.
 #[derive(Debug, Clone)]
 pub enum Parsed {
@@ -111,6 +126,8 @@ pub enum Parsed {
     Replay(ReplayOptions),
     /// Compare two reports (`dprof diff`).
     Diff(DiffOptions),
+    /// Measure sampling fidelity against exact ground truth (`dprof accuracy`).
+    Accuracy(AccuracyOptions),
     /// `--help` was requested.
     Help,
     /// `--version` was requested.
@@ -130,6 +147,9 @@ USAGE:
     dprof diff <A.json> <B.json>  compare two JSON reports: per-type deltas plus a
                                   bottleneck verdict (eliminated / moved / reduced /
                                   unchanged / worsened)
+    dprof accuracy [OPTIONS]      profile under sampling AND exact ground truth in
+                                  one run, and report sampling fidelity (per-type
+                                  share error, top-K rank agreement, samples spent)
 
 RECORD/REPLAY:
         --trace <PATH>        (record) session trace output   [default: dprof.dtrace]
@@ -139,6 +159,11 @@ RECORD/REPLAY:
 DIFF:
         --focus <TYPE>        type the verdict is about    [default: A's top miss type]
     diff also accepts --format, --top and --output from REPORT below.
+
+ACCURACY:
+        --top-k <K>           ground-truth top-K for rank agreement  [default: 3]
+    accuracy also accepts the WORKLOAD and PROFILING options (history collection is
+    skipped) plus --format and --output; see docs/sampling.md for the report schema.
 
 WORKLOAD:
     -w, --workload <NAME>     memcached | apache | custom, or a bottleneck scenario
@@ -155,7 +180,13 @@ PROFILING:
     -j, --threads <N>         worker threads, one machine each   [default: 1]
         --warmup <N>          warmup rounds before sampling      [default: 20]
         --rounds <N>          workload rounds while sampling     [default: 120]
-        --ibs-interval <N>    IBS sampling interval in mem ops   [default: 200]
+        --sampling <P>        IBS policy, per machine:
+                                fixed:<interval>   one sample per <interval> mem
+                                                   ops on average
+                                adaptive:<budget>  at most <budget> samples for the
+                                                   whole phase, spread adaptively
+                                                                 [default: fixed:200]
+        --ibs-interval <N>    shorthand for --sampling fixed:<N>
         --history-types <N>   top miss types to collect for      [default: 3]
         --history-sets <N>    history sets per profiled type     [default: 3]
         --seed <N>            base RNG seed (thread i adds i)    [default: 3471]
@@ -181,6 +212,7 @@ EXAMPLES:
     dprof -w ring-false-sharing:buggy -f json -o buggy.json
     dprof -w ring-false-sharing:fixed -f json -o fixed.json
     dprof diff buggy.json fixed.json --focus ring_desc     # => bottleneck eliminated
+    dprof accuracy -w remote-hot-lock:buggy --sampling adaptive:2500 -f json
 ";
 
 fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
@@ -237,6 +269,50 @@ fn parse_format(value: &str) -> Result<Format, String> {
     }
 }
 
+/// `--ibs-interval N` is shorthand for `--sampling fixed:N`.
+fn parse_ibs_interval(flag: &str, value: &str) -> Result<SamplingPolicy, String> {
+    let interval: u64 = parse_num(flag, value)?;
+    if interval == 0 {
+        // Interval 0 means "sampling disabled" to the IBS unit; a profile without
+        // samples is always empty, so reject it rather than mislead.
+        return Err("--ibs-interval must be at least 1".into());
+    }
+    Ok(SamplingPolicy::Fixed {
+        interval_ops: interval,
+    })
+}
+
+/// Shape checks shared by `dprof run`/`record` and `dprof accuracy`.
+fn validate_run_shape(run: &RunOptions) -> Result<(), String> {
+    if run.threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    if run.threads > 256 {
+        return Err("--threads is capped at 256".into());
+    }
+    if run.cores == 0 {
+        return Err("--cores must be at least 1".into());
+    }
+    if run.cores > 64 {
+        return Err("--cores is capped at 64".into());
+    }
+    if run.cores < 2 && matches!(run.workload, WorkloadKind::Scenario { .. }) {
+        // Every scenario plants a cross-core or capacity pathology; on one core there
+        // is nothing to detect (and the builders assert the same minimum).
+        return Err(format!(
+            "scenario '{}' needs --cores of at least 2",
+            run.workload.name()
+        ));
+    }
+    if run.sample_rounds == 0 {
+        return Err("--rounds must be at least 1".into());
+    }
+    if !run.sampling.enabled() {
+        return Err("sampling must be enabled (see --sampling)".into());
+    }
+    Ok(())
+}
+
 /// Parses a command line (without the program name).
 ///
 /// The first argument may be a subcommand: `run` (the default), `record` (run plus
@@ -245,6 +321,7 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
     match args.first().map(String::as_str) {
         Some("replay") => parse_replay(&args[1..]),
         Some("diff") => parse_diff(&args[1..]),
+        Some("accuracy") => parse_accuracy(&args[1..]),
         Some("record") => {
             let parsed = parse_run(&args[1..])?;
             if let Parsed::Run(mut options) = parsed {
@@ -310,6 +387,101 @@ fn parse_diff(args: &[String]) -> Result<Parsed, String> {
     }))
 }
 
+/// Tries to consume one of the run-shape flags shared by `dprof run`/`record` and
+/// `dprof accuracy` (workload selection, machine size, rounds, sampling, seed).
+/// Returns `Ok(true)` when `arg` was recognized and applied to `run` — keeping the
+/// two subcommands' flag surfaces in lockstep by construction.
+fn parse_shared_run_flag(
+    run: &mut RunOptions,
+    arg: &str,
+    iter: &mut std::iter::Peekable<std::slice::Iter<String>>,
+) -> Result<bool, String> {
+    match arg {
+        "-w" | "--workload" => run.workload = parse_workload_spec(&take_value(iter, arg)?)?,
+        "--tx-policy" => {
+            let v = take_value(iter, arg)?;
+            run.tx_policy = match v.as_str() {
+                "hash" => TxPolicyChoice::Hash,
+                "local" => TxPolicyChoice::Local,
+                other => {
+                    return Err(format!(
+                        "unknown tx policy '{other}' (expected hash or local)"
+                    ))
+                }
+            };
+        }
+        "--apache-load" => {
+            let v = take_value(iter, arg)?;
+            run.apache_load = match v.as_str() {
+                "peak" => ApacheLoad::Peak,
+                "drop-off" => ApacheLoad::DropOff,
+                "admission-control" => ApacheLoad::AdmissionControl,
+                other => {
+                    return Err(format!(
+                        "unknown apache load '{other}' (expected peak, drop-off, or \
+                         admission-control)"
+                    ))
+                }
+            };
+        }
+        "--cores" => run.cores = parse_num(arg, &take_value(iter, arg)?)?,
+        "-j" | "--threads" => run.threads = parse_num(arg, &take_value(iter, arg)?)?,
+        "--warmup" => run.warmup_rounds = parse_num(arg, &take_value(iter, arg)?)?,
+        "--rounds" => run.sample_rounds = parse_num(arg, &take_value(iter, arg)?)?,
+        "--sampling" => run.sampling = SamplingPolicy::parse(&take_value(iter, arg)?)?,
+        "--ibs-interval" => run.sampling = parse_ibs_interval(arg, &take_value(iter, arg)?)?,
+        "--seed" => run.base_seed = parse_num(arg, &take_value(iter, arg)?)?,
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// Parses the flags of a `dprof accuracy` invocation: the run surface minus views,
+/// history collection and trace capture, plus `--top-k`.
+fn parse_accuracy(args: &[String]) -> Result<Parsed, String> {
+    let mut run = RunOptions {
+        collect_ground_truth: true,
+        // Accuracy compares sampled and exact *rankings*; the history-collection
+        // phase contributes nothing to either and would dominate the runtime.
+        history_types: 0,
+        ..RunOptions::default()
+    };
+    let mut top_k = 3usize;
+    let mut format = Format::Text;
+    let mut output: Option<String> = None;
+
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if parse_shared_run_flag(&mut run, arg, &mut iter)? {
+            continue;
+        }
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(Parsed::Help),
+            "-V" | "--version" => return Ok(Parsed::Version),
+            "--top-k" => top_k = parse_num(arg, &take_value(&mut iter, arg)?)?,
+            "-f" | "--format" => format = parse_format(&take_value(&mut iter, arg)?)?,
+            "-o" | "--output" => output = Some(take_value(&mut iter, arg)?),
+            "-v" | "--view" | "--trace" | "--history-types" | "--history-sets" | "--top" => {
+                return Err(format!(
+                    "'{arg}' conflicts with accuracy: the accuracy report has a fixed \
+                     shape and skips history collection (try --help)"
+                ))
+            }
+            other => return Err(format!("unknown accuracy argument '{other}' (try --help)")),
+        }
+    }
+    validate_run_shape(&run)?;
+    if top_k == 0 {
+        return Err("--top-k must be at least 1".into());
+    }
+    Ok(Parsed::Accuracy(AccuracyOptions {
+        run,
+        top_k,
+        format,
+        output,
+    }))
+}
+
 /// Parses the flags of a `dprof replay` invocation.
 fn parse_replay(args: &[String]) -> Result<Parsed, String> {
     let mut input: Option<String> = None;
@@ -360,54 +532,18 @@ fn parse_run(args: &[String]) -> Result<Parsed, String> {
 
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
+        if parse_shared_run_flag(&mut options.run, arg, &mut iter)? {
+            continue;
+        }
         match arg.as_str() {
             "-h" | "--help" => return Ok(Parsed::Help),
             "-V" | "--version" => return Ok(Parsed::Version),
-            "-w" | "--workload" => {
-                options.run.workload = parse_workload_spec(&take_value(&mut iter, arg)?)?;
-            }
-            "--tx-policy" => {
-                let v = take_value(&mut iter, arg)?;
-                options.run.tx_policy = match v.as_str() {
-                    "hash" => TxPolicyChoice::Hash,
-                    "local" => TxPolicyChoice::Local,
-                    other => {
-                        return Err(format!(
-                            "unknown tx policy '{other}' (expected hash or local)"
-                        ))
-                    }
-                };
-            }
-            "--apache-load" => {
-                let v = take_value(&mut iter, arg)?;
-                options.run.apache_load = match v.as_str() {
-                    "peak" => ApacheLoad::Peak,
-                    "drop-off" => ApacheLoad::DropOff,
-                    "admission-control" => ApacheLoad::AdmissionControl,
-                    other => {
-                        return Err(format!(
-                            "unknown apache load '{other}' (expected peak, drop-off, or \
-                             admission-control)"
-                        ))
-                    }
-                };
-            }
-            "--cores" => options.run.cores = parse_num(arg, &take_value(&mut iter, arg)?)?,
-            "-j" | "--threads" => {
-                options.run.threads = parse_num(arg, &take_value(&mut iter, arg)?)?
-            }
-            "--warmup" => options.run.warmup_rounds = parse_num(arg, &take_value(&mut iter, arg)?)?,
-            "--rounds" => options.run.sample_rounds = parse_num(arg, &take_value(&mut iter, arg)?)?,
-            "--ibs-interval" => {
-                options.run.ibs_interval_ops = parse_num(arg, &take_value(&mut iter, arg)?)?
-            }
             "--history-types" => {
                 options.run.history_types = parse_num(arg, &take_value(&mut iter, arg)?)?
             }
             "--history-sets" => {
                 options.run.history_sets = parse_num(arg, &take_value(&mut iter, arg)?)?
             }
-            "--seed" => options.run.base_seed = parse_num(arg, &take_value(&mut iter, arg)?)?,
             "-v" | "--view" => parse_views(&take_value(&mut iter, arg)?, &mut options.views)?,
             "-f" | "--format" => options.format = parse_format(&take_value(&mut iter, arg)?)?,
             "--top" => options.top = parse_num(arg, &take_value(&mut iter, arg)?)?,
@@ -420,34 +556,7 @@ fn parse_run(args: &[String]) -> Result<Parsed, String> {
     if options.views.is_empty() {
         options.views = View::ALL.to_vec();
     }
-    if options.run.threads == 0 {
-        return Err("--threads must be at least 1".into());
-    }
-    if options.run.threads > 256 {
-        return Err("--threads is capped at 256".into());
-    }
-    if options.run.cores == 0 {
-        return Err("--cores must be at least 1".into());
-    }
-    if options.run.cores > 64 {
-        return Err("--cores is capped at 64".into());
-    }
-    if options.run.cores < 2 && matches!(options.run.workload, WorkloadKind::Scenario { .. }) {
-        // Every scenario plants a cross-core or capacity pathology; on one core there
-        // is nothing to detect (and the builders assert the same minimum).
-        return Err(format!(
-            "scenario '{}' needs --cores of at least 2",
-            options.run.workload.name()
-        ));
-    }
-    if options.run.sample_rounds == 0 {
-        return Err("--rounds must be at least 1".into());
-    }
-    if options.run.ibs_interval_ops == 0 {
-        // Interval 0 means "sampling disabled" to the IBS unit; a profile without
-        // samples is always empty, so reject it rather than mislead.
-        return Err("--ibs-interval must be at least 1".into());
-    }
+    validate_run_shape(&options.run)?;
     if options.top == 0 {
         return Err("--top must be at least 1".into());
     }
@@ -632,6 +741,68 @@ mod tests {
         assert!(parse(&args("replay x.dtrace --top 0")).is_err());
         assert!(matches!(
             parse(&args("replay --help")).unwrap(),
+            Parsed::Help
+        ));
+    }
+
+    #[test]
+    fn sampling_policies_parse_on_run_and_reject_garbage() {
+        let Parsed::Run(o) = parse(&args("--sampling adaptive:5000")).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(o.run.sampling, SamplingPolicy::Adaptive { budget: 5000 });
+        let Parsed::Run(o) = parse(&args("--sampling fixed:64")).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(o.run.sampling, SamplingPolicy::Fixed { interval_ops: 64 });
+        // --ibs-interval stays as the fixed-rate shorthand.
+        let Parsed::Run(o) = parse(&args("--ibs-interval 32")).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(o.run.sampling, SamplingPolicy::Fixed { interval_ops: 32 });
+        assert!(parse(&args("--sampling adaptive:0")).is_err());
+        assert!(parse(&args("--sampling fixed")).is_err());
+        assert!(parse(&args("--sampling 200")).is_err());
+        assert!(parse(&args("--sampling turbo:9")).is_err());
+    }
+
+    #[test]
+    fn accuracy_subcommand_parses_run_surface_plus_top_k() {
+        let Parsed::Accuracy(a) = parse(&args(
+            "accuracy -w remote-hot-lock:buggy --cores 2 --rounds 50 \
+             --sampling adaptive:2500 --top-k 4 -f json -o acc.json",
+        ))
+        .unwrap() else {
+            panic!("expected accuracy")
+        };
+        assert_eq!(a.run.workload.name(), "remote-hot-lock:buggy");
+        assert_eq!(a.run.sampling, SamplingPolicy::Adaptive { budget: 2500 });
+        assert_eq!(a.run.sample_rounds, 50);
+        assert_eq!(a.top_k, 4);
+        assert_eq!(a.format, Format::Json);
+        assert_eq!(a.output.as_deref(), Some("acc.json"));
+        assert!(a.run.collect_ground_truth);
+        assert_eq!(a.run.history_types, 0, "accuracy skips history collection");
+        // Defaults.
+        let Parsed::Accuracy(a) = parse(&args("accuracy")).unwrap() else {
+            panic!("expected accuracy")
+        };
+        assert_eq!(a.top_k, 3);
+        assert_eq!(a.format, Format::Text);
+    }
+
+    #[test]
+    fn accuracy_rejects_conflicting_and_invalid_flags() {
+        assert!(parse(&args("accuracy -v data-profile"))
+            .unwrap_err()
+            .contains("conflicts with accuracy"));
+        assert!(parse(&args("accuracy --trace t.dtrace")).is_err());
+        assert!(parse(&args("accuracy --history-types 2")).is_err());
+        assert!(parse(&args("accuracy --top 5")).is_err());
+        assert!(parse(&args("accuracy --top-k 0")).is_err());
+        assert!(parse(&args("accuracy -w remote-hot-lock --cores 1")).is_err());
+        assert!(matches!(
+            parse(&args("accuracy --help")).unwrap(),
             Parsed::Help
         ));
     }

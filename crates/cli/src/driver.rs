@@ -12,7 +12,7 @@
 
 use dprof::core::{Dprof, DprofConfig, DprofProfile};
 use dprof::kernel::{KernelConfig, KernelState, TxQueuePolicy, TypeId};
-use dprof::machine::{AccessReq, Machine, MachineConfig};
+use dprof::machine::{AccessReq, Machine, MachineConfig, SamplingPolicy};
 use dprof::trace::{FieldDump, RecordedStream, ThreadStream, TypeDump};
 use dprof::workloads::scenarios::{self, ScenarioConfig, Variant};
 use dprof::workloads::{Apache, ApacheConfig, Memcached, MemcachedConfig, Workload};
@@ -109,8 +109,8 @@ pub struct RunOptions {
     pub warmup_rounds: usize,
     /// Workload rounds during the access-sampling phase.
     pub sample_rounds: usize,
-    /// IBS sampling interval in memory operations.
-    pub ibs_interval_ops: u64,
+    /// IBS sampling policy (fixed interval or adaptive budget), per machine.
+    pub sampling: SamplingPolicy,
     /// Number of top miss-heavy types to collect object access histories for.
     pub history_types: usize,
     /// History sets per profiled type.
@@ -123,6 +123,8 @@ pub struct RunOptions {
     pub base_seed: u64,
     /// Record the full session event stream of every thread (for `dprof record`).
     pub record_session: bool,
+    /// Also tally every access of the sampling phase exactly (`dprof accuracy`).
+    pub collect_ground_truth: bool,
 }
 
 impl Default for RunOptions {
@@ -133,13 +135,14 @@ impl Default for RunOptions {
             cores: 4,
             warmup_rounds: 20,
             sample_rounds: 120,
-            ibs_interval_ops: 200,
+            sampling: SamplingPolicy::Fixed { interval_ops: 200 },
             history_types: 3,
             history_sets: 3,
             tx_policy: TxPolicyChoice::Hash,
             apache_load: ApacheLoad::DropOff,
             base_seed: 3471,
             record_session: false,
+            collect_ground_truth: false,
         }
     }
 }
@@ -346,7 +349,7 @@ pub fn run_single(options: &RunOptions, thread: usize) -> ThreadRun {
     let profiling_before = machine.total_profiling_cycles();
 
     let config = DprofConfig {
-        ibs_interval_ops: options.ibs_interval_ops,
+        sampling: options.sampling,
         sample_rounds: options.sample_rounds,
         history_types: options.history_types,
         history: dprof::core::HistoryConfig {
@@ -354,6 +357,7 @@ pub fn run_single(options: &RunOptions, thread: usize) -> ThreadRun {
             seed,
             ..Default::default()
         },
+        collect_ground_truth: options.collect_ground_truth,
         ..Default::default()
     };
 

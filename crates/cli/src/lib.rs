@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accuracy;
 pub mod args;
 pub mod diff;
 pub mod driver;
@@ -45,6 +46,7 @@ pub fn run(args: &[String]) -> i32 {
         }
         Ok(Parsed::Replay(options)) => return run_replay(&options),
         Ok(Parsed::Diff(options)) => return diff::run_diff(&options),
+        Ok(Parsed::Accuracy(options)) => return accuracy::run_accuracy(&options),
         Ok(Parsed::Run(options)) => options,
         Err(message) => {
             eprintln!("error: {message}");
@@ -149,7 +151,7 @@ fn build_trace_file(
             cores: options.run.cores,
             warmup_rounds: options.run.warmup_rounds,
             sample_rounds: options.run.sample_rounds,
-            ibs_interval_ops: options.run.ibs_interval_ops,
+            sampling: options.run.sampling,
             history_types: options.run.history_types,
             history_sets: options.run.history_sets,
             base_seed: options.run.base_seed,
@@ -230,7 +232,7 @@ fn run_replay(options: &args::ReplayOptions) -> i32 {
             cores: file.params.cores,
             warmup_rounds: file.params.warmup_rounds,
             sample_rounds: file.params.sample_rounds,
-            ibs_interval_ops: file.params.ibs_interval_ops,
+            sampling: file.params.sampling,
             history_types: file.params.history_types,
             history_sets: file.params.history_sets,
             base_seed: file.params.base_seed,

@@ -11,7 +11,7 @@
 //! byte-identical for identical inputs regardless of `HashMap` iteration order.
 
 use crate::driver::ThreadRun;
-use dprof::core::MissClass;
+use dprof::core::{mark_rank_stability, wilson95, MissClass};
 use std::collections::HashMap;
 
 /// A data-profile row aggregated across threads.
@@ -31,6 +31,17 @@ pub struct MergedProfileRow {
     pub bounce: bool,
     /// Total access samples attributed to the type, all threads.
     pub samples: u64,
+    /// Total L1-miss samples attributed to the type, all threads (the merged
+    /// miss-share numerator; pooling the counts is what lets the merged confidence
+    /// interval be exact instead of a heuristic combination of per-thread ones).
+    pub l1_miss_samples: u64,
+    /// Lower bound of the 95% confidence interval on the merged miss share, percent.
+    pub ci95_low: f64,
+    /// Upper bound of the 95% confidence interval on the merged miss share, percent.
+    pub ci95_high: f64,
+    /// True when the merged rank is statistically firm (no CI overlap with either
+    /// ranked neighbour).
+    pub rank_stable: bool,
     /// Number of threads whose profile contained the type.
     pub threads_seen: usize,
 }
@@ -228,6 +239,7 @@ fn merge_data_profile(
         pct_cycles_weighted: f64,
         bounce: bool,
         samples: u64,
+        l1_miss_samples: u64,
         threads_seen: usize,
     }
     let mut acc: HashMap<String, Acc> = HashMap::new();
@@ -240,6 +252,7 @@ fn merge_data_profile(
                 pct_cycles_weighted: 0.0,
                 bounce: false,
                 samples: 0,
+                l1_miss_samples: 0,
                 threads_seen: 0,
             });
             entry.ws_sum += row.working_set_bytes;
@@ -247,28 +260,40 @@ fn merge_data_profile(
             entry.pct_cycles_weighted += weight * row.pct_of_miss_cycles;
             entry.bounce |= row.bounce;
             entry.samples += row.samples;
+            entry.l1_miss_samples += row.l1_miss_samples;
             entry.threads_seen += 1;
         }
     }
+    // The miss-weighted mean of per-thread shares equals the pooled share
+    // (sum of counts over sum of totals), so the pooled counts also give the
+    // interval of exactly the estimate the merged column shows.
+    let pooled_total = total_weight.round() as u64;
     let mut rows: Vec<MergedProfileRow> = acc
         .into_iter()
-        .map(|(name, a)| MergedProfileRow {
-            name,
-            description: a.description,
-            working_set_bytes: a.ws_sum / a.threads_seen as f64,
-            pct_of_l1_misses: if total_weight > 0.0 {
-                a.pct_l1_weighted / total_weight
-            } else {
-                0.0
-            },
-            pct_of_miss_cycles: if total_weight > 0.0 {
-                a.pct_cycles_weighted / total_weight
-            } else {
-                0.0
-            },
-            bounce: a.bounce,
-            samples: a.samples,
-            threads_seen: a.threads_seen,
+        .map(|(name, a)| {
+            let (ci_lo, ci_hi) = wilson95(a.l1_miss_samples, pooled_total);
+            MergedProfileRow {
+                name,
+                description: a.description,
+                working_set_bytes: a.ws_sum / a.threads_seen as f64,
+                pct_of_l1_misses: if total_weight > 0.0 {
+                    a.pct_l1_weighted / total_weight
+                } else {
+                    0.0
+                },
+                pct_of_miss_cycles: if total_weight > 0.0 {
+                    a.pct_cycles_weighted / total_weight
+                } else {
+                    0.0
+                },
+                bounce: a.bounce,
+                samples: a.samples,
+                l1_miss_samples: a.l1_miss_samples,
+                ci95_low: 100.0 * ci_lo,
+                ci95_high: 100.0 * ci_hi,
+                rank_stable: false, // marked after ranking, below
+                threads_seen: a.threads_seen,
+            }
         })
         .collect();
     rows.sort_by(|a, b| {
@@ -277,6 +302,10 @@ fn merge_data_profile(
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| a.name.cmp(&b.name))
     });
+    let intervals: Vec<(f64, f64)> = rows.iter().map(|r| (r.ci95_low, r.ci95_high)).collect();
+    for (row, stable) in rows.iter_mut().zip(mark_rank_stability(&intervals)) {
+        row.rank_stable = stable;
+    }
     rows
 }
 
@@ -466,11 +495,16 @@ fn merge_data_flows(runs: &[ThreadRun]) -> Vec<MergedDataFlow> {
                     cpu_change,
                 })
                 .collect();
+            // The full accumulation key — (from, to, cpu_change) — must participate
+            // in the sort: two edges differing only in cpu_change would otherwise
+            // tie and inherit HashMap iteration order, which is not stable across
+            // processes (record vs replay byte-diffs the rendered report).
             edges.sort_by(|a, b| {
                 b.count
                     .cmp(&a.count)
                     .then_with(|| a.from.cmp(&b.from))
                     .then_with(|| a.to.cmp(&b.to))
+                    .then_with(|| a.cpu_change.cmp(&b.cpu_change))
             });
             let core_crossings = edges.iter().filter(|e| e.cpu_change).map(|e| e.count).sum();
             MergedDataFlow {

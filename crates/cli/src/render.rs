@@ -53,21 +53,30 @@ fn text_data_profile(out: &mut String, report: &MergedReport, top: usize) {
     writeln!(out, "\n=== Data profile ===").unwrap();
     writeln!(
         out,
-        "{:<16} {:>12} {:>14} {:>14} {:>8} {:>8}",
-        "Type name", "WS size", "% L1 misses", "% miss cycles", "Bounce", "Threads"
+        "{:<16} {:>12} {:>14} {:>17} {:>14} {:>8} {:>8} {:>7}",
+        "Type name",
+        "WS size",
+        "% L1 misses",
+        "95% CI",
+        "% miss cycles",
+        "Bounce",
+        "Threads",
+        "Rank"
     )
     .unwrap();
-    writeln!(out, "{}", "-".repeat(78)).unwrap();
+    writeln!(out, "{}", "-".repeat(104)).unwrap();
     for row in report.data_profile.iter().take(top) {
         writeln!(
             out,
-            "{:<16} {:>12} {:>13.2}% {:>13.2}% {:>8} {:>8}",
+            "{:<16} {:>12} {:>13.2}% {:>17} {:>13.2}% {:>8} {:>8} {:>7}",
             row.name,
             format_bytes(row.working_set_bytes),
             row.pct_of_l1_misses,
+            format!("[{:.2}, {:.2}]", row.ci95_low, row.ci95_high),
             row.pct_of_miss_cycles,
             if row.bounce { "yes" } else { "no" },
-            row.threads_seen
+            row.threads_seen,
+            if row.rank_stable { "firm" } else { "~" }
         )
         .unwrap();
     }
@@ -187,7 +196,7 @@ fn run_section(_report: &MergedReport, options: &Options) -> Json {
         ("cores_per_machine", Json::num(run.cores as u32)),
         ("warmup_rounds", Json::num(run.warmup_rounds as u32)),
         ("sample_rounds", Json::num(run.sample_rounds as u32)),
-        ("ibs_interval_ops", Json::num(run.ibs_interval_ops as f64)),
+        ("sampling", Json::str(run.sampling.to_string())),
         ("history_types", Json::num(run.history_types as u32)),
         ("history_sets", Json::num(run.history_sets as u32)),
         ("base_seed", Json::num(run.base_seed as f64)),
@@ -239,9 +248,13 @@ fn data_profile_section(report: &MergedReport, top: usize) -> Json {
                         ("description", Json::str(&row.description)),
                         ("working_set_bytes", Json::num(row.working_set_bytes)),
                         ("pct_of_l1_misses", Json::num(row.pct_of_l1_misses)),
+                        ("ci95_low", Json::num(row.ci95_low)),
+                        ("ci95_high", Json::num(row.ci95_high)),
+                        ("rank_stable", Json::Bool(row.rank_stable)),
                         ("pct_of_miss_cycles", Json::num(row.pct_of_miss_cycles)),
                         ("bounce", Json::Bool(row.bounce)),
                         ("samples", Json::num(row.samples as f64)),
+                        ("l1_miss_samples", Json::num(row.l1_miss_samples as f64)),
                         ("threads_seen", Json::num(row.threads_seen as u32)),
                     ])
                 })

@@ -1,0 +1,42 @@
+//! Help-text snapshot: `dprof --help` is documentation, and PR 4 proved it can drift
+//! from the README (the `--workload <scenario>[:variant]` spelling existed in three
+//! slightly different forms).  The canonical text now lives in
+//! `tests/snapshots/help.txt`; any intentional change to `USAGE` must update the
+//! snapshot in the same commit, which makes help churn visible in review.
+
+use std::path::PathBuf;
+
+fn snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots/help.txt")
+}
+
+#[test]
+fn help_text_matches_the_committed_snapshot() {
+    let expected = std::fs::read_to_string(snapshot_path()).expect("snapshot readable");
+    assert!(
+        dprof_cli::args::USAGE == expected,
+        "dprof --help drifted from crates/cli/tests/snapshots/help.txt; if the change \
+         is intentional, regenerate with:\n  cargo run -q -p dprof-cli -- --help > \
+         crates/cli/tests/snapshots/help.txt"
+    );
+}
+
+#[test]
+fn help_documents_every_registered_scenario_and_subcommand() {
+    // The scenario list inside USAGE is hand-maintained; hold it to the registry.
+    for spec in dprof::workloads::scenarios::registry() {
+        assert!(
+            dprof_cli::args::USAGE.contains(spec.name),
+            "USAGE is missing scenario '{}'",
+            spec.name
+        );
+    }
+    for subcommand in ["record", "replay", "diff", "accuracy"] {
+        assert!(
+            dprof_cli::args::USAGE.contains(&format!("dprof {subcommand}")),
+            "USAGE is missing the {subcommand} subcommand"
+        );
+    }
+    // The canonical scenario-variant spelling (README and docs/ use the same form).
+    assert!(dprof_cli::args::USAGE.contains("<scenario>[:buggy|:fixed]"));
+}

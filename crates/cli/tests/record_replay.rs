@@ -148,6 +148,59 @@ fn scenario_record_replay_round_trips_byte_identically() {
 }
 
 #[test]
+fn adaptive_sampled_record_replay_round_trips_byte_identically() {
+    // The trace header records the sampling policy, so a session recorded under an
+    // adaptive budget replays under the identical budget — and, the controller being
+    // a pure function of the event stream, the report is byte-identical.
+    let trace = tmp("adaptive.dtrace");
+    let live = tmp("adaptive-live.json");
+    let replayed = tmp("adaptive-replayed.json");
+    assert_eq!(
+        run(&[
+            "record",
+            "-w",
+            "memcached",
+            "--cores",
+            "2",
+            "--threads",
+            "2",
+            "--warmup",
+            "3",
+            "--rounds",
+            "15",
+            "--sampling",
+            "adaptive:800",
+            "--history-types",
+            "1",
+            "--history-sets",
+            "1",
+            "--trace",
+            &trace,
+            "-f",
+            "json",
+            "-o",
+            &live,
+        ]),
+        0,
+        "adaptive record must succeed"
+    );
+    assert_eq!(run(&["replay", &trace, "-f", "json", "-o", &replayed]), 0);
+    let live_bytes = std::fs::read(&live).expect("live report exists");
+    assert!(
+        String::from_utf8_lossy(&live_bytes).contains("\"sampling\": \"adaptive:800\""),
+        "run section must carry the sampling policy"
+    );
+    let replayed_bytes = std::fs::read(&replayed).expect("replayed report exists");
+    assert!(
+        live_bytes == replayed_bytes,
+        "adaptive-sampled replayed report differs from the live report"
+    );
+    for p in [trace, live, replayed] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
 fn replay_rejects_garbage_and_missing_files() {
     let bogus = tmp("bogus.dtrace");
     std::fs::write(&bogus, b"definitely not a trace").unwrap();

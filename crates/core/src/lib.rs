@@ -53,23 +53,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ground_truth;
 pub mod history;
 pub mod path_trace;
 pub mod profiler;
 pub mod report;
 pub mod sample;
+pub mod stats;
 pub mod views;
 
+pub use ground_truth::{resolve_ground_truth, GroundTruthProfile, GroundTruthRow};
 pub use history::{
     collect_histories, CollectionMode, CollectionStats, HistoryConfig, HistoryElement,
     ObjectAccessHistory,
 };
 pub use path_trace::{build_path_traces, count_unique_paths, PathTrace, PathTraceEntry};
-pub use profiler::{popular_offsets, Dprof, DprofConfig, DprofProfile};
+pub use profiler::{popular_offsets, Dprof, DprofConfig, DprofProfile, SamplePhase};
 pub use report::diff::{
     diff, diff_with, DiffThresholds, ReportDiff, ReportSummary, TypeDelta, TypeSummary, Verdict,
 };
 pub use sample::{aggregate_samples, resolve_samples, AccessSample, SampleKey, SampleStats};
+pub use stats::{mark_rank_stability, wilson95};
 pub use views::{
     build_data_profile, build_working_set, classify_misses, DataFlowEdge, DataFlowGraph,
     DataFlowNode, DataProfileRow, MissClass, TypeMissClassification, TypeWorkingSet,

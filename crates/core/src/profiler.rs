@@ -2,6 +2,7 @@
 //! IBS, object access histories via debug registers), resolves and aggregates the raw
 //! data, and builds the four views.
 
+use crate::ground_truth::{resolve_ground_truth, GroundTruthProfile};
 use crate::history::{collect_histories, CollectionStats, HistoryConfig, ObjectAccessHistory};
 use crate::path_trace::{build_path_traces, PathTrace};
 use crate::sample::{resolve_samples, AccessSample};
@@ -11,15 +12,17 @@ use crate::views::{
 };
 use serde::{Deserialize, Serialize};
 use sim_kernel::{KernelState, TypeId};
-use sim_machine::{IbsConfig, Machine};
+use sim_machine::{IbsConfig, Machine, SamplingPolicy};
 use std::collections::HashMap;
 
 /// Configuration of a DProf profiling run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DprofConfig {
-    /// IBS sampling interval in memory operations (smaller = more samples, more
-    /// overhead).  The evaluation sweeps the equivalent samples/s/core in Figure 6-2.
-    pub ibs_interval_ops: u64,
+    /// IBS sampling policy: `fixed:<interval>` samples every N memory operations on
+    /// average (the evaluation sweeps the equivalent samples/s/core in Figure 6-2);
+    /// `adaptive:<budget>` spends at most `budget` samples over the whole phase,
+    /// steered by the exponential-decay controller (see `docs/sampling.md`).
+    pub sampling: SamplingPolicy,
     /// Workload rounds to run during the access-sampling phase.
     pub sample_rounds: usize,
     /// Number of top miss-heavy types to collect object access histories for.
@@ -28,16 +31,21 @@ pub struct DprofConfig {
     pub history: HistoryConfig,
     /// Average access latency (cycles) above which a data-flow node is drawn "hot".
     pub hot_node_threshold: f64,
+    /// Also tally *every* access of the sampling phase exactly (the accuracy
+    /// harness's ground truth).  Off by default: it is the one collection mode real
+    /// profiling hardware cannot offer, and it costs a hash update per access.
+    pub collect_ground_truth: bool,
 }
 
 impl Default for DprofConfig {
     fn default() -> Self {
         DprofConfig {
-            ibs_interval_ops: 200,
+            sampling: SamplingPolicy::Fixed { interval_ops: 200 },
             sample_rounds: 300,
             history_types: 4,
             history: HistoryConfig::default(),
             hot_node_threshold: 100.0,
+            collect_ground_truth: false,
         }
     }
 }
@@ -63,6 +71,12 @@ pub struct DprofProfile {
     pub history_stats: HashMap<TypeId, CollectionStats>,
     /// The cycle window of the sampling phase (used for the working-set estimate).
     pub sample_window: (u64, u64),
+    /// Raw IBS samples spent during the sampling phase (before address resolution;
+    /// what an adaptive budget is charged against).
+    pub samples_spent: u64,
+    /// The exact per-type profile of the sampling phase, when
+    /// [`DprofConfig::collect_ground_truth`] was on.
+    pub ground_truth: Option<GroundTruthProfile>,
 }
 
 impl DprofProfile {
@@ -112,20 +126,32 @@ impl Dprof {
         machine: &mut Machine,
         kernel: &mut KernelState,
         mut step: F,
-    ) -> (Vec<AccessSample>, (u64, u64))
+    ) -> SamplePhase
     where
         F: FnMut(&mut Machine, &mut KernelState),
     {
-        machine.configure_ibs(IbsConfig::with_interval(self.config.ibs_interval_ops));
+        machine.configure_ibs(IbsConfig::with_policy(self.config.sampling));
         machine.ibs.drain();
+        if self.config.collect_ground_truth {
+            machine.start_ground_truth();
+        }
         let start = machine.max_clock();
         for _ in 0..self.config.sample_rounds {
             step(machine, kernel);
         }
         let end = machine.max_clock();
+        let samples_spent = machine.ibs.phase_samples();
         machine.configure_ibs(IbsConfig::default()); // disable
+        let ground_truth = machine
+            .take_ground_truth()
+            .map(|tally| resolve_ground_truth(&tally, &kernel.allocator, &kernel.types));
         let records = machine.ibs.drain();
-        (resolve_samples(&records, &kernel.allocator), (start, end))
+        SamplePhase {
+            samples: resolve_samples(&records, &kernel.allocator),
+            window: (start, end),
+            samples_spent,
+            ground_truth,
+        }
     }
 
     /// Runs a complete DProf profiling session: access samples, then object access
@@ -139,8 +165,13 @@ impl Dprof {
     where
         F: FnMut(&mut Machine, &mut KernelState),
     {
-        // Phase 1: access samples.
-        let (samples, sample_window) = self.collect_access_samples(machine, kernel, &mut step);
+        // Phase 1: access samples (plus the exact tally when ground truth is on).
+        let SamplePhase {
+            samples,
+            window: sample_window,
+            samples_spent,
+            ground_truth,
+        } = self.collect_access_samples(machine, kernel, &mut step);
 
         // Pick the types with the most L1-miss samples for history collection.
         let mut miss_counts: HashMap<TypeId, u64> = HashMap::new();
@@ -209,8 +240,23 @@ impl Dprof {
             histories,
             history_stats,
             sample_window,
+            samples_spent,
+            ground_truth,
         }
     }
+}
+
+/// Everything phase 1 (access sampling) produces.
+#[derive(Debug, Clone)]
+pub struct SamplePhase {
+    /// The resolved access samples.
+    pub samples: Vec<AccessSample>,
+    /// The cycle window of the phase.
+    pub window: (u64, u64),
+    /// Raw IBS samples spent (pre-resolution; the adaptive budget accountant).
+    pub samples_spent: u64,
+    /// The exact per-type profile, when ground truth was collected.
+    pub ground_truth: Option<GroundTruthProfile>,
 }
 
 /// The most frequently sampled 8-byte-aligned offsets of a type, largest first.
@@ -250,8 +296,9 @@ mod tests {
     #[test]
     fn default_config_is_sane() {
         let c = DprofConfig::default();
-        assert!(c.ibs_interval_ops > 0);
+        assert!(c.sampling.enabled());
         assert!(c.history_types > 0);
         assert!(c.sample_rounds > 0);
+        assert!(!c.collect_ground_truth);
     }
 }

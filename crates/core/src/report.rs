@@ -254,6 +254,10 @@ mod tests {
             pct_of_miss_cycles: 50.0,
             bounce: true,
             samples: 1000,
+            l1_miss_samples: 454,
+            ci95_low: 42.4,
+            ci95_high: 48.5,
+            rank_stable: true,
         }];
         let t = render_data_profile(&rows, 10);
         assert!(t.contains("size-1024"));

@@ -38,6 +38,7 @@
 
 pub mod cache;
 pub mod geometry;
+pub mod ground_truth;
 pub mod hierarchy;
 pub mod latency;
 pub mod line;
@@ -48,6 +49,7 @@ pub mod stats;
 
 pub use cache::SetAssocCache;
 pub use geometry::CacheGeometry;
+pub use ground_truth::{GranuleCounts, GroundTruthTally};
 pub use hierarchy::{
     AccessKind, AccessOutcome, CacheHierarchy, HierarchyConfig, HitLevel, TraceEvent,
 };

@@ -25,7 +25,7 @@ pub mod session;
 pub mod symbols;
 pub mod watchpoint;
 
-pub use ibs::{IbsConfig, IbsRecord, IbsUnit};
+pub use ibs::{IbsConfig, IbsRecord, IbsUnit, SamplingPolicy};
 pub use machine::{AccessReq, FunctionCounters, Machine, MachineConfig};
 pub use session::{SessionEvent, SessionRecorder};
 pub use symbols::{FunctionId, SymbolTable};

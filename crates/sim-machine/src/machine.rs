@@ -8,7 +8,8 @@ use crate::symbols::{FunctionId, SymbolTable};
 use crate::watchpoint::{WatchpointError, WatchpointId, WatchpointUnit};
 use serde::{Deserialize, Serialize};
 use sim_cache::{
-    AccessKind, AccessOutcome, CacheHierarchy, CoreId, HierarchyConfig, HitLevel, MissKind,
+    AccessKind, AccessOutcome, CacheHierarchy, CoreId, GroundTruthTally, HierarchyConfig, HitLevel,
+    MissKind,
 };
 use std::collections::HashMap;
 
@@ -131,6 +132,9 @@ pub struct Machine {
     /// Session-event recorder for the trace record/replay subsystem.  `None` (the
     /// default) keeps the hot path to a single branch per access.
     session: Option<Box<SessionRecorder>>,
+    /// Exact per-granule access/miss tally (the accuracy harness's ground truth).
+    /// `None` (the default) keeps the hot path to a single branch per access.
+    ground_truth: Option<Box<GroundTruthTally>>,
 }
 
 impl Machine {
@@ -148,8 +152,29 @@ impl Machine {
             run_outcomes: Vec::new(),
             profiling_cycles: vec![0; cores],
             session: None,
+            ground_truth: None,
             config,
         }
+    }
+
+    /// Turns on exact ground-truth tallying: from now on every memory operation is
+    /// counted (per 8-byte granule) with the same worst-line outcome IBS would report
+    /// for it.  Used by the accuracy harness; idempotent.
+    pub fn start_ground_truth(&mut self) {
+        if self.ground_truth.is_none() {
+            self.ground_truth = Some(Box::new(GroundTruthTally::new()));
+        }
+    }
+
+    /// True if ground-truth tallying is active.
+    pub fn ground_truth_active(&self) -> bool {
+        self.ground_truth.is_some()
+    }
+
+    /// Detaches and returns the ground-truth tally (`None` if tallying was never
+    /// enabled).  Tallying stops.
+    pub fn take_ground_truth(&mut self) -> Option<GroundTruthTally> {
+        self.ground_truth.take().map(|b| *b)
     }
 
     /// Turns on session-event recording (see [`crate::session`]).  To capture a
@@ -378,6 +403,10 @@ impl Machine {
         }
         let worst = worst.expect("at least one line accessed");
 
+        if let Some(gt) = self.ground_truth.as_mut() {
+            gt.record(addr, kind, worst.level, worst.latency);
+        }
+
         // Charge the core and the function counters.
         let charged = total_latency + self.config.op_cost;
         self.clocks[core] += charged;
@@ -558,7 +587,7 @@ mod tests {
         let mut m = machine();
         let ip = m.fn_id("hot");
         m.configure_ibs(IbsConfig {
-            interval_ops: 5,
+            policy: crate::ibs::SamplingPolicy::fixed(5),
             interrupt_cost: 2_000,
             seed: 1,
         });
@@ -629,7 +658,7 @@ mod tests {
         let build = || {
             let mut m = machine();
             m.configure_ibs(IbsConfig {
-                interval_ops: 3,
+                policy: crate::ibs::SamplingPolicy::fixed(3),
                 interrupt_cost: 500,
                 seed: 11,
             });

@@ -7,12 +7,17 @@
 //! geom    := line_size ways sets                      (one per cache level)
 //! latency := l1 l2 l3 remote_cache dram upgrade
 //! params  := workload(string) threads cores warmup_rounds sample_rounds
-//!            ibs_interval_ops history_types history_sets base_seed
+//!            sampling_tag sampling_value history_types history_sets base_seed
 //! stream  := seed requests symbol_count symbol* type_count type*
 //!            event_count byte_len event_bytes
 //! type    := name(string) description(string) size field_count field*
 //! field   := name(string) offset size
 //! ```
+//!
+//! `sampling_tag`/`sampling_value` encode the IBS sampling policy the run used
+//! (0 = disabled, 1 = fixed interval, 2 = adaptive budget); replay re-runs the
+//! profiler under the identical policy, which is what keeps adaptive-sampled
+//! sessions byte-identical across record and replay.
 //!
 //! All integers are LEB128 varints except the version.  Strings are length-prefixed
 //! UTF-8.  Event bytes use the [`crate::codec`] wire encoding.  See
@@ -21,14 +26,16 @@
 use crate::codec::{decode_events, encode_events, get_string, get_varint, put_string, put_varint};
 use crate::TraceError;
 use sim_cache::{CacheGeometry, HierarchyConfig, LatencyModel};
-use sim_machine::{MachineConfig, SessionEvent};
+use sim_machine::{MachineConfig, SamplingPolicy, SessionEvent};
 
 /// File magic, first eight bytes of every `.dtrace`.
 pub const MAGIC: &[u8; 8] = b"DPROFTRC";
 
 /// Current format version.  Bump on any incompatible layout change; decoders reject
 /// versions they do not know (see `docs/trace-format.md` for the rules).
-pub const VERSION: u16 = 1;
+/// v2 replaced the fixed `ibs_interval_ops` header field with a tagged sampling
+/// policy (fixed interval or adaptive budget).
+pub const VERSION: u16 = 2;
 
 /// What a trace contains, and therefore what it can be used for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,8 +80,8 @@ pub struct SessionParams {
     pub warmup_rounds: usize,
     /// Workload rounds during the access-sampling phase.
     pub sample_rounds: usize,
-    /// IBS sampling interval in memory operations.
-    pub ibs_interval_ops: u64,
+    /// The IBS sampling policy the run used (replay re-applies it verbatim).
+    pub sampling: SamplingPolicy,
     /// Top miss-heavy types histories were collected for.
     pub history_types: usize,
     /// History sets per profiled type.
@@ -228,13 +235,36 @@ fn get_machine(bytes: &[u8], pos: &mut usize) -> Result<MachineConfig, TraceErro
     })
 }
 
+fn put_sampling(out: &mut Vec<u8>, policy: SamplingPolicy) {
+    let (tag, value) = match policy {
+        SamplingPolicy::Disabled => (0u64, 0u64),
+        SamplingPolicy::Fixed { interval_ops } => (1, interval_ops),
+        SamplingPolicy::Adaptive { budget } => (2, budget),
+    };
+    put_varint(out, tag);
+    put_varint(out, value);
+}
+
+fn get_sampling(bytes: &[u8], pos: &mut usize) -> Result<SamplingPolicy, TraceError> {
+    let tag = get_varint(bytes, pos)?;
+    let value = get_varint(bytes, pos)?;
+    match (tag, value) {
+        (0, _) => Ok(SamplingPolicy::Disabled),
+        (1, v) if v > 0 => Ok(SamplingPolicy::Fixed { interval_ops: v }),
+        (2, v) if v > 0 => Ok(SamplingPolicy::Adaptive { budget: v }),
+        (tag, value) => Err(TraceError::Corrupt(format!(
+            "invalid sampling policy (tag {tag}, value {value})"
+        ))),
+    }
+}
+
 fn put_params(out: &mut Vec<u8>, p: &SessionParams) {
     put_string(out, &p.workload);
     put_varint(out, p.threads as u64);
     put_varint(out, p.cores as u64);
     put_varint(out, p.warmup_rounds as u64);
     put_varint(out, p.sample_rounds as u64);
-    put_varint(out, p.ibs_interval_ops);
+    put_sampling(out, p.sampling);
     put_varint(out, p.history_types as u64);
     put_varint(out, p.history_sets as u64);
     put_varint(out, p.base_seed);
@@ -247,7 +277,7 @@ fn get_params(bytes: &[u8], pos: &mut usize) -> Result<SessionParams, TraceError
         cores: get_varint(bytes, pos)? as usize,
         warmup_rounds: get_varint(bytes, pos)? as usize,
         sample_rounds: get_varint(bytes, pos)? as usize,
-        ibs_interval_ops: get_varint(bytes, pos)?,
+        sampling: get_sampling(bytes, pos)?,
         history_types: get_varint(bytes, pos)? as usize,
         history_sets: get_varint(bytes, pos)? as usize,
         base_seed: get_varint(bytes, pos)?,
@@ -459,7 +489,7 @@ mod tests {
                 cores: 2,
                 warmup_rounds: 5,
                 sample_rounds: 30,
-                ibs_interval_ops: 200,
+                sampling: SamplingPolicy::Fixed { interval_ops: 200 },
                 history_types: 2,
                 history_sets: 2,
                 base_seed: 3471,
@@ -516,6 +546,53 @@ mod tests {
         assert_eq!(back.streams, file.streams);
         assert_eq!(back.machine.hierarchy.cores, 2);
         assert_eq!(back.machine.hierarchy.l1, file.machine.hierarchy.l1);
+    }
+
+    #[test]
+    fn sampling_policies_round_trip_in_the_header() {
+        for policy in [
+            SamplingPolicy::Disabled,
+            SamplingPolicy::Fixed { interval_ops: 64 },
+            SamplingPolicy::Adaptive { budget: 5_000 },
+        ] {
+            let mut file = sample_file();
+            file.params.sampling = policy;
+            let back = TraceFile::decode(&file.encode()).expect("decodes");
+            assert_eq!(back.params.sampling, policy);
+        }
+    }
+
+    #[test]
+    fn corrupt_sampling_policy_rejected() {
+        let file = sample_file();
+        let bytes = file.encode();
+        // Locate the params section: it starts right after magic+version+kind+machine.
+        // Easier: flip the policy to an invalid tag by re-encoding by hand.
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(1); // kind
+        put_machine(&mut out, &file.machine);
+        put_string(&mut out, &file.params.workload);
+        for v in [1u64, 2, 5, 30] {
+            put_varint(&mut out, v);
+        }
+        put_varint(&mut out, 9); // invalid sampling tag
+        put_varint(&mut out, 1);
+        assert!(
+            matches!(TraceFile::decode(&out), Err(TraceError::Corrupt(m)) if m.contains("sampling")),
+            "invalid sampling tag must be rejected"
+        );
+        // A fixed policy with a zero value is equally invalid.
+        let mut zeroed = Vec::new();
+        zeroed.extend_from_slice(&out[..out.len() - 2]);
+        put_varint(&mut zeroed, 1); // fixed
+        put_varint(&mut zeroed, 0); // zero interval
+        assert!(matches!(
+            TraceFile::decode(&zeroed),
+            Err(TraceError::Corrupt(_))
+        ));
+        let _ = bytes;
     }
 
     #[test]

@@ -155,7 +155,7 @@ pub fn replay_stream(file: &TraceFile, thread: usize) -> ReplayRun {
     let profiling_before = machine.total_profiling_cycles();
 
     let config = DprofConfig {
-        ibs_interval_ops: file.params.ibs_interval_ops,
+        sampling: file.params.sampling,
         sample_rounds: file.params.sample_rounds,
         history_types: file.params.history_types,
         history: dprof_core::HistoryConfig {

@@ -60,7 +60,7 @@ fn full_file(events: Vec<SessionEvent>) -> TraceFile {
             cores: 8,
             warmup_rounds: 3,
             sample_rounds: 10,
-            ibs_interval_ops: 100,
+            sampling: sim_machine::SamplingPolicy::Fixed { interval_ops: 100 },
             history_types: 2,
             history_sets: 2,
             base_seed: 1,

@@ -6,15 +6,20 @@
 
 use dprof_core::{Dprof, DprofConfig, DprofProfile};
 use dprof_trace::{FieldDump, SessionParams, ThreadStream, TraceFile, TraceKind, TypeDump};
+use sim_machine::SamplingPolicy;
 use workloads::{Memcached, MemcachedConfig, Workload};
 
 const WARMUP: usize = 4;
 const SAMPLE_ROUNDS: usize = 25;
 const SEED: u64 = 3471;
 
+fn record_live() -> (DprofProfile, u64, TraceFile) {
+    record_live_with(SamplingPolicy::Fixed { interval_ops: 150 })
+}
+
 /// Runs a live recorded session exactly as the CLI driver does for one thread, and
 /// returns the live profile plus the recorded trace file.
-fn record_live() -> (DprofProfile, u64, TraceFile) {
+fn record_live_with(sampling: SamplingPolicy) -> (DprofProfile, u64, TraceFile) {
     let config = MemcachedConfig {
         cores: 2,
         seed: SEED,
@@ -31,7 +36,7 @@ fn record_live() -> (DprofProfile, u64, TraceFile) {
     let requests_before = workload.requests_completed();
 
     let dprof_config = DprofConfig {
-        ibs_interval_ops: 150,
+        sampling,
         sample_rounds: SAMPLE_ROUNDS,
         history_types: 2,
         history: dprof_core::HistoryConfig {
@@ -84,7 +89,7 @@ fn record_live() -> (DprofProfile, u64, TraceFile) {
             cores: 2,
             warmup_rounds: WARMUP,
             sample_rounds: SAMPLE_ROUNDS,
-            ibs_interval_ops: 150,
+            sampling,
             history_types: 2,
             history_sets: 2,
             base_seed: SEED,
@@ -145,6 +150,44 @@ fn replayed_profile_is_identical_to_the_live_run() {
             .expect("replayed flow for the same type");
         assert_eq!(r.nodes.len(), graph.nodes.len());
         assert_eq!(r.edges.len(), graph.edges.len());
+    }
+}
+
+#[test]
+fn adaptive_sampled_session_replays_identically() {
+    // The adaptive controller's decisions must be a pure function of the recorded
+    // event stream: replaying under the recorded `adaptive:<budget>` policy must
+    // reproduce the identical sample stream, spend count and views.
+    let (live, live_requests, file) = record_live_with(SamplingPolicy::Adaptive { budget: 400 });
+    assert!(
+        live.samples_spent <= 400,
+        "budget exceeded: {} samples",
+        live.samples_spent
+    );
+    assert!(live.samples_spent > 0, "adaptive run took no samples");
+
+    let decoded = TraceFile::decode(&file.encode()).expect("trace decodes");
+    assert_eq!(
+        decoded.params.sampling,
+        SamplingPolicy::Adaptive { budget: 400 }
+    );
+    let replayed = dprof_trace::replay_stream(&decoded, 0);
+    assert_eq!(replayed.trailing_events, 0);
+    assert_eq!(replayed.requests, live_requests);
+    assert_eq!(replayed.profile.samples, live.samples);
+    assert_eq!(replayed.profile.samples_spent, live.samples_spent);
+    assert_eq!(replayed.profile.data_profile.len(), live.data_profile.len());
+    for (r, l) in replayed
+        .profile
+        .data_profile
+        .iter()
+        .zip(live.data_profile.iter())
+    {
+        assert_eq!(r.name, l.name);
+        assert_eq!(r.l1_miss_samples, l.l1_miss_samples);
+        assert_eq!(r.rank_stable, l.rank_stable);
+        assert!((r.ci95_low - l.ci95_low).abs() < 1e-12);
+        assert!((r.ci95_high - l.ci95_high).abs() < 1e-12);
     }
 }
 

@@ -27,7 +27,7 @@ fn quick_profile(spec: &ScenarioSpec, variant: Variant) -> DprofProfile {
         workload.step(&mut machine, &mut kernel);
     }
     let dprof_config = DprofConfig {
-        ibs_interval_ops: 64,
+        sampling: dprof::machine::SamplingPolicy::Fixed { interval_ops: 64 },
         sample_rounds: 80,
         history_types: 3,
         history: HistoryConfig {
