@@ -4,6 +4,7 @@
 
 use crate::driver::{parse_workload_spec, ApacheLoad, RunOptions, TxPolicyChoice, WorkloadKind};
 use dprof::machine::SamplingPolicy;
+use dprof::trace::FixSpec;
 use std::fmt;
 
 /// The four DProf views, as selectable from the command line.
@@ -101,6 +102,25 @@ pub struct DiffOptions {
     pub top: usize,
     /// Write the diff here instead of stdout.
     pub output: Option<String>,
+    /// Attach a `dprof-whatif/v1` prediction: the verdict then carries predicted vs.
+    /// realized gain.
+    pub whatif: Option<String>,
+}
+
+/// Options of a `dprof whatif` invocation.
+#[derive(Debug, Clone)]
+pub struct WhatifOptions {
+    /// The `.dtrace` file to analyze.
+    pub input: String,
+    /// Explicit candidate fixes (`--fix <spec>`, repeatable), grammar-checked at
+    /// parse time.
+    pub fixes: Vec<FixSpec>,
+    /// Enumerate candidates from the trace's top data-profile rows (`--auto`).
+    pub auto: bool,
+    /// Output format.
+    pub format: Format,
+    /// Write the ranking here instead of stdout.
+    pub output: Option<String>,
 }
 
 /// Options of a `dprof accuracy` invocation.
@@ -128,6 +148,8 @@ pub enum Parsed {
     Diff(DiffOptions),
     /// Measure sampling fidelity against exact ground truth (`dprof accuracy`).
     Accuracy(AccuracyOptions),
+    /// Predict fix impact by counterfactual replay (`dprof whatif`).
+    Whatif(WhatifOptions),
     /// `--help` was requested.
     Help,
     /// `--version` was requested.
@@ -150,6 +172,9 @@ USAGE:
     dprof accuracy [OPTIONS]      profile under sampling AND exact ground truth in
                                   one run, and report sampling fidelity (per-type
                                   share error, top-K rank agreement, samples spent)
+    dprof whatif <FILE> [OPTIONS] rank hypothetical fixes by predicted throughput
+                                  gain, measured by counterfactual replay of a
+                                  recorded .dtrace session
 
 RECORD/REPLAY:
         --trace <PATH>        (record) session trace output   [default: dprof.dtrace]
@@ -158,12 +183,23 @@ RECORD/REPLAY:
 
 DIFF:
         --focus <TYPE>        type the verdict is about    [default: A's top miss type]
+        --whatif <FILE>       attach a dprof-whatif/v1 prediction; the verdict then
+                              carries predicted vs. realized gain
     diff also accepts --format, --top and --output from REPORT below.
 
 ACCURACY:
         --top-k <K>           ground-truth top-K for rank agreement  [default: 3]
     accuracy also accepts the WORKLOAD and PROFILING options (history collection is
     skipped) plus --format and --output; see docs/sampling.md for the report schema.
+
+WHATIF:
+        --fix <SPEC>          candidate fix, repeatable:  pad:<type> |
+                              localize:<type> | pin:<type> | shrink:<type>:<bytes>
+        --auto                derive candidates from the trace's top data-profile
+                              rows (dominant miss class + sharing stats pick the
+                              fix family)
+    whatif also accepts --format and --output; candidates are ranked by predicted
+    end-to-end gain with block-vote confidence (see docs/whatif.md).
 
 WORKLOAD:
     -w, --workload <NAME>     memcached | apache | custom, or a bottleneck scenario
@@ -213,6 +249,10 @@ EXAMPLES:
     dprof -w ring-false-sharing:fixed -f json -o fixed.json
     dprof diff buggy.json fixed.json --focus ring_desc     # => bottleneck eliminated
     dprof accuracy -w remote-hot-lock:buggy --sampling adaptive:2500 -f json
+    dprof record -w ring-false-sharing --trace buggy.dtrace
+    dprof whatif buggy.dtrace --auto                       # ranked fix predictions
+    dprof whatif buggy.dtrace --fix pad:ring_desc -f json -o whatif.json
+    dprof diff buggy.json fixed.json --whatif whatif.json  # predicted vs realized
 ";
 
 fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
@@ -322,6 +362,7 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
         Some("replay") => parse_replay(&args[1..]),
         Some("diff") => parse_diff(&args[1..]),
         Some("accuracy") => parse_accuracy(&args[1..]),
+        Some("whatif") => parse_whatif(&args[1..]),
         Some("record") => {
             let parsed = parse_run(&args[1..])?;
             if let Parsed::Run(mut options) = parsed {
@@ -346,6 +387,7 @@ fn parse_diff(args: &[String]) -> Result<Parsed, String> {
     let mut format = Format::Text;
     let mut top = 8usize;
     let mut output: Option<String> = None;
+    let mut whatif: Option<String> = None;
 
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -353,6 +395,7 @@ fn parse_diff(args: &[String]) -> Result<Parsed, String> {
             "-h" | "--help" => return Ok(Parsed::Help),
             "-V" | "--version" => return Ok(Parsed::Version),
             "--focus" => focus = Some(take_value(&mut iter, arg)?),
+            "--whatif" => whatif = Some(take_value(&mut iter, arg)?),
             "-f" | "--format" => format = parse_format(&take_value(&mut iter, arg)?)?,
             "--top" => top = parse_num(arg, &take_value(&mut iter, arg)?)?,
             "-o" | "--output" => output = Some(take_value(&mut iter, arg)?),
@@ -383,6 +426,49 @@ fn parse_diff(args: &[String]) -> Result<Parsed, String> {
         focus,
         format,
         top,
+        output,
+        whatif,
+    }))
+}
+
+/// Parses the flags of a `dprof whatif` invocation.  Fix-spec grammar errors are
+/// parse errors (exit 2); whether the target type exists in the trace is checked at
+/// run time, once the trace is decoded.
+fn parse_whatif(args: &[String]) -> Result<Parsed, String> {
+    let mut input: Option<String> = None;
+    let mut fixes: Vec<FixSpec> = Vec::new();
+    let mut auto = false;
+    let mut format = Format::Text;
+    let mut output: Option<String> = None;
+
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(Parsed::Help),
+            "-V" | "--version" => return Ok(Parsed::Version),
+            "--fix" => fixes.push(FixSpec::parse(&take_value(&mut iter, arg)?)?),
+            "--auto" => auto = true,
+            "-f" | "--format" => format = parse_format(&take_value(&mut iter, arg)?)?,
+            "-o" | "--output" => output = Some(take_value(&mut iter, arg)?),
+            "-w" | "--workload" | "-v" | "--view" | "--trace" | "--top" => {
+                return Err(format!(
+                    "'{arg}' conflicts with whatif: whatif replays an existing trace \
+                     and its ranking has a fixed shape (try --help)"
+                ))
+            }
+            other if !other.starts_with('-') && input.is_none() => input = Some(other.to_string()),
+            other => return Err(format!("unknown whatif argument '{other}' (try --help)")),
+        }
+    }
+    let input = input.ok_or("whatif requires a .dtrace file argument")?;
+    if fixes.is_empty() && !auto {
+        return Err("whatif needs at least one --fix <spec> or --auto".into());
+    }
+    Ok(Parsed::Whatif(WhatifOptions {
+        input,
+        fixes,
+        auto,
+        format,
         output,
     }))
 }

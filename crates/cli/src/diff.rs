@@ -138,7 +138,66 @@ pub fn summary_from_report(doc: &Json) -> Result<ReportSummary, String> {
         }
     }
 
-    Ok(ReportSummary { types })
+    // Carried so the diff can report the realized throughput gain (older reports
+    // without a throughput section diff fine; the gain line is simply omitted).
+    let rps = doc
+        .get("throughput")
+        .and_then(|t| t.get("aggregate_rps"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+
+    Ok(ReportSummary { types, rps })
+}
+
+/// The top-ranked candidate of a `dprof-whatif/v1` document, attached to a diff via
+/// `--whatif` so the verdict carries predicted vs. realized gain.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// The predicted best fix spec.
+    pub fix: String,
+    /// Its predicted fractional throughput gain.
+    pub gain: f64,
+    /// Whether the prediction passed the block-vote confidence gate.
+    pub confident: bool,
+}
+
+/// Loads the rank-1 candidate from a `dprof-whatif/v1` file.
+pub fn load_prediction(path: &str) -> Result<Prediction, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read whatif file '{path}': {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| {
+        format!("'{path}' is not valid JSON ({e}); expected a dprof whatif -f json document")
+    })?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(crate::whatif::WHATIF_SCHEMA) => {}
+        other => {
+            return Err(format!(
+                "'{path}': schema is {other:?}, expected '{}' (generate it with \
+                 dprof whatif <trace> --auto -f json)",
+                crate::whatif::WHATIF_SCHEMA
+            ))
+        }
+    }
+    let best = doc
+        .get("candidates")
+        .and_then(Json::as_array)
+        .and_then(|c| c.first())
+        .ok_or_else(|| format!("'{path}': whatif document has no candidates"))?;
+    Ok(Prediction {
+        fix: best
+            .get("fix")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("'{path}': candidate without a 'fix' field"))?
+            .to_string(),
+        gain: best
+            .get("predicted_gain")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("'{path}': candidate without a 'predicted_gain' field"))?,
+        confident: best
+            .get("confident")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+    })
 }
 
 /// Runs the full `dprof diff` subcommand and returns the process exit code.
@@ -159,10 +218,20 @@ pub fn run_diff(options: &DiffOptions) -> i32 {
             return 1;
         }
     }
+    let prediction = match &options.whatif {
+        Some(path) => match load_prediction(path) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        },
+        None => None,
+    };
     let result = diff(&a, &b, options.focus.as_deref());
     let rendered = match options.format {
-        Format::Text => render_diff_text(&result, options),
-        Format::Json => render_diff_json(&result, options).to_pretty_string(),
+        Format::Text => render_diff_text(&result, options, prediction.as_ref()),
+        Format::Json => render_diff_json(&result, options, prediction.as_ref()).to_pretty_string(),
     };
     match &options.output {
         None => {
@@ -190,7 +259,11 @@ fn fmt_rank(rank: Option<usize>) -> String {
 }
 
 /// Renders the human-readable diff.
-pub fn render_diff_text(d: &ReportDiff, options: &DiffOptions) -> String {
+pub fn render_diff_text(
+    d: &ReportDiff,
+    options: &DiffOptions,
+    prediction: Option<&Prediction>,
+) -> String {
     let mut out = String::new();
     writeln!(out, "dprof diff — {} vs {}", options.a, options.b).unwrap();
     writeln!(
@@ -202,6 +275,28 @@ pub fn render_diff_text(d: &ReportDiff, options: &DiffOptions) -> String {
     match &d.moved_to {
         Some(to) => writeln!(out, "verdict: bottleneck {} (to {to})", d.verdict).unwrap(),
         None => writeln!(out, "verdict: bottleneck {}", d.verdict).unwrap(),
+    }
+    if let Some(gain) = d.realized_gain {
+        writeln!(
+            out,
+            "realized gain: {:+.2}% (throughput of B over A)",
+            100.0 * gain
+        )
+        .unwrap();
+    }
+    if let Some(p) = prediction {
+        let error = d
+            .realized_gain
+            .map(|g| format!(", {:.2} pts off realized", 100.0 * (p.gain - g).abs()))
+            .unwrap_or_default();
+        writeln!(
+            out,
+            "predicted gain ({}): {:+.2}%{error}{}",
+            p.fix,
+            100.0 * p.gain,
+            if p.confident { "" } else { " [not confident]" }
+        )
+        .unwrap();
     }
     writeln!(
         out,
@@ -245,7 +340,11 @@ pub fn render_diff_text(d: &ReportDiff, options: &DiffOptions) -> String {
 }
 
 /// Builds the `dprof-diff/v1` JSON document.
-pub fn render_diff_json(d: &ReportDiff, options: &DiffOptions) -> Json {
+pub fn render_diff_json(
+    d: &ReportDiff,
+    options: &DiffOptions,
+    prediction: Option<&Prediction>,
+) -> Json {
     let rank_json = |rank: Option<usize>| match rank {
         Some(r) => Json::num(r as u32),
         None => Json::Null,
@@ -267,6 +366,30 @@ pub fn render_diff_json(d: &ReportDiff, options: &DiffOptions) -> Json {
         ("focus_share_b", Json::num(d.focus_share_b)),
         ("focus_misses_a", Json::num(d.focus_misses_a as f64)),
         ("focus_misses_b", Json::num(d.focus_misses_b as f64)),
+        (
+            "realized_gain",
+            d.realized_gain.map(Json::num).unwrap_or(Json::Null),
+        ),
+        (
+            "predicted_fix",
+            prediction.map(|p| Json::str(&p.fix)).unwrap_or(Json::Null),
+        ),
+        (
+            "predicted_gain",
+            prediction.map(|p| Json::num(p.gain)).unwrap_or(Json::Null),
+        ),
+        (
+            "prediction_confident",
+            prediction
+                .map(|p| Json::Bool(p.confident))
+                .unwrap_or(Json::Null),
+        ),
+        (
+            "prediction_error",
+            prediction
+                .and_then(|p| d.realized_gain.map(|g| Json::num((p.gain - g).abs())))
+                .unwrap_or(Json::Null),
+        ),
         ("neutral", Json::Bool(d.is_neutral())),
         (
             "types",
@@ -414,11 +537,12 @@ mod tests {
             format: Format::Text,
             top: 8,
             output: None,
+            whatif: None,
         };
-        let text = render_diff_text(&d, &options);
+        let text = render_diff_text(&d, &options, None);
         assert!(text.contains("verdict: bottleneck unchanged"));
         assert!(text.contains("reports are identical"));
-        let json = render_diff_json(&d, &options);
+        let json = render_diff_json(&d, &options, None);
         assert_eq!(json.get("schema").and_then(Json::as_str), Some(DIFF_SCHEMA));
         assert_eq!(
             json.get("verdict").and_then(Json::as_str),

@@ -25,6 +25,7 @@ pub mod driver;
 pub mod json;
 pub mod merge;
 pub mod render;
+pub mod whatif;
 
 use args::{Parsed, View};
 
@@ -47,6 +48,7 @@ pub fn run(args: &[String]) -> i32 {
         Ok(Parsed::Replay(options)) => return run_replay(&options),
         Ok(Parsed::Diff(options)) => return diff::run_diff(&options),
         Ok(Parsed::Accuracy(options)) => return accuracy::run_accuracy(&options),
+        Ok(Parsed::Whatif(options)) => return whatif::run_whatif(&options),
         Ok(Parsed::Run(options)) => options,
         Err(message) => {
             eprintln!("error: {message}");
@@ -108,7 +110,7 @@ pub fn run(args: &[String]) -> i32 {
     emit(&rendered, &options.output)
 }
 
-fn emit(rendered: &str, output: &Option<String>) -> i32 {
+pub(crate) fn emit(rendered: &str, output: &Option<String>) -> i32 {
     match output {
         None => {
             print!("{rendered}");

@@ -31,7 +31,7 @@ fn help_documents_every_registered_scenario_and_subcommand() {
             spec.name
         );
     }
-    for subcommand in ["record", "replay", "diff", "accuracy"] {
+    for subcommand in ["record", "replay", "diff", "accuracy", "whatif"] {
         assert!(
             dprof_cli::args::USAGE.contains(&format!("dprof {subcommand}")),
             "USAGE is missing the {subcommand} subcommand"

@@ -61,6 +61,7 @@ pub mod report;
 pub mod sample;
 pub mod stats;
 pub mod views;
+pub mod whatif;
 
 pub use ground_truth::{resolve_ground_truth, GroundTruthProfile, GroundTruthRow};
 pub use history::{
@@ -79,3 +80,4 @@ pub use views::{
     DataFlowNode, DataProfileRow, MissClass, TypeMissClassification, TypeWorkingSet,
     WorkingSetView,
 };
+pub use whatif::{blocks_from_rounds, estimate_gain, rank_candidates, BlockDelta, GainEstimate};

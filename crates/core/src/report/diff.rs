@@ -76,6 +76,11 @@ impl TypeSummary {
 pub struct ReportSummary {
     /// One row per type, in no particular order (the diff never depends on it).
     pub types: Vec<TypeSummary>,
+    /// Aggregate request throughput (requests per simulated second) of the run the
+    /// report came from, or 0 when unknown (e.g. a summary built from a bare
+    /// profile).  When both sides of a diff carry it, the diff reports the realized
+    /// gain — the counterpart to the what-if engine's predicted gain.
+    pub rps: f64,
 }
 
 impl ReportSummary {
@@ -128,7 +133,15 @@ impl ReportSummary {
                 types.push(row);
             }
         }
-        ReportSummary { types }
+        ReportSummary { types, rps: 0.0 }
+    }
+
+    /// Sets the run's aggregate throughput (builder-style), enabling realized-gain
+    /// computation in [`diff`].
+    #[must_use]
+    pub fn with_rps(mut self, rps: f64) -> ReportSummary {
+        self.rps = rps;
+        self
     }
 
     /// The summary row for a type name.
@@ -301,6 +314,10 @@ pub struct ReportDiff {
     pub focus_misses_b: u64,
     /// When the verdict is [`Verdict::Moved`], the type the bottleneck moved to.
     pub moved_to: Option<String>,
+    /// Realized fractional reduction in per-request time going from A to B
+    /// (`1 - rps_a / rps_b`), when both summaries carry throughput.  Positive when B
+    /// is faster; comparable to the what-if engine's predicted gain.
+    pub realized_gain: Option<f64>,
     /// Per-type deltas over the union of both reports' types, ordered by
     /// `max(pct_a, pct_b)` descending (name tie-break) — stable under row reordering
     /// of either input and symmetric under argument swap.
@@ -424,6 +441,7 @@ pub fn diff_with(
         focus_misses_a: a.get(&focus_name).map(|t| t.miss_samples).unwrap_or(0),
         focus_misses_b: b.get(&focus_name).map(|t| t.miss_samples).unwrap_or(0),
         moved_to,
+        realized_gain: (a.rps > 0.0 && b.rps > 0.0).then(|| 1.0 - a.rps / b.rps),
         types,
     }
 }
@@ -511,6 +529,7 @@ mod tests {
     fn summary(rows: &[TypeSummary]) -> ReportSummary {
         ReportSummary {
             types: rows.to_vec(),
+            rps: 0.0,
         }
     }
 
@@ -574,6 +593,21 @@ mod tests {
         assert!((only_a.delta_pct + 10.0).abs() < 1e-9);
         let only_b = d.for_type("only-b").unwrap();
         assert!(!only_b.in_a && only_b.in_b);
+    }
+
+    #[test]
+    fn realized_gain_needs_throughput_on_both_sides() {
+        let a = summary(&[ty("hot", 50.0, 500)]);
+        let b = summary(&[ty("hot", 50.0, 500)]);
+        assert_eq!(diff(&a, &b, Some("hot")).realized_gain, None);
+        assert_eq!(
+            diff(&a.clone().with_rps(1000.0), &b.clone(), Some("hot")).realized_gain,
+            None
+        );
+        // B serves each request in half the time: the fix removed 50 % of it.
+        let d = diff(&a.with_rps(1000.0), &b.with_rps(2000.0), Some("hot"));
+        let gain = d.realized_gain.unwrap();
+        assert!((gain - 0.5).abs() < 1e-12);
     }
 
     #[test]

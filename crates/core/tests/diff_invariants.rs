@@ -62,7 +62,7 @@ fn summary_strategy() -> impl Strategy<Value = ReportSummary> {
                 core_crossings: crossings,
             });
         }
-        ReportSummary { types }
+        ReportSummary { types, rps: 0.0 }
     })
 }
 
@@ -78,7 +78,7 @@ fn reorder(summary: &ReportSummary, key: u64) -> ReportSummary {
     if key.is_multiple_of(2) {
         types.reverse();
     }
-    ReportSummary { types }
+    ReportSummary { types, rps: 0.0 }
 }
 
 proptest! {

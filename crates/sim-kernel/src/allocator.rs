@@ -79,6 +79,18 @@ pub struct ResolvedAddr {
     pub offset: u64,
 }
 
+/// Result of [`SlabAllocator::resolve_remap`]: the live object containing an address,
+/// plus the size and allocating core an address-remap layer keys its decisions on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemapTarget {
+    /// The containing object, as [`SlabAllocator::resolve`] would report it.
+    pub resolved: ResolvedAddr,
+    /// Object size in bytes.
+    pub size: u64,
+    /// Core that allocated the object.
+    pub alloc_core: CoreId,
+}
+
 /// A live object tracked by the allocator.
 #[derive(Debug, Clone, Copy)]
 struct LiveObject {
@@ -329,6 +341,25 @@ impl SlabAllocator {
         } else {
             None
         }
+    }
+
+    /// Resolves an address to the live object containing it, together with the object's
+    /// size and allocating core — everything an allocator-remap layer (e.g. the what-if
+    /// engine's counterfactual transforms) needs to relocate or re-home the access.
+    pub fn resolve_remap(&self, addr: u64) -> Option<RemapTarget> {
+        let (&base, obj) = self.live.range(..=addr).next_back()?;
+        if addr >= base + obj.size {
+            return None;
+        }
+        Some(RemapTarget {
+            resolved: ResolvedAddr {
+                type_id: obj.type_id,
+                base,
+                offset: addr - base,
+            },
+            size: obj.size,
+            alloc_core: self.records[obj.record].alloc_core,
+        })
     }
 
     /// Resolves an address against the full address set (including freed objects),

@@ -33,8 +33,8 @@ pub mod sockets;
 pub mod types;
 
 pub use allocator::{
-    AllocRecord, AllocStats, ProfileHook, ProfileRequest, ProfiledObject, ResolvedAddr,
-    SlabAllocator,
+    AllocRecord, AllocStats, ProfileHook, ProfileRequest, ProfiledObject, RemapTarget,
+    ResolvedAddr, SlabAllocator,
 };
 pub use kernel::{KernelConfig, KernelState, KernelSymbols};
 pub use locks::{lock_report, KLock, LockReportRow, LockStats};

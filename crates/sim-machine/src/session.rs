@@ -88,6 +88,26 @@ pub enum SessionEvent {
     RoundEnd,
 }
 
+impl SessionEvent {
+    /// Counterfactual dispatch: for an [`SessionEvent::Access`], a copy with the
+    /// issuing core, address and length replaced — the primitive a what-if replay
+    /// layer rewrites recorded traffic with before re-issuing it to the machine.
+    /// Non-access events are returned unchanged.
+    #[must_use]
+    pub fn with_access_target(self, core: u32, addr: u64, len: u64) -> SessionEvent {
+        match self {
+            SessionEvent::Access { ip, kind, .. } => SessionEvent::Access {
+                core,
+                ip,
+                addr,
+                len,
+                kind,
+            },
+            other => other,
+        }
+    }
+}
+
 /// The in-memory session event buffer, owned by [`crate::Machine`] while recording.
 #[derive(Debug, Clone, Default)]
 pub struct SessionRecorder {

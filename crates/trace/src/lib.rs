@@ -26,6 +26,9 @@
 //! * [`mod@line`] — lowering of session events to per-cache-line
 //!   [`sim_cache::TraceEvent`] streams, used by `dprof-bench` to replay captured
 //!   workloads against alternative hierarchy implementations.
+//! * [`mod@whatif`] — counterfactual transforms: replay a recorded stream against a
+//!   hypothetical memory layout (`pad`/`localize`/`pin`/`shrink` fixes) and measure
+//!   the makespan delta, the engine behind `dprof whatif`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,11 +37,16 @@ pub mod codec;
 pub mod format;
 pub mod line;
 pub mod replay;
+pub mod whatif;
 
 pub use format::{
     FieldDump, RecordedStream, SessionParams, ThreadStream, TraceFile, TraceKind, TypeDump,
 };
-pub use replay::{replay_all, replay_stream, ReplayRun};
+pub use replay::{replay_all, replay_stream, replay_stream_with, ReplayRun};
+pub use whatif::{
+    analyze_sharing, measure_all, measure_stream, trace_type_names, validate_spec, FixSpec,
+    SharingProfile, Transform, WhatifMeasure,
+};
 
 /// Errors produced while decoding a `.dtrace` file.
 #[derive(Debug, Clone, PartialEq, Eq)]

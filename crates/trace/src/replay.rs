@@ -19,6 +19,7 @@
 //! multi-threaded run would.
 
 use crate::format::{ThreadStream, TraceFile, TraceKind};
+use crate::whatif::{FixSpec, Transform};
 use dprof_core::{Dprof, DprofConfig, DprofProfile};
 use sim_kernel::{KernelState, TypeId, TypeRegistry};
 use sim_machine::{Machine, SessionEvent};
@@ -50,12 +51,40 @@ pub struct ReplayRun {
     pub trailing_events: usize,
 }
 
-/// A cursor feeding recorded events into the machine/kernel, one round per call.
+/// Rebuilds the recorded universe for one stream: a machine with the recorded
+/// configuration and pre-interned symbols, and a replay kernel whose type registry
+/// matches the recorded type ids.
+///
+/// Symbols are interned in recorded id order (so every `FunctionId` in the event
+/// stream resolves to the same name) and the type registry is re-registered in
+/// recorded id order (so every `TypeId` matches).  The kernel shell must be built
+/// *after* pre-interning: its own interning then maps onto existing ids instead of
+/// minting new ones.
+pub(crate) fn rebuild_universe(file: &TraceFile, thread: usize) -> (Machine, KernelState) {
+    let stream: &ThreadStream = &file.streams[thread];
+    let mut machine = Machine::new(file.machine);
+    for name in &stream.symbols {
+        machine.fn_id(name);
+    }
+    let mut types = TypeRegistry::new();
+    for t in &stream.types {
+        let id = types.register(&t.name, &t.description, t.size);
+        for f in &t.fields {
+            types.add_field(id, &f.name, f.offset, f.size);
+        }
+    }
+    let kernel = KernelState::for_replay(&mut machine, file.params.cores, types);
+    (machine, kernel)
+}
+
+/// A cursor feeding recorded events into the machine/kernel, one round per call,
+/// optionally rewriting accesses through a what-if [`Transform`].
 struct EventCursor<'a> {
     events: &'a [SessionEvent],
     pos: usize,
     /// Set if the cursor ran dry mid-round — replay divergence, reported to the user.
     exhausted: bool,
+    transform: Transform,
 }
 
 impl EventCursor<'_> {
@@ -73,6 +102,12 @@ impl EventCursor<'_> {
                     len,
                     kind,
                 } => {
+                    let (core, addr, len) = if self.transform.is_identity() {
+                        (core, addr, len)
+                    } else {
+                        let hit = kernel.allocator.resolve_remap(addr);
+                        self.transform.rewrite(core, addr, len, hit)
+                    };
                     machine.access(core as usize, ip, addr, len, kind);
                 }
                 SessionEvent::Compute { core, ip, cycles } => {
@@ -111,35 +146,34 @@ impl EventCursor<'_> {
 /// Panics if `thread` is out of range or the trace is not [`TraceKind::FullSession`]
 /// (callers validate the kind up front; see [`replay_all`]).
 pub fn replay_stream(file: &TraceFile, thread: usize) -> ReplayRun {
+    replay_stream_with(file, thread, &FixSpec::Identity)
+}
+
+/// Replays a single stream through the full profiler pipeline with a what-if fix
+/// applied at dispatch time.  With [`FixSpec::Identity`] this is exactly
+/// [`replay_stream`] — same machine evolution, same profile, byte for byte (the
+/// whatif proptests pin this).
+///
+/// # Panics
+/// Panics if `thread` is out of range or the trace is not [`TraceKind::FullSession`].
+pub fn replay_stream_with(file: &TraceFile, thread: usize, spec: &FixSpec) -> ReplayRun {
     assert_eq!(
         file.kind,
         TraceKind::FullSession,
         "only full-session traces replay through the profiler"
     );
     let stream: &ThreadStream = &file.streams[thread];
-
-    // Rebuild the live run's universe: same machine configuration, symbols interned in
-    // recorded id order (so every FunctionId in the event stream resolves to the same
-    // name), and the type registry re-registered in recorded id order (so every TypeId
-    // matches).  The kernel shell must be built *after* pre-interning: its own interning
-    // then maps onto existing ids instead of minting new ones.
-    let mut machine = Machine::new(file.machine);
-    for name in &stream.symbols {
-        machine.fn_id(name);
-    }
-    let mut types = TypeRegistry::new();
-    for t in &stream.types {
-        let id = types.register(&t.name, &t.description, t.size);
-        for f in &t.fields {
-            types.add_field(id, &f.name, f.offset, f.size);
-        }
-    }
-    let mut kernel = KernelState::for_replay(&mut machine, file.params.cores, types);
+    let (mut machine, mut kernel) = rebuild_universe(file, thread);
+    let target = spec
+        .target()
+        .and_then(|name| crate::whatif::stream_type_id(stream, name));
+    let transform = Transform::new(spec, target, file.machine.hierarchy.l1.line_size as u64);
 
     let mut cursor = EventCursor {
         events: &stream.events,
         pos: 0,
         exhausted: false,
+        transform,
     };
 
     // Segment 0: kernel/workload setup traffic (everything before the first marker).

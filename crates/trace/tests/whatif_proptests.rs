@@ -1,0 +1,260 @@
+//! Property tests for the what-if transform layer: the counterfactual replay must be
+//! a *pure, alias-free function* of the recorded stream.
+//!
+//! * A fix whose target never appears in the stream replays byte-identically to the
+//!   plain profiler replay (the identity fast path is genuinely a no-op).
+//! * `pad`, `shrink` and `localize` may never map two distinct allocations onto one
+//!   shadow cache line — aliasing would fabricate coherence traffic that the real fix
+//!   could not produce.
+//! * Every transform is deterministic: the same event sequence through two freshly
+//!   built transforms (or two measurement replays) yields identical results.
+
+use dprof_core::{Dprof, DprofConfig, HistoryConfig};
+use dprof_trace::whatif::{stream_type_id, SHADOW_BASE};
+use dprof_trace::{
+    measure_stream, replay_stream, replay_stream_with, FieldDump, FixSpec, SessionParams,
+    ThreadStream, TraceFile, TraceKind, Transform, TypeDump,
+};
+use proptest::prelude::*;
+use sim_kernel::{RemapTarget, ResolvedAddr, TypeId};
+use sim_machine::SamplingPolicy;
+use std::collections::HashMap;
+use workloads::{Memcached, MemcachedConfig, Workload};
+
+const LINE: u64 = 64;
+
+/// Non-overlapping synthetic allocation bases (64 KiB apart, far below the shadow
+/// range): transform inputs, as the replay kernel's address resolution would hand
+/// them over.
+fn base_of(alloc: usize) -> u64 {
+    0x1000 + alloc as u64 * 0x1_0000
+}
+
+fn hit(alloc: usize, offset: u64, size: u64, alloc_core: usize) -> RemapTarget {
+    RemapTarget {
+        resolved: ResolvedAddr {
+            type_id: TypeId(0),
+            base: base_of(alloc),
+            offset,
+        },
+        size,
+        alloc_core,
+    }
+}
+
+/// One synthetic access: which allocation, which (pre-clamp) granule, which core.
+fn access_strategy() -> impl Strategy<Value = (u8, u8, u32, u64)> {
+    (0u8..6, 0u8..64, 0u32..4, 1u64..9)
+}
+
+/// Replays `accesses` through a fresh transform, returning the rewritten
+/// `(core, addr, len)` sequence.  `sizes[alloc]` is each allocation's object size.
+fn run_transform(
+    spec: &FixSpec,
+    sizes: &[u64],
+    accesses: &[(u8, u8, u32, u64)],
+) -> Vec<(u32, u64, u64)> {
+    let mut tf = Transform::new(spec, Some(TypeId(0)), LINE);
+    accesses
+        .iter()
+        .map(|&(alloc_raw, granule_raw, core, len)| {
+            let alloc = alloc_raw as usize % sizes.len();
+            let size = sizes[alloc];
+            let offset = (granule_raw as u64 * 8) % size;
+            tf.rewrite(
+                core,
+                base_of(alloc) + offset,
+                len.min(size - offset),
+                Some(hit(alloc, offset, size, alloc % 4)),
+            )
+        })
+        .collect()
+}
+
+/// Records a tiny live memcached session the way the CLI driver does, so the
+/// replay-level properties run against realistic streams.
+fn record_session(seed: u64, sample_rounds: usize) -> TraceFile {
+    const WARMUP: usize = 2;
+    let config = MemcachedConfig {
+        cores: 2,
+        seed,
+        record_session: true,
+        ..Default::default()
+    };
+    let (mut machine, mut kernel, mut workload) = Memcached::setup(config);
+    machine.mark_session_round();
+    for _ in 0..WARMUP {
+        workload.step(&mut machine, &mut kernel);
+        machine.mark_session_round();
+    }
+    let requests_before = workload.requests_completed();
+    let dprof_config = DprofConfig {
+        sampling: SamplingPolicy::Fixed { interval_ops: 120 },
+        sample_rounds,
+        history_types: 1,
+        history: HistoryConfig {
+            history_sets: 1,
+            seed,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    Dprof::new(dprof_config).run(&mut machine, &mut kernel, |m, k| {
+        workload.step(m, k);
+        m.mark_session_round();
+    });
+    let stream = ThreadStream {
+        seed,
+        requests: workload.requests_completed() - requests_before,
+        symbols: machine
+            .symbols
+            .iter()
+            .map(|(_, name)| name.to_string())
+            .collect(),
+        types: kernel
+            .types
+            .iter()
+            .map(|t| TypeDump {
+                name: t.name.clone(),
+                description: t.description.clone(),
+                size: t.size,
+                fields: t
+                    .fields
+                    .iter()
+                    .map(|f| FieldDump {
+                        name: f.name.clone(),
+                        offset: f.offset,
+                        size: f.size,
+                    })
+                    .collect(),
+            })
+            .collect(),
+        events: machine.take_session_events(),
+    };
+    TraceFile {
+        kind: TraceKind::FullSession,
+        machine: *machine.config(),
+        params: SessionParams {
+            workload: "memcached".into(),
+            threads: 1,
+            cores: 2,
+            warmup_rounds: WARMUP,
+            sample_rounds,
+            sampling: SamplingPolicy::Fixed { interval_ops: 120 },
+            history_types: 1,
+            history_sets: 1,
+            base_seed: seed,
+        },
+        streams: vec![stream],
+    }
+}
+
+/// The set of shadow lines each rewritten access touches.
+fn lines_touched(addr: u64, len: u64) -> std::ops::RangeInclusive<u64> {
+    addr / LINE..=(addr + len.max(1) - 1) / LINE
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `pad`, `shrink` and `localize` bump-allocate shadow regions in whole cache
+    /// lines: no shadow line may ever serve two distinct allocations (or, for
+    /// localize, two distinct (allocation, core) copies).
+    #[test]
+    fn rewrites_never_alias_two_allocations_onto_one_line(
+        sizes in proptest::collection::vec(1u64..65, 1..6),
+        accesses in proptest::collection::vec(access_strategy(), 1..200),
+    ) {
+        let sizes: Vec<u64> = sizes.iter().map(|s| s * 8).collect(); // 8..=512, 8-aligned
+        for spec in [
+            FixSpec::parse("pad:t").unwrap(),
+            FixSpec::parse("shrink:t:64").unwrap(),
+            FixSpec::parse("localize:t").unwrap(),
+        ] {
+            let rewritten = run_transform(&spec, &sizes, &accesses);
+            // line -> (allocation, core-for-localize) ownership
+            let mut owner: HashMap<u64, (usize, u32)> = HashMap::new();
+            for (&(alloc_raw, _, in_core, _), &(core, addr, len)) in
+                accesses.iter().zip(&rewritten)
+            {
+                prop_assert!(addr >= SHADOW_BASE, "{spec}: rewrite left the shadow range");
+                prop_assert_eq!(core, in_core, "{}: core changed", &spec);
+                let alloc = alloc_raw as usize % sizes.len();
+                let copy = if matches!(spec, FixSpec::Localize { .. }) { core } else { 0 };
+                for l in lines_touched(addr, len) {
+                    let prev = owner.insert(l, (alloc, copy));
+                    if let Some(prev) = prev {
+                        prop_assert_eq!(
+                            prev, (alloc, copy),
+                            "{}: shadow line {} serves two allocations", &spec, l
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The shadow mapping is first-touch in event order and nothing else: two fresh
+    /// transforms fed the same sequence produce identical rewrites, for every fix
+    /// family.
+    #[test]
+    fn transforms_are_deterministic_across_two_runs(
+        sizes in proptest::collection::vec(1u64..65, 1..6),
+        accesses in proptest::collection::vec(access_strategy(), 1..200),
+    ) {
+        let sizes: Vec<u64> = sizes.iter().map(|s| s * 8).collect();
+        for spec_text in ["identity", "pad:t", "localize:t", "pin:t", "shrink:t:64"] {
+            let spec = FixSpec::parse(spec_text).unwrap();
+            let first = run_transform(&spec, &sizes, &accesses);
+            let second = run_transform(&spec, &sizes, &accesses);
+            prop_assert_eq!(first, second, "{} rewrites diverged", spec_text);
+        }
+    }
+}
+
+proptest! {
+    // Recording a live session per case is comparatively expensive; a handful of
+    // seeds suffices because each stream holds thousands of events.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// A fix targeting a type that never appears in the stream is the identity: the
+    /// profiler replay under it is byte-identical to the plain replay, and the
+    /// profiler-free measurement replay is deterministic — under identity *and*
+    /// under a real transform of the stream's hottest type.
+    #[test]
+    fn absent_target_replays_byte_identically_and_measurement_is_deterministic(
+        seed in 1u64..5000,
+        sample_rounds in 6usize..12,
+    ) {
+        let file = record_session(seed, sample_rounds);
+        prop_assert!(stream_type_id(&file.streams[0], "__no_such_type").is_none());
+
+        let plain = replay_stream(&file, 0);
+        let absent = replay_stream_with(
+            &file,
+            0,
+            &FixSpec::parse("pad:__no_such_type").unwrap(),
+        );
+        prop_assert_eq!(&plain.profile.samples, &absent.profile.samples);
+        prop_assert_eq!(&plain.profile.histories, &absent.profile.histories);
+        prop_assert_eq!(plain.requests, absent.requests);
+        prop_assert_eq!(plain.total_cycles, absent.total_cycles);
+        prop_assert_eq!(plain.trailing_events, 0);
+
+        let identity = FixSpec::Identity;
+        let m1 = measure_stream(&file, 0, &identity);
+        let m2 = measure_stream(&file, 0, &identity);
+        prop_assert_eq!(m1.warmup_clock, m2.warmup_clock);
+        prop_assert_eq!(&m1.round_clocks, &m2.round_clocks);
+
+        // A real transform of a type that *is* in the stream must be deterministic
+        // too (the shadow map is first-touch in event order, no ambient state).
+        let real = FixSpec::Pad {
+            type_name: file.streams[0].types[0].name.clone(),
+        };
+        let f1 = measure_stream(&file, 0, &real);
+        let f2 = measure_stream(&file, 0, &real);
+        prop_assert_eq!(f1.warmup_clock, f2.warmup_clock);
+        prop_assert_eq!(&f1.round_clocks, &f2.round_clocks);
+    }
+}

@@ -84,6 +84,14 @@ pub struct Planted {
     pub expected_dominant: Option<&'static str>,
     /// Whether the type must carry the cross-core bounce flag.
     pub expect_bounce: bool,
+    /// The `dprof whatif` fix spec that must rank #1 when candidates are enumerated
+    /// from a buggy-variant trace (`--auto`).
+    pub whatif_fix: &'static str,
+    /// Allowed absolute gap between the what-if predicted gain and the realized
+    /// buggy-to-fixed gain measured by `dprof diff`.  Tight where the shipped fix *is*
+    /// the modeled transform (ring padding), looser where the shipped fix also changes
+    /// the access pattern (sharding, buffer reuse, hot/cold splits).
+    pub whatif_tolerance: f64,
 }
 
 /// Build-time parameters of a scenario instance.
@@ -210,6 +218,8 @@ static REGISTRY: [ScenarioSpec; 6] = [
             expected_view: ExpectedView::DataProfile,
             expected_dominant: Some("invalidation"),
             expect_bounce: true,
+            whatif_fix: "localize:conn_lock",
+            whatif_tolerance: 0.12,
         },
         build: build_remote_hot_lock,
     },
@@ -219,15 +229,20 @@ static REGISTRY: [ScenarioSpec; 6] = [
         fixed_name: "ring-false-sharing:fixed",
         summary: "producer/consumer ring with head and tail indices sharing a line",
         bug: "the ring descriptor packs the producer's head and the consumer's tail \
-              into one cache line, and both sides re-read the peer index on every \
-              operation — every push/pop invalidates the other core's copy",
-        fix: "the tail moves to its own cache line and each side batches: it re-reads \
-              the peer index once per burst instead of once per operation",
+              into one cache line; each side snapshots the peer index once per burst, \
+              then re-reads and publishes only its own index — but because both \
+              indices share a line, every publish still invalidates the peer's copy",
+        fix: "the tail moves to its own cache line (padding).  The access sequence is \
+              identical in both variants, so the realized speedup is purely the \
+              layout change — exactly the transform `whatif --fix pad:ring_desc` \
+              models",
         planted: Planted {
             type_name: "ring_desc",
             expected_view: ExpectedView::MissClassification,
             expected_dominant: Some("invalidation"),
             expect_bounce: true,
+            whatif_fix: "pad:ring_desc",
+            whatif_tolerance: 0.10,
         },
         build: build_ring_false_sharing,
     },
@@ -246,6 +261,8 @@ static REGISTRY: [ScenarioSpec; 6] = [
             expected_view: ExpectedView::MissClassification,
             expected_dominant: Some("capacity"),
             expect_bounce: false,
+            whatif_fix: "shrink:scan_buffer:64",
+            whatif_tolerance: 0.25,
         },
         build: build_streaming_scan,
     },
@@ -264,6 +281,8 @@ static REGISTRY: [ScenarioSpec; 6] = [
             expected_view: ExpectedView::WorkingSet,
             expected_dominant: Some("capacity"),
             expect_bounce: false,
+            whatif_fix: "shrink:hash_bucket:64",
+            whatif_tolerance: 0.35,
         },
         build: build_hash_capacity_thrash,
     },
@@ -282,6 +301,8 @@ static REGISTRY: [ScenarioSpec; 6] = [
             expected_view: ExpectedView::MissClassification,
             expected_dominant: Some("invalidation"),
             expect_bounce: true,
+            whatif_fix: "localize:route_cache",
+            whatif_tolerance: 0.12,
         },
         build: build_read_mostly_sharing,
     },
@@ -300,6 +321,8 @@ static REGISTRY: [ScenarioSpec; 6] = [
             expected_view: ExpectedView::DataFlow,
             expected_dominant: Some("invalidation"),
             expect_bounce: true,
+            whatif_fix: "pin:migrating_job",
+            whatif_tolerance: 0.15,
         },
         build: build_job_migration_bounce,
     },
@@ -437,7 +460,6 @@ fn build_remote_hot_lock(config: &ScenarioConfig) -> BuiltScenario {
 
 struct RingFalseSharing {
     full_name: &'static str,
-    variant: Variant,
     cores: usize,
     ring_ty: TypeId,
     /// One descriptor per producer/consumer core pair.
@@ -486,27 +508,17 @@ impl Workload for RingFalseSharing {
             let consumer = (pair * 2 + 1) % self.cores;
             let head = ring; // head index at offset 0
             let tail = ring + self.tail_offset;
-            match self.variant {
-                Variant::Buggy => {
-                    // Every operation re-reads the peer's index from the shared line
-                    // and writes its own — two writers, one line.
-                    for _ in 0..Self::BURST {
-                        machine.read(producer, self.produce_fn, tail, 8);
-                        machine.write(producer, self.produce_fn, head, 8);
-                        machine.read(consumer, self.consume_fn, head, 8);
-                        machine.write(consumer, self.consume_fn, tail, 8);
-                    }
-                }
-                Variant::Fixed => {
-                    // Padded indices + batched peer reads: one snapshot per burst,
-                    // then each side updates only its own line.
-                    machine.read(producer, self.produce_fn, tail, 8);
-                    machine.read(consumer, self.consume_fn, head, 8);
-                    for _ in 0..Self::BURST {
-                        machine.write(producer, self.produce_fn, head, 8);
-                        machine.write(consumer, self.consume_fn, tail, 8);
-                    }
-                }
+            // Identical access sequence in both variants — each side snapshots the
+            // peer's index once per burst, then re-reads and publishes only its own.
+            // Only the layout differs (tail at offset 8 vs. 64), so the realized
+            // buggy-to-fixed delta is purely the padding.
+            machine.read(producer, self.produce_fn, tail, 8);
+            machine.read(consumer, self.consume_fn, head, 8);
+            for _ in 0..Self::BURST {
+                machine.read(producer, self.produce_fn, head, 8);
+                machine.write(producer, self.produce_fn, head, 8);
+                machine.read(consumer, self.consume_fn, tail, 8);
+                machine.write(consumer, self.consume_fn, tail, 8);
             }
         }
         self.requests += background_round(machine, kernel, self.cores);
@@ -531,7 +543,6 @@ fn build_ring_false_sharing(config: &ScenarioConfig) -> BuiltScenario {
     let spec = &REGISTRY[1];
     let mut w = RingFalseSharing {
         full_name: spec.full_name(config.variant),
-        variant: config.variant,
         cores: config.cores,
         ring_ty,
         rings: vec![0; (config.cores / 2).max(1)],
