@@ -21,8 +21,8 @@
 //! workload each time.
 
 use dprof_bench::throughput::{
-    capture_trace_file, measure_point, measure_point_from_trace, render_json, render_table,
-    trace_file_name, trace_io, TraceWorkload,
+    capture_trace_file, measure_point, measure_point_from_trace, render_json, render_scaling,
+    render_table, trace_file_name, trace_io, TraceWorkload,
 };
 
 fn main() {
@@ -64,41 +64,54 @@ fn main() {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {dir}: {e}"));
     }
 
-    // Quick mode keeps the CI smoke job fast; paper mode measures the trajectory on
-    // the evaluation machine sizes, ending at the 16-core paper configuration.
-    let (scale_name, core_counts, rounds) = if quick {
-        ("quick", vec![2, 4], 40)
+    // Quick mode keeps the CI smoke job fast; paper mode measures the trajectory
+    // through the 16-core paper configuration and on up to the 64/128-core sharded
+    // targets.  High core counts generate proportionally more traffic per round, so
+    // they capture fewer rounds to keep trace sizes comparable.
+    let (scale_name, core_counts, base_rounds) = if quick {
+        ("quick", vec![2, 4, 64], 40)
     } else {
-        ("paper", vec![2, 4, 8, 16], 200)
+        ("paper", vec![2, 4, 8, 16, 64, 128], 200)
+    };
+    let rounds_for = |cores: usize| {
+        if cores >= 64 {
+            base_rounds / 4
+        } else {
+            base_rounds
+        }
     };
 
     println!(
         "dprof-bench: replaying workload access traces ({scale_name} scale, \
-         {rounds} rounds per trace)\n"
+         {base_rounds} rounds per trace, quartered at 64+ cores)\n"
     );
 
     let mut points = Vec::new();
     for which in [TraceWorkload::Memcached, TraceWorkload::Apache] {
         for &cores in &core_counts {
             let p = if let Some(dir) = &traces_dir {
-                // Replay a previously saved capture instead of re-running the workload.
+                // Replay a previously saved capture instead of re-running the
+                // workload, streaming the line events straight from disk.
                 let path = format!("{dir}/{}", trace_file_name(which, cores));
-                let file = trace_io::File::read(&path).unwrap_or_else(|e| {
+                let (trace_cores, trace) = trace_io::read_line_events(&path).unwrap_or_else(|e| {
                     panic!("{e}; run with --save-traces {dir} first to capture the set")
                 });
-                let trace = trace_io::to_line_events(&file);
+                assert_eq!(
+                    trace_cores, cores,
+                    "{path} was captured on a {trace_cores}-core machine"
+                );
                 measure_point_from_trace(which.name(), cores, &trace)
             } else if let Some(dir) = &save_dir {
-                let file = capture_trace_file(which, cores, rounds);
+                let file = capture_trace_file(which, cores, rounds_for(cores));
                 let path = format!("{dir}/{}", trace_file_name(which, cores));
                 file.write(&path).unwrap_or_else(|e| panic!("{e}"));
                 let trace = trace_io::to_line_events(&file);
                 measure_point_from_trace(which.name(), cores, &trace)
             } else {
-                measure_point(which, cores, rounds)
+                measure_point(which, cores, rounds_for(cores))
             };
             println!(
-                "  {:<10} {:>2} cores: {:>12.0} -> {:>12.0} accesses/s ({:.2}x)",
+                "  {:<10} {:>3} cores: {:>12.0} -> {:>12.0} accesses/s ({:.2}x)",
                 p.workload, p.cores, p.reference_aps, p.optimized_aps, p.speedup
             );
             points.push(p);
@@ -106,6 +119,7 @@ fn main() {
     }
 
     println!("\n{}", render_table(&points));
+    println!("{}", render_scaling(&points));
 
     if let Some(path) = emit_json {
         let doc = render_json(scale_name, &points);

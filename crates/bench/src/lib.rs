@@ -32,5 +32,6 @@ pub use overheads::{
 };
 pub use scale::Scale;
 pub use throughput::{
-    capture_trace, measure_point, render_json, render_table, ThroughputPoint, TraceWorkload,
+    capture_trace, measure_point, render_json, render_scaling, render_table, ThroughputPoint,
+    TraceWorkload,
 };

@@ -164,24 +164,40 @@ fn build_trace_file(
 
 /// `dprof replay`: re-profiles a recorded session and renders the report.  The run
 /// parameters come from the trace header, so the emitted report is byte-identical to
-/// the recorded run's (given the same report options).
+/// the recorded run's (given the same report options).  Events stream from disk in
+/// bounded chunks rather than being slurped; `--sharded` re-simulates the caches on
+/// the parallel epoch-batched engine (same report, byte for byte).
 fn run_replay(options: &args::ReplayOptions) -> i32 {
-    let file = match dprof::trace::TraceFile::read(&options.input) {
-        Ok(file) => file,
+    let reader = match dprof::trace::TraceReader::open(&options.input) {
+        Ok(reader) => reader,
         Err(message) => {
             eprintln!("error: {message}");
             return 1;
         }
     };
     eprintln!(
-        "replaying {} ({} workload, {} stream(s), {} events)...",
+        "replaying {} ({} workload, {} stream(s), {} events{})...",
         options.input,
-        file.params.workload,
-        file.streams.len(),
-        file.streams.iter().map(|s| s.events.len()).sum::<usize>()
+        reader.params.workload,
+        reader.stream_count(),
+        reader
+            .headers()
+            .iter()
+            .map(|h| h.event_count)
+            .sum::<usize>(),
+        if options.sharded {
+            ", sharded engine"
+        } else {
+            ""
+        }
     );
 
-    let replays = match dprof::trace::replay_all(&file) {
+    let replayed = if options.sharded {
+        dprof::trace::replay_all_sharded(&reader, options.epoch_len, options.workers)
+    } else {
+        dprof::trace::replay_all_streaming(&reader)
+    };
+    let replays = match replayed {
         Ok(replays) => replays,
         Err(message) => {
             eprintln!("error: {message}");
@@ -216,13 +232,13 @@ fn run_replay(options: &args::ReplayOptions) -> i32 {
 
     // Rebuild the options the recorded run rendered with, so the `run` section of the
     // report (and the text header) match the live output byte-for-byte.
-    let workload = match driver::parse_workload_spec(&file.params.workload) {
+    let workload = match driver::parse_workload_spec(&reader.params.workload) {
         Ok(kind) => kind,
         Err(_) => {
             eprintln!(
                 "warning: trace header names unknown workload '{}'; the report's run \
                  section will say 'memcached'",
-                file.params.workload
+                reader.params.workload
             );
             driver::WorkloadKind::Memcached
         }
@@ -230,14 +246,14 @@ fn run_replay(options: &args::ReplayOptions) -> i32 {
     let render_options = args::Options {
         run: driver::RunOptions {
             workload,
-            threads: file.streams.len(),
-            cores: file.params.cores,
-            warmup_rounds: file.params.warmup_rounds,
-            sample_rounds: file.params.sample_rounds,
-            sampling: file.params.sampling,
-            history_types: file.params.history_types,
-            history_sets: file.params.history_sets,
-            base_seed: file.params.base_seed,
+            threads: reader.stream_count(),
+            cores: reader.params.cores,
+            warmup_rounds: reader.params.warmup_rounds,
+            sample_rounds: reader.params.sample_rounds,
+            sampling: reader.params.sampling,
+            history_types: reader.params.history_types,
+            history_sets: reader.params.history_sets,
+            base_seed: reader.params.base_seed,
             ..Default::default()
         },
         views: options.views.clone(),

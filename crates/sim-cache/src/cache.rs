@@ -16,6 +16,37 @@ use crate::LineAddr;
 /// Sentinel tag meaning "slot is invalid".  Real line addresses never reach this value.
 const INVALID: LineAddr = LineAddr::MAX;
 
+/// Branch-free way scan: compares tags against the probe line eight at a time.
+///
+/// Each chunk XORs the eight tags against the probe, folds the zero-tests into one
+/// equality bitmask (`(t ^ line) == 0` compiles to a flag set, not a jump), and
+/// branches once per chunk instead of once per way.  Way counts in this simulator
+/// are 8 or 16, so the scalar tail below only runs for odd test geometries.
+/// Sentinel-safe: probes are real line addresses, which never equal [`INVALID`],
+/// so an empty slot can never produce a false match.
+#[inline]
+fn find_way(tags: &[LineAddr], line: LineAddr) -> Option<usize> {
+    let mut i = 0;
+    while i + 8 <= tags.len() {
+        let chunk: &[LineAddr; 8] = tags[i..i + 8].try_into().unwrap();
+        let mut mask = 0u32;
+        for (j, &t) in chunk.iter().enumerate() {
+            mask |= u32::from((t ^ line) == 0) << j;
+        }
+        if mask != 0 {
+            return Some(i + mask.trailing_zeros() as usize);
+        }
+        i += 8;
+    }
+    while i < tags.len() {
+        if tags[i] == line {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
 /// Opt-in tracker of distinct line addresses installed per associativity set.
 ///
 /// The conflict analysis wants "how many distinct lines ever mapped to set `s`", which
@@ -147,27 +178,37 @@ impl SetAssocCache {
     #[inline]
     fn slot_of(&self, line: LineAddr) -> Option<usize> {
         let base = self.set_base(line);
-        self.tags[base..base + self.geometry.ways]
-            .iter()
-            .position(|&t| t == line)
-            .map(|w| base + w)
+        find_way(&self.tags[base..base + self.geometry.ways], line).map(|w| base + w)
     }
 
     /// Looks up a line, updating LRU and hit/miss statistics.  Does not fill on miss.
     #[inline]
     pub fn lookup(&mut self, line: LineAddr) -> LookupResult {
         let now = self.bump();
-        let base = self.set_base(line);
-        let end = base + self.geometry.ways;
-        for i in base..end {
-            if self.tags[i] == line {
+        match self.slot_of(line) {
+            Some(i) => {
                 self.last_used[i] = now;
                 self.stats.hits += 1;
-                return LookupResult::Hit(self.states[i]);
+                LookupResult::Hit(self.states[i])
+            }
+            None => {
+                self.stats.misses += 1;
+                LookupResult::Miss
             }
         }
-        self.stats.misses += 1;
-        LookupResult::Miss
+    }
+
+    /// Combined `contains` + `lookup` for callers that only want to refresh a line
+    /// already resident: on a hit this is exactly `lookup` (tick bump, LRU refresh,
+    /// hit count); on a miss the cache is left completely untouched — the same end
+    /// state a separate `contains()` pre-check would leave, in a single way scan.
+    #[inline]
+    pub fn touch_existing(&mut self, line: LineAddr) -> Option<MesiState> {
+        let i = self.slot_of(line)?;
+        let now = self.bump();
+        self.last_used[i] = now;
+        self.stats.hits += 1;
+        Some(self.states[i])
     }
 
     /// Looks up a line without perturbing LRU order or statistics.
@@ -308,6 +349,51 @@ impl SetAssocCache {
             t.seen.clear();
             t.per_set.fill(0);
         }
+    }
+
+    // ---- sharded-engine support (crate-internal) ---------------------------
+    //
+    // The epoch-batched parallel engine (`crate::sharded`) replicates the exact
+    // effect of `lookup` for a private L1 hit inside a worker, and must be able
+    // to undo that effect during merge-time conflict repair.  These helpers keep
+    // the one-tick-bump-per-applied-hit invariant in one place.
+
+    /// Slot index of a resident line without any LRU or statistics update.
+    #[inline]
+    pub(crate) fn probe_slot(&self, line: LineAddr) -> Option<usize> {
+        self.slot_of(line)
+    }
+
+    /// Coherence state of a slot returned by [`Self::probe_slot`].
+    #[inline]
+    pub(crate) fn state_at(&self, slot: usize) -> MesiState {
+        self.states[slot]
+    }
+
+    /// Overwrites the coherence state of a slot returned by [`Self::probe_slot`].
+    #[inline]
+    pub(crate) fn set_state_at(&mut self, slot: usize, state: MesiState) {
+        self.states[slot] = state;
+    }
+
+    /// Applies the exact effect of a `lookup` hit to a known slot: one tick bump,
+    /// LRU refresh, one hit counted.  Returns the previous LRU stamp for undo.
+    #[inline]
+    pub(crate) fn apply_hit_at(&mut self, slot: usize) -> u64 {
+        let now = self.bump();
+        let prev = self.last_used[slot];
+        self.last_used[slot] = now;
+        self.stats.hits += 1;
+        prev
+    }
+
+    /// Reverses one [`Self::apply_hit_at`] (most-recent-first order required).
+    #[inline]
+    pub(crate) fn undo_hit_at(&mut self, slot: usize, prev_last_used: u64, prev_state: MesiState) {
+        self.last_used[slot] = prev_last_used;
+        self.states[slot] = prev_state;
+        self.tick -= 1;
+        self.stats.hits -= 1;
     }
 }
 

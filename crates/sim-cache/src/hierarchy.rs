@@ -13,7 +13,7 @@ use crate::latency::LatencyModel;
 use crate::line::MesiState;
 use crate::line_table::LineTable;
 use crate::stats::{HierarchyStats, MissKind};
-use crate::{Addr, CoreId, LineAddr};
+use crate::{Addr, CoreId, CoreMask, LineAddr, MAX_CORES};
 use serde::{Deserialize, Serialize};
 
 /// Whether an access reads or writes memory.
@@ -152,25 +152,34 @@ impl HierarchyConfig {
 #[derive(Debug, Clone)]
 pub struct CacheHierarchy {
     config: HierarchyConfig,
-    l1: Vec<SetAssocCache>,
-    l2: Vec<SetAssocCache>,
+    pub(crate) l1: Vec<SetAssocCache>,
+    pub(crate) l2: Vec<SetAssocCache>,
     l3: SetAssocCache,
     /// Per-line directory, departure and touched bookkeeping, open-addressed.
-    table: LineTable,
+    pub(crate) table: LineTable,
     /// Aggregated statistics.
     pub stats: HierarchyStats,
     /// Per-core statistics.
     pub per_core: Vec<HierarchyStats>,
     /// Optional access-trace capture buffer.
     trace: Option<Vec<TraceEvent>>,
+    /// Precomputed outcomes to serve instead of simulating (see [`Self::feed_outcomes`]).
+    fed: Option<Box<FedOutcomes>>,
+}
+
+/// Precomputed outcome stream for [`CacheHierarchy::feed_outcomes`].
+#[derive(Debug, Clone)]
+struct FedOutcomes {
+    outcomes: Vec<AccessOutcome>,
+    cursor: usize,
 }
 
 impl CacheHierarchy {
     /// Creates an empty hierarchy.
     pub fn new(config: HierarchyConfig) -> Self {
         assert!(
-            config.cores >= 1 && config.cores <= 64,
-            "1..=64 cores supported"
+            config.cores >= 1 && config.cores <= MAX_CORES,
+            "1..={MAX_CORES} cores supported"
         );
         CacheHierarchy {
             l1: (0..config.cores)
@@ -184,6 +193,7 @@ impl CacheHierarchy {
             stats: HierarchyStats::default(),
             per_core: vec![HierarchyStats::default(); config.cores],
             trace: None,
+            fed: None,
             config,
         }
     }
@@ -254,6 +264,18 @@ impl CacheHierarchy {
         self.trace.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
+    /// Switches the hierarchy into outcome-feed mode: subsequent [`Self::access`]
+    /// calls return the given outcomes in order (asserting the accessed line matches)
+    /// and keep the statistics bookkeeping, instead of simulating.  Used by sharded
+    /// replay, which precomputes the outcome stream on parallel workers and then
+    /// drives the machine (clocks, profiler, watchpoints) through a fed hierarchy.
+    pub fn feed_outcomes(&mut self, outcomes: Vec<AccessOutcome>) {
+        self.fed = Some(Box::new(FedOutcomes {
+            outcomes,
+            cursor: 0,
+        }));
+    }
+
     /// Performs a single memory access of at most one cache line.
     ///
     /// Accesses spanning a line boundary should be split by the caller (the
@@ -268,6 +290,23 @@ impl CacheHierarchy {
             });
         }
         let line = self.line_addr(addr);
+        if let Some(fed) = self.fed.as_mut() {
+            // Outcome-feed mode: the stream was already simulated (e.g. by the
+            // sharded engine); serve the precomputed outcome and keep only the
+            // statistics bookkeeping.  Cache and directory state are left untouched —
+            // they were consumed producing the outcomes and nothing downstream of a
+            // fed hierarchy reads them.
+            let outcome = *fed.outcomes.get(fed.cursor).unwrap_or_else(|| {
+                panic!("fed outcome stream exhausted after {} accesses", fed.cursor)
+            });
+            fed.cursor += 1;
+            assert_eq!(
+                outcome.line, line,
+                "fed outcome out of sync with the access stream"
+            );
+            self.record_stats(core, outcome.level, outcome.latency, outcome.miss_kind);
+            return outcome;
+        }
         let l2_set = self.config.l2.set_index_of_line(line);
         let latency_model = self.config.latency;
 
@@ -339,7 +378,7 @@ impl CacheHierarchy {
         let generation = self.table.generation();
         let mut slot = self.table.ensure_slot(line);
         let entry = *self.table.entry_at(slot);
-        let other_sharers = entry.sharers & !(1u64 << core);
+        let other_sharers = entry.sharers & !((1 as CoreMask) << core);
         let remote_owner = entry
             .owner_core()
             .filter(|&o| o != core && Self::holds(&self.l1, &self.l2, o, line));
@@ -374,20 +413,20 @@ impl CacheHierarchy {
                 // clear it through the already-resolved slot.
                 let e = self.table.entry_at_mut(slot);
                 if let Some(o) = e.owner_core() {
-                    if other_sharers & (1u64 << o) != 0 {
+                    if other_sharers & ((1 as CoreMask) << o) != 0 {
                         e.set_owner(None);
                     }
                 }
             }
             // Clean sharing is typically serviced by the L3 / snoop at L3 latency.
-            if !self.l3.contains(line) {
+            // `touch_existing` is a single way scan: on a hit it is exactly the old
+            // `contains` + `lookup` pair; on a miss it leaves the L3 untouched, the
+            // same state the old `contains` pre-check left.
+            if self.l3.touch_existing(line).is_none() {
                 self.l3.fill(line, MesiState::Shared);
-            } else {
-                let _ = self.l3.lookup(line);
             }
             HitLevel::L3
-        } else if self.l3.contains(line) {
-            let _ = self.l3.lookup(line);
+        } else if self.l3.touch_existing(line).is_some() {
             if is_write {
                 self.invalidate_remote_copies(core, line, entry.sharers, slot);
             }
@@ -429,7 +468,7 @@ impl CacheHierarchy {
             e.set_owner(None);
         }
         let miss_kind = Self::classify_entry(e, core);
-        e.touched |= 1u64 << core;
+        e.touched |= (1 as CoreMask) << core;
         e.clear_departure(core);
 
         (level, 0, Some(miss_kind))
@@ -437,12 +476,17 @@ impl CacheHierarchy {
 
     /// True if core `c` holds `line` in either private level.
     #[inline]
-    fn holds(l1: &[SetAssocCache], l2: &[SetAssocCache], c: CoreId, line: LineAddr) -> bool {
+    pub(crate) fn holds(
+        l1: &[SetAssocCache],
+        l2: &[SetAssocCache],
+        c: CoreId,
+        line: LineAddr,
+    ) -> bool {
         l1[c].contains(line) || l2[c].contains(line)
     }
 
     #[inline]
-    fn any_core_holds(&self, mask: u64, line: LineAddr) -> bool {
+    fn any_core_holds(&self, mask: CoreMask, line: LineAddr) -> bool {
         let mut m = mask;
         while m != 0 {
             let c = m.trailing_zeros() as CoreId;
@@ -489,11 +533,11 @@ impl CacheHierarchy {
         &mut self,
         writer: CoreId,
         line: LineAddr,
-        sharers: u64,
+        sharers: CoreMask,
         slot: usize,
     ) {
-        let mut mask = sharers & !(1u64 << writer);
-        let mut departed = 0u64;
+        let mut mask = sharers & !((1 as CoreMask) << writer);
+        let mut departed: CoreMask = 0;
         while mask != 0 {
             let c = mask.trailing_zeros() as CoreId;
             mask &= mask - 1;
@@ -505,7 +549,7 @@ impl CacheHierarchy {
                 had = true;
             }
             if had {
-                departed |= 1u64 << c;
+                departed |= (1 as CoreMask) << c;
             }
         }
         // A remote write also invalidates the stale L3 copy.
@@ -551,7 +595,7 @@ impl CacheHierarchy {
         // Invalidation takes precedence if both happened (shouldn't, but be safe).
         e.note_evicted(core);
         if !still_held {
-            e.sharers &= !(1u64 << core);
+            e.sharers &= !((1 as CoreMask) << core);
             if e.owner_core() == Some(core) {
                 e.set_owner(None);
             }
@@ -562,7 +606,7 @@ impl CacheHierarchy {
     /// entry.  (A just-inserted default entry classifies as Cold, matching the seed's
     /// behavior for never-seen lines.)
     fn classify_entry(e: &crate::line_table::DirEntry, core: CoreId) -> MissKind {
-        let bit = 1u64 << core;
+        let bit = (1 as CoreMask) << core;
         if e.invalidated & bit != 0 {
             MissKind::Invalidation
         } else if e.evicted & bit != 0 {
@@ -576,7 +620,7 @@ impl CacheHierarchy {
         }
     }
 
-    fn record_stats(
+    pub(crate) fn record_stats(
         &mut self,
         core: CoreId,
         level: HitLevel,
@@ -670,7 +714,7 @@ impl CacheHierarchy {
         for (line, hs) in &holders {
             let sharers = self.table.get(*line).map(|e| e.sharers).unwrap_or(0);
             for c in hs {
-                if sharers & (1u64 << c) == 0 {
+                if sharers & ((1 as CoreMask) << c) == 0 {
                     return Err(format!(
                         "line {line:#x} held by core {c} but its sharer bit is clear \
                          (mask {sharers:#b})"

@@ -45,6 +45,7 @@ pub mod line;
 pub mod line_table;
 #[doc(hidden)]
 pub mod reference;
+pub mod sharded;
 pub mod stats;
 
 pub use cache::SetAssocCache;
@@ -55,6 +56,7 @@ pub use hierarchy::{
 };
 pub use latency::LatencyModel;
 pub use line::{CacheLine, MesiState};
+pub use sharded::ShardedHierarchy;
 pub use stats::{CacheStats, HierarchyStats, MissKind, MissKindCounts};
 
 /// Identifier of a simulated CPU core.
@@ -65,3 +67,11 @@ pub type Addr = u64;
 
 /// An address expressed in units of cache lines (i.e. `addr >> line_bits`).
 pub type LineAddr = u64;
+
+/// A bitmask with one bit per simulated core.  128 bits wide, which bounds the
+/// simulated machine at [`MAX_CORES`] cores.
+pub type CoreMask = u128;
+
+/// The largest simulated core count the hierarchy (and the trace format) supports —
+/// one bit per core in a [`CoreMask`].
+pub const MAX_CORES: usize = 128;

@@ -16,7 +16,7 @@
 //! [`LineSet`] is the same machinery reduced to membership-only, used by the opt-in
 //! conflict tracker in [`crate::SetAssocCache`].
 
-use crate::{CoreId, LineAddr};
+use crate::{CoreId, CoreMask, LineAddr};
 
 /// Sentinel meaning "this slot is empty".  Real line addresses never reach this value:
 /// it would require a byte address above 2^70.
@@ -63,17 +63,18 @@ fn probe(keys: &[LineAddr], mask: usize, line: LineAddr) -> Result<usize, usize>
 }
 
 /// Per-line directory entry: everything the hierarchy tracks about one cache line,
-/// packed into bitmasks indexed by core (the hierarchy supports at most 64 cores).
+/// packed into bitmasks indexed by core (the hierarchy supports at most
+/// [`crate::MAX_CORES`] cores — one bit per core in a [`CoreMask`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DirEntry {
     /// Bitmask of cores holding the line in some private cache (conservative superset).
-    pub sharers: u64,
+    pub sharers: CoreMask,
     /// Bitmask of cores that have ever touched the line (cold-miss detection).
-    pub touched: u64,
+    pub touched: CoreMask,
     /// Bitmask of cores whose copy most recently left via a coherence invalidation.
-    pub invalidated: u64,
+    pub invalidated: CoreMask,
     /// Bitmask of cores whose copy most recently left via a replacement eviction.
-    pub evicted: u64,
+    pub evicted: CoreMask,
     /// Core holding the line in Modified state; [`DirEntry::NO_OWNER`] if none.
     pub owner: u8,
 }
@@ -117,7 +118,7 @@ impl DirEntry {
     /// eviction note, as invalidation takes precedence for miss classification).
     #[inline]
     pub fn note_invalidated(&mut self, core: CoreId) {
-        let bit = 1u64 << core;
+        let bit = (1 as CoreMask) << core;
         self.invalidated |= bit;
         self.evicted &= !bit;
     }
@@ -126,7 +127,7 @@ impl DirEntry {
     /// already noted (matching the old `entry(..).or_insert(Evicted)` semantics).
     #[inline]
     pub fn note_evicted(&mut self, core: CoreId) {
-        let bit = 1u64 << core;
+        let bit = (1 as CoreMask) << core;
         if (self.invalidated | self.evicted) & bit == 0 {
             self.evicted |= bit;
         }
@@ -135,7 +136,7 @@ impl DirEntry {
     /// Clears any departure note for `core` (called when the core re-fetches the line).
     #[inline]
     pub fn clear_departure(&mut self, core: CoreId) {
-        let bit = !(1u64 << core);
+        let bit = !((1 as CoreMask) << core);
         self.invalidated &= bit;
         self.evicted &= bit;
     }
@@ -399,12 +400,16 @@ mod tests {
         let mut t = LineTable::new();
         // Insert far more lines than the initial capacity, with clustered keys.
         for i in 0..10_000u64 {
-            t.entry_mut(i).sharers = i;
+            t.entry_mut(i).sharers = i as CoreMask;
         }
         assert_eq!(t.len(), 10_000);
         assert!(t.capacity().is_power_of_two());
         for i in (0..10_000u64).step_by(97) {
-            assert_eq!(t.get(i).unwrap().sharers, i, "line {i} lost in growth");
+            assert_eq!(
+                t.get(i).unwrap().sharers,
+                i as CoreMask,
+                "line {i} lost in growth"
+            );
         }
         assert_eq!(t.iter().count(), 10_000);
     }

@@ -23,7 +23,7 @@ use crate::geometry::CacheGeometry;
 use crate::hierarchy::{AccessKind, AccessOutcome, HierarchyConfig, HitLevel};
 use crate::line::{CacheLine, MesiState};
 use crate::stats::{CacheStats, HierarchyStats, MissKind};
-use crate::{Addr, CoreId, LineAddr};
+use crate::{Addr, CoreId, CoreMask, LineAddr, MAX_CORES};
 use std::collections::{HashMap, HashSet};
 
 /// The seed set-associative cache: option-wrapped lines, always-on distinct tracking.
@@ -172,7 +172,7 @@ enum DepartReason {
 
 #[derive(Debug, Clone, Default)]
 struct DirEntry {
-    sharers: u64,
+    sharers: CoreMask,
     owner: Option<CoreId>,
 }
 
@@ -194,8 +194,8 @@ pub struct RefCacheHierarchy {
 impl RefCacheHierarchy {
     pub fn new(config: HierarchyConfig) -> Self {
         assert!(
-            config.cores >= 1 && config.cores <= 64,
-            "1..=64 cores supported"
+            config.cores >= 1 && config.cores <= MAX_CORES,
+            "1..={MAX_CORES} cores supported"
         );
         RefCacheHierarchy {
             l1: (0..config.cores)
@@ -283,7 +283,7 @@ impl RefCacheHierarchy {
         }
 
         let entry = self.directory.get(&line).cloned().unwrap_or_default();
-        let other_sharers = entry.sharers & !(1u64 << core);
+        let other_sharers = entry.sharers & !((1 as CoreMask) << core);
         let remote_owner = entry
             .owner
             .filter(|&o| o != core && Self::holds(&self.l1, &self.l2, o, line));
@@ -359,7 +359,7 @@ impl RefCacheHierarchy {
         l1[c].peek(line).is_some() || l2[c].peek(line).is_some()
     }
 
-    fn any_core_holds(&self, mask: u64, line: LineAddr) -> bool {
+    fn any_core_holds(&self, mask: CoreMask, line: LineAddr) -> bool {
         (0..self.config.cores)
             .filter(|c| mask & (1 << c) != 0)
             .any(|c| Self::holds(&self.l1, &self.l2, c, line))
@@ -430,7 +430,7 @@ impl RefCacheHierarchy {
             .or_insert(DepartReason::Evicted);
         let e = self.directory.entry(line).or_default();
         if !Self::holds(&self.l1, &self.l2, core, line) {
-            e.sharers &= !(1u64 << core);
+            e.sharers &= !((1 as CoreMask) << core);
             if e.owner == Some(core) {
                 e.owner = None;
             }

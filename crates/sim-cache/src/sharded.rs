@@ -1,0 +1,425 @@
+//! Epoch-batched parallel simulation of the cache hierarchy.
+//!
+//! [`ShardedHierarchy`] replays a single-line access stream through the same model as
+//! [`CacheHierarchy`] but spreads the private-cache work across real threads, while
+//! keeping the outcome stream, statistics, cache contents and directory **bit-identical
+//! to the serial path** for every input, worker count and epoch length.
+//!
+//! # How it works
+//!
+//! The access stream is cut into fixed-size *epochs*.  Each epoch runs in two phases:
+//!
+//! 1. **Parallel private phase.**  The cores are partitioned across workers; each
+//!    worker exclusively owns its cores' L1/L2 caches (`chunks_mut` ownership split, no
+//!    locks, no sharing).  A worker walks the epoch in order and, for each of its
+//!    cores, optimistically applies the *maximal prefix of pure L1 hits*: reads that
+//!    hit the L1, and writes that hit in a silently-writable (M/E) state.  Those are
+//!    exactly the accesses whose effect is confined to the issuing core's private
+//!    caches — an LRU refresh, a hit count, at most an E→M state flip — plus a
+//!    directory ownership note that is deferred.  Every applied hit is journaled with
+//!    enough information to undo it.  The first access that is not a pure L1 hit
+//!    (any L1 miss — including L2 hits, whose promotion picks an LRU victim — or a
+//!    write hit needing an upgrade) *blocks* that core for the rest of the epoch.
+//!
+//! 2. **Deterministic merge.**  A single thread walks the epoch again in canonical
+//!    order.  Journaled hits are consumed in place: their deferred directory micro-op
+//!    and statistics are applied, and an L1-hit outcome is emitted.  Every other event
+//!    runs through the ordinary serial [`CacheHierarchy::access`] path.  Before a
+//!    serial event executes, any *later* optimistic hits that other cores journaled on
+//!    the same line are rolled back (undo journal, reverse order) — the serial event
+//!    may invalidate or downgrade that line, which would make those hits wrong.  The
+//!    rolled-back tail of that core's epoch then re-executes through the serial path
+//!    when the merge reaches its positions.
+//!
+//! The result equals serial execution at every step: validated hits touch only their
+//! own core's caches and cannot be observed out of order, rollbacks restore the exact
+//! pre-hit state (LRU ticks included) before any conflicting event runs, and all
+//! shared structures (directory, L3, statistics) are only ever touched by the merge
+//! thread in canonical order.  Worker scheduling cannot change any of this, so the
+//! engine is deterministic by construction — see `docs/parallel-sim.md` for the full
+//! argument and for epoch-length tuning guidance.
+
+use crate::cache::SetAssocCache;
+use crate::hierarchy::{AccessOutcome, CacheHierarchy, HierarchyConfig, HitLevel, TraceEvent};
+use crate::line::MesiState;
+use crate::{CoreMask, LineAddr};
+use std::collections::HashMap;
+
+/// Default number of events per epoch.  Large enough to amortize the per-epoch
+/// thread rendezvous, small enough to keep mis-speculated work (rolled back on
+/// coherence conflicts) cheap.
+pub const DEFAULT_EPOCH_LEN: usize = 4096;
+
+/// One optimistically-applied pure L1 hit, with everything needed to undo it.
+#[derive(Debug, Clone, Copy)]
+struct HitEntry {
+    /// Index of the event within the epoch slice.
+    pos: u32,
+    /// Line accessed.
+    line: LineAddr,
+    /// L2 set index of the line (precomputed for the outcome).
+    l2_set: u32,
+    /// L1 slot the hit landed in.
+    l1_slot: u32,
+    /// LRU stamp the slot had before the hit.
+    prev_last_used: u64,
+    /// Coherence state the L1 slot had before the hit (E→M flips restore it).
+    prev_l1_state: MesiState,
+    /// L2 slot and prior state, when a write hit also flipped the L2 copy to M.
+    l2_undo: Option<(u32, MesiState)>,
+    /// Write hits defer a directory ownership micro-op to the merge.
+    is_write: bool,
+}
+
+/// Parallel, epoch-batched drop-in for replaying an access stream through
+/// [`CacheHierarchy`].  See the module docs for the design.
+#[derive(Debug)]
+pub struct ShardedHierarchy {
+    inner: CacheHierarchy,
+    epoch_len: usize,
+    workers: usize,
+}
+
+impl ShardedHierarchy {
+    /// Creates a sharded hierarchy with the default epoch length and one worker per
+    /// available hardware thread (capped at the core count).
+    pub fn new(config: HierarchyConfig) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_tuning(config, DEFAULT_EPOCH_LEN, threads)
+    }
+
+    /// Creates a sharded hierarchy with an explicit epoch length and worker count.
+    /// Both are clamped to sane ranges; neither affects results, only performance.
+    pub fn with_tuning(config: HierarchyConfig, epoch_len: usize, workers: usize) -> Self {
+        ShardedHierarchy {
+            workers: workers.clamp(1, config.cores),
+            epoch_len: epoch_len.max(1),
+            inner: CacheHierarchy::new(config),
+        }
+    }
+
+    /// The wrapped hierarchy (stats, caches and directory are always in the exact
+    /// state serial execution of the same stream would have left them in).
+    pub fn inner(&self) -> &CacheHierarchy {
+        &self.inner
+    }
+
+    /// Unwraps into the inner hierarchy.
+    pub fn into_inner(self) -> CacheHierarchy {
+        self.inner
+    }
+
+    /// The epoch length in use.
+    pub fn epoch_len(&self) -> usize {
+        self.epoch_len
+    }
+
+    /// The worker count in use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Replays a single-line access stream (each event touches exactly one cache
+    /// line, like [`CacheHierarchy::access`]), invoking `sink` with every outcome in
+    /// canonical stream order.
+    pub fn replay(&mut self, events: &[TraceEvent], mut sink: impl FnMut(AccessOutcome)) {
+        for epoch in events.chunks(self.epoch_len) {
+            self.run_epoch(epoch, &mut sink);
+        }
+    }
+
+    /// Convenience wrapper summing outcome latencies (the determinism checksum used
+    /// by the throughput bench).
+    pub fn replay_checksum(&mut self, events: &[TraceEvent]) -> u64 {
+        let mut sum = 0u64;
+        self.replay(events, |o| sum += o.latency);
+        sum
+    }
+
+    fn run_epoch(&mut self, epoch: &[TraceEvent], sink: &mut impl FnMut(AccessOutcome)) {
+        let config = *self.inner.config();
+        let cores = config.cores;
+
+        // Phase 1: optimistic private-hit prefixes, one journal per core.
+        let journals: Vec<Vec<HitEntry>> = if self.workers <= 1 || cores == 1 {
+            simulate_private_hits(&mut self.inner.l1, &mut self.inner.l2, 0, epoch, &config)
+        } else {
+            let per = cores.div_ceil(self.workers);
+            let l1_chunks = self.inner.l1.chunks_mut(per);
+            let l2_chunks = self.inner.l2.chunks_mut(per);
+            let cfg = &config;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = l1_chunks
+                    .zip(l2_chunks)
+                    .enumerate()
+                    .map(|(w, (c1, c2))| {
+                        s.spawn(move || simulate_private_hits(c1, c2, w * per, epoch, cfg))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sharded worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+
+        // Which journal entries touch which line, for conflict detection.  Per core
+        // the entry indices are ascending, so the first live index found for a core
+        // is its earliest conflicting hit.
+        let mut pending: HashMap<LineAddr, Vec<(u32, u32)>> = HashMap::new();
+        for (c, journal) in journals.iter().enumerate() {
+            for (i, e) in journal.iter().enumerate() {
+                pending
+                    .entry(e.line)
+                    .or_default()
+                    .push((c as u32, i as u32));
+            }
+        }
+
+        // Phase 2: deterministic merge in canonical stream order.
+        let mut next = vec![0usize; cores];
+        let mut valid_end: Vec<usize> = journals.iter().map(|j| j.len()).collect();
+        for (pos, ev) in epoch.iter().enumerate() {
+            let c = ev.core as usize;
+            let journaled =
+                c < cores && next[c] < valid_end[c] && journals[c][next[c]].pos == pos as u32;
+            if journaled {
+                let ent = &journals[c][next[c]];
+                next[c] += 1;
+                if ent.is_write {
+                    // Deferred half of `mark_modified_local`: the worker already set
+                    // the private copies to Modified; the ownership note lands here,
+                    // at the hit's canonical position.
+                    let e = self.inner.table.entry_mut(ent.line);
+                    e.set_owner(Some(c));
+                    e.sharers |= (1 as CoreMask) << c;
+                }
+                let latency = config.latency.for_level(HitLevel::L1);
+                self.inner.record_stats(c, HitLevel::L1, latency, None);
+                sink(AccessOutcome {
+                    level: HitLevel::L1,
+                    latency,
+                    miss_kind: None,
+                    l2_set: ent.l2_set as usize,
+                    line: ent.line,
+                });
+                continue;
+            }
+
+            // Serial event.  It may invalidate or downgrade this line in other cores'
+            // private caches, so any optimistic hits they journaled on it *after*
+            // this position are rolled back first — the serial path must see (and
+            // leave behind) the exact serial state.
+            let line = config.l1.line_addr(ev.addr);
+            if let Some(list) = pending.get(&line) {
+                for &(c2, idx) in list {
+                    let (c2, idx) = (c2 as usize, idx as usize);
+                    if c2 == c || idx < next[c2] || idx >= valid_end[c2] {
+                        continue;
+                    }
+                    for e in journals[c2][idx..valid_end[c2]].iter().rev() {
+                        if let Some((s2, prev)) = e.l2_undo {
+                            self.inner.l2[c2].set_state_at(s2 as usize, prev);
+                        }
+                        self.inner.l1[c2].undo_hit_at(
+                            e.l1_slot as usize,
+                            e.prev_last_used,
+                            e.prev_l1_state,
+                        );
+                    }
+                    valid_end[c2] = idx;
+                }
+            }
+            sink(self.inner.access(c, ev.addr, ev.kind));
+        }
+    }
+}
+
+/// Phase-1 worker: applies each owned core's maximal prefix of pure L1 hits,
+/// journaling undo information.  `l1s`/`l2s` are the contiguous cache slices for
+/// cores `first_core..first_core + l1s.len()`; everything else is read-only.
+fn simulate_private_hits(
+    l1s: &mut [SetAssocCache],
+    l2s: &mut [SetAssocCache],
+    first_core: usize,
+    epoch: &[TraceEvent],
+    config: &HierarchyConfig,
+) -> Vec<Vec<HitEntry>> {
+    let n = l1s.len();
+    let mut journals: Vec<Vec<HitEntry>> = (0..n).map(|_| Vec::new()).collect();
+    let mut blocked = vec![false; n];
+    let mut live = n;
+    for (pos, ev) in epoch.iter().enumerate() {
+        if live == 0 {
+            break;
+        }
+        let core = ev.core as usize;
+        if core < first_core || core >= first_core + n {
+            continue;
+        }
+        let local = core - first_core;
+        if blocked[local] {
+            continue;
+        }
+        let line = config.l1.line_addr(ev.addr);
+        let is_write = ev.kind.is_write();
+        let l1 = &mut l1s[local];
+        let slot = match l1.probe_slot(line) {
+            Some(s) => s,
+            None => {
+                blocked[local] = true;
+                live -= 1;
+                continue;
+            }
+        };
+        let state = l1.state_at(slot);
+        if is_write && !state.can_write_silently() {
+            // Write hit on a Shared line needs an upgrade (remote invalidations):
+            // not private, so it belongs to the merge.
+            blocked[local] = true;
+            live -= 1;
+            continue;
+        }
+        let prev_last_used = l1.apply_hit_at(slot);
+        let mut l2_undo = None;
+        if is_write {
+            l1.set_state_at(slot, MesiState::Modified);
+            if let Some(s2) = l2s[local].probe_slot(line) {
+                l2_undo = Some((s2 as u32, l2s[local].state_at(s2)));
+                l2s[local].set_state_at(s2, MesiState::Modified);
+            }
+        }
+        journals[local].push(HitEntry {
+            pos: pos as u32,
+            line,
+            l2_set: config.l2.set_index_of_line(line) as u32,
+            l1_slot: slot as u32,
+            prev_last_used,
+            prev_l1_state: state,
+            l2_undo,
+            is_write,
+        });
+    }
+    journals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::AccessKind;
+
+    /// Deterministic pseudo-random access stream mixing private and shared traffic.
+    fn stream(cores: usize, len: usize, seed: u64) -> Vec<TraceEvent> {
+        let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut events = Vec::with_capacity(len);
+        for i in 0..len {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let core = (x % cores as u64) as u32;
+            // Mix: per-core private region, a small hot shared region, and a
+            // strided sweep that forces evictions.
+            let addr = match x % 5 {
+                0 => 0x10_0000 + (x >> 8) % 64 * 64, // hot shared lines
+                1 => 0x80_0000 + core as u64 * 0x1_0000 + (x >> 9) % 512 * 64, // private
+                2 => 0x200_0000 + (i as u64 % 4096) * 64, // streaming sweep
+                _ => 0x80_0000 + core as u64 * 0x1_0000 + (x >> 10) % 128 * 8, // private hot
+            };
+            let kind = if x.is_multiple_of(3) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            events.push(TraceEvent { core, addr, kind });
+        }
+        events
+    }
+
+    fn assert_identical(
+        config: HierarchyConfig,
+        events: &[TraceEvent],
+        epoch: usize,
+        workers: usize,
+    ) {
+        let mut serial = CacheHierarchy::new(config);
+        let serial_outcomes: Vec<AccessOutcome> = events
+            .iter()
+            .map(|e| serial.access(e.core as usize, e.addr, e.kind))
+            .collect();
+
+        let mut sharded = ShardedHierarchy::with_tuning(config, epoch, workers);
+        let mut sharded_outcomes = Vec::with_capacity(events.len());
+        sharded.replay(events, |o| sharded_outcomes.push(o));
+
+        assert_eq!(serial_outcomes.len(), sharded_outcomes.len());
+        for (i, (a, b)) in serial_outcomes.iter().zip(&sharded_outcomes).enumerate() {
+            assert_eq!(
+                a, b,
+                "outcome {i} diverged (epoch={epoch}, workers={workers})"
+            );
+        }
+        assert_eq!(serial.stats, sharded.inner().stats);
+        assert_eq!(serial.per_core, sharded.inner().per_core);
+        sharded.inner().check_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn matches_serial_across_epoch_lengths_and_worker_counts() {
+        let config = HierarchyConfig::small_test();
+        let events = stream(2, 6_000, 42);
+        for epoch in [1, 7, 64, 1024, 100_000] {
+            for workers in [1, 2] {
+                assert_identical(config, &events, epoch, workers);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_more_cores() {
+        let mut config = HierarchyConfig::small_test();
+        config.cores = 6;
+        let events = stream(6, 8_000, 7);
+        for workers in [1, 2, 3, 6] {
+            assert_identical(config, &events, 512, workers);
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_write_heavy_shared_lines() {
+        // All cores hammer the same few lines with writes: maximal conflict and
+        // rollback pressure.
+        let mut config = HierarchyConfig::small_test();
+        config.cores = 4;
+        let mut events = Vec::new();
+        let mut x = 3u64;
+        for _ in 0..5_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            events.push(TraceEvent {
+                core: ((x >> 33) % 4) as u32,
+                addr: 0x1000 + ((x >> 20) % 8) * 64,
+                kind: if x.is_multiple_of(2) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+            });
+        }
+        for epoch in [16, 256, 4096] {
+            assert_identical(config, &events, epoch, 4);
+        }
+    }
+
+    #[test]
+    fn matches_serial_at_high_core_counts() {
+        for cores in [64, 128] {
+            let config = HierarchyConfig::with_cores(cores);
+            let events = stream(cores, 20_000, cores as u64);
+            assert_identical(config, &events, 2048, 8);
+        }
+    }
+}

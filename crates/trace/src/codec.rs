@@ -97,10 +97,10 @@ pub fn get_string(bytes: &[u8], pos: &mut usize) -> Result<String, TraceError> {
     Ok(s)
 }
 
-/// The hierarchy supports at most 64 cores (see `CacheHierarchy::new`); bounding core
-/// ids during decode keeps a crafted varint from sizing the per-core delta table (or
-/// any later per-core state) to an attacker-controlled length.
-const MAX_CORES: u64 = 64;
+/// The hierarchy supports at most 128 cores (see `sim_cache::MAX_CORES`); bounding
+/// core ids during decode keeps a crafted varint from sizing the per-core delta table
+/// (or any later per-core state) to an attacker-controlled length.
+const MAX_CORES: u64 = sim_cache::MAX_CORES as u64;
 
 fn get_core(bytes: &[u8], pos: &mut usize) -> Result<u32, TraceError> {
     let core = get_varint(bytes, pos)?;

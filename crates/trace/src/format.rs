@@ -56,7 +56,7 @@ impl TraceKind {
         }
     }
 
-    fn from_byte(b: u8) -> Result<Self, TraceError> {
+    pub(crate) fn from_byte(b: u8) -> Result<Self, TraceError> {
         match b {
             1 => Ok(TraceKind::FullSession),
             2 => Ok(TraceKind::AccessOnly),
@@ -201,9 +201,9 @@ fn put_machine(out: &mut Vec<u8>, m: &MachineConfig) {
     put_varint(out, m.op_cost);
 }
 
-fn get_machine(bytes: &[u8], pos: &mut usize) -> Result<MachineConfig, TraceError> {
+pub(crate) fn get_machine(bytes: &[u8], pos: &mut usize) -> Result<MachineConfig, TraceError> {
     let cores = get_varint(bytes, pos)? as usize;
-    if cores == 0 || cores > 64 {
+    if cores == 0 || cores > sim_cache::MAX_CORES {
         return Err(TraceError::Corrupt(format!("{cores} cores out of range")));
     }
     let l1 = get_geometry(bytes, pos)?;
@@ -270,7 +270,7 @@ fn put_params(out: &mut Vec<u8>, p: &SessionParams) {
     put_varint(out, p.base_seed);
 }
 
-fn get_params(bytes: &[u8], pos: &mut usize) -> Result<SessionParams, TraceError> {
+pub(crate) fn get_params(bytes: &[u8], pos: &mut usize) -> Result<SessionParams, TraceError> {
     Ok(SessionParams {
         workload: get_string(bytes, pos)?,
         threads: get_varint(bytes, pos)? as usize,
@@ -367,7 +367,7 @@ fn get_stream(bytes: &[u8], pos: &mut usize) -> Result<ThreadStream, TraceError>
 /// Largest access length a stream may carry.  Live accesses are at most a few KiB
 /// (payload copies chunk at 64 bytes); the generous 1 MiB bound exists purely so a
 /// crafted trace cannot make replay's line-split loop iterate ~2^54 times.
-const MAX_ACCESS_LEN: u64 = 1 << 20;
+pub(crate) const MAX_ACCESS_LEN: u64 = 1 << 20;
 
 /// Semantic validation applied after structural decoding: every event must be
 /// applicable to the declared machine (core in range, sane access extents), so a
@@ -473,13 +473,58 @@ impl TraceFile {
     }
 }
 
+/// Shared fixtures for this crate's tests (the streaming decoder's tests reuse them).
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests_support {
     use super::*;
     use sim_cache::AccessKind;
     use sim_machine::FunctionId;
 
-    fn sample_file() -> TraceFile {
+    /// One plausible recorded stream with a small mixed event tail.
+    pub(crate) fn sample_stream() -> ThreadStream {
+        ThreadStream {
+            seed: 3471,
+            requests: 120,
+            symbols: vec!["__alloc_skb".into(), "udp_rcv".into()],
+            types: vec![TypeDump {
+                name: "skbuff".into(),
+                description: "packet bookkeeping structure".into(),
+                size: 256,
+                fields: vec![FieldDump {
+                    name: "len".into(),
+                    offset: 24,
+                    size: 4,
+                }],
+            }],
+            events: vec![
+                SessionEvent::RoundEnd,
+                SessionEvent::Access {
+                    core: 0,
+                    ip: FunctionId(1),
+                    addr: 0x1_0000_1000,
+                    len: 8,
+                    kind: AccessKind::Write,
+                },
+                SessionEvent::Alloc {
+                    core: 0,
+                    type_id: 1,
+                    size: 256,
+                    addr: 0x1_0000_2000,
+                    cycle: 42,
+                    hookable: true,
+                },
+                SessionEvent::Free {
+                    core: 1,
+                    addr: 0x1_0000_2000,
+                    cycle: 99,
+                },
+                SessionEvent::RoundEnd,
+            ],
+        }
+    }
+
+    /// A complete single-stream full-session trace on the small test machine.
+    pub(crate) fn sample_file() -> TraceFile {
         TraceFile {
             kind: TraceKind::FullSession,
             machine: MachineConfig::small_test(),
@@ -494,47 +539,15 @@ mod tests {
                 history_sets: 2,
                 base_seed: 3471,
             },
-            streams: vec![ThreadStream {
-                seed: 3471,
-                requests: 120,
-                symbols: vec!["__alloc_skb".into(), "udp_rcv".into()],
-                types: vec![TypeDump {
-                    name: "skbuff".into(),
-                    description: "packet bookkeeping structure".into(),
-                    size: 256,
-                    fields: vec![FieldDump {
-                        name: "len".into(),
-                        offset: 24,
-                        size: 4,
-                    }],
-                }],
-                events: vec![
-                    SessionEvent::RoundEnd,
-                    SessionEvent::Access {
-                        core: 0,
-                        ip: FunctionId(1),
-                        addr: 0x1_0000_1000,
-                        len: 8,
-                        kind: AccessKind::Write,
-                    },
-                    SessionEvent::Alloc {
-                        core: 0,
-                        type_id: 1,
-                        size: 256,
-                        addr: 0x1_0000_2000,
-                        cycle: 42,
-                        hookable: true,
-                    },
-                    SessionEvent::Free {
-                        core: 1,
-                        addr: 0x1_0000_2000,
-                        cycle: 99,
-                    },
-                    SessionEvent::RoundEnd,
-                ],
-            }],
+            streams: vec![sample_stream()],
         }
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::sample_file;
+    use super::*;
 
     #[test]
     fn file_round_trips() {

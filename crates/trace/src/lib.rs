@@ -37,15 +37,20 @@ pub mod codec;
 pub mod format;
 pub mod line;
 pub mod replay;
+pub mod stream;
 pub mod whatif;
 
 pub use format::{
     FieldDump, RecordedStream, SessionParams, ThreadStream, TraceFile, TraceKind, TypeDump,
 };
-pub use replay::{replay_all, replay_stream, replay_stream_with, ReplayRun};
+pub use replay::{
+    replay_all, replay_all_sharded, replay_all_streaming, replay_stream, replay_stream_streaming,
+    replay_stream_with, ReplayRun,
+};
+pub use stream::{EventReader, StreamHeader, TraceReader};
 pub use whatif::{
-    analyze_sharing, measure_all, measure_stream, trace_type_names, validate_spec, FixSpec,
-    SharingProfile, Transform, WhatifMeasure,
+    analyze_sharing, measure_all, measure_all_streaming, measure_stream, measure_stream_streaming,
+    trace_type_names, validate_spec, FixSpec, SharingProfile, Transform, WhatifMeasure,
 };
 
 /// Errors produced while decoding a `.dtrace` file.
@@ -59,6 +64,8 @@ pub enum TraceError {
     UnexpectedEof,
     /// A structurally invalid value (bad opcode, impossible geometry, length overflow).
     Corrupt(String),
+    /// An I/O failure while streaming from disk.
+    Io(String),
 }
 
 impl std::fmt::Display for TraceError {
@@ -68,6 +75,7 @@ impl std::fmt::Display for TraceError {
             TraceError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
             TraceError::UnexpectedEof => write!(f, "truncated trace (unexpected end of file)"),
             TraceError::Corrupt(why) => write!(f, "corrupt trace: {why}"),
+            TraceError::Io(why) => write!(f, "trace i/o error: {why}"),
         }
     }
 }

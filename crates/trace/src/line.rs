@@ -22,30 +22,38 @@ pub fn session_to_line_events(events: &[SessionEvent], line_size: u64) -> Vec<Tr
     );
     let mut out = Vec::with_capacity(events.len());
     for ev in events {
-        let SessionEvent::Access {
-            core,
-            addr,
-            len,
-            kind,
-            ..
-        } = *ev
-        else {
-            continue;
-        };
-        let mut offset = 0u64;
-        while offset < len {
-            let a = addr + offset;
-            let line_end = (a / line_size + 1) * line_size;
-            let chunk = (line_end - a).min(len - offset);
-            out.push(TraceEvent {
-                core,
-                addr: a,
-                kind,
-            });
-            offset += chunk;
-        }
+        push_line_events(ev, line_size, &mut out);
     }
     out
+}
+
+/// Appends the per-line accesses of one session event to `out` (non-access events
+/// append nothing).  This is the per-event core of [`session_to_line_events`],
+/// exposed so streaming consumers can lower events as they decode instead of
+/// materializing the session stream first.
+pub fn push_line_events(ev: &SessionEvent, line_size: u64, out: &mut Vec<TraceEvent>) {
+    let SessionEvent::Access {
+        core,
+        addr,
+        len,
+        kind,
+        ..
+    } = *ev
+    else {
+        return;
+    };
+    let mut offset = 0u64;
+    while offset < len {
+        let a = addr + offset;
+        let line_end = (a / line_size + 1) * line_size;
+        let chunk = (line_end - a).min(len - offset);
+        out.push(TraceEvent {
+            core,
+            addr: a,
+            kind,
+        });
+        offset += chunk;
+    }
 }
 
 #[cfg(test)]

@@ -13,16 +13,26 @@
 //! [`DprofProfile`] — and therefore the rendered report — is byte-identical to the
 //! live run's.
 //!
-//! Sharding: streams are independent machines (one per recorded worker thread), so
-//! [`replay_all`] replays them on parallel worker threads and the caller merges the
-//! per-thread profiles through the CLI's existing merge path, exactly as a live
-//! multi-threaded run would.
+//! Three execution strategies share this machinery:
+//!
+//! * [`replay_all`] — in-memory: one worker thread per decoded [`TraceFile`] stream.
+//! * [`replay_all_streaming`] — the same, but each worker decodes its stream
+//!   incrementally from its own file handle ([`crate::stream`]), so peak memory is
+//!   bounded by the simulation state, not the trace size.
+//! * [`replay_all_sharded`] — additionally parallelizes *within* each stream's
+//!   machine: a first pass precomputes every access outcome on the epoch-batched
+//!   [`ShardedHierarchy`] (its merge discipline makes the outcome stream bit-identical
+//!   to serial simulation), then the profiler pass replays against a hierarchy fed
+//!   those outcomes.  Reports stay byte-identical to the serial path; only wall-clock
+//!   changes.
 
-use crate::format::{ThreadStream, TraceFile, TraceKind};
+use crate::format::{SessionParams, ThreadStream, TraceFile, TraceKind, TypeDump};
+use crate::stream::TraceReader;
 use crate::whatif::{FixSpec, Transform};
 use dprof_core::{Dprof, DprofConfig, DprofProfile};
+use sim_cache::{AccessOutcome, ShardedHierarchy, TraceEvent};
 use sim_kernel::{KernelState, TypeId, TypeRegistry};
-use sim_machine::{Machine, SessionEvent};
+use sim_machine::{Machine, MachineConfig, SessionEvent};
 use std::collections::HashMap;
 
 /// The outcome of replaying one recorded stream: everything the CLI needs to build a
@@ -51,7 +61,7 @@ pub struct ReplayRun {
     pub trailing_events: usize,
 }
 
-/// Rebuilds the recorded universe for one stream: a machine with the recorded
+/// Rebuilds the recorded universe from its parts: a machine with the recorded
 /// configuration and pre-interned symbols, and a replay kernel whose type registry
 /// matches the recorded type ids.
 ///
@@ -60,39 +70,55 @@ pub struct ReplayRun {
 /// recorded id order (so every `TypeId` matches).  The kernel shell must be built
 /// *after* pre-interning: its own interning then maps onto existing ids instead of
 /// minting new ones.
-pub(crate) fn rebuild_universe(file: &TraceFile, thread: usize) -> (Machine, KernelState) {
-    let stream: &ThreadStream = &file.streams[thread];
-    let mut machine = Machine::new(file.machine);
-    for name in &stream.symbols {
+pub(crate) fn rebuild_universe_parts(
+    machine_config: MachineConfig,
+    kernel_cores: usize,
+    symbols: &[String],
+    types: &[TypeDump],
+) -> (Machine, KernelState) {
+    let mut machine = Machine::new(machine_config);
+    for name in symbols {
         machine.fn_id(name);
     }
-    let mut types = TypeRegistry::new();
-    for t in &stream.types {
-        let id = types.register(&t.name, &t.description, t.size);
+    let mut registry = TypeRegistry::new();
+    for t in types {
+        let id = registry.register(&t.name, &t.description, t.size);
         for f in &t.fields {
-            types.add_field(id, &f.name, f.offset, f.size);
+            registry.add_field(id, &f.name, f.offset, f.size);
         }
     }
-    let kernel = KernelState::for_replay(&mut machine, file.params.cores, types);
+    let kernel = KernelState::for_replay(&mut machine, kernel_cores, registry);
     (machine, kernel)
 }
 
+/// [`rebuild_universe_parts`] for one stream of an in-memory trace.
+pub(crate) fn rebuild_universe(file: &TraceFile, thread: usize) -> (Machine, KernelState) {
+    let stream: &ThreadStream = &file.streams[thread];
+    rebuild_universe_parts(
+        file.machine,
+        file.params.cores,
+        &stream.symbols,
+        &stream.types,
+    )
+}
+
 /// A cursor feeding recorded events into the machine/kernel, one round per call,
-/// optionally rewriting accesses through a what-if [`Transform`].
-struct EventCursor<'a> {
-    events: &'a [SessionEvent],
-    pos: usize,
+/// optionally rewriting accesses through a what-if [`Transform`].  Generic over the
+/// event source, so in-memory slices and streaming decoders replay identically.
+struct EventCursor<I: Iterator<Item = SessionEvent>> {
+    events: I,
+    /// Events consumed so far.
+    consumed: usize,
     /// Set if the cursor ran dry mid-round — replay divergence, reported to the user.
     exhausted: bool,
     transform: Transform,
 }
 
-impl EventCursor<'_> {
+impl<I: Iterator<Item = SessionEvent>> EventCursor<I> {
     /// Applies events up to and including the next round marker.
     fn run_round(&mut self, machine: &mut Machine, kernel: &mut KernelState) {
-        while self.pos < self.events.len() {
-            let ev = self.events[self.pos];
-            self.pos += 1;
+        for ev in self.events.by_ref() {
+            self.consumed += 1;
             match ev {
                 SessionEvent::RoundEnd => return,
                 SessionEvent::Access {
@@ -140,6 +166,110 @@ impl EventCursor<'_> {
     }
 }
 
+/// An adapter fusing a streaming [`crate::stream::EventReader`] into an infallible
+/// iterator: a decode error ends the stream and is parked in `error` for the caller
+/// to inspect once the profiler pass finishes.
+struct FusedEvents {
+    reader: crate::stream::EventReader,
+    error: Option<crate::TraceError>,
+}
+
+impl Iterator for FusedEvents {
+    type Item = SessionEvent;
+
+    fn next(&mut self) -> Option<SessionEvent> {
+        match self.reader.next() {
+            Some(Ok(ev)) => Some(ev),
+            Some(Err(e)) => {
+                self.error = Some(e);
+                None
+            }
+            None => None,
+        }
+    }
+}
+
+/// Runs the profiler pipeline over a prepared universe and event source.  Returns the
+/// finished run and hands the (possibly error-carrying) event source back.
+#[allow(clippy::too_many_arguments)]
+fn replay_prepared<I: Iterator<Item = SessionEvent>>(
+    mut machine: Machine,
+    mut kernel: KernelState,
+    params: &SessionParams,
+    thread: usize,
+    seed: u64,
+    requests: u64,
+    total_events: usize,
+    transform: Transform,
+    events: I,
+) -> (ReplayRun, I) {
+    let mut cursor = EventCursor {
+        events,
+        consumed: 0,
+        exhausted: false,
+        transform,
+    };
+
+    // Segment 0: kernel/workload setup traffic (everything before the first marker).
+    cursor.run_round(&mut machine, &mut kernel);
+    // Warmup, phase-shifted per thread exactly as the live driver ran it.
+    for _ in 0..params.warmup_rounds + thread {
+        cursor.run_round(&mut machine, &mut kernel);
+    }
+
+    // Snapshot counters after warmup, mirroring the live driver's measurement window.
+    let elapsed_before = machine.elapsed_seconds();
+    let cycles_before: u64 = (0..machine.cores()).map(|c| machine.clock(c)).sum();
+    let profiling_before = machine.total_profiling_cycles();
+
+    let config = DprofConfig {
+        sampling: params.sampling,
+        sample_rounds: params.sample_rounds,
+        history_types: params.history_types,
+        history: dprof_core::HistoryConfig {
+            history_sets: params.history_sets,
+            seed,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    let profile = Dprof::new(config).run(&mut machine, &mut kernel, |m, k| cursor.run_round(m, k));
+
+    let mut type_names: HashMap<TypeId, String> = profile
+        .data_profile
+        .iter()
+        .map(|row| (row.type_id, row.name.clone()))
+        .collect();
+    for ty in profile.data_flows.keys() {
+        type_names
+            .entry(*ty)
+            .or_insert_with(|| format!("type#{}", ty.0));
+    }
+
+    let total_cycles: u64 =
+        (0..machine.cores()).map(|c| machine.clock(c)).sum::<u64>() - cycles_before;
+    let profiling = machine.total_profiling_cycles() - profiling_before;
+    let trailing_events = total_events - cursor.consumed + usize::from(cursor.exhausted);
+
+    let run = ReplayRun {
+        thread,
+        seed,
+        profile,
+        type_names,
+        requests,
+        elapsed_seconds: machine.elapsed_seconds() - elapsed_before,
+        total_cycles,
+        profiling_fraction: if total_cycles == 0 {
+            0.0
+        } else {
+            profiling as f64 / total_cycles as f64
+        },
+        trailing_events,
+    };
+    (run, cursor.events)
+}
+
 /// Replays a single stream of a full-session trace through the profiler pipeline.
 ///
 /// # Panics
@@ -163,91 +293,94 @@ pub fn replay_stream_with(file: &TraceFile, thread: usize, spec: &FixSpec) -> Re
         "only full-session traces replay through the profiler"
     );
     let stream: &ThreadStream = &file.streams[thread];
-    let (mut machine, mut kernel) = rebuild_universe(file, thread);
+    let (machine, kernel) = rebuild_universe(file, thread);
     let target = spec
         .target()
         .and_then(|name| crate::whatif::stream_type_id(stream, name));
     let transform = Transform::new(spec, target, file.machine.hierarchy.l1.line_size as u64);
-
-    let mut cursor = EventCursor {
-        events: &stream.events,
-        pos: 0,
-        exhausted: false,
-        transform,
-    };
-
-    // Segment 0: kernel/workload setup traffic (everything before the first marker).
-    cursor.run_round(&mut machine, &mut kernel);
-    // Warmup, phase-shifted per thread exactly as the live driver ran it.
-    for _ in 0..file.params.warmup_rounds + thread {
-        cursor.run_round(&mut machine, &mut kernel);
-    }
-
-    // Snapshot counters after warmup, mirroring the live driver's measurement window.
-    let elapsed_before = machine.elapsed_seconds();
-    let cycles_before: u64 = (0..machine.cores()).map(|c| machine.clock(c)).sum();
-    let profiling_before = machine.total_profiling_cycles();
-
-    let config = DprofConfig {
-        sampling: file.params.sampling,
-        sample_rounds: file.params.sample_rounds,
-        history_types: file.params.history_types,
-        history: dprof_core::HistoryConfig {
-            history_sets: file.params.history_sets,
-            seed: stream.seed,
-            ..Default::default()
-        },
-        ..Default::default()
-    };
-
-    let profile = Dprof::new(config).run(&mut machine, &mut kernel, |m, k| cursor.run_round(m, k));
-
-    let mut type_names: HashMap<TypeId, String> = profile
-        .data_profile
-        .iter()
-        .map(|row| (row.type_id, row.name.clone()))
-        .collect();
-    for ty in profile.data_flows.keys() {
-        type_names
-            .entry(*ty)
-            .or_insert_with(|| format!("type#{}", ty.0));
-    }
-
-    let total_cycles: u64 =
-        (0..machine.cores()).map(|c| machine.clock(c)).sum::<u64>() - cycles_before;
-    let profiling = machine.total_profiling_cycles() - profiling_before;
-    let trailing_events = stream.events.len() - cursor.pos + usize::from(cursor.exhausted);
-
-    ReplayRun {
+    let (run, _) = replay_prepared(
+        machine,
+        kernel,
+        &file.params,
         thread,
-        seed: stream.seed,
-        profile,
-        type_names,
-        requests: stream.requests,
-        elapsed_seconds: machine.elapsed_seconds() - elapsed_before,
-        total_cycles,
-        profiling_fraction: if total_cycles == 0 {
-            0.0
-        } else {
-            profiling as f64 / total_cycles as f64
-        },
-        trailing_events,
+        stream.seed,
+        stream.requests,
+        stream.events.len(),
+        transform,
+        stream.events.iter().copied(),
+    );
+    run
+}
+
+/// Replays a single stream through the profiler pipeline, decoding events
+/// incrementally from disk.  Identical results to [`replay_stream`]; bounded memory.
+pub fn replay_stream_streaming(reader: &TraceReader, thread: usize) -> Result<ReplayRun, String> {
+    replay_stream_streaming_fed(reader, thread, None)
+}
+
+/// Streaming single-stream replay, optionally against a hierarchy pre-fed with
+/// sharded-precomputed access outcomes (see [`replay_all_sharded`]).
+fn replay_stream_streaming_fed(
+    reader: &TraceReader,
+    thread: usize,
+    outcomes: Option<Vec<AccessOutcome>>,
+) -> Result<ReplayRun, String> {
+    let header = &reader.headers()[thread];
+    let (mut machine, kernel) = rebuild_universe_parts(
+        reader.machine,
+        reader.params.cores,
+        &header.symbols,
+        &header.types,
+    );
+    if let Some(outcomes) = outcomes {
+        machine.hierarchy.feed_outcomes(outcomes);
     }
+    let transform = Transform::new(
+        &FixSpec::Identity,
+        None,
+        reader.machine.hierarchy.l1.line_size as u64,
+    );
+    let events = FusedEvents {
+        reader: reader
+            .events(thread)
+            .map_err(|e| format!("stream {thread}: {e}"))?,
+        error: None,
+    };
+    let (run, events) = replay_prepared(
+        machine,
+        kernel,
+        &reader.params,
+        thread,
+        header.seed,
+        header.requests,
+        header.event_count,
+        transform,
+        events,
+    );
+    if let Some(e) = events.error {
+        return Err(format!("stream {thread}: {e}"));
+    }
+    Ok(run)
+}
+
+fn check_replayable(kind: TraceKind, stream_count: usize) -> Result<(), String> {
+    if kind != TraceKind::FullSession {
+        return Err(
+            "trace is access-only (e.g. a bench capture); it has no profiler session to replay"
+                .into(),
+        );
+    }
+    if stream_count == 0 {
+        return Err("trace contains no streams".into());
+    }
+    Ok(())
 }
 
 /// Replays every stream of a full-session trace, sharded across one worker thread per
 /// stream, returning the runs ordered by stream index.  Panics in workers are surfaced
 /// as an `Err` naming the stream.
 pub fn replay_all(file: &TraceFile) -> Result<Vec<ReplayRun>, String> {
-    if file.kind != TraceKind::FullSession {
-        return Err(
-            "trace is access-only (e.g. a bench capture); it has no profiler session to replay"
-                .into(),
-        );
-    }
-    if file.streams.is_empty() {
-        return Err("trace contains no streams".into());
-    }
+    check_replayable(file.kind, file.streams.len())?;
     // Even a single stream replays on a scoped worker thread: a panic while applying
     // a semantically inconsistent event stream (e.g. a crafted free of a never
     // allocated address) then surfaces as a clean error instead of aborting the CLI.
@@ -263,6 +396,114 @@ pub fn replay_all(file: &TraceFile) -> Result<Vec<ReplayRun>, String> {
         joined
             .into_iter()
             .map(|(thread, result)| result.map_err(|_| format!("replay thread {thread} panicked")))
+            .collect::<Result<Vec<_>, String>>()
+    })?;
+    runs.sort_by_key(|r| r.thread);
+    Ok(runs)
+}
+
+/// Replays every stream with incremental decoding: one worker thread per stream, each
+/// reading events from its own file handle in bounded-size chunks.  Results are
+/// identical to [`replay_all`] over the decoded file.
+pub fn replay_all_streaming(reader: &TraceReader) -> Result<Vec<ReplayRun>, String> {
+    check_replayable(reader.kind, reader.stream_count())?;
+    run_streams(reader.stream_count(), |thread| {
+        replay_stream_streaming(reader, thread)
+    })
+}
+
+/// Replays every stream with the epoch-batched sharded engine: pass one precomputes
+/// each stream's access-outcome sequence on a [`ShardedHierarchy`] (private-cache
+/// simulation spread across parallel workers, coherence merged deterministically),
+/// pass two drives the full profiler against a hierarchy fed those outcomes.  Both
+/// passes stream events from disk.  Reports are byte-identical to [`replay_all`];
+/// `epoch_len`/`workers` of `None` use the engine defaults.
+pub fn replay_all_sharded(
+    reader: &TraceReader,
+    epoch_len: Option<usize>,
+    workers: Option<usize>,
+) -> Result<Vec<ReplayRun>, String> {
+    check_replayable(reader.kind, reader.stream_count())?;
+    run_streams(reader.stream_count(), |thread| {
+        let outcomes = precompute_outcomes(reader, thread, epoch_len, workers)?;
+        replay_stream_streaming_fed(reader, thread, Some(outcomes))
+    })
+}
+
+/// Pass one of sharded replay: lowers the stream's recorded accesses to per-line
+/// events (the exact split `Machine::access` performs) and simulates them on the
+/// sharded engine, collecting the canonical outcome sequence.
+fn precompute_outcomes(
+    reader: &TraceReader,
+    thread: usize,
+    epoch_len: Option<usize>,
+    workers: Option<usize>,
+) -> Result<Vec<AccessOutcome>, String> {
+    let line_size = reader.machine.hierarchy.l1.line_size as u64;
+    let mut line_events: Vec<TraceEvent> = Vec::new();
+    for ev in reader
+        .events(thread)
+        .map_err(|e| format!("stream {thread}: {e}"))?
+    {
+        let ev = ev.map_err(|e| format!("stream {thread}: {e}"))?;
+        let SessionEvent::Access {
+            core,
+            addr,
+            len,
+            kind,
+            ..
+        } = ev
+        else {
+            continue;
+        };
+        let mut offset = 0u64;
+        while offset < len {
+            let a = addr + offset;
+            let line_end = (a / line_size + 1) * line_size;
+            let chunk = (line_end - a).min(len - offset);
+            line_events.push(TraceEvent {
+                core,
+                addr: a,
+                kind,
+            });
+            offset += chunk;
+        }
+    }
+    let mut engine = match (epoch_len, workers) {
+        (None, None) => ShardedHierarchy::new(reader.machine.hierarchy),
+        (e, w) => ShardedHierarchy::with_tuning(
+            reader.machine.hierarchy,
+            e.unwrap_or(sim_cache::sharded::DEFAULT_EPOCH_LEN),
+            w.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }),
+        ),
+    };
+    let mut outcomes = Vec::with_capacity(line_events.len());
+    engine.replay(&line_events, |o| outcomes.push(o));
+    Ok(outcomes)
+}
+
+/// Runs `f(thread)` for every stream on scoped worker threads, surfacing panics and
+/// errors, and returns the runs ordered by stream index.
+fn run_streams<F>(streams: usize, f: F) -> Result<Vec<ReplayRun>, String>
+where
+    F: Fn(usize) -> Result<ReplayRun, String> + Sync,
+{
+    let f = &f;
+    let mut runs: Vec<ReplayRun> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..streams)
+            .map(|thread| scope.spawn(move || f(thread)))
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(thread, handle)| match handle.join() {
+                Ok(result) => result,
+                Err(_) => Err(format!("replay thread {thread} panicked")),
+            })
             .collect::<Result<Vec<_>, String>>()
     })?;
     runs.sort_by_key(|r| r.thread);

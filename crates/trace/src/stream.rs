@@ -1,0 +1,765 @@
+//! Streaming `.dtrace` decoding with bounded memory.
+//!
+//! [`TraceFile::read`](crate::TraceFile::read) slurps the whole file and materializes
+//! every stream's event vector before anything can run — for multi-gigabyte captures
+//! that is both the peak-RSS and the time-to-first-event bottleneck.  This module
+//! decodes the same format incrementally:
+//!
+//! * [`TraceReader::open`] parses only the *prologue* — header, machine, session
+//!   parameters, and each stream's identity + symbol/type tables (all small) — and
+//!   records where each stream's encoded event region lives in the file.  Event bytes
+//!   are skipped with seeks, never buffered.
+//! * [`TraceReader::events`] returns an [`EventReader`]: an iterator that decodes one
+//!   [`SessionEvent`] at a time from its own file handle, reading fixed-size chunks
+//!   and carrying the codec's cross-event state (per-core address deltas, the current
+//!   access run) across chunk boundaries.  Peak buffering is a couple of chunks
+//!   regardless of trace size — [`EventReader::peak_buffered_bytes`] reports the high
+//!   water mark and a regression test pins it.
+//!
+//! Every event passes the same semantic validation as the slurping path
+//! ([`crate::format`]'s core-range and access-extent checks), and the total event
+//! count and byte length are verified against the stream header at end of iteration,
+//! so a corrupt or truncated trace fails with the same kinds of errors — just
+//! lazily, when the damage is reached.  Each [`EventReader`] owns an independent
+//! file handle, so per-stream readers can run on parallel replay threads.
+
+use crate::codec::{get_string, get_varint, unzigzag};
+use crate::format::{get_machine, get_params, TraceKind, TypeDump, MAGIC, MAX_ACCESS_LEN, VERSION};
+use crate::TraceError;
+use sim_cache::AccessKind;
+use sim_machine::{FunctionId, MachineConfig, SessionEvent};
+use std::io::{Read, Seek, SeekFrom};
+
+/// Bytes read from the file per refill.  Large enough to amortize syscalls, small
+/// enough that an [`EventReader`]'s working set stays a rounding error next to the
+/// decoded simulation state.
+pub const CHUNK_SIZE: usize = 64 * 1024;
+
+/// A chunked, forward-only file reader: keeps at most a couple of chunks buffered,
+/// compacts consumed bytes away, and tracks the buffering high-water mark.
+struct ChunkedReader {
+    file: std::fs::File,
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`.
+    start: usize,
+    /// Absolute file offset of `buf[start]` (i.e. bytes consumed or skipped so far).
+    offset: u64,
+    /// Largest number of bytes ever buffered at once.
+    peak: usize,
+}
+
+impl ChunkedReader {
+    fn open(path: &str) -> Result<Self, TraceError> {
+        let file = std::fs::File::open(path)
+            .map_err(|e| TraceError::Io(format!("cannot open {path}: {e}")))?;
+        Ok(ChunkedReader {
+            file,
+            buf: Vec::new(),
+            start: 0,
+            offset: 0,
+            peak: 0,
+        })
+    }
+
+    fn available(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    fn bytes(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    /// Buffers at least `n` unconsumed bytes, reading more chunks as needed.
+    fn ensure(&mut self, n: usize) -> Result<(), TraceError> {
+        while self.available() < n {
+            if self.start > 0 {
+                self.buf.copy_within(self.start.., 0);
+                let len = self.buf.len() - self.start;
+                self.buf.truncate(len);
+                self.start = 0;
+            }
+            let old_len = self.buf.len();
+            let want = CHUNK_SIZE.max(n - old_len);
+            self.buf.resize(old_len + want, 0);
+            let read = self
+                .file
+                .read(&mut self.buf[old_len..])
+                .map_err(|e| TraceError::Io(format!("read failed: {e}")))?;
+            self.buf.truncate(old_len + read);
+            if read == 0 {
+                return Err(TraceError::UnexpectedEof);
+            }
+            self.peak = self.peak.max(self.buf.len());
+        }
+        Ok(())
+    }
+
+    fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.available());
+        self.start += n;
+        self.offset += n as u64;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+    }
+
+    /// True at end of file with nothing buffered.
+    fn at_eof(&mut self) -> Result<bool, TraceError> {
+        if self.available() > 0 {
+            return Ok(false);
+        }
+        match self.ensure(1) {
+            Ok(()) => Ok(false),
+            Err(TraceError::UnexpectedEof) => Ok(true),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Skips `n` bytes, seeking past whatever is not already buffered.
+    fn skip(&mut self, n: u64) -> Result<(), TraceError> {
+        let buffered = (self.available() as u64).min(n);
+        self.consume(buffered as usize);
+        let rest = n - buffered;
+        if rest > 0 {
+            self.file
+                .seek(SeekFrom::Current(rest as i64))
+                .map_err(|e| TraceError::Io(format!("seek failed: {e}")))?;
+            self.offset += rest;
+        }
+        Ok(())
+    }
+
+    /// Reads one varint, refilling across chunk boundaries as needed.
+    fn read_varint(&mut self) -> Result<u64, TraceError> {
+        loop {
+            let mut pos = 0;
+            match get_varint(self.bytes(), &mut pos) {
+                Ok(v) => {
+                    self.consume(pos);
+                    return Ok(v);
+                }
+                // The varint ran off the buffered bytes: buffer one more and retry
+                // (at most ten times — a varint is never longer than that).
+                Err(TraceError::UnexpectedEof) => self.ensure(self.available() + 1)?,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn read_string(&mut self) -> Result<String, TraceError> {
+        loop {
+            let mut pos = 0;
+            match get_string(self.bytes(), &mut pos) {
+                Ok(s) => {
+                    self.consume(pos);
+                    return Ok(s);
+                }
+                Err(TraceError::UnexpectedEof) => self.ensure(self.available() + 1)?,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn read_byte(&mut self) -> Result<u8, TraceError> {
+        self.ensure(1)?;
+        let b = self.bytes()[0];
+        self.consume(1);
+        Ok(b)
+    }
+}
+
+/// The prologue of one recorded stream: everything except the event bytes, which
+/// stay on disk until [`TraceReader::events`] walks them.
+#[derive(Debug, Clone)]
+pub struct StreamHeader {
+    /// The seed this thread ran with.
+    pub seed: u64,
+    /// Application requests completed during the profiled window.
+    pub requests: u64,
+    /// Interned symbol names, ordered by id.
+    pub symbols: Vec<String>,
+    /// Registered types, ordered by id.
+    pub types: Vec<TypeDump>,
+    /// Number of events in the stream.
+    pub event_count: usize,
+    /// Encoded size of the event region.
+    byte_len: u64,
+    /// Absolute file offset of the event region.
+    events_offset: u64,
+}
+
+/// A `.dtrace` file opened for streaming: prologue parsed and validated, event
+/// regions indexed but not decoded.
+#[derive(Debug)]
+pub struct TraceReader {
+    path: String,
+    /// What the trace contains.
+    pub kind: TraceKind,
+    /// Machine configuration shared by all streams.
+    pub machine: MachineConfig,
+    /// Session parameters.
+    pub params: crate::format::SessionParams,
+    headers: Vec<StreamHeader>,
+}
+
+impl TraceReader {
+    /// Opens a `.dtrace` file and parses its prologue.  Event bytes are located but
+    /// not read; memory use is bounded by the chunk size plus the (small) symbol and
+    /// type tables.
+    pub fn open(path: &str) -> Result<Self, TraceError> {
+        let mut r = ChunkedReader::open(path)?;
+        r.ensure(MAGIC.len() + 2)?;
+        if &r.bytes()[..MAGIC.len()] != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        r.consume(MAGIC.len());
+        let version = u16::from_le_bytes([r.bytes()[0], r.bytes()[1]]);
+        r.consume(2);
+        if version != VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let kind = TraceKind::from_byte(r.read_byte()?)?;
+
+        // The machine and params sections are a few dozen bytes; parse them from a
+        // single over-buffered view rather than duplicating their field walks here.
+        let machine;
+        let params;
+        loop {
+            let mut pos = 0;
+            match get_machine(r.bytes(), &mut pos)
+                .and_then(|m| Ok((m, get_params(r.bytes(), &mut pos)?)))
+            {
+                Ok((m, p)) => {
+                    r.consume(pos);
+                    machine = m;
+                    params = p;
+                    break;
+                }
+                Err(TraceError::UnexpectedEof) => r.ensure(r.available() + 1)?,
+                Err(e) => return Err(e),
+            }
+        }
+
+        let stream_count = r.read_varint()? as usize;
+        let mut headers = Vec::new();
+        for _ in 0..stream_count {
+            // A stream prologue is unbounded only through its string tables, which
+            // read incrementally; event bytes are skipped, never buffered.
+            let (seed, requests, symbols, types) = read_stream_prologue(&mut r)?;
+            let event_count = r.read_varint()? as usize;
+            let byte_len = r.read_varint()?;
+            let events_offset = r.offset;
+            r.skip(byte_len)?;
+            headers.push(StreamHeader {
+                seed,
+                requests,
+                symbols,
+                types,
+                event_count,
+                byte_len,
+                events_offset,
+            });
+        }
+        if !r.at_eof()? {
+            return Err(TraceError::Corrupt(
+                "trailing bytes after the last stream".into(),
+            ));
+        }
+        // A seek past end-of-file succeeds silently; a truncated event region only
+        // surfaces once an EventReader walks into the hole.  Catch it here instead,
+        // so open() rejects what decode() would have rejected.
+        let file_len = std::fs::metadata(path)
+            .map_err(|e| TraceError::Io(format!("cannot stat {path}: {e}")))?
+            .len();
+        if let Some(h) = headers.last() {
+            if h.events_offset + h.byte_len > file_len {
+                return Err(TraceError::UnexpectedEof);
+            }
+        }
+        Ok(TraceReader {
+            path: path.to_string(),
+            kind,
+            machine,
+            params,
+            headers,
+        })
+    }
+
+    /// Number of recorded streams.
+    pub fn stream_count(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// The parsed prologues, ordered by stream index.
+    pub fn headers(&self) -> &[StreamHeader] {
+        &self.headers
+    }
+
+    /// Opens an incremental event decoder over stream `thread`.  Each call opens an
+    /// independent file handle, so readers for different streams can run on parallel
+    /// threads.
+    pub fn events(&self, thread: usize) -> Result<EventReader, TraceError> {
+        let header = &self.headers[thread];
+        let mut r = ChunkedReader::open(&self.path)?;
+        r.file
+            .seek(SeekFrom::Start(header.events_offset))
+            .map_err(|e| TraceError::Io(format!("seek failed: {e}")))?;
+        r.offset = header.events_offset;
+        Ok(EventReader {
+            reader: r,
+            region_end: header.events_offset + header.byte_len,
+            expected: header.event_count,
+            produced: 0,
+            cores: self.machine.hierarchy.cores,
+            prev_addr: Vec::new(),
+            run: None,
+            done: false,
+        })
+    }
+}
+
+fn read_stream_prologue(
+    r: &mut ChunkedReader,
+) -> Result<(u64, u64, Vec<String>, Vec<TypeDump>), TraceError> {
+    // Mirrors `format::get_stream` up to (not including) the event region, but reads
+    // incrementally.  The count-vs-remaining sanity checks of the slurping path are
+    // replaced by incremental reads: a lying count simply runs into end-of-file.
+    let seed = r.read_varint()?;
+    let requests = r.read_varint()?;
+    let symbol_count = r.read_varint()? as usize;
+    let mut symbols = Vec::with_capacity(symbol_count.min(1 << 16));
+    for _ in 0..symbol_count {
+        symbols.push(r.read_string()?);
+    }
+    let type_count = r.read_varint()? as usize;
+    let mut types = Vec::with_capacity(type_count.min(1 << 16));
+    for _ in 0..type_count {
+        let name = r.read_string()?;
+        let description = r.read_string()?;
+        let size = r.read_varint()?;
+        let field_count = r.read_varint()? as usize;
+        let mut fields = Vec::with_capacity(field_count.min(1 << 16));
+        for _ in 0..field_count {
+            fields.push(crate::format::FieldDump {
+                name: r.read_string()?,
+                offset: r.read_varint()?,
+                size: r.read_varint()?,
+            });
+        }
+        types.push(TypeDump {
+            name,
+            description,
+            size,
+            fields,
+        });
+    }
+    Ok((seed, requests, symbols, types))
+}
+
+const OP_ACCESS_RUN: u8 = 0x00;
+const OP_COMPUTE: u8 = 0x01;
+const OP_ALLOC: u8 = 0x02;
+const OP_FREE: u8 = 0x03;
+const OP_ROUND_END: u8 = 0x04;
+
+/// Incremental decoder over one stream's event region: an iterator of validated
+/// [`SessionEvent`]s with bounded buffering.  Fused — after the first error, the
+/// iterator yields `None` forever.
+#[derive(Debug)]
+pub struct EventReader {
+    reader: ChunkedReader,
+    /// Absolute file offset one past the event region.
+    region_end: u64,
+    /// Event count the stream header declared.
+    expected: usize,
+    produced: usize,
+    /// Core count of the declared machine, for semantic validation.
+    cores: usize,
+    /// The codec's per-core previous-address delta table.
+    prev_addr: Vec<u64>,
+    /// In-progress access run: `(core, ip, items_remaining)`.
+    run: Option<(u32, FunctionId, u64)>,
+    done: bool,
+}
+
+impl std::fmt::Debug for ChunkedReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkedReader")
+            .field("offset", &self.offset)
+            .field("buffered", &self.available())
+            .field("peak", &self.peak)
+            .finish()
+    }
+}
+
+impl EventReader {
+    /// Largest number of bytes this reader ever held buffered at once — the decoder's
+    /// memory footprint, which stays a small constant regardless of trace size.
+    pub fn peak_buffered_bytes(&self) -> usize {
+        self.reader.peak
+    }
+
+    /// Number of events decoded so far.
+    pub fn produced(&self) -> usize {
+        self.produced
+    }
+
+    fn remaining_region(&self) -> u64 {
+        self.region_end.saturating_sub(self.reader.offset)
+    }
+
+    /// Errors if the last read ran past the declared event region (a varint or string
+    /// straddling the region boundary means the byte length lied).
+    fn check_region(&self) -> Result<(), TraceError> {
+        if self.reader.offset > self.region_end {
+            return Err(TraceError::Corrupt(
+                "event data runs past the stream's declared byte length".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn next_inner(&mut self) -> Result<Option<SessionEvent>, TraceError> {
+        loop {
+            // Continue an in-progress access run first.
+            if let Some((core, ip, remaining)) = self.run {
+                if remaining > 0 {
+                    let delta = unzigzag(self.reader.read_varint()?);
+                    let packed = self.reader.read_varint()?;
+                    self.check_region()?;
+                    self.run = Some((core, ip, remaining - 1));
+                    let idx = core as usize;
+                    if idx >= self.prev_addr.len() {
+                        self.prev_addr.resize(idx + 1, 0);
+                    }
+                    let addr = self.prev_addr[idx].wrapping_add(delta as u64);
+                    self.prev_addr[idx] = addr;
+                    let kind = if packed & 1 == 1 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    let len = packed >> 1;
+                    return self.emit(SessionEvent::Access {
+                        core,
+                        ip,
+                        addr,
+                        len,
+                        kind,
+                    });
+                }
+                self.run = None;
+            }
+            if self.remaining_region() == 0 {
+                if self.produced != self.expected {
+                    return Err(TraceError::Corrupt(format!(
+                        "stream decoded to {} events but the header declared {}",
+                        self.produced, self.expected
+                    )));
+                }
+                return Ok(None);
+            }
+            let op = self.reader.read_byte()?;
+            match op {
+                OP_ACCESS_RUN => {
+                    let core = self.read_core()?;
+                    let ip = self.read_fn_id()?;
+                    let count = self.reader.read_varint()?;
+                    self.check_region()?;
+                    // Each item is at least two bytes; reject counts the remaining
+                    // region cannot possibly satisfy.
+                    if count > self.remaining_region().div_ceil(2).max(1) {
+                        return Err(TraceError::Corrupt(format!(
+                            "access run of {count} items exceeds the remaining stream"
+                        )));
+                    }
+                    self.run = Some((core, ip, count));
+                    // Loop: the next iteration decodes the run's first item (or, for
+                    // a degenerate empty run, moves on to the next opcode).
+                }
+                OP_COMPUTE => {
+                    let core = self.read_core()?;
+                    let ip = self.read_fn_id()?;
+                    let cycles = self.reader.read_varint()?;
+                    self.check_region()?;
+                    return self.emit(SessionEvent::Compute { core, ip, cycles });
+                }
+                OP_ALLOC => {
+                    let flags = self.reader.read_byte()?;
+                    let core = self.read_core()?;
+                    let type_id = u32::try_from(self.reader.read_varint()?)
+                        .map_err(|_| TraceError::Corrupt("type id overflows u32".into()))?;
+                    let size = self.reader.read_varint()?;
+                    let addr = self.reader.read_varint()?;
+                    let cycle = self.reader.read_varint()?;
+                    self.check_region()?;
+                    return self.emit(SessionEvent::Alloc {
+                        core,
+                        type_id,
+                        size,
+                        addr,
+                        cycle,
+                        hookable: flags & 1 == 1,
+                    });
+                }
+                OP_FREE => {
+                    let core = self.read_core()?;
+                    let addr = self.reader.read_varint()?;
+                    let cycle = self.reader.read_varint()?;
+                    self.check_region()?;
+                    return self.emit(SessionEvent::Free { core, addr, cycle });
+                }
+                OP_ROUND_END => {
+                    self.check_region()?;
+                    return self.emit(SessionEvent::RoundEnd);
+                }
+                other => {
+                    return Err(TraceError::Corrupt(format!(
+                        "unknown event opcode {other:#04x} at byte {}",
+                        self.reader.offset - 1
+                    )))
+                }
+            }
+        }
+    }
+
+    fn read_core(&mut self) -> Result<u32, TraceError> {
+        let core = self.reader.read_varint()?;
+        if core >= sim_cache::MAX_CORES as u64 {
+            return Err(TraceError::Corrupt(format!(
+                "core id {core} exceeds the {}-core maximum",
+                sim_cache::MAX_CORES
+            )));
+        }
+        Ok(core as u32)
+    }
+
+    fn read_fn_id(&mut self) -> Result<FunctionId, TraceError> {
+        Ok(FunctionId(
+            u32::try_from(self.reader.read_varint()?)
+                .map_err(|_| TraceError::Corrupt("function id overflows u32".into()))?,
+        ))
+    }
+
+    /// Applies the same semantic validation as `format::validate_stream_events`,
+    /// counts the event, and returns it.
+    fn emit(&mut self, ev: SessionEvent) -> Result<Option<SessionEvent>, TraceError> {
+        let i = self.produced;
+        self.produced += 1;
+        if self.produced > self.expected {
+            return Err(TraceError::Corrupt(format!(
+                "stream decoded more events than the {} the header declared",
+                self.expected
+            )));
+        }
+        let (core, extent) = match ev {
+            SessionEvent::Access {
+                core, addr, len, ..
+            } => (core, Some((addr, len))),
+            SessionEvent::Compute { core, .. }
+            | SessionEvent::Alloc { core, .. }
+            | SessionEvent::Free { core, .. } => (core, None),
+            SessionEvent::RoundEnd => return Ok(Some(ev)),
+        };
+        if core as usize >= self.cores {
+            return Err(TraceError::Corrupt(format!(
+                "event {i} targets core {core} but the machine has {} cores",
+                self.cores
+            )));
+        }
+        if let Some((addr, len)) = extent {
+            if len == 0 || len > MAX_ACCESS_LEN {
+                return Err(TraceError::Corrupt(format!(
+                    "event {i} has access length {len} (must be 1..={MAX_ACCESS_LEN})"
+                )));
+            }
+            if addr.checked_add(len).is_none() {
+                return Err(TraceError::Corrupt(format!(
+                    "event {i} wraps the address space ({addr:#x} + {len})"
+                )));
+            }
+        }
+        Ok(Some(ev))
+    }
+}
+
+impl Iterator for EventReader {
+    type Item = Result<SessionEvent, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.next_inner() {
+            Ok(Some(ev)) => Some(Ok(ev)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TraceFile;
+
+    fn temp_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join("dprof-stream-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    /// A synthetic full-session trace with enough events to span many chunks.
+    fn big_file(events_per_stream: usize, streams: usize) -> TraceFile {
+        use sim_machine::SessionEvent as E;
+        let mut file = crate::format::tests_support::sample_file();
+        file.streams.clear();
+        for t in 0..streams {
+            let mut events = Vec::with_capacity(events_per_stream);
+            let mut x = 0x9e3779b97f4a7c15u64.wrapping_mul(t as u64 + 1) | 1;
+            for i in 0..events_per_stream {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                events.push(match x % 10 {
+                    0 => E::RoundEnd,
+                    1 => E::Compute {
+                        core: (x % 2) as u32,
+                        ip: FunctionId((x % 7) as u32),
+                        cycles: x % 1000,
+                    },
+                    2 => E::Alloc {
+                        core: (x % 2) as u32,
+                        type_id: 0,
+                        size: 64,
+                        addr: 0x5000_0000 + i as u64 * 64,
+                        cycle: i as u64,
+                        hookable: x.is_multiple_of(2),
+                    },
+                    _ => E::Access {
+                        core: (x % 2) as u32,
+                        ip: FunctionId((x % 7) as u32),
+                        addr: 0x1000_0000 + (x % 100_000),
+                        len: 1 + (x % 64),
+                        kind: if x.is_multiple_of(3) {
+                            AccessKind::Write
+                        } else {
+                            AccessKind::Read
+                        },
+                    },
+                });
+            }
+            let mut s = crate::format::tests_support::sample_stream();
+            s.seed += t as u64;
+            s.events = events;
+            file.streams.push(s);
+        }
+        file
+    }
+
+    #[test]
+    fn streaming_decode_equals_slurping_decode() {
+        let file = big_file(20_000, 2);
+        let path = temp_path("equiv.dtrace");
+        file.write(&path).unwrap();
+
+        let slurped = TraceFile::read(&path).unwrap();
+        let reader = TraceReader::open(&path).unwrap();
+        assert_eq!(reader.kind, slurped.kind);
+        assert_eq!(reader.params, slurped.params);
+        assert_eq!(reader.stream_count(), slurped.streams.len());
+        for (i, s) in slurped.streams.iter().enumerate() {
+            let h = &reader.headers()[i];
+            assert_eq!(h.seed, s.seed);
+            assert_eq!(h.requests, s.requests);
+            assert_eq!(h.symbols, s.symbols);
+            assert_eq!(h.types, s.types);
+            assert_eq!(h.event_count, s.events.len());
+            let streamed: Vec<SessionEvent> = reader
+                .events(i)
+                .unwrap()
+                .map(|r| r.expect("event decodes"))
+                .collect();
+            assert_eq!(streamed, s.events, "stream {i} events diverged");
+        }
+    }
+
+    #[test]
+    fn buffering_stays_bounded() {
+        let file = big_file(150_000, 1);
+        let path = temp_path("bounded.dtrace");
+        file.write(&path).unwrap();
+        let file_len = std::fs::metadata(&path).unwrap().len() as usize;
+        assert!(
+            file_len > 4 * CHUNK_SIZE,
+            "trace too small ({file_len}B) to exercise chunking"
+        );
+
+        let reader = TraceReader::open(&path).unwrap();
+        let mut events = reader.events(0).unwrap();
+        let mut n = 0usize;
+        for ev in &mut events {
+            ev.expect("event decodes");
+            n += 1;
+        }
+        assert_eq!(n, reader.headers()[0].event_count);
+        // Bounded: a couple of chunks, not the file.  (The exact cap also guards the
+        // ensure() compaction logic: a regression that stops compacting would buffer
+        // the whole region and trip this.)
+        assert!(
+            events.peak_buffered_bytes() <= 3 * CHUNK_SIZE,
+            "peak buffering {} exceeds 3 chunks ({} file bytes)",
+            events.peak_buffered_bytes(),
+            file_len
+        );
+    }
+
+    #[test]
+    fn truncated_event_region_is_rejected() {
+        let file = big_file(5_000, 1);
+        let path = temp_path("trunc.dtrace");
+        let bytes = file.encode();
+        // Cut into the last stream's event bytes.
+        std::fs::write(&path, &bytes[..bytes.len() - 100]).unwrap();
+        assert!(
+            TraceReader::open(&path).is_err(),
+            "truncated event region must be rejected at open"
+        );
+    }
+
+    #[test]
+    fn corrupt_opcode_is_rejected_lazily() {
+        let mut file = big_file(1_000, 1);
+        // Force the last event (and therefore the file's last byte) to be a RoundEnd
+        // opcode, so the clobber below is guaranteed to hit an opcode position.
+        file.streams[0].events.push(SessionEvent::RoundEnd);
+        let path = temp_path("corrupt.dtrace");
+        let mut bytes = file.encode();
+        let len = bytes.len();
+        bytes[len - 1] = 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let reader = TraceReader::open(&path).unwrap();
+        let result: Result<Vec<_>, _> = reader.events(0).unwrap().collect();
+        assert!(result.is_err(), "corrupt event bytes must surface an error");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let file = big_file(100, 1);
+        let path = temp_path("trailing.dtrace");
+        let mut bytes = file.encode();
+        bytes.push(0);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            TraceReader::open(&path),
+            Err(TraceError::Corrupt(_))
+        ));
+    }
+}

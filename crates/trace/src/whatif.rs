@@ -28,8 +28,8 @@
 
 use crate::format::{ThreadStream, TraceFile, TraceKind};
 use crate::replay::rebuild_universe;
-use sim_kernel::{RemapTarget, TypeId};
-use sim_machine::SessionEvent;
+use sim_kernel::{KernelState, RemapTarget, TypeId};
+use sim_machine::{Machine, SessionEvent};
 use std::collections::{BTreeMap, HashMap};
 
 /// Base of the shadow address range counterfactual layouts are carved from.  Far above
@@ -150,14 +150,18 @@ impl std::fmt::Display for FixSpec {
     }
 }
 
-/// The recorded `TypeId` of `name` in a stream's registry.  Replay re-registers the
+/// The recorded `TypeId` of `name` in a type-dump table.  Replay re-registers the
 /// type dumps in order, so an id is simply the dump position.
-pub fn stream_type_id(stream: &ThreadStream, name: &str) -> Option<TypeId> {
-    stream
-        .types
+pub fn types_type_id(types: &[crate::format::TypeDump], name: &str) -> Option<TypeId> {
+    types
         .iter()
         .position(|t| t.name == name)
         .map(|i| TypeId(i as u32))
+}
+
+/// [`types_type_id`] over a decoded stream.
+pub fn stream_type_id(stream: &ThreadStream, name: &str) -> Option<TypeId> {
+    types_type_id(&stream.types, name)
 }
 
 /// Names of every type recorded in the trace (union over streams, first-seen order).
@@ -371,19 +375,93 @@ pub fn measure_stream(file: &TraceFile, thread: usize, spec: &FixSpec) -> Whatif
         "only full-session traces carry the round structure what-if measurement needs"
     );
     let stream = &file.streams[thread];
-    let (mut machine, mut kernel) = rebuild_universe(file, thread);
+    let (machine, kernel) = rebuild_universe(file, thread);
     let target = spec.target().and_then(|name| stream_type_id(stream, name));
-    let mut transform = Transform::new(spec, target, file.machine.hierarchy.l1.line_size as u64);
+    let transform = Transform::new(spec, target, file.machine.hierarchy.l1.line_size as u64);
+    measure_events(
+        machine,
+        kernel,
+        thread,
+        file.params.warmup_rounds,
+        transform,
+        stream.requests,
+        file.machine.cycles_per_second,
+        stream.events.iter().copied(),
+    )
+}
 
+/// [`measure_stream`] with incremental event decoding from disk: identical results,
+/// bounded memory.  Decode errors surface as `Err`.
+pub fn measure_stream_streaming(
+    reader: &crate::stream::TraceReader,
+    thread: usize,
+    spec: &FixSpec,
+) -> Result<WhatifMeasure, String> {
+    assert_eq!(
+        reader.kind,
+        TraceKind::FullSession,
+        "only full-session traces carry the round structure what-if measurement needs"
+    );
+    let header = &reader.headers()[thread];
+    let (machine, kernel) = crate::replay::rebuild_universe_parts(
+        reader.machine,
+        reader.params.cores,
+        &header.symbols,
+        &header.types,
+    );
+    let target = spec
+        .target()
+        .and_then(|name| types_type_id(&header.types, name));
+    let transform = Transform::new(spec, target, reader.machine.hierarchy.l1.line_size as u64);
+    let mut error = None;
+    let events = reader
+        .events(thread)
+        .map_err(|e| format!("stream {thread}: {e}"))?
+        .map_while(|r| match r {
+            Ok(ev) => Some(ev),
+            Err(e) => {
+                error = Some(e);
+                None
+            }
+        });
+    let measure = measure_events(
+        machine,
+        kernel,
+        thread,
+        reader.params.warmup_rounds,
+        transform,
+        header.requests,
+        reader.machine.cycles_per_second,
+        events,
+    );
+    if let Some(e) = error {
+        return Err(format!("stream {thread}: {e}"));
+    }
+    Ok(measure)
+}
+
+/// The shared measurement loop: replays events (no profiler in the loop) recording
+/// the makespan at every post-warmup round boundary.
+#[allow(clippy::too_many_arguments)]
+fn measure_events<I: Iterator<Item = SessionEvent>>(
+    mut machine: Machine,
+    mut kernel: KernelState,
+    thread: usize,
+    warmup_rounds: usize,
+    mut transform: Transform,
+    requests: u64,
+    cycles_per_second: u64,
+    events: I,
+) -> WhatifMeasure {
     // Rounds 1..=warmup_boundary are setup + (phase-shifted) warmup; everything after
     // is the measured window, mirroring the live driver's counters.
-    let warmup_boundary = 1 + file.params.warmup_rounds + thread;
+    let warmup_boundary = 1 + warmup_rounds + thread;
     let mut round = 0usize;
     let mut warmup_clock = 0u64;
     let mut round_clocks = Vec::new();
 
-    for ev in &stream.events {
-        let ev = match *ev {
+    for ev in events {
+        let ev = match ev {
             SessionEvent::Access {
                 core, addr, len, ..
             } if !transform.is_identity() => {
@@ -442,8 +520,8 @@ pub fn measure_stream(file: &TraceFile, thread: usize, spec: &FixSpec) -> Whatif
         thread,
         warmup_clock,
         round_clocks,
-        requests: stream.requests,
-        cycles_per_second: file.machine.cycles_per_second,
+        requests,
+        cycles_per_second,
     }
 }
 
@@ -478,6 +556,40 @@ pub fn measure_all(file: &TraceFile, spec: &FixSpec) -> Result<Vec<WhatifMeasure
     Ok(runs)
 }
 
+/// [`measure_all`] with incremental event decoding: one worker thread per stream,
+/// each streaming events from its own file handle.  Identical results to
+/// [`measure_all`] over the decoded file.
+pub fn measure_all_streaming(
+    reader: &crate::stream::TraceReader,
+    spec: &FixSpec,
+) -> Result<Vec<WhatifMeasure>, String> {
+    if reader.kind != TraceKind::FullSession {
+        return Err(
+            "trace is access-only (e.g. a bench capture); what-if analysis needs a \
+             full-session trace"
+                .into(),
+        );
+    }
+    if reader.stream_count() == 0 {
+        return Err("trace contains no streams".into());
+    }
+    let mut runs: Vec<WhatifMeasure> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..reader.stream_count())
+            .map(|thread| scope.spawn(move || measure_stream_streaming(reader, thread, spec)))
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(thread, handle)| match handle.join() {
+                Ok(result) => result,
+                Err(_) => Err(format!("what-if measurement thread {thread} panicked")),
+            })
+            .collect::<Result<Vec<_>, String>>()
+    })?;
+    runs.sort_by_key(|r| r.thread);
+    Ok(runs)
+}
+
 /// Granule-level sharing statistics for one type, aggregated over all streams: the raw
 /// material of `--auto`'s fix-family diagnosis.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -499,7 +611,7 @@ pub struct SharingProfile {
 /// events, tracking the type's live intervals from its `Alloc`/`Free` events.
 pub fn analyze_sharing(file: &TraceFile, type_name: &str) -> SharingProfile {
     let mut granules: HashMap<(u64, u64), HashMap<u32, u64>> = HashMap::new();
-    let mut round_cores: HashMap<u64, u64> = HashMap::new();
+    let mut round_cores: HashMap<u64, u128> = HashMap::new();
     let mut accesses = 0u64;
     let mut object_rounds = 0u64;
     let mut core_sum = 0u64;
@@ -537,7 +649,7 @@ pub fn analyze_sharing(file: &TraceFile, type_name: &str) -> SharingProfile {
                         .or_default()
                         .entry(core)
                         .or_insert(0) += 1;
-                    *round_cores.entry(base).or_insert(0) |= 1u64 << (core.min(63));
+                    *round_cores.entry(base).or_insert(0u128) |= 1u128 << (core.min(127));
                 }
                 SessionEvent::RoundEnd => {
                     for mask in round_cores.values_mut() {

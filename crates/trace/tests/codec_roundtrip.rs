@@ -3,10 +3,22 @@
 //! rejected rather than misdecoded.
 
 use dprof_trace::codec::{decode_events, encode_events};
-use dprof_trace::{SessionParams, ThreadStream, TraceFile, TraceKind};
+use dprof_trace::{SessionParams, ThreadStream, TraceFile, TraceKind, TraceReader};
 use proptest::prelude::*;
 use sim_cache::AccessKind;
 use sim_machine::{FunctionId, MachineConfig, SessionEvent};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fresh temp-file path per proptest case (the test binary runs tests on
+/// parallel threads, so a fixed name would race).
+fn temp_trace_path() -> std::path::PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "dprof_codec_stream_{}_{n}.dtrace",
+        std::process::id()
+    ))
+}
 
 /// Strategy producing one arbitrary session event.
 fn event_strategy() -> impl Strategy<Value = SessionEvent> {
@@ -114,6 +126,29 @@ proptest! {
         bytes[byte] ^= 1 << bit;
         // Flipping any bit of the magic or the version must fail to decode as v1.
         prop_assert!(TraceFile::decode(&bytes).is_err());
+    }
+
+    /// The streaming chunked decoder produces exactly the event sequence the
+    /// slurping decoder materializes, for arbitrary event streams, and its header
+    /// metadata matches the decoded file's.
+    #[test]
+    fn streaming_decode_equals_materialized(events in proptest::collection::vec(event_strategy(), 0..250)) {
+        let file = full_file(events);
+        let path = temp_trace_path();
+        let path_str = path.to_str().expect("temp path is utf-8");
+        file.write(path_str).expect("trace writes");
+
+        let slurped = TraceFile::read(path_str).expect("slurping decode succeeds");
+        let reader = TraceReader::open(path_str).expect("streaming open succeeds");
+        let streamed: Result<Vec<SessionEvent>, _> =
+            reader.events(0).expect("event reader opens").collect();
+        let streamed = streamed.expect("streaming decode succeeds");
+        std::fs::remove_file(&path).ok();
+
+        prop_assert_eq!(reader.headers()[0].event_count, streamed.len());
+        prop_assert_eq!(reader.headers()[0].seed, slurped.streams[0].seed);
+        prop_assert_eq!(&reader.params, &slurped.params);
+        prop_assert_eq!(streamed, slurped.streams[0].events.clone());
     }
 
     /// Decodable events targeting a core the declared machine does not have are
