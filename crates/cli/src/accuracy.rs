@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// JSON schema identifier of the accuracy report.
-pub const SCHEMA: &str = "dprof-accuracy/v1";
+pub const SCHEMA: &str = dprof::core::schema::ACCURACY_V1;
 
 /// One per-type comparison row.
 #[derive(Debug, Clone)]

@@ -144,6 +144,125 @@ pub struct AccuracyOptions {
     pub output: Option<String>,
 }
 
+/// Options of a `dprof serve` invocation (the continuous-profiling collector).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address; port 0 picks a free port.
+    pub listen: String,
+    /// Snapshot tree root; `None` keeps the store memory-only.
+    pub store: Option<String>,
+    /// Snapshot a key automatically after this many pushes (0 = manual only).
+    pub snapshot_every: u64,
+    /// Per-key resident-shard bound (streaming-merge compaction threshold).
+    pub compact_threshold: usize,
+    /// Write the bound address to this file once listening (scripting aid).
+    pub port_file: Option<String>,
+}
+
+/// Options of a `dprof loadgen` invocation (the ingest-throughput driver).
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Collector address; `None` requires `--spawn`.
+    pub connect: Option<String>,
+    /// Start an in-process collector on a free port for the run.
+    pub spawn: bool,
+    /// Snapshot tree for a spawned collector.
+    pub store: Option<String>,
+    /// Total shards to push across all producers.
+    pub shards: u64,
+    /// Concurrent producer connections.
+    pub producers: usize,
+    /// Scenario whose fixed/buggy variants provide the template shards.
+    pub scenario: String,
+    /// Workload tag the shards are pushed under.
+    pub tag: String,
+    /// Sampling rounds of the two template profiling runs.
+    pub rounds: usize,
+    /// Spawned collector's compaction threshold (bounded-memory proof).
+    pub compact_threshold: usize,
+    /// Fail (exit 1) when sustained throughput lands below this, shards/s.
+    pub min_throughput: Option<f64>,
+    /// Output format.
+    pub format: Format,
+    /// Write the loadgen report here instead of stdout.
+    pub output: Option<String>,
+}
+
+/// The action of a `dprof query` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryAction {
+    /// Push a `dprof-report/v1` JSON file as one shard.
+    Push {
+        /// Workload tag.
+        workload: String,
+        /// Build tag.
+        build: String,
+        /// Producer-assigned unique shard id.
+        shard_id: u64,
+        /// Report file path (`-` reads stdin).
+        file: String,
+    },
+    /// Upload a recorded `.dtrace` session.
+    PushTrace {
+        /// Workload tag.
+        workload: String,
+        /// Build tag.
+        build: String,
+        /// Producer-assigned unique upload id.
+        shard_id: u64,
+        /// Trace file path.
+        file: String,
+    },
+    /// Top miss types of one build.
+    Top {
+        /// Workload tag.
+        workload: String,
+        /// Build tag.
+        build: String,
+        /// Maximum rows.
+        top: u64,
+    },
+    /// Per-type deltas between two builds, worst regressions first.
+    Regressions {
+        /// Workload tag.
+        workload: String,
+        /// Baseline build tag.
+        from: String,
+        /// Comparison build tag.
+        to: String,
+        /// Maximum rows.
+        top: u64,
+    },
+    /// Wilson-confidence-gated regression alerts between two builds.
+    Alerts {
+        /// Workload tag.
+        workload: String,
+        /// Baseline build tag.
+        from: String,
+        /// Comparison build tag.
+        to: String,
+    },
+    /// Every (workload, build) key the collector holds.
+    Keys,
+    /// Collector counters.
+    Stats,
+    /// Force a snapshot of every dirty key.
+    Snapshot,
+    /// Stop the collector.
+    Shutdown,
+}
+
+/// Options of a `dprof query` invocation.
+#[derive(Debug, Clone)]
+pub struct QueryOptions {
+    /// Collector address (`host:port`).
+    pub connect: String,
+    /// What to ask.
+    pub action: QueryAction,
+    /// Write the response document here instead of stdout.
+    pub output: Option<String>,
+}
+
 /// Result of parsing a command line.
 #[derive(Debug, Clone)]
 pub enum Parsed {
@@ -157,32 +276,48 @@ pub enum Parsed {
     Accuracy(AccuracyOptions),
     /// Predict fix impact by counterfactual replay (`dprof whatif`).
     Whatif(WhatifOptions),
+    /// Run the continuous-profiling collector (`dprof serve`).
+    Serve(ServeOptions),
+    /// Drive a collector with concurrent producers (`dprof loadgen`).
+    Loadgen(LoadgenOptions),
+    /// Push to / query a collector (`dprof query`).
+    Query(QueryOptions),
     /// `--help` was requested.
     Help,
     /// `--version` was requested.
     Version,
 }
 
-/// The `--help` text.
-pub const USAGE: &str = "\
+impl Parsed {
+    /// The registry name of the subcommand this invocation dispatches to
+    /// (`None` for `--help` / `--version`, which the shell handles itself).
+    /// `record` parses to [`Parsed::Run`] deliberately: record *is* a run.
+    pub fn command_name(&self) -> Option<&'static str> {
+        match self {
+            Parsed::Run(_) => Some("run"),
+            Parsed::Replay(_) => Some("replay"),
+            Parsed::Diff(_) => Some("diff"),
+            Parsed::Accuracy(_) => Some("accuracy"),
+            Parsed::Whatif(_) => Some("whatif"),
+            Parsed::Serve(_) => Some("serve"),
+            Parsed::Loadgen(_) => Some("loadgen"),
+            Parsed::Query(_) => Some("query"),
+            Parsed::Help | Parsed::Version => None,
+        }
+    }
+}
+
+/// The `--help` text above the synopsis (the synopsis itself is generated from
+/// the subcommand registry by [`usage`]).
+const USAGE_HEADER: &str = "\
 dprof — data-centric cache profiling of a simulated multicore kernel
 (reproduction of DProf, EuroSys 2010)
 
 USAGE:
-    dprof [run] [OPTIONS]         profile a workload live
-    dprof record [OPTIONS]        profile AND capture a replayable .dtrace session
-    dprof replay <FILE> [OPTIONS] re-profile a recorded session (no workload runs;
-                                  the report is byte-identical to the recorded run's)
-    dprof diff <A.json> <B.json>  compare two JSON reports: per-type deltas plus a
-                                  bottleneck verdict (eliminated / moved / reduced /
-                                  unchanged / worsened)
-    dprof accuracy [OPTIONS]      profile under sampling AND exact ground truth in
-                                  one run, and report sampling fidelity (per-type
-                                  share error, top-K rank agreement, samples spent)
-    dprof whatif <FILE> [OPTIONS] rank hypothetical fixes by predicted throughput
-                                  gain, measured by counterfactual replay of a
-                                  recorded .dtrace session
+";
 
+/// The per-flag sections of the `--help` text.
+const USAGE_SECTIONS: &str = "\
 RECORD/REPLAY:
         --trace <PATH>        (record) session trace output   [default: dprof.dtrace]
         --sharded             (replay) simulate the caches on the parallel
@@ -213,6 +348,53 @@ WHATIF:
                               fix family)
     whatif also accepts --format and --output; candidates are ranked by predicted
     end-to-end gain with block-vote confidence (see docs/whatif.md).
+
+SERVE:
+        --listen <ADDR>       listen address (port 0 picks)  [default: 127.0.0.1:7464]
+        --store <DIR>         snapshot tree, reloaded on start   (omit: memory-only)
+        --snapshot-every <N>  snapshot a key after N pushes (0 = manual only)
+                                                                 [default: 64]
+        --compact-every <N>   fold a key's resident shards into one base shard at
+                              N, keeping collector memory bounded [default: 256]
+        --port-file <PATH>    write the bound address here once listening
+    the collector merges pushed shards per (workload, build) key with the same
+    streaming merge the CLI uses; stop it with `dprof query shutdown -c <ADDR>`
+    (see docs/serve.md for the protocol and schemas).
+
+LOADGEN:
+    -c, --connect <ADDR>      collector to drive (or --spawn one in-process)
+        --spawn               start a collector on a free port for this run
+        --store <DIR>         snapshot tree of the spawned collector
+        --shards <N>          total shards to push               [default: 200]
+        --producers <N>       concurrent producer connections    [default: 8]
+        --scenario <NAME>     scenario profiled once per variant (fixed + buggy)
+                              to make the template shards
+                                                       [default: streaming-scan]
+        --tag <NAME>          workload tag pushed under          [default: loadgen]
+        --rounds <N>          template profiling rounds          [default: 40]
+        --compact-every <N>   spawned collector's resident-shard bound
+                                                                 [default: 32]
+        --min-throughput <X>  fail (exit 1) below X shards/s     (the CI gate)
+    loadgen also accepts --format and --output; the JSON report is
+    dprof-loadgen/v1 (sustained shards/s, query answers, verdict, alerts).
+
+QUERY:
+    dprof query <ACTION> -c <ADDR> [OPTIONS]; the actions are
+      top           top miss types of one build       (-w, --build, --top)
+      regressions   per-type deltas between two builds, worst regression
+                    first, plus a bottleneck verdict  (-w, --from, --to, --top)
+      alerts        Wilson-gated alerts: types whose merged miss-share
+                    confidence intervals separated upward between builds
+                                                      (-w, --from, --to)
+      keys          every (workload, build) key the collector holds
+      stats         collector counters (keys, shards absorbed/resident)
+      push          push a dprof-report/v1 JSON file as one shard
+                                     (-w, --build, --shard-id, --file; '-' = stdin)
+      push-trace    upload a recorded .dtrace session (-w, --build, --shard-id,
+                                                       --file)
+      snapshot      force a snapshot of every dirty key
+      shutdown      stop the collector
+    responses are dprof-serve/v1 JSON documents (redirect with --output).
 
 WORKLOAD:
     -w, --workload <NAME>     memcached | apache | custom, or a bottleneck scenario
@@ -266,7 +448,34 @@ EXAMPLES:
     dprof whatif buggy.dtrace --auto                       # ranked fix predictions
     dprof whatif buggy.dtrace --fix pad:ring_desc -f json -o whatif.json
     dprof diff buggy.json fixed.json --whatif whatif.json  # predicted vs realized
+    dprof serve --store .dprof-store --port-file serve.addr &
+    dprof query push -c $(cat serve.addr) -w ring --build v1 --shard-id 1 \\
+        --file buggy.json
+    dprof query push-trace -c $(cat serve.addr) -w ring --build v2 --shard-id 2 \\
+        --file buggy.dtrace
+    dprof query alerts -c $(cat serve.addr) -w ring --from v1 --to v2
+    dprof loadgen --spawn --shards 200 --producers 8 --min-throughput 50
 ";
+
+/// Builds the `--help` text: the header, a synopsis line per registered
+/// subcommand (straight from [`crate::registry::registry`], so a new
+/// subcommand cannot forget to document itself), then the flag sections.
+pub fn usage() -> String {
+    use std::fmt::Write;
+    let mut text = String::from(USAGE_HEADER);
+    for command in crate::registry::registry() {
+        let mut about = command.about.iter();
+        if let Some(first) = about.next() {
+            let _ = writeln!(text, "    {:<30} {first}", command.synopsis);
+        }
+        for line in about {
+            let _ = writeln!(text, "{:35}{line}", "");
+        }
+    }
+    text.push('\n');
+    text.push_str(USAGE_SECTIONS);
+    text
+}
 
 fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
     value
@@ -368,33 +577,222 @@ fn validate_run_shape(run: &RunOptions) -> Result<(), String> {
 
 /// Parses a command line (without the program name).
 ///
-/// The first argument may be a subcommand: `run` (the default), `record` (run plus
-/// `.dtrace` capture) or `replay` (re-profile a recorded trace).
+/// The first argument may name a subcommand from [`crate::registry::registry`];
+/// everything else (flags, or no arguments at all) falls through to `run`, the
+/// default subcommand.
 pub fn parse(args: &[String]) -> Result<Parsed, String> {
     match args.first().map(String::as_str) {
-        Some("replay") => parse_replay(&args[1..]),
-        Some("diff") => parse_diff(&args[1..]),
-        Some("accuracy") => parse_accuracy(&args[1..]),
-        Some("whatif") => parse_whatif(&args[1..]),
-        Some("record") => {
-            let parsed = parse_run(&args[1..])?;
-            if let Parsed::Run(mut options) = parsed {
-                options.run.record_session = true;
-                options
-                    .trace_out
-                    .get_or_insert_with(|| "dprof.dtrace".to_string());
-                Ok(Parsed::Run(options))
-            } else {
-                Ok(parsed)
-            }
-        }
-        Some("run") => parse_run(&args[1..]),
+        Some(first) if !first.starts_with('-') => match crate::registry::find(first) {
+            Some(command) => (command.parse)(&args[1..]),
+            None => parse_run(args),
+        },
         _ => parse_run(args),
     }
 }
 
+/// `dprof record`: a run that also captures a replayable `.dtrace` session.
+pub(crate) fn parse_record(args: &[String]) -> Result<Parsed, String> {
+    let parsed = parse_run(args)?;
+    if let Parsed::Run(mut options) = parsed {
+        options.run.record_session = true;
+        options
+            .trace_out
+            .get_or_insert_with(|| "dprof.dtrace".to_string());
+        Ok(Parsed::Run(options))
+    } else {
+        Ok(parsed)
+    }
+}
+
+/// Parses the flags of a `dprof serve` invocation.
+pub(crate) fn parse_serve(args: &[String]) -> Result<Parsed, String> {
+    let mut options = ServeOptions {
+        listen: "127.0.0.1:7464".into(),
+        store: None,
+        snapshot_every: 64,
+        compact_threshold: 256,
+        port_file: None,
+    };
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(Parsed::Help),
+            "-V" | "--version" => return Ok(Parsed::Version),
+            "--listen" => options.listen = take_value(&mut iter, arg)?,
+            "--store" => options.store = Some(take_value(&mut iter, arg)?),
+            "--snapshot-every" => {
+                options.snapshot_every = parse_num(arg, &take_value(&mut iter, arg)?)?
+            }
+            "--compact-every" => {
+                options.compact_threshold = parse_num(arg, &take_value(&mut iter, arg)?)?;
+                if options.compact_threshold < 2 {
+                    return Err("--compact-every must be at least 2".into());
+                }
+            }
+            "--port-file" => options.port_file = Some(take_value(&mut iter, arg)?),
+            other => return Err(format!("unknown serve argument '{other}' (try --help)")),
+        }
+    }
+    Ok(Parsed::Serve(options))
+}
+
+/// Parses the flags of a `dprof loadgen` invocation.
+pub(crate) fn parse_loadgen(args: &[String]) -> Result<Parsed, String> {
+    let mut options = LoadgenOptions {
+        connect: None,
+        spawn: false,
+        store: None,
+        shards: 200,
+        producers: 8,
+        scenario: "streaming-scan".into(),
+        tag: "loadgen".into(),
+        rounds: 40,
+        compact_threshold: 32,
+        min_throughput: None,
+        format: Format::Text,
+        output: None,
+    };
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(Parsed::Help),
+            "-V" | "--version" => return Ok(Parsed::Version),
+            "-c" | "--connect" => options.connect = Some(take_value(&mut iter, arg)?),
+            "--spawn" => options.spawn = true,
+            "--store" => options.store = Some(take_value(&mut iter, arg)?),
+            "--shards" => options.shards = parse_num(arg, &take_value(&mut iter, arg)?)?,
+            "--producers" => options.producers = parse_num(arg, &take_value(&mut iter, arg)?)?,
+            "--scenario" => options.scenario = take_value(&mut iter, arg)?,
+            "--tag" => options.tag = take_value(&mut iter, arg)?,
+            "--rounds" => options.rounds = parse_num(arg, &take_value(&mut iter, arg)?)?,
+            "--compact-every" => {
+                options.compact_threshold = parse_num(arg, &take_value(&mut iter, arg)?)?;
+                if options.compact_threshold < 2 {
+                    return Err("--compact-every must be at least 2".into());
+                }
+            }
+            "--min-throughput" => {
+                options.min_throughput = Some(parse_num(arg, &take_value(&mut iter, arg)?)?)
+            }
+            "-f" | "--format" => options.format = parse_format(&take_value(&mut iter, arg)?)?,
+            "-o" | "--output" => options.output = Some(take_value(&mut iter, arg)?),
+            other => return Err(format!("unknown loadgen argument '{other}' (try --help)")),
+        }
+    }
+    if options.connect.is_some() && options.spawn {
+        return Err("'--connect' conflicts with --spawn: pick one collector".into());
+    }
+    if options.connect.is_none() && !options.spawn {
+        return Err("loadgen needs a collector: --connect <ADDR> or --spawn".into());
+    }
+    if options.store.is_some() && !options.spawn {
+        return Err("'--store' only applies to a --spawn collector".into());
+    }
+    if options.shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    if options.producers == 0 {
+        return Err("--producers must be at least 1".into());
+    }
+    if options.rounds == 0 {
+        return Err("--rounds must be at least 1".into());
+    }
+    Ok(Parsed::Loadgen(options))
+}
+
+/// Parses the flags of a `dprof query` invocation.  The first positional
+/// argument picks the action; which tag flags are required depends on it.
+pub(crate) fn parse_query(args: &[String]) -> Result<Parsed, String> {
+    let mut action_name: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut workload: Option<String> = None;
+    let mut build: Option<String> = None;
+    let mut from: Option<String> = None;
+    let mut to: Option<String> = None;
+    let mut shard_id: Option<u64> = None;
+    let mut file: Option<String> = None;
+    let mut top = 8u64;
+    let mut output: Option<String> = None;
+
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(Parsed::Help),
+            "-V" | "--version" => return Ok(Parsed::Version),
+            "-c" | "--connect" => connect = Some(take_value(&mut iter, arg)?),
+            "-w" | "--workload" => workload = Some(take_value(&mut iter, arg)?),
+            "--build" => build = Some(take_value(&mut iter, arg)?),
+            "--from" => from = Some(take_value(&mut iter, arg)?),
+            "--to" => to = Some(take_value(&mut iter, arg)?),
+            "--shard-id" => shard_id = Some(parse_num(arg, &take_value(&mut iter, arg)?)?),
+            "--file" => file = Some(take_value(&mut iter, arg)?),
+            "--top" => top = parse_num(arg, &take_value(&mut iter, arg)?)?,
+            "-o" | "--output" => output = Some(take_value(&mut iter, arg)?),
+            other if !other.starts_with('-') && action_name.is_none() => {
+                action_name = Some(other.to_string())
+            }
+            other => return Err(format!("unknown query argument '{other}' (try --help)")),
+        }
+    }
+    let action_name = action_name.ok_or(
+        "query requires an action: top, regressions, alerts, keys, stats, push, \
+         push-trace, snapshot or shutdown",
+    )?;
+    if top == 0 {
+        return Err("--top must be at least 1".into());
+    }
+    let need = |value: Option<String>, flag: &str| -> Result<String, String> {
+        value.ok_or_else(|| format!("query {action_name} requires {flag}"))
+    };
+    let action = match action_name.as_str() {
+        "push" => QueryAction::Push {
+            workload: need(workload, "-w/--workload")?,
+            build: need(build, "--build")?,
+            shard_id: shard_id.ok_or("query push requires --shard-id")?,
+            file: need(file, "--file")?,
+        },
+        "push-trace" => QueryAction::PushTrace {
+            workload: need(workload, "-w/--workload")?,
+            build: need(build, "--build")?,
+            shard_id: shard_id.ok_or("query push-trace requires --shard-id")?,
+            file: need(file, "--file")?,
+        },
+        "top" => QueryAction::Top {
+            workload: need(workload, "-w/--workload")?,
+            build: need(build, "--build")?,
+            top,
+        },
+        "regressions" => QueryAction::Regressions {
+            workload: need(workload, "-w/--workload")?,
+            from: need(from, "--from")?,
+            to: need(to, "--to")?,
+            top,
+        },
+        "alerts" => QueryAction::Alerts {
+            workload: need(workload, "-w/--workload")?,
+            from: need(from, "--from")?,
+            to: need(to, "--to")?,
+        },
+        "keys" => QueryAction::Keys,
+        "stats" => QueryAction::Stats,
+        "snapshot" => QueryAction::Snapshot,
+        "shutdown" => QueryAction::Shutdown,
+        other => {
+            return Err(format!(
+                "unknown query action '{other}' (expected top, regressions, alerts, \
+                 keys, stats, push, push-trace, snapshot or shutdown)"
+            ))
+        }
+    };
+    Ok(Parsed::Query(QueryOptions {
+        connect: connect.ok_or("query requires -c/--connect <ADDR>")?,
+        action,
+        output,
+    }))
+}
+
 /// Parses the flags of a `dprof diff` invocation.
-fn parse_diff(args: &[String]) -> Result<Parsed, String> {
+pub(crate) fn parse_diff(args: &[String]) -> Result<Parsed, String> {
     let mut inputs: Vec<String> = Vec::new();
     let mut focus: Option<String> = None;
     let mut format = Format::Text;
@@ -447,7 +845,7 @@ fn parse_diff(args: &[String]) -> Result<Parsed, String> {
 /// Parses the flags of a `dprof whatif` invocation.  Fix-spec grammar errors are
 /// parse errors (exit 2); whether the target type exists in the trace is checked at
 /// run time, once the trace is decoded.
-fn parse_whatif(args: &[String]) -> Result<Parsed, String> {
+pub(crate) fn parse_whatif(args: &[String]) -> Result<Parsed, String> {
     let mut input: Option<String> = None;
     let mut fixes: Vec<FixSpec> = Vec::new();
     let mut auto = false;
@@ -537,7 +935,7 @@ fn parse_shared_run_flag(
 
 /// Parses the flags of a `dprof accuracy` invocation: the run surface minus views,
 /// history collection and trace capture, plus `--top-k`.
-fn parse_accuracy(args: &[String]) -> Result<Parsed, String> {
+pub(crate) fn parse_accuracy(args: &[String]) -> Result<Parsed, String> {
     let mut run = RunOptions {
         collect_ground_truth: true,
         // Accuracy compares sampled and exact *rankings*; the history-collection
@@ -582,7 +980,7 @@ fn parse_accuracy(args: &[String]) -> Result<Parsed, String> {
 }
 
 /// Parses the flags of a `dprof replay` invocation.
-fn parse_replay(args: &[String]) -> Result<Parsed, String> {
+pub(crate) fn parse_replay(args: &[String]) -> Result<Parsed, String> {
     let mut input: Option<String> = None;
     let mut views: Vec<View> = Vec::new();
     let mut format = Format::Text;
@@ -637,7 +1035,7 @@ fn parse_replay(args: &[String]) -> Result<Parsed, String> {
 }
 
 /// Parses the flags shared by `dprof run` and `dprof record`.
-fn parse_run(args: &[String]) -> Result<Parsed, String> {
+pub(crate) fn parse_run(args: &[String]) -> Result<Parsed, String> {
     let mut options = Options {
         run: RunOptions::default(),
         views: Vec::new(),

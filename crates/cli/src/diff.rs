@@ -4,11 +4,11 @@
 
 use crate::args::{DiffOptions, Format};
 use crate::json::Json;
-use dprof::core::report::diff::{diff, ReportDiff, ReportSummary, TypeSummary};
+use dprof::core::report::diff::{diff, ReportDiff, ReportSummary};
 use std::fmt::Write as _;
 
 /// JSON schema identifier of the diff document.
-pub const DIFF_SCHEMA: &str = "dprof-diff/v1";
+pub const DIFF_SCHEMA: &str = dprof::core::schema::DIFF_V1;
 
 /// Loads a report file and reduces it to the diff engine's per-type summary.
 ///
@@ -23,130 +23,11 @@ pub fn load_summary(path: &str) -> Result<ReportSummary, String> {
 }
 
 /// Reduces a parsed `dprof-report/v1` document to a [`ReportSummary`].
+///
+/// The parsing itself lives in `dprof-core::schema` (shared with `dprof serve`);
+/// this wrapper keeps the historical CLI-side name.
 pub fn summary_from_report(doc: &Json) -> Result<ReportSummary, String> {
-    match doc.get("schema").and_then(Json::as_str) {
-        Some(crate::render::SCHEMA) => {}
-        Some(other) => {
-            return Err(format!(
-                "schema is '{other}', expected '{}' (is this a dprof report?)",
-                crate::render::SCHEMA
-            ))
-        }
-        None => {
-            return Err(format!(
-                "missing 'schema' field, expected '{}' (is this a dprof report?)",
-                crate::render::SCHEMA
-            ))
-        }
-    }
-    let profile_rows = doc
-        .get("data_profile")
-        .and_then(|s| s.get("rows"))
-        .and_then(Json::as_array)
-        .ok_or_else(|| {
-            "report has no data_profile section; re-run dprof with -v data-profile (or all views)"
-                .to_string()
-        })?;
-
-    let mut types: Vec<TypeSummary> = Vec::new();
-    for row in profile_rows {
-        let name = row
-            .get("type")
-            .and_then(Json::as_str)
-            .ok_or("data_profile row without a 'type' field")?;
-        let mut summary = TypeSummary::absent(name);
-        summary.pct_of_l1_misses = row
-            .get("pct_of_l1_misses")
-            .and_then(Json::as_f64)
-            .unwrap_or(0.0);
-        summary.bounce = row.get("bounce").and_then(Json::as_bool).unwrap_or(false);
-        summary.working_set_bytes = row
-            .get("working_set_bytes")
-            .and_then(Json::as_f64)
-            .unwrap_or(0.0);
-        types.push(summary);
-    }
-
-    let find = |types: &mut Vec<TypeSummary>, name: &str| -> usize {
-        match types.iter().position(|t| t.name == name) {
-            Some(i) => i,
-            None => {
-                types.push(TypeSummary::absent(name));
-                types.len() - 1
-            }
-        }
-    };
-
-    if let Some(rows) = doc
-        .get("miss_classification")
-        .and_then(|s| s.get("rows"))
-        .and_then(Json::as_array)
-    {
-        for row in rows {
-            let Some(name) = row.get("type").and_then(Json::as_str) else {
-                continue;
-            };
-            let i = find(&mut types, name);
-            types[i].miss_samples = row
-                .get("miss_samples")
-                .and_then(Json::as_f64)
-                .unwrap_or(0.0) as u64;
-            if let Some(fr) = row.get("fractions") {
-                types[i].invalidation =
-                    fr.get("invalidation").and_then(Json::as_f64).unwrap_or(0.0);
-                types[i].conflict = fr.get("conflict").and_then(Json::as_f64).unwrap_or(0.0);
-                types[i].capacity = fr.get("capacity").and_then(Json::as_f64).unwrap_or(0.0);
-            }
-            types[i].dominant_miss = row
-                .get("dominant")
-                .and_then(Json::as_str)
-                .map(|s| s.to_string());
-        }
-    }
-
-    if let Some(rows) = doc
-        .get("working_set")
-        .and_then(|s| s.get("rows"))
-        .and_then(Json::as_array)
-    {
-        for row in rows {
-            let Some(name) = row.get("type").and_then(Json::as_str) else {
-                continue;
-            };
-            let i = find(&mut types, name);
-            types[i].working_set_bytes = row
-                .get("avg_live_bytes")
-                .and_then(Json::as_f64)
-                .unwrap_or(types[i].working_set_bytes);
-        }
-    }
-
-    if let Some(flows) = doc
-        .get("data_flow")
-        .and_then(|s| s.get("types"))
-        .and_then(Json::as_array)
-    {
-        for flow in flows {
-            let Some(name) = flow.get("type").and_then(Json::as_str) else {
-                continue;
-            };
-            let i = find(&mut types, name);
-            types[i].core_crossings = flow
-                .get("core_crossings")
-                .and_then(Json::as_f64)
-                .unwrap_or(0.0) as u64;
-        }
-    }
-
-    // Carried so the diff can report the realized throughput gain (older reports
-    // without a throughput section diff fine; the gain line is simply omitted).
-    let rps = doc
-        .get("throughput")
-        .and_then(|t| t.get("aggregate_rps"))
-        .and_then(Json::as_f64)
-        .unwrap_or(0.0);
-
-    Ok(ReportSummary { types, rps })
+    dprof::core::schema::report_summary_from_json(doc)
 }
 
 /// The top-ranked candidate of a `dprof-whatif/v1` document, attached to a diff via

@@ -1,453 +1,8 @@
-//! A tiny, dependency-free JSON document model with an emitter and a parser.
+//! Re-export of the core schema module's JSON support.
 //!
-//! The workspace builds fully offline (no `serde_json`), so the CLI carries its own
-//! minimal JSON support: [`Json`] values are built explicitly by the report renderer,
-//! emitted with [`Json::to_pretty_string`], and re-read with [`Json::parse`] (used by
-//! the integration tests and by anyone post-processing `dprof --format json` output in
-//! Rust).  Object key order is preserved, so reports are byte-stable across runs with
-//! identical inputs.
+//! The document model used to live here; the serve PR moved it to
+//! `dprof-core::schema` so every emitter and parser in the workspace (CLI renderers,
+//! diff loading, the serve store and its clients) shares one implementation.  This
+//! shim keeps the historical `dprof_cli::json::Json` path working.
 
-use std::collections::VecDeque;
-use std::fmt::Write as _;
-
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Any JSON number (stored as `f64`, emitted without a fraction when integral).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object; insertion order is preserved on emit.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience constructor for object values.
-    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
-        Json::Obj(
-            fields
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
-    }
-
-    /// Convenience constructor for string values.
-    pub fn str(s: impl Into<String>) -> Json {
-        Json::Str(s.into())
-    }
-
-    /// Convenience constructor for numbers.
-    pub fn num(n: impl Into<f64>) -> Json {
-        Json::Num(n.into())
-    }
-
-    /// Looks up a key in an object value.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The value as a finite number, if it is one.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The value as a string slice, if it is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The value as a bool, if it is one.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// The value as an array slice, if it is one.
-    pub fn as_array(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// Emits the value as pretty-printed JSON (two-space indent, trailing newline).
-    pub fn to_pretty_string(&self) -> String {
-        let mut out = String::new();
-        self.write_into(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write_into(&self, out: &mut String, level: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(n) => write_number(out, *n),
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    indent(out, level + 1);
-                    item.write_into(out, level + 1);
-                }
-                out.push('\n');
-                indent(out, level);
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (key, value)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    indent(out, level + 1);
-                    write_escaped(out, key);
-                    out.push_str(": ");
-                    value.write_into(out, level + 1);
-                }
-                out.push('\n');
-                indent(out, level);
-                out.push('}');
-            }
-        }
-    }
-
-    /// Parses a JSON document.  Returns a message with a byte offset on error.
-    pub fn parse(input: &str) -> Result<Json, String> {
-        let mut parser = Parser {
-            bytes: input.as_bytes(),
-            pos: 0,
-        };
-        parser.skip_ws();
-        let value = parser.value()?;
-        parser.skip_ws();
-        if parser.pos != parser.bytes.len() {
-            return Err(format!("trailing data at byte {}", parser.pos));
-        }
-        Ok(value)
-    }
-}
-
-fn indent(out: &mut String, level: usize) {
-    for _ in 0..level {
-        out.push_str("  ");
-    }
-}
-
-fn write_number(out: &mut String, n: f64) {
-    if !n.is_finite() {
-        out.push_str("null");
-    } else if n == n.trunc() && n.abs() < 9.0e15 {
-        let _ = write!(out, "{}", n as i64);
-    } else {
-        let _ = write!(out, "{n}");
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {}", b as char, self.pos))
-        }
-    }
-
-    fn eat_literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(value)
-        } else {
-            Err(format!("invalid literal at byte {}", self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek() {
-            Some(b'n') => self.eat_literal("null", Json::Null),
-            Some(b't') => self.eat_literal("true", Json::Bool(true)),
-            Some(b'f') => self.eat_literal("false", Json::Bool(false)),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
-            Some(b'-') | Some(b'0'..=b'9') => self.number(),
-            _ => Err(format!("unexpected input at byte {}", self.pos)),
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut s = String::new();
-        loop {
-            let start = self.pos;
-            match self.peek() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(s);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.peek().ok_or("unterminated escape")?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => s.push('"'),
-                        b'\\' => s.push('\\'),
-                        b'/' => s.push('/'),
-                        b'n' => s.push('\n'),
-                        b'r' => s.push('\r'),
-                        b't' => s.push('\t'),
-                        b'b' => s.push('\u{8}'),
-                        b'f' => s.push('\u{c}'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
-                            let code =
-                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
-                            self.pos += 4;
-                            // Surrogate pairs are not produced by our emitter; map lone
-                            // surrogates to the replacement character.
-                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        }
-                        _ => return Err(format!("bad escape at byte {start}")),
-                    }
-                }
-                Some(b) => {
-                    // Consume one UTF-8 scalar, validating only its own bytes (not the
-                    // whole remaining input, which would make parsing quadratic).
-                    let len = match b {
-                        0x00..=0x7f => 1,
-                        0xc0..=0xdf => 2,
-                        0xe0..=0xef => 3,
-                        0xf0..=0xf7 => 4,
-                        _ => return Err(format!("invalid utf-8 at byte {start}")),
-                    };
-                    let chunk = self
-                        .bytes
-                        .get(self.pos..self.pos + len)
-                        .ok_or("truncated utf-8 sequence")?;
-                    let text = std::str::from_utf8(chunk).map_err(|_| "invalid utf-8")?;
-                    s.push_str(text);
-                    self.pos += len;
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(
-            self.peek(),
-            Some(b'0'..=b'9') | Some(b'.') | Some(b'e') | Some(b'E') | Some(b'+') | Some(b'-')
-        ) {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| format!("invalid number at byte {start}"))
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-            }
-        }
-    }
-}
-
-/// Breadth-first search for every object key in a document (test helper).
-pub fn all_keys(root: &Json) -> Vec<String> {
-    let mut keys = Vec::new();
-    let mut queue: VecDeque<&Json> = VecDeque::new();
-    queue.push_back(root);
-    while let Some(v) = queue.pop_front() {
-        match v {
-            Json::Obj(fields) => {
-                for (k, child) in fields {
-                    keys.push(k.clone());
-                    queue.push_back(child);
-                }
-            }
-            Json::Arr(items) => queue.extend(items.iter()),
-            _ => {}
-        }
-    }
-    keys
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn roundtrip_nested_document() {
-        let doc = Json::obj(vec![
-            ("name", Json::str("skbuff")),
-            ("bounce", Json::Bool(true)),
-            ("pct", Json::num(45.4)),
-            ("count", Json::num(1234u32)),
-            (
-                "tags",
-                Json::Arr(vec![Json::str("a \"quoted\" one"), Json::Null]),
-            ),
-            (
-                "nested",
-                Json::obj(vec![
-                    ("empty_arr", Json::Arr(vec![])),
-                    ("empty_obj", Json::Obj(vec![])),
-                ]),
-            ),
-        ]);
-        let text = doc.to_pretty_string();
-        let back = Json::parse(&text).expect("parses");
-        assert_eq!(back, doc);
-        assert_eq!(back.get("name").and_then(Json::as_str), Some("skbuff"));
-        assert_eq!(back.get("pct").and_then(Json::as_f64), Some(45.4));
-        assert_eq!(back.get("count").and_then(Json::as_f64), Some(1234.0));
-    }
-
-    #[test]
-    fn integers_emit_without_fraction() {
-        assert!(Json::num(3u32).to_pretty_string().starts_with('3'));
-        assert!(!Json::num(3u32).to_pretty_string().contains('.'));
-        assert!(Json::num(2.5).to_pretty_string().starts_with("2.5"));
-    }
-
-    #[test]
-    fn parse_errors_are_reported() {
-        assert!(Json::parse("{\"a\": }").is_err());
-        assert!(Json::parse("[1, 2").is_err());
-        assert!(Json::parse("true false").is_err());
-        assert!(Json::parse("nul").is_err());
-    }
-
-    #[test]
-    fn escapes_control_characters() {
-        let doc = Json::str("line1\nline2\ttab\u{1}");
-        let text = doc.to_pretty_string();
-        assert!(text.contains("\\n"));
-        assert!(text.contains("\\t"));
-        assert!(text.contains("\\u0001"));
-        assert_eq!(Json::parse(&text).unwrap(), doc);
-    }
-}
+pub use dprof::core::schema::{all_keys, Json};

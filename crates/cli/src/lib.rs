@@ -24,7 +24,9 @@ pub mod diff;
 pub mod driver;
 pub mod json;
 pub mod merge;
+pub mod registry;
 pub mod render;
+pub mod serve_cmd;
 pub mod whatif;
 
 use args::{Parsed, View};
@@ -36,27 +38,27 @@ pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 /// the process exit code.  Report text goes to stdout (or `--output`), diagnostics to
 /// stderr.
 pub fn run(args: &[String]) -> i32 {
-    let options = match args::parse(args) {
+    match args::parse(args) {
         Ok(Parsed::Help) => {
-            print!("{}", args::USAGE);
-            return 0;
+            print!("{}", args::usage());
+            0
         }
         Ok(Parsed::Version) => {
             println!("dprof {VERSION}");
-            return 0;
+            0
         }
-        Ok(Parsed::Replay(options)) => return run_replay(&options),
-        Ok(Parsed::Diff(options)) => return diff::run_diff(&options),
-        Ok(Parsed::Accuracy(options)) => return accuracy::run_accuracy(&options),
-        Ok(Parsed::Whatif(options)) => return whatif::run_whatif(&options),
-        Ok(Parsed::Run(options)) => options,
+        Ok(parsed) => registry::dispatch(parsed),
         Err(message) => {
             eprintln!("error: {message}");
-            eprintln!("usage: dprof [run|record|replay] [OPTIONS] (try --help)");
-            return 2;
+            eprintln!("usage: dprof [SUBCOMMAND] [OPTIONS] (try --help)");
+            2
         }
-    };
+    }
+}
 
+/// `dprof run` / `dprof record`: profile a workload live, optionally recording a
+/// replayable session trace, and render the merged report.
+pub(crate) fn run_profile(options: args::Options) -> i32 {
     eprintln!(
         "profiling {} on {} thread(s) x {} core(s), {} sampling rounds...",
         options.run.workload.name(),
@@ -167,7 +169,7 @@ fn build_trace_file(
 /// the recorded run's (given the same report options).  Events stream from disk in
 /// bounded chunks rather than being slurped; `--sharded` re-simulates the caches on
 /// the parallel epoch-batched engine (same report, byte for byte).
-fn run_replay(options: &args::ReplayOptions) -> i32 {
+pub(crate) fn run_replay(options: &args::ReplayOptions) -> i32 {
     let reader = match dprof::trace::TraceReader::open(&options.input) {
         Ok(reader) => reader,
         Err(message) => {

@@ -1,522 +1,46 @@
 //! Merging of per-thread [`ThreadRun`]s into one report.
 //!
-//! Threads profile *independent* simulated machines, so `TypeId`s are only meaningful
-//! within a thread; merging keys everything by type name and function name instead.
-//! Percentage-style metrics are combined as weighted means (weighted by each thread's
-//! miss-sample count, so a thread that observed more misses counts for more), additive
-//! metrics are summed, and footprint metrics are averaged — mirroring how the paper
-//! averages repeated runs of the real machine.
-//!
-//! All merged collections are sorted on stable keys, so the rendered report is
-//! byte-identical for identical inputs regardless of `HashMap` iteration order.
+//! The merge algorithm itself lives in `dprof-core::merge` behind the
+//! [`MergeSink`] trait (it is shared with the `dprof serve` ingest path); this
+//! module is the CLI-side adapter that turns a [`ThreadRun`] into a
+//! [`ProfileShard`] and folds a batch of runs through a [`StreamingMerge`].
+//! Ordinals are the thread indices, so the canonical fold order equals the
+//! historical run order and the rendered report stays byte-identical to the
+//! pre-refactor one-shot merge.
 
 use crate::driver::ThreadRun;
-use dprof::core::{mark_rank_stability, wilson95, MissClass};
-use std::collections::HashMap;
+pub use dprof::core::merge::{
+    merge_shards, shard_from_merged, summary_from_merged, MergeSink, MergedDataFlow,
+    MergedFlowEdge, MergedFlowNode, MergedMissRow, MergedProfileRow, MergedReport,
+    MergedWorkingSet, MergedWorkingSetRow, ProfileShard, ShardMeta, StreamingMerge, ThreadSummary,
+};
 
-/// A data-profile row aggregated across threads.
-#[derive(Debug, Clone)]
-pub struct MergedProfileRow {
-    /// Type name.
-    pub name: String,
-    /// Human-readable description.
-    pub description: String,
-    /// Mean working-set footprint across the threads that saw the type, bytes.
-    pub working_set_bytes: f64,
-    /// Miss-weighted share of L1 miss samples, percent.
-    pub pct_of_l1_misses: f64,
-    /// Miss-weighted share of miss cycles, percent.
-    pub pct_of_miss_cycles: f64,
-    /// Whether any thread saw the type bounce between cores.
-    pub bounce: bool,
-    /// Total access samples attributed to the type, all threads.
-    pub samples: u64,
-    /// Total L1-miss samples attributed to the type, all threads (the merged
-    /// miss-share numerator; pooling the counts is what lets the merged confidence
-    /// interval be exact instead of a heuristic combination of per-thread ones).
-    pub l1_miss_samples: u64,
-    /// Lower bound of the 95% confidence interval on the merged miss share, percent.
-    pub ci95_low: f64,
-    /// Upper bound of the 95% confidence interval on the merged miss share, percent.
-    pub ci95_high: f64,
-    /// True when the merged rank is statistically firm (no CI overlap with either
-    /// ranked neighbour).
-    pub rank_stable: bool,
-    /// Number of threads whose profile contained the type.
-    pub threads_seen: usize,
-}
-
-/// A miss-classification row aggregated across threads.
-#[derive(Debug, Clone)]
-pub struct MergedMissRow {
-    /// Type name.
-    pub name: String,
-    /// Total miss samples, all threads.
-    pub miss_samples: u64,
-    /// Miss-weighted fraction of invalidation misses.
-    pub invalidation: f64,
-    /// Miss-weighted fraction of conflict misses.
-    pub conflict: f64,
-    /// Miss-weighted fraction of capacity misses.
-    pub capacity: f64,
-}
-
-impl MergedMissRow {
-    /// The dominant class name of the merged fractions.
-    pub fn dominant(&self) -> &'static str {
-        let mut best = ("invalidation", self.invalidation);
-        for (name, value) in [("conflict", self.conflict), ("capacity", self.capacity)] {
-            if value > best.1 {
-                best = (name, value);
-            }
-        }
-        best.0
-    }
-}
-
-/// A working-set row aggregated across threads.
-#[derive(Debug, Clone)]
-pub struct MergedWorkingSetRow {
-    /// Type name.
-    pub name: String,
-    /// Description.
-    pub description: String,
-    /// Mean of per-thread average live bytes.
-    pub avg_live_bytes: f64,
-    /// Mean of per-thread average live object counts.
-    pub avg_live_objects: f64,
-    /// Maximum peak live bytes seen by any thread.
-    pub peak_live_bytes: u64,
-}
-
-/// The merged working-set view.
-#[derive(Debug, Clone, Default)]
-pub struct MergedWorkingSet {
-    /// Per-type rows, sorted by average live bytes (descending).
-    pub rows: Vec<MergedWorkingSetRow>,
-    /// L2 capacity of one simulated machine, bytes.
-    pub cache_capacity: u64,
-    /// L2 associativity of one simulated machine.
-    pub cache_ways: usize,
-    /// Mean of per-thread total average working-set bytes.
-    pub total_avg_bytes: f64,
-    /// How many threads' working sets exceeded the cache capacity.
-    pub threads_exceeding_capacity: usize,
-    /// Largest number of over-subscribed associativity sets seen by any thread.
-    pub max_conflict_sets: usize,
-}
-
-/// A node of a merged data-flow graph, keyed by kernel function name.
-#[derive(Debug, Clone)]
-pub struct MergedFlowNode {
-    /// Kernel function name.
-    pub function: String,
-    /// Total access samples matched to the node.
-    pub samples: u64,
-    /// Total path-trace weight through the node.
-    pub weight: u64,
-    /// Sample-weighted average access latency, cycles.
-    pub avg_latency: f64,
-}
-
-/// An edge of a merged data-flow graph.
-#[derive(Debug, Clone)]
-pub struct MergedFlowEdge {
-    /// Source function name.
-    pub from: String,
-    /// Destination function name.
-    pub to: String,
-    /// Total traversals, all threads.
-    pub count: u64,
-    /// Whether the object changed cores on this edge.
-    pub cpu_change: bool,
-}
-
-/// The merged data-flow graph for one type.
-#[derive(Debug, Clone)]
-pub struct MergedDataFlow {
-    /// Type name.
-    pub type_name: String,
-    /// Nodes sorted by weight (descending), then name.
-    pub nodes: Vec<MergedFlowNode>,
-    /// Edges sorted by count (descending), then endpoint names.
-    pub edges: Vec<MergedFlowEdge>,
-    /// Total traversals of core-crossing edges.
-    pub core_crossings: u64,
-}
-
-/// Per-thread throughput summary carried into the report.
-#[derive(Debug, Clone)]
-pub struct ThreadSummary {
-    /// Thread index.
-    pub thread: usize,
-    /// Seed the thread ran with.
-    pub seed: u64,
-    /// Requests completed while profiled.
-    pub requests: u64,
-    /// Simulated requests per second.
-    pub rps: f64,
-    /// Fraction of cycles spent in profiling interrupts.
-    pub profiling_fraction: f64,
-    /// Access samples collected.
-    pub samples: u64,
-}
-
-/// Everything the report renderers consume.
-#[derive(Debug, Clone)]
-pub struct MergedReport {
-    /// Per-thread summaries, ordered by thread index.
-    pub threads: Vec<ThreadSummary>,
-    /// Total requests completed across threads while profiled.
-    pub total_requests: u64,
-    /// Sum of per-thread simulated request rates.
-    pub aggregate_rps: f64,
-    /// Cycle-weighted mean profiling overhead fraction.
-    pub profiling_fraction: f64,
-    /// Data-profile rows, sorted by merged miss share (descending).
-    pub data_profile: Vec<MergedProfileRow>,
-    /// Miss-classification rows, sorted by merged miss samples (descending).
-    pub miss_classification: Vec<MergedMissRow>,
-    /// The merged working-set view.
-    pub working_set: MergedWorkingSet,
-    /// Merged data-flow graphs, sorted by type name.
-    pub data_flows: Vec<MergedDataFlow>,
+/// Converts one per-thread run into a mergeable shard (ordinal = thread index).
+pub fn shard_from_run(run: &ThreadRun) -> ProfileShard {
+    ProfileShard::from_profile(
+        &run.profile,
+        &run.type_names,
+        ShardMeta {
+            thread: run.thread,
+            seed: run.seed,
+            requests: run.requests,
+            rps: run.rps(),
+            profiling_fraction: run.profiling_fraction,
+            samples: run.profile.samples.len() as u64,
+            total_cycles: run.total_cycles,
+        },
+        run.thread as u64,
+    )
 }
 
 /// Merges per-thread profiling runs into one report.  `runs` must be non-empty.
 pub fn merge(runs: &[ThreadRun]) -> MergedReport {
     assert!(!runs.is_empty(), "merge requires at least one run");
-
-    // Per-thread weights: the number of L1-miss access samples each thread observed.
-    let weights: Vec<f64> = runs
-        .iter()
-        .map(|r| r.profile.samples.iter().filter(|s| s.is_l1_miss()).count() as f64)
-        .collect();
-    let total_weight: f64 = weights.iter().sum();
-
-    MergedReport {
-        threads: runs
-            .iter()
-            .map(|r| ThreadSummary {
-                thread: r.thread,
-                seed: r.seed,
-                requests: r.requests,
-                rps: r.rps(),
-                profiling_fraction: r.profiling_fraction,
-                samples: r.profile.samples.len() as u64,
-            })
-            .collect(),
-        total_requests: runs.iter().map(|r| r.requests).sum(),
-        aggregate_rps: runs.iter().map(|r| r.rps()).sum(),
-        profiling_fraction: {
-            // Cycle-weighted, so a thread that simulated 10x more work counts 10x.
-            let cycles: u64 = runs.iter().map(|r| r.total_cycles).sum();
-            if cycles == 0 {
-                0.0
-            } else {
-                runs.iter()
-                    .map(|r| r.profiling_fraction * r.total_cycles as f64)
-                    .sum::<f64>()
-                    / cycles as f64
-            }
-        },
-        data_profile: merge_data_profile(runs, &weights, total_weight),
-        miss_classification: merge_miss_classification(runs),
-        working_set: merge_working_set(runs),
-        data_flows: merge_data_flows(runs),
-    }
-}
-
-fn merge_data_profile(
-    runs: &[ThreadRun],
-    weights: &[f64],
-    total_weight: f64,
-) -> Vec<MergedProfileRow> {
-    struct Acc {
-        description: String,
-        ws_sum: f64,
-        pct_l1_weighted: f64,
-        pct_cycles_weighted: f64,
-        bounce: bool,
-        samples: u64,
-        l1_miss_samples: u64,
-        threads_seen: usize,
-    }
-    let mut acc: HashMap<String, Acc> = HashMap::new();
-    for (run, &weight) in runs.iter().zip(weights) {
-        for row in &run.profile.data_profile {
-            let entry = acc.entry(row.name.clone()).or_insert_with(|| Acc {
-                description: row.description.clone(),
-                ws_sum: 0.0,
-                pct_l1_weighted: 0.0,
-                pct_cycles_weighted: 0.0,
-                bounce: false,
-                samples: 0,
-                l1_miss_samples: 0,
-                threads_seen: 0,
-            });
-            entry.ws_sum += row.working_set_bytes;
-            entry.pct_l1_weighted += weight * row.pct_of_l1_misses;
-            entry.pct_cycles_weighted += weight * row.pct_of_miss_cycles;
-            entry.bounce |= row.bounce;
-            entry.samples += row.samples;
-            entry.l1_miss_samples += row.l1_miss_samples;
-            entry.threads_seen += 1;
-        }
-    }
-    // The miss-weighted mean of per-thread shares equals the pooled share
-    // (sum of counts over sum of totals), so the pooled counts also give the
-    // interval of exactly the estimate the merged column shows.
-    let pooled_total = total_weight.round() as u64;
-    let mut rows: Vec<MergedProfileRow> = acc
-        .into_iter()
-        .map(|(name, a)| {
-            let (ci_lo, ci_hi) = wilson95(a.l1_miss_samples, pooled_total);
-            MergedProfileRow {
-                name,
-                description: a.description,
-                working_set_bytes: a.ws_sum / a.threads_seen as f64,
-                pct_of_l1_misses: if total_weight > 0.0 {
-                    a.pct_l1_weighted / total_weight
-                } else {
-                    0.0
-                },
-                pct_of_miss_cycles: if total_weight > 0.0 {
-                    a.pct_cycles_weighted / total_weight
-                } else {
-                    0.0
-                },
-                bounce: a.bounce,
-                samples: a.samples,
-                l1_miss_samples: a.l1_miss_samples,
-                ci95_low: 100.0 * ci_lo,
-                ci95_high: 100.0 * ci_hi,
-                rank_stable: false, // marked after ranking, below
-                threads_seen: a.threads_seen,
-            }
-        })
-        .collect();
-    rows.sort_by(|a, b| {
-        b.pct_of_l1_misses
-            .partial_cmp(&a.pct_of_l1_misses)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.name.cmp(&b.name))
-    });
-    let intervals: Vec<(f64, f64)> = rows.iter().map(|r| (r.ci95_low, r.ci95_high)).collect();
-    for (row, stable) in rows.iter_mut().zip(mark_rank_stability(&intervals)) {
-        row.rank_stable = stable;
-    }
-    rows
-}
-
-fn merge_miss_classification(runs: &[ThreadRun]) -> Vec<MergedMissRow> {
-    struct Acc {
-        miss_samples: u64,
-        invalidation: f64,
-        conflict: f64,
-        capacity: f64,
-    }
-    let mut acc: HashMap<String, Acc> = HashMap::new();
+    let mut sink = StreamingMerge::new();
     for run in runs {
-        for row in &run.profile.miss_classification {
-            let w = row.miss_samples as f64;
-            let entry = acc.entry(row.name.clone()).or_insert_with(|| Acc {
-                miss_samples: 0,
-                invalidation: 0.0,
-                conflict: 0.0,
-                capacity: 0.0,
-            });
-            entry.miss_samples += row.miss_samples;
-            entry.invalidation += w * row.fraction(MissClass::Invalidation);
-            entry.conflict += w * row.fraction(MissClass::Conflict);
-            entry.capacity += w * row.fraction(MissClass::Capacity);
-        }
+        sink.absorb(shard_from_run(run));
     }
-    let mut rows: Vec<MergedMissRow> = acc
-        .into_iter()
-        .map(|(name, a)| {
-            let w = a.miss_samples.max(1) as f64;
-            MergedMissRow {
-                name,
-                miss_samples: a.miss_samples,
-                invalidation: a.invalidation / w,
-                conflict: a.conflict / w,
-                capacity: a.capacity / w,
-            }
-        })
-        .collect();
-    rows.sort_by(|a, b| {
-        b.miss_samples
-            .cmp(&a.miss_samples)
-            .then_with(|| a.name.cmp(&b.name))
-    });
-    rows
-}
-
-fn merge_working_set(runs: &[ThreadRun]) -> MergedWorkingSet {
-    struct Acc {
-        description: String,
-        bytes_sum: f64,
-        objects_sum: f64,
-        peak: u64,
-        threads_seen: usize,
-    }
-    let mut acc: HashMap<String, Acc> = HashMap::new();
-    for run in runs {
-        for t in &run.profile.working_set.per_type {
-            let entry = acc.entry(t.name.clone()).or_insert_with(|| Acc {
-                description: t.description.clone(),
-                bytes_sum: 0.0,
-                objects_sum: 0.0,
-                peak: 0,
-                threads_seen: 0,
-            });
-            entry.bytes_sum += t.avg_live_bytes;
-            entry.objects_sum += t.avg_live_objects;
-            entry.peak = entry.peak.max(t.peak_live_bytes);
-            entry.threads_seen += 1;
-        }
-    }
-    let mut rows: Vec<MergedWorkingSetRow> = acc
-        .into_iter()
-        .map(|(name, a)| MergedWorkingSetRow {
-            name,
-            description: a.description,
-            avg_live_bytes: a.bytes_sum / a.threads_seen as f64,
-            avg_live_objects: a.objects_sum / a.threads_seen as f64,
-            peak_live_bytes: a.peak,
-        })
-        .collect();
-    rows.sort_by(|a, b| {
-        b.avg_live_bytes
-            .partial_cmp(&a.avg_live_bytes)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.name.cmp(&b.name))
-    });
-
-    let first = &runs[0].profile.working_set;
-    MergedWorkingSet {
-        rows,
-        cache_capacity: first.cache_capacity,
-        cache_ways: first.cache_ways,
-        total_avg_bytes: runs
-            .iter()
-            .map(|r| r.profile.working_set.total_avg_bytes())
-            .sum::<f64>()
-            / runs.len() as f64,
-        threads_exceeding_capacity: runs
-            .iter()
-            .filter(|r| r.profile.working_set.exceeds_capacity())
-            .count(),
-        max_conflict_sets: runs
-            .iter()
-            .map(|r| r.profile.working_set.conflict_sets.len())
-            .max()
-            .unwrap_or(0),
-    }
-}
-
-fn merge_data_flows(runs: &[ThreadRun]) -> Vec<MergedDataFlow> {
-    struct NodeAcc {
-        samples: u64,
-        weight: u64,
-        latency_weighted: f64,
-    }
-    struct FlowAcc {
-        nodes: HashMap<String, NodeAcc>,
-        edges: HashMap<(String, String, bool), u64>,
-    }
-    let mut flows: HashMap<String, FlowAcc> = HashMap::new();
-    for run in runs {
-        for (ty, graph) in &run.profile.data_flows {
-            let type_name = run
-                .type_names
-                .get(ty)
-                .cloned()
-                .unwrap_or_else(|| format!("type#{}", ty.0));
-            let flow = flows.entry(type_name).or_insert_with(|| FlowAcc {
-                nodes: HashMap::new(),
-                edges: HashMap::new(),
-            });
-            for node in &graph.nodes {
-                let acc = flow
-                    .nodes
-                    .entry(node.name.clone())
-                    .or_insert_with(|| NodeAcc {
-                        samples: 0,
-                        weight: 0,
-                        latency_weighted: 0.0,
-                    });
-                acc.samples += node.samples;
-                acc.weight += node.weight;
-                // Per-run avg_latency is a per-sample mean, so weight by samples to
-                // keep the merged value a per-sample mean.
-                acc.latency_weighted += node.samples as f64 * node.avg_latency;
-            }
-            for edge in &graph.edges {
-                let key = (
-                    graph.nodes[edge.from].name.clone(),
-                    graph.nodes[edge.to].name.clone(),
-                    edge.cpu_change,
-                );
-                *flow.edges.entry(key).or_insert(0) += edge.count;
-            }
-        }
-    }
-    let mut merged: Vec<MergedDataFlow> = flows
-        .into_iter()
-        .map(|(type_name, flow)| {
-            let mut nodes: Vec<MergedFlowNode> = flow
-                .nodes
-                .into_iter()
-                .map(|(function, a)| MergedFlowNode {
-                    function,
-                    samples: a.samples,
-                    weight: a.weight,
-                    avg_latency: if a.samples > 0 {
-                        a.latency_weighted / a.samples as f64
-                    } else {
-                        0.0
-                    },
-                })
-                .collect();
-            nodes.sort_by(|a, b| {
-                b.weight
-                    .cmp(&a.weight)
-                    .then_with(|| a.function.cmp(&b.function))
-            });
-            let mut edges: Vec<MergedFlowEdge> = flow
-                .edges
-                .into_iter()
-                .map(|((from, to, cpu_change), count)| MergedFlowEdge {
-                    from,
-                    to,
-                    count,
-                    cpu_change,
-                })
-                .collect();
-            // The full accumulation key — (from, to, cpu_change) — must participate
-            // in the sort: two edges differing only in cpu_change would otherwise
-            // tie and inherit HashMap iteration order, which is not stable across
-            // processes (record vs replay byte-diffs the rendered report).
-            edges.sort_by(|a, b| {
-                b.count
-                    .cmp(&a.count)
-                    .then_with(|| a.from.cmp(&b.from))
-                    .then_with(|| a.to.cmp(&b.to))
-                    .then_with(|| a.cpu_change.cmp(&b.cpu_change))
-            });
-            let core_crossings = edges.iter().filter(|e| e.cpu_change).map(|e| e.count).sum();
-            MergedDataFlow {
-                type_name,
-                nodes,
-                edges,
-                core_crossings,
-            }
-        })
-        .collect();
-    merged.sort_by(|a, b| a.type_name.cmp(&b.type_name));
-    merged
+    sink.finish()
 }
 
 #[cfg(test)]
@@ -596,5 +120,18 @@ mod tests {
                 .sum();
             assert_eq!(crossing_sum, flow.core_crossings);
         }
+    }
+
+    #[test]
+    fn sink_order_matches_one_shot_merge_exactly() {
+        // The shared-implementation guarantee on real data: absorbing shards in
+        // reverse arrival order yields the same report as the one-shot path.
+        let rs = runs(3);
+        let one_shot = merge(&rs);
+        let mut sink = StreamingMerge::new();
+        for run in rs.iter().rev() {
+            sink.absorb(shard_from_run(run));
+        }
+        assert_eq!(sink.finish(), one_shot);
     }
 }

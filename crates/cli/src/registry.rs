@@ -1,0 +1,234 @@
+//! The declarative subcommand registry.
+//!
+//! Every `dprof` subcommand is one [`Subcommand`] row: its name, the synopsis
+//! and description lines the `--help` synopsis is generated from, the parser
+//! for its flags, and the executor for its parsed options.  [`crate::args::parse`]
+//! routes the first argument through [`find`], and [`dispatch`] routes the
+//! parsed result to the executor — adding a subcommand means adding one row
+//! here (plus its `Parsed` variant), not editing two hand-maintained `match`es
+//! and a help string.
+
+use crate::args::Parsed;
+
+/// One registered subcommand.
+pub struct Subcommand {
+    /// The first-argument spelling (`dprof <name> ...`).
+    pub name: &'static str,
+    /// Synopsis column of the generated help (`dprof serve [OPTIONS]`).
+    pub synopsis: &'static str,
+    /// Description lines; the first follows the synopsis column, the rest are
+    /// printed as indented continuations.
+    pub about: &'static [&'static str],
+    /// Parses the arguments after the subcommand name.
+    pub parse: fn(&[String]) -> Result<Parsed, String>,
+    /// Executes a parsed invocation of this subcommand.
+    pub exec: fn(Parsed) -> i32,
+}
+
+/// Every subcommand, in help order.  `run` doubles as the default when the
+/// first argument is a flag (or absent) — see [`crate::args::parse`].
+pub fn registry() -> &'static [Subcommand] {
+    const REGISTRY: &[Subcommand] = &[
+        Subcommand {
+            name: "run",
+            synopsis: "dprof [run] [OPTIONS]",
+            about: &["profile a workload live"],
+            parse: crate::args::parse_run,
+            exec: exec_run,
+        },
+        Subcommand {
+            name: "record",
+            synopsis: "dprof record [OPTIONS]",
+            about: &["profile AND capture a replayable .dtrace session"],
+            parse: crate::args::parse_record,
+            exec: exec_run,
+        },
+        Subcommand {
+            name: "replay",
+            synopsis: "dprof replay <FILE> [OPTIONS]",
+            about: &[
+                "re-profile a recorded session (no workload runs;",
+                "the report is byte-identical to the recorded run's)",
+            ],
+            parse: crate::args::parse_replay,
+            exec: exec_replay,
+        },
+        Subcommand {
+            name: "diff",
+            synopsis: "dprof diff <A.json> <B.json>",
+            about: &[
+                "compare two JSON reports: per-type deltas plus a",
+                "bottleneck verdict (eliminated / moved / reduced /",
+                "unchanged / worsened)",
+            ],
+            parse: crate::args::parse_diff,
+            exec: exec_diff,
+        },
+        Subcommand {
+            name: "accuracy",
+            synopsis: "dprof accuracy [OPTIONS]",
+            about: &[
+                "profile under sampling AND exact ground truth in",
+                "one run, and report sampling fidelity (per-type",
+                "share error, top-K rank agreement, samples spent)",
+            ],
+            parse: crate::args::parse_accuracy,
+            exec: exec_accuracy,
+        },
+        Subcommand {
+            name: "whatif",
+            synopsis: "dprof whatif <FILE> [OPTIONS]",
+            about: &[
+                "rank hypothetical fixes by predicted throughput",
+                "gain, measured by counterfactual replay of a",
+                "recorded .dtrace session",
+            ],
+            parse: crate::args::parse_whatif,
+            exec: exec_whatif,
+        },
+        Subcommand {
+            name: "serve",
+            synopsis: "dprof serve [OPTIONS]",
+            about: &[
+                "run the continuous-profiling collector: producers",
+                "stream report shards and .dtrace sessions at it; it",
+                "merges per (workload, build) and answers queries",
+            ],
+            parse: crate::args::parse_serve,
+            exec: exec_serve,
+        },
+        Subcommand {
+            name: "loadgen",
+            synopsis: "dprof loadgen [OPTIONS]",
+            about: &[
+                "drive a collector with concurrent producers and",
+                "report sustained merge throughput (the CI gate)",
+            ],
+            parse: crate::args::parse_loadgen,
+            exec: exec_loadgen,
+        },
+        Subcommand {
+            name: "query",
+            synopsis: "dprof query <ACTION> [OPTIONS]",
+            about: &[
+                "push to and query a collector: top types, build-",
+                "over-build regressions, Wilson-gated alerts",
+            ],
+            parse: crate::args::parse_query,
+            exec: exec_query,
+        },
+    ];
+    REGISTRY
+}
+
+/// Looks a subcommand up by name.
+pub fn find(name: &str) -> Option<&'static Subcommand> {
+    registry().iter().find(|command| command.name == name)
+}
+
+/// Routes a parsed invocation to its subcommand's executor.
+pub fn dispatch(parsed: Parsed) -> i32 {
+    let Some(name) = parsed.command_name() else {
+        // Help/Version are handled by the shell before dispatch.
+        return 0;
+    };
+    match find(name) {
+        Some(command) => (command.exec)(parsed),
+        None => mismatch(name),
+    }
+}
+
+fn mismatch(name: &str) -> i32 {
+    eprintln!("error: internal dispatch mismatch for subcommand '{name}'");
+    2
+}
+
+fn exec_run(parsed: Parsed) -> i32 {
+    match parsed {
+        Parsed::Run(options) => crate::run_profile(options),
+        _ => mismatch("run"),
+    }
+}
+
+fn exec_replay(parsed: Parsed) -> i32 {
+    match parsed {
+        Parsed::Replay(options) => crate::run_replay(&options),
+        _ => mismatch("replay"),
+    }
+}
+
+fn exec_diff(parsed: Parsed) -> i32 {
+    match parsed {
+        Parsed::Diff(options) => crate::diff::run_diff(&options),
+        _ => mismatch("diff"),
+    }
+}
+
+fn exec_accuracy(parsed: Parsed) -> i32 {
+    match parsed {
+        Parsed::Accuracy(options) => crate::accuracy::run_accuracy(&options),
+        _ => mismatch("accuracy"),
+    }
+}
+
+fn exec_whatif(parsed: Parsed) -> i32 {
+    match parsed {
+        Parsed::Whatif(options) => crate::whatif::run_whatif(&options),
+        _ => mismatch("whatif"),
+    }
+}
+
+fn exec_serve(parsed: Parsed) -> i32 {
+    match parsed {
+        Parsed::Serve(options) => crate::serve_cmd::run_serve(&options),
+        _ => mismatch("serve"),
+    }
+}
+
+fn exec_loadgen(parsed: Parsed) -> i32 {
+    match parsed {
+        Parsed::Loadgen(options) => crate::serve_cmd::run_loadgen_cmd(&options),
+        _ => mismatch("loadgen"),
+    }
+}
+
+fn exec_query(parsed: Parsed) -> i32 {
+    match parsed {
+        Parsed::Query(options) => crate::serve_cmd::run_query(&options),
+        _ => mismatch("query"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let mut seen = std::collections::HashSet::new();
+        for command in registry() {
+            assert!(seen.insert(command.name), "duplicate '{}'", command.name);
+            assert!(find(command.name).is_some());
+            assert!(!command.about.is_empty(), "'{}' has no about", command.name);
+            assert!(
+                command.synopsis.starts_with("dprof "),
+                "'{}' synopsis '{}' does not start with 'dprof '",
+                command.name,
+                command.synopsis
+            );
+        }
+        assert!(find("nonsense").is_none());
+    }
+
+    #[test]
+    fn every_subcommand_is_in_the_generated_help() {
+        let usage = crate::args::usage();
+        for command in registry() {
+            assert!(
+                usage.contains(command.synopsis),
+                "usage() is missing the '{}' synopsis",
+                command.name
+            );
+        }
+    }
+}

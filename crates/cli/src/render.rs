@@ -7,7 +7,7 @@ use crate::merge::MergedReport;
 use std::fmt::Write as _;
 
 /// JSON schema identifier emitted in every report.
-pub const SCHEMA: &str = "dprof-report/v1";
+pub const SCHEMA: &str = dprof::core::schema::REPORT_V1;
 
 /// Renders the report in the requested format.
 pub fn render(report: &MergedReport, options: &Options) -> String {

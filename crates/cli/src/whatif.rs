@@ -25,7 +25,7 @@ use dprof::trace::{
 use std::fmt::Write as _;
 
 /// JSON schema identifier of the what-if document.
-pub const WHATIF_SCHEMA: &str = "dprof-whatif/v1";
+pub const WHATIF_SCHEMA: &str = dprof::core::schema::WHATIF_V1;
 
 /// Minimum merged L1-miss samples a data-profile row needs before `--auto` spends a
 /// measurement replay on it.

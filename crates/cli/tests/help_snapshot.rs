@@ -1,7 +1,8 @@
 //! Help-text snapshot: `dprof --help` is documentation, and PR 4 proved it can drift
 //! from the README (the `--workload <scenario>[:variant]` spelling existed in three
 //! slightly different forms).  The canonical text now lives in
-//! `tests/snapshots/help.txt`; any intentional change to `USAGE` must update the
+//! `tests/snapshots/help.txt`; any intentional change to the usage text (or to the
+//! subcommand registry its synopsis section is generated from) must update the
 //! snapshot in the same commit, which makes help churn visible in review.
 
 use std::path::PathBuf;
@@ -14,7 +15,7 @@ fn snapshot_path() -> PathBuf {
 fn help_text_matches_the_committed_snapshot() {
     let expected = std::fs::read_to_string(snapshot_path()).expect("snapshot readable");
     assert!(
-        dprof_cli::args::USAGE == expected,
+        dprof_cli::args::usage() == expected,
         "dprof --help drifted from crates/cli/tests/snapshots/help.txt; if the change \
          is intentional, regenerate with:\n  cargo run -q -p dprof-cli -- --help > \
          crates/cli/tests/snapshots/help.txt"
@@ -23,20 +24,26 @@ fn help_text_matches_the_committed_snapshot() {
 
 #[test]
 fn help_documents_every_registered_scenario_and_subcommand() {
-    // The scenario list inside USAGE is hand-maintained; hold it to the registry.
+    let usage = dprof_cli::args::usage();
+    // The scenario list inside the usage text is hand-maintained; hold it to the
+    // scenario registry.  The subcommand synopsis section is generated from the
+    // subcommand registry, so every registered command appears by construction —
+    // assert it anyway so a formatting regression cannot silently drop one.
     for spec in dprof::workloads::scenarios::registry() {
         assert!(
-            dprof_cli::args::USAGE.contains(spec.name),
-            "USAGE is missing scenario '{}'",
+            usage.contains(spec.name),
+            "usage() is missing scenario '{}'",
             spec.name
         );
     }
-    for subcommand in ["record", "replay", "diff", "accuracy", "whatif"] {
+    for subcommand in [
+        "record", "replay", "diff", "accuracy", "whatif", "serve", "loadgen", "query",
+    ] {
         assert!(
-            dprof_cli::args::USAGE.contains(&format!("dprof {subcommand}")),
-            "USAGE is missing the {subcommand} subcommand"
+            usage.contains(&format!("dprof {subcommand}")),
+            "usage() is missing the {subcommand} subcommand"
         );
     }
     // The canonical scenario-variant spelling (README and docs/ use the same form).
-    assert!(dprof_cli::args::USAGE.contains("<scenario>[:buggy|:fixed]"));
+    assert!(usage.contains("<scenario>[:buggy|:fixed]"));
 }

@@ -55,10 +55,12 @@
 
 pub mod ground_truth;
 pub mod history;
+pub mod merge;
 pub mod path_trace;
 pub mod profiler;
 pub mod report;
 pub mod sample;
+pub mod schema;
 pub mod stats;
 pub mod views;
 pub mod whatif;
@@ -67,6 +69,10 @@ pub use ground_truth::{resolve_ground_truth, GroundTruthProfile, GroundTruthRow}
 pub use history::{
     collect_histories, CollectionMode, CollectionStats, HistoryConfig, HistoryElement,
     ObjectAccessHistory,
+};
+pub use merge::{
+    merge_shards, shard_from_merged, summary_from_merged, MergeSink, MergedReport, ProfileShard,
+    ShardMeta, StreamingMerge,
 };
 pub use path_trace::{build_path_traces, count_unique_paths, PathTrace, PathTraceEntry};
 pub use profiler::{popular_offsets, Dprof, DprofConfig, DprofProfile, SamplePhase};

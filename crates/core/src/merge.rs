@@ -1,0 +1,1179 @@
+//! Streaming, shard-based merging of profiles into one report.
+//!
+//! This used to live in `crates/cli/src/merge.rs` as a one-shot function over the
+//! CLI's per-thread runs.  `dprof serve` needs the same merge as a long-lived,
+//! incremental operation over shards pushed by many producers, so the algorithm now
+//! lives here behind the [`MergeSink`] trait and a producer-neutral input type,
+//! [`ProfileShard`]; the CLI's one-shot path is a thin adapter over the same code.
+//!
+//! Shards profile *independent* simulated machines, so `TypeId`s are only meaningful
+//! within a producer; merging keys everything by type name and function name instead.
+//! Percentage-style metrics are combined as weighted means (weighted by each shard's
+//! miss-sample count, so a shard that observed more misses counts for more), additive
+//! metrics are summed, and footprint metrics are averaged — mirroring how the paper
+//! averages repeated runs of the real machine.
+//!
+//! **Determinism.** IEEE-754 addition is commutative but not associative, so a naive
+//! running fold would make the merged floats depend on arrival order.
+//! [`StreamingMerge`] therefore keeps absorbed shards and, at [`MergeSink::finish`],
+//! sorts them into a canonical order (ordinal, then seed/thread tie-breaks) before
+//! folding — the merged report is bit-identical no matter the order shards arrived
+//! in, and identical to the pre-refactor one-shot merge (the CLI assigns ordinals in
+//! thread order).  All merged collections are additionally sorted on stable keys, so
+//! the rendered report is byte-identical for identical inputs regardless of `HashMap`
+//! iteration order.
+//!
+//! **Bounded memory.** A sink built with [`StreamingMerge::with_compact_threshold`]
+//! folds its retained shards into a single base shard whenever the threshold is
+//! reached, so memory stays proportional to the distinct-type count rather than the
+//! shard count.  Compaction is exact for all counts (samples, misses, requests,
+//! Wilson-interval numerators/denominators) and rounding-level for weighted-mean
+//! percentages; it collapses per-producer thread rows into one aggregate row.
+
+use crate::profiler::DprofProfile;
+use crate::report::diff::{ReportSummary, TypeSummary};
+use crate::stats::{mark_rank_stability, wilson95};
+use crate::views::MissClass;
+use sim_kernel::TypeId;
+use std::collections::HashMap;
+
+/// Producer-level bookkeeping carried by a shard into the merged thread table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShardMeta {
+    /// Producer thread index (CLI) or 0 for pushed/compacted shards.
+    pub thread: usize,
+    /// Seed the producer ran with.
+    pub seed: u64,
+    /// Requests completed while profiled.
+    pub requests: u64,
+    /// Simulated requests per second.
+    pub rps: f64,
+    /// Fraction of cycles spent in profiling interrupts.
+    pub profiling_fraction: f64,
+    /// Access samples collected.
+    pub samples: u64,
+    /// Total simulated cycles (weights the merged profiling-overhead mean; pushed
+    /// report shards carry 0, which simply drops them from that weighted mean).
+    pub total_cycles: u64,
+}
+
+/// One data-profile row of a shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardProfileRow {
+    /// Type name.
+    pub name: String,
+    /// Human-readable description.
+    pub description: String,
+    /// Mean working-set footprint over the `threads_seen` threads folded in, bytes.
+    pub working_set_bytes: f64,
+    /// Share of L1 miss samples, percent (relative to the shard's [`ProfileShard::weight`]).
+    pub pct_of_l1_misses: f64,
+    /// Share of miss cycles, percent.
+    pub pct_of_miss_cycles: f64,
+    /// Whether the type bounced between cores.
+    pub bounce: bool,
+    /// Access samples attributed to the type.
+    pub samples: u64,
+    /// L1-miss samples attributed to the type (the Wilson-interval numerator).
+    pub l1_miss_samples: u64,
+    /// How many producer threads this row already aggregates (1 for a fresh
+    /// per-thread shard; more for pushed reports and compacted base shards).
+    pub threads_seen: usize,
+}
+
+/// One miss-classification row of a shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardMissRow {
+    /// Type name.
+    pub name: String,
+    /// Miss samples classified for the type.
+    pub miss_samples: u64,
+    /// Fraction of invalidation misses.
+    pub invalidation: f64,
+    /// Fraction of conflict misses.
+    pub conflict: f64,
+    /// Fraction of capacity misses.
+    pub capacity: f64,
+}
+
+/// One working-set row of a shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardWorkingSetRow {
+    /// Type name.
+    pub name: String,
+    /// Description.
+    pub description: String,
+    /// Mean live bytes over the `threads_seen` threads folded in.
+    pub avg_live_bytes: f64,
+    /// Mean live object count.
+    pub avg_live_objects: f64,
+    /// Peak live bytes.
+    pub peak_live_bytes: u64,
+    /// How many producer threads this row already aggregates.
+    pub threads_seen: usize,
+}
+
+/// The working-set view of a shard.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShardWorkingSet {
+    /// Per-type rows.
+    pub rows: Vec<ShardWorkingSetRow>,
+    /// L2 capacity of one simulated machine, bytes.
+    pub cache_capacity: u64,
+    /// L2 associativity of one simulated machine.
+    pub cache_ways: usize,
+    /// Mean total working-set bytes over the `thread_count` threads folded in.
+    pub total_avg_bytes: f64,
+    /// How many producer threads this shard aggregates (the weight of
+    /// `total_avg_bytes` in the merged mean).
+    pub thread_count: usize,
+    /// How many of those threads' working sets exceeded the cache capacity.
+    pub threads_exceeding_capacity: usize,
+    /// Number of over-subscribed associativity sets.
+    pub conflict_sets: usize,
+}
+
+/// A node of a shard's data-flow graph, keyed by kernel function name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardFlowNode {
+    /// Kernel function name.
+    pub function: String,
+    /// Access samples matched to the node.
+    pub samples: u64,
+    /// Path-trace weight through the node.
+    pub weight: u64,
+    /// Sample-weighted average access latency, cycles.
+    pub avg_latency: f64,
+}
+
+/// An edge of a shard's data-flow graph (endpoints by function name).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardFlowEdge {
+    /// Source function name.
+    pub from: String,
+    /// Destination function name.
+    pub to: String,
+    /// Traversals.
+    pub count: u64,
+    /// Whether the object changed cores on this edge.
+    pub cpu_change: bool,
+}
+
+/// The data-flow graph of one type within a shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardFlow {
+    /// Type name.
+    pub type_name: String,
+    /// Nodes (any order; merged node order is re-derived).
+    pub nodes: Vec<ShardFlowNode>,
+    /// Edges (any order).
+    pub edges: Vec<ShardFlowEdge>,
+}
+
+/// One producer's contribution to a merged report: a self-contained, name-keyed
+/// summary of a profile that can be merged with any other shard of the same
+/// workload.  Built from a live profile ([`ProfileShard::from_profile`]), parsed
+/// from a pushed report (`schema::shard_from_report_json`), or produced by folding
+/// other shards ([`shard_from_merged`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileShard {
+    /// Position in the canonical fold order.  The CLI assigns the thread index;
+    /// the server assigns a per-key monotonic counter.  Ties break on seed, thread
+    /// and weight so the fold order — and hence every merged float — is a pure
+    /// function of the shard *set*.
+    pub ordinal: u64,
+    /// Merge weight: the number of L1-miss access samples the shard observed
+    /// (the denominator its percentage metrics are relative to).
+    pub weight: f64,
+    /// Producer bookkeeping.
+    pub meta: ShardMeta,
+    /// Data-profile rows.
+    pub data_profile: Vec<ShardProfileRow>,
+    /// Miss-classification rows.
+    pub miss_classification: Vec<ShardMissRow>,
+    /// Working-set view.
+    pub working_set: ShardWorkingSet,
+    /// Data-flow graphs, sorted by type name.
+    pub data_flows: Vec<ShardFlow>,
+}
+
+impl ProfileShard {
+    /// Builds a shard from a freshly collected profile.
+    ///
+    /// `type_names` resolves the profile's machine-local `TypeId`s to names (the
+    /// only keys that are meaningful across producers); `meta` carries the
+    /// producer's throughput bookkeeping and `ordinal` its canonical fold position.
+    pub fn from_profile(
+        profile: &DprofProfile,
+        type_names: &HashMap<TypeId, String>,
+        meta: ShardMeta,
+        ordinal: u64,
+    ) -> ProfileShard {
+        let weight = profile.samples.iter().filter(|s| s.is_l1_miss()).count() as f64;
+        let mut data_flows: Vec<ShardFlow> = profile
+            .data_flows
+            .iter()
+            .map(|(ty, graph)| ShardFlow {
+                type_name: type_names
+                    .get(ty)
+                    .cloned()
+                    .unwrap_or_else(|| format!("type#{}", ty.0)),
+                nodes: graph
+                    .nodes
+                    .iter()
+                    .map(|n| ShardFlowNode {
+                        function: n.name.clone(),
+                        samples: n.samples,
+                        weight: n.weight,
+                        avg_latency: n.avg_latency,
+                    })
+                    .collect(),
+                edges: graph
+                    .edges
+                    .iter()
+                    .map(|e| ShardFlowEdge {
+                        from: graph.nodes[e.from].name.clone(),
+                        to: graph.nodes[e.to].name.clone(),
+                        count: e.count,
+                        cpu_change: e.cpu_change,
+                    })
+                    .collect(),
+            })
+            .collect();
+        data_flows.sort_by(|a, b| a.type_name.cmp(&b.type_name));
+
+        ProfileShard {
+            ordinal,
+            weight,
+            meta,
+            data_profile: profile
+                .data_profile
+                .iter()
+                .map(|row| ShardProfileRow {
+                    name: row.name.clone(),
+                    description: row.description.clone(),
+                    working_set_bytes: row.working_set_bytes,
+                    pct_of_l1_misses: row.pct_of_l1_misses,
+                    pct_of_miss_cycles: row.pct_of_miss_cycles,
+                    bounce: row.bounce,
+                    samples: row.samples,
+                    l1_miss_samples: row.l1_miss_samples,
+                    threads_seen: 1,
+                })
+                .collect(),
+            miss_classification: profile
+                .miss_classification
+                .iter()
+                .map(|row| ShardMissRow {
+                    name: row.name.clone(),
+                    miss_samples: row.miss_samples,
+                    invalidation: row.fraction(MissClass::Invalidation),
+                    conflict: row.fraction(MissClass::Conflict),
+                    capacity: row.fraction(MissClass::Capacity),
+                })
+                .collect(),
+            working_set: ShardWorkingSet {
+                rows: profile
+                    .working_set
+                    .per_type
+                    .iter()
+                    .map(|t| ShardWorkingSetRow {
+                        name: t.name.clone(),
+                        description: t.description.clone(),
+                        avg_live_bytes: t.avg_live_bytes,
+                        avg_live_objects: t.avg_live_objects,
+                        peak_live_bytes: t.peak_live_bytes,
+                        threads_seen: 1,
+                    })
+                    .collect(),
+                cache_capacity: profile.working_set.cache_capacity,
+                cache_ways: profile.working_set.cache_ways,
+                total_avg_bytes: profile.working_set.total_avg_bytes(),
+                thread_count: 1,
+                threads_exceeding_capacity: usize::from(profile.working_set.exceeds_capacity()),
+                conflict_sets: profile.working_set.conflict_sets.len(),
+            },
+            data_flows,
+        }
+    }
+
+    /// The canonical fold-order key (see [`ProfileShard::ordinal`]).
+    pub fn sort_key(&self) -> (u64, u64, usize, u64) {
+        (
+            self.ordinal,
+            self.meta.seed,
+            self.meta.thread,
+            self.weight.to_bits(),
+        )
+    }
+}
+
+/// A data-profile row aggregated across shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedProfileRow {
+    /// Type name.
+    pub name: String,
+    /// Human-readable description.
+    pub description: String,
+    /// Mean working-set footprint across the threads that saw the type, bytes.
+    pub working_set_bytes: f64,
+    /// Miss-weighted share of L1 miss samples, percent.
+    pub pct_of_l1_misses: f64,
+    /// Miss-weighted share of miss cycles, percent.
+    pub pct_of_miss_cycles: f64,
+    /// Whether any shard saw the type bounce between cores.
+    pub bounce: bool,
+    /// Total access samples attributed to the type, all shards.
+    pub samples: u64,
+    /// Total L1-miss samples attributed to the type, all shards (the merged
+    /// miss-share numerator; pooling the counts is what lets the merged confidence
+    /// interval be exact instead of a heuristic combination of per-shard ones).
+    pub l1_miss_samples: u64,
+    /// Lower bound of the 95% confidence interval on the merged miss share, percent.
+    pub ci95_low: f64,
+    /// Upper bound of the 95% confidence interval on the merged miss share, percent.
+    pub ci95_high: f64,
+    /// True when the merged rank is statistically firm (no CI overlap with either
+    /// ranked neighbour).
+    pub rank_stable: bool,
+    /// Number of producer threads whose profile contained the type.
+    pub threads_seen: usize,
+}
+
+/// A miss-classification row aggregated across shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedMissRow {
+    /// Type name.
+    pub name: String,
+    /// Total miss samples, all shards.
+    pub miss_samples: u64,
+    /// Miss-weighted fraction of invalidation misses.
+    pub invalidation: f64,
+    /// Miss-weighted fraction of conflict misses.
+    pub conflict: f64,
+    /// Miss-weighted fraction of capacity misses.
+    pub capacity: f64,
+}
+
+impl MergedMissRow {
+    /// The dominant class name of the merged fractions.
+    pub fn dominant(&self) -> &'static str {
+        let mut best = ("invalidation", self.invalidation);
+        for (name, value) in [("conflict", self.conflict), ("capacity", self.capacity)] {
+            if value > best.1 {
+                best = (name, value);
+            }
+        }
+        best.0
+    }
+}
+
+/// A working-set row aggregated across shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedWorkingSetRow {
+    /// Type name.
+    pub name: String,
+    /// Description.
+    pub description: String,
+    /// Mean of per-thread average live bytes.
+    pub avg_live_bytes: f64,
+    /// Mean of per-thread average live object counts.
+    pub avg_live_objects: f64,
+    /// Maximum peak live bytes seen by any thread.
+    pub peak_live_bytes: u64,
+}
+
+/// The merged working-set view.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MergedWorkingSet {
+    /// Per-type rows, sorted by average live bytes (descending).
+    pub rows: Vec<MergedWorkingSetRow>,
+    /// L2 capacity of one simulated machine, bytes.
+    pub cache_capacity: u64,
+    /// L2 associativity of one simulated machine.
+    pub cache_ways: usize,
+    /// Mean of per-thread total average working-set bytes.
+    pub total_avg_bytes: f64,
+    /// Total producer threads folded in (denominator of `total_avg_bytes`).
+    pub thread_count: usize,
+    /// How many threads' working sets exceeded the cache capacity.
+    pub threads_exceeding_capacity: usize,
+    /// Largest number of over-subscribed associativity sets seen by any thread.
+    pub max_conflict_sets: usize,
+}
+
+/// A node of a merged data-flow graph, keyed by kernel function name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedFlowNode {
+    /// Kernel function name.
+    pub function: String,
+    /// Total access samples matched to the node.
+    pub samples: u64,
+    /// Total path-trace weight through the node.
+    pub weight: u64,
+    /// Sample-weighted average access latency, cycles.
+    pub avg_latency: f64,
+}
+
+/// An edge of a merged data-flow graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedFlowEdge {
+    /// Source function name.
+    pub from: String,
+    /// Destination function name.
+    pub to: String,
+    /// Total traversals, all shards.
+    pub count: u64,
+    /// Whether the object changed cores on this edge.
+    pub cpu_change: bool,
+}
+
+/// The merged data-flow graph for one type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedDataFlow {
+    /// Type name.
+    pub type_name: String,
+    /// Nodes sorted by weight (descending), then name.
+    pub nodes: Vec<MergedFlowNode>,
+    /// Edges sorted by count (descending), then endpoint names.
+    pub edges: Vec<MergedFlowEdge>,
+    /// Total traversals of core-crossing edges.
+    pub core_crossings: u64,
+}
+
+/// Per-shard throughput summary carried into the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadSummary {
+    /// Thread index.
+    pub thread: usize,
+    /// Seed the thread ran with.
+    pub seed: u64,
+    /// Requests completed while profiled.
+    pub requests: u64,
+    /// Simulated requests per second.
+    pub rps: f64,
+    /// Fraction of cycles spent in profiling interrupts.
+    pub profiling_fraction: f64,
+    /// Access samples collected.
+    pub samples: u64,
+}
+
+/// Everything the report renderers consume.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MergedReport {
+    /// Per-shard summaries, in canonical fold order.
+    pub threads: Vec<ThreadSummary>,
+    /// Total requests completed across shards while profiled.
+    pub total_requests: u64,
+    /// Sum of per-shard simulated request rates.
+    pub aggregate_rps: f64,
+    /// Cycle-weighted mean profiling overhead fraction.
+    pub profiling_fraction: f64,
+    /// Sum of per-shard simulated cycles (the weight behind `profiling_fraction`).
+    pub total_cycles: u64,
+    /// Pooled L1-miss sample count (sum of shard weights; the merged shares'
+    /// denominator, preserved so a report can be folded back into a shard).
+    pub pooled_weight: f64,
+    /// Data-profile rows, sorted by merged miss share (descending).
+    pub data_profile: Vec<MergedProfileRow>,
+    /// Miss-classification rows, sorted by merged miss samples (descending).
+    pub miss_classification: Vec<MergedMissRow>,
+    /// The merged working-set view.
+    pub working_set: MergedWorkingSet,
+    /// Merged data-flow graphs, sorted by type name.
+    pub data_flows: Vec<MergedDataFlow>,
+}
+
+/// A destination that profile shards can be merged into incrementally.
+///
+/// The contract every implementation must honour (and the proptests pin):
+/// [`finish`](MergeSink::finish) is a pure function of the *set* of absorbed
+/// shards — absorbing the same shards in any order yields a bit-identical
+/// [`MergedReport`], equal to [`merge_shards`] over the canonically sorted set.
+pub trait MergeSink {
+    /// Absorbs one shard.
+    fn absorb(&mut self, shard: ProfileShard);
+    /// Number of shards currently retained in memory (≤ absorbed when compacting).
+    fn shard_count(&self) -> usize;
+    /// Total number of shards ever absorbed.
+    fn absorbed(&self) -> u64;
+    /// Merges everything absorbed so far into a report.  The sink remains usable;
+    /// an empty sink yields `MergedReport::default()`.
+    fn finish(&self) -> MergedReport;
+}
+
+/// The canonical [`MergeSink`]: retains shards and folds them in canonical order.
+#[derive(Debug, Clone)]
+pub struct StreamingMerge {
+    shards: Vec<ProfileShard>,
+    compact_threshold: usize,
+    absorbed: u64,
+}
+
+impl StreamingMerge {
+    /// An unbounded sink: every absorbed shard is retained until `finish`.
+    pub fn new() -> StreamingMerge {
+        StreamingMerge {
+            shards: Vec::new(),
+            compact_threshold: usize::MAX,
+            absorbed: 0,
+        }
+    }
+
+    /// A bounded sink: whenever `threshold` shards are retained they are folded
+    /// into a single base shard, keeping memory proportional to the type count.
+    pub fn with_compact_threshold(threshold: usize) -> StreamingMerge {
+        StreamingMerge {
+            shards: Vec::new(),
+            compact_threshold: threshold.max(2),
+            absorbed: 0,
+        }
+    }
+
+    /// Folds all retained shards into one base shard (no-op below 2 shards).
+    ///
+    /// Counts stay exact; weighted-mean percentages are reconstructed from the
+    /// folded report at rounding-level accuracy; per-producer thread rows collapse
+    /// into one aggregate row.
+    pub fn compact(&mut self) {
+        if self.shards.len() < 2 {
+            return;
+        }
+        let report = self.finish();
+        let ordinal = self.shards.iter().map(|s| s.ordinal).min().unwrap_or(0);
+        self.shards = vec![shard_from_merged(&report, ordinal)];
+    }
+}
+
+impl Default for StreamingMerge {
+    fn default() -> StreamingMerge {
+        StreamingMerge::new()
+    }
+}
+
+impl MergeSink for StreamingMerge {
+    fn absorb(&mut self, shard: ProfileShard) {
+        self.shards.push(shard);
+        self.absorbed += 1;
+        if self.shards.len() >= self.compact_threshold {
+            self.compact();
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn absorbed(&self) -> u64 {
+        self.absorbed
+    }
+
+    fn finish(&self) -> MergedReport {
+        let mut ordered: Vec<&ProfileShard> = self.shards.iter().collect();
+        ordered.sort_by_key(|s| s.sort_key());
+        merge_shards(&ordered)
+    }
+}
+
+/// Merges shards in the given order.  Callers that need order-insensitivity must
+/// pass a canonically sorted slice (which [`StreamingMerge::finish`] does); the
+/// fold order determines the exact float rounding of weighted means.
+pub fn merge_shards(shards: &[&ProfileShard]) -> MergedReport {
+    if shards.is_empty() {
+        return MergedReport::default();
+    }
+
+    let total_weight: f64 = shards.iter().map(|s| s.weight).sum();
+
+    MergedReport {
+        threads: shards
+            .iter()
+            .map(|s| ThreadSummary {
+                thread: s.meta.thread,
+                seed: s.meta.seed,
+                requests: s.meta.requests,
+                rps: s.meta.rps,
+                profiling_fraction: s.meta.profiling_fraction,
+                samples: s.meta.samples,
+            })
+            .collect(),
+        total_requests: shards.iter().map(|s| s.meta.requests).sum(),
+        aggregate_rps: shards.iter().map(|s| s.meta.rps).sum(),
+        profiling_fraction: {
+            // Cycle-weighted, so a shard that simulated 10x more work counts 10x.
+            let cycles: u64 = shards.iter().map(|s| s.meta.total_cycles).sum();
+            if cycles == 0 {
+                0.0
+            } else {
+                shards
+                    .iter()
+                    .map(|s| s.meta.profiling_fraction * s.meta.total_cycles as f64)
+                    .sum::<f64>()
+                    / cycles as f64
+            }
+        },
+        total_cycles: shards.iter().map(|s| s.meta.total_cycles).sum(),
+        pooled_weight: total_weight,
+        data_profile: merge_data_profile(shards, total_weight),
+        miss_classification: merge_miss_classification(shards),
+        working_set: merge_working_set(shards),
+        data_flows: merge_data_flows(shards),
+    }
+}
+
+fn merge_data_profile(shards: &[&ProfileShard], total_weight: f64) -> Vec<MergedProfileRow> {
+    struct Acc {
+        description: String,
+        ws_sum: f64,
+        pct_l1_weighted: f64,
+        pct_cycles_weighted: f64,
+        bounce: bool,
+        samples: u64,
+        l1_miss_samples: u64,
+        threads_seen: usize,
+    }
+    let mut acc: HashMap<String, Acc> = HashMap::new();
+    for shard in shards {
+        for row in &shard.data_profile {
+            let entry = acc.entry(row.name.clone()).or_insert_with(|| Acc {
+                description: row.description.clone(),
+                ws_sum: 0.0,
+                pct_l1_weighted: 0.0,
+                pct_cycles_weighted: 0.0,
+                bounce: false,
+                samples: 0,
+                l1_miss_samples: 0,
+                threads_seen: 0,
+            });
+            // `working_set_bytes` is the row's mean over `threads_seen` threads;
+            // re-expanding to a sum keeps the merged mean exact under compaction
+            // (and is a multiplication by 1.0 — bit-exact — for fresh shards).
+            entry.ws_sum += row.working_set_bytes * row.threads_seen as f64;
+            entry.pct_l1_weighted += shard.weight * row.pct_of_l1_misses;
+            entry.pct_cycles_weighted += shard.weight * row.pct_of_miss_cycles;
+            entry.bounce |= row.bounce;
+            entry.samples += row.samples;
+            entry.l1_miss_samples += row.l1_miss_samples;
+            entry.threads_seen += row.threads_seen;
+        }
+    }
+    // The miss-weighted mean of per-shard shares equals the pooled share
+    // (sum of counts over sum of totals), so the pooled counts also give the
+    // interval of exactly the estimate the merged column shows.
+    let pooled_total = total_weight.round() as u64;
+    let mut rows: Vec<MergedProfileRow> = acc
+        .into_iter()
+        .map(|(name, a)| {
+            let (ci_lo, ci_hi) = wilson95(a.l1_miss_samples, pooled_total);
+            MergedProfileRow {
+                name,
+                description: a.description,
+                working_set_bytes: a.ws_sum / a.threads_seen as f64,
+                pct_of_l1_misses: if total_weight > 0.0 {
+                    a.pct_l1_weighted / total_weight
+                } else {
+                    0.0
+                },
+                pct_of_miss_cycles: if total_weight > 0.0 {
+                    a.pct_cycles_weighted / total_weight
+                } else {
+                    0.0
+                },
+                bounce: a.bounce,
+                samples: a.samples,
+                l1_miss_samples: a.l1_miss_samples,
+                ci95_low: 100.0 * ci_lo,
+                ci95_high: 100.0 * ci_hi,
+                rank_stable: false, // marked after ranking, below
+                threads_seen: a.threads_seen,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.pct_of_l1_misses
+            .partial_cmp(&a.pct_of_l1_misses)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    let intervals: Vec<(f64, f64)> = rows.iter().map(|r| (r.ci95_low, r.ci95_high)).collect();
+    for (row, stable) in rows.iter_mut().zip(mark_rank_stability(&intervals)) {
+        row.rank_stable = stable;
+    }
+    rows
+}
+
+fn merge_miss_classification(shards: &[&ProfileShard]) -> Vec<MergedMissRow> {
+    struct Acc {
+        miss_samples: u64,
+        invalidation: f64,
+        conflict: f64,
+        capacity: f64,
+    }
+    let mut acc: HashMap<String, Acc> = HashMap::new();
+    for shard in shards {
+        for row in &shard.miss_classification {
+            let w = row.miss_samples as f64;
+            let entry = acc.entry(row.name.clone()).or_insert_with(|| Acc {
+                miss_samples: 0,
+                invalidation: 0.0,
+                conflict: 0.0,
+                capacity: 0.0,
+            });
+            entry.miss_samples += row.miss_samples;
+            entry.invalidation += w * row.invalidation;
+            entry.conflict += w * row.conflict;
+            entry.capacity += w * row.capacity;
+        }
+    }
+    let mut rows: Vec<MergedMissRow> = acc
+        .into_iter()
+        .map(|(name, a)| {
+            let w = a.miss_samples.max(1) as f64;
+            MergedMissRow {
+                name,
+                miss_samples: a.miss_samples,
+                invalidation: a.invalidation / w,
+                conflict: a.conflict / w,
+                capacity: a.capacity / w,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.miss_samples
+            .cmp(&a.miss_samples)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    rows
+}
+
+fn merge_working_set(shards: &[&ProfileShard]) -> MergedWorkingSet {
+    struct Acc {
+        description: String,
+        bytes_sum: f64,
+        objects_sum: f64,
+        peak: u64,
+        threads_seen: usize,
+    }
+    let mut acc: HashMap<String, Acc> = HashMap::new();
+    for shard in shards {
+        for t in &shard.working_set.rows {
+            let entry = acc.entry(t.name.clone()).or_insert_with(|| Acc {
+                description: t.description.clone(),
+                bytes_sum: 0.0,
+                objects_sum: 0.0,
+                peak: 0,
+                threads_seen: 0,
+            });
+            entry.bytes_sum += t.avg_live_bytes * t.threads_seen as f64;
+            entry.objects_sum += t.avg_live_objects * t.threads_seen as f64;
+            entry.peak = entry.peak.max(t.peak_live_bytes);
+            entry.threads_seen += t.threads_seen;
+        }
+    }
+    let mut rows: Vec<MergedWorkingSetRow> = acc
+        .into_iter()
+        .map(|(name, a)| MergedWorkingSetRow {
+            name,
+            description: a.description,
+            avg_live_bytes: a.bytes_sum / a.threads_seen as f64,
+            avg_live_objects: a.objects_sum / a.threads_seen as f64,
+            peak_live_bytes: a.peak,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.avg_live_bytes
+            .partial_cmp(&a.avg_live_bytes)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+
+    let first = &shards[0].working_set;
+    let thread_count: usize = shards.iter().map(|s| s.working_set.thread_count).sum();
+    MergedWorkingSet {
+        rows,
+        cache_capacity: first.cache_capacity,
+        cache_ways: first.cache_ways,
+        total_avg_bytes: shards
+            .iter()
+            .map(|s| s.working_set.total_avg_bytes * s.working_set.thread_count as f64)
+            .sum::<f64>()
+            / thread_count.max(1) as f64,
+        thread_count,
+        threads_exceeding_capacity: shards
+            .iter()
+            .map(|s| s.working_set.threads_exceeding_capacity)
+            .sum(),
+        max_conflict_sets: shards
+            .iter()
+            .map(|s| s.working_set.conflict_sets)
+            .max()
+            .unwrap_or(0),
+    }
+}
+
+fn merge_data_flows(shards: &[&ProfileShard]) -> Vec<MergedDataFlow> {
+    struct NodeAcc {
+        samples: u64,
+        weight: u64,
+        latency_weighted: f64,
+    }
+    struct FlowAcc {
+        nodes: HashMap<String, NodeAcc>,
+        edges: HashMap<(String, String, bool), u64>,
+    }
+    let mut flows: HashMap<String, FlowAcc> = HashMap::new();
+    for shard in shards {
+        for graph in &shard.data_flows {
+            let flow = flows
+                .entry(graph.type_name.clone())
+                .or_insert_with(|| FlowAcc {
+                    nodes: HashMap::new(),
+                    edges: HashMap::new(),
+                });
+            for node in &graph.nodes {
+                let acc = flow
+                    .nodes
+                    .entry(node.function.clone())
+                    .or_insert_with(|| NodeAcc {
+                        samples: 0,
+                        weight: 0,
+                        latency_weighted: 0.0,
+                    });
+                acc.samples += node.samples;
+                acc.weight += node.weight;
+                // Per-shard avg_latency is a per-sample mean, so weight by samples to
+                // keep the merged value a per-sample mean.
+                acc.latency_weighted += node.samples as f64 * node.avg_latency;
+            }
+            for edge in &graph.edges {
+                let key = (edge.from.clone(), edge.to.clone(), edge.cpu_change);
+                *flow.edges.entry(key).or_insert(0) += edge.count;
+            }
+        }
+    }
+    let mut merged: Vec<MergedDataFlow> = flows
+        .into_iter()
+        .map(|(type_name, flow)| {
+            let mut nodes: Vec<MergedFlowNode> = flow
+                .nodes
+                .into_iter()
+                .map(|(function, a)| MergedFlowNode {
+                    function,
+                    samples: a.samples,
+                    weight: a.weight,
+                    avg_latency: if a.samples > 0 {
+                        a.latency_weighted / a.samples as f64
+                    } else {
+                        0.0
+                    },
+                })
+                .collect();
+            nodes.sort_by(|a, b| {
+                b.weight
+                    .cmp(&a.weight)
+                    .then_with(|| a.function.cmp(&b.function))
+            });
+            let mut edges: Vec<MergedFlowEdge> = flow
+                .edges
+                .into_iter()
+                .map(|((from, to, cpu_change), count)| MergedFlowEdge {
+                    from,
+                    to,
+                    count,
+                    cpu_change,
+                })
+                .collect();
+            // The full accumulation key — (from, to, cpu_change) — must participate
+            // in the sort: two edges differing only in cpu_change would otherwise
+            // tie and inherit HashMap iteration order, which is not stable across
+            // processes (record vs replay byte-diffs the rendered report).
+            edges.sort_by(|a, b| {
+                b.count
+                    .cmp(&a.count)
+                    .then_with(|| a.from.cmp(&b.from))
+                    .then_with(|| a.to.cmp(&b.to))
+                    .then_with(|| a.cpu_change.cmp(&b.cpu_change))
+            });
+            let core_crossings = edges.iter().filter(|e| e.cpu_change).map(|e| e.count).sum();
+            MergedDataFlow {
+                type_name,
+                nodes,
+                edges,
+                core_crossings,
+            }
+        })
+        .collect();
+    merged.sort_by(|a, b| a.type_name.cmp(&b.type_name));
+    merged
+}
+
+/// Folds a merged report back into a single base shard (the compaction step and
+/// the serve store's snapshot payload).
+///
+/// Counts are preserved exactly; weighted means become single observations whose
+/// weight is the pooled weight, so re-merging the base shard with new shards gives
+/// the same answer as merging the originals up to float rounding.  Per-producer
+/// thread rows collapse into one aggregate row.
+pub fn shard_from_merged(report: &MergedReport, ordinal: u64) -> ProfileShard {
+    ProfileShard {
+        ordinal,
+        weight: report.pooled_weight,
+        meta: ShardMeta {
+            thread: 0,
+            seed: 0,
+            requests: report.total_requests,
+            rps: report.aggregate_rps,
+            profiling_fraction: report.profiling_fraction,
+            samples: report.threads.iter().map(|t| t.samples).sum(),
+            total_cycles: report.total_cycles,
+        },
+        data_profile: report
+            .data_profile
+            .iter()
+            .map(|r| ShardProfileRow {
+                name: r.name.clone(),
+                description: r.description.clone(),
+                working_set_bytes: r.working_set_bytes,
+                pct_of_l1_misses: r.pct_of_l1_misses,
+                pct_of_miss_cycles: r.pct_of_miss_cycles,
+                bounce: r.bounce,
+                samples: r.samples,
+                l1_miss_samples: r.l1_miss_samples,
+                threads_seen: r.threads_seen,
+            })
+            .collect(),
+        miss_classification: report
+            .miss_classification
+            .iter()
+            .map(|r| ShardMissRow {
+                name: r.name.clone(),
+                miss_samples: r.miss_samples,
+                invalidation: r.invalidation,
+                conflict: r.conflict,
+                capacity: r.capacity,
+            })
+            .collect(),
+        working_set: ShardWorkingSet {
+            rows: report
+                .working_set
+                .rows
+                .iter()
+                .map(|r| {
+                    // Re-derive the per-row thread multiplicity from the profile
+                    // rows where it is tracked; default to the folded thread count.
+                    let threads_seen = report
+                        .data_profile
+                        .iter()
+                        .find(|p| p.name == r.name)
+                        .map(|p| p.threads_seen)
+                        .unwrap_or_else(|| report.working_set.thread_count.max(1));
+                    ShardWorkingSetRow {
+                        name: r.name.clone(),
+                        description: r.description.clone(),
+                        avg_live_bytes: r.avg_live_bytes,
+                        avg_live_objects: r.avg_live_objects,
+                        peak_live_bytes: r.peak_live_bytes,
+                        threads_seen,
+                    }
+                })
+                .collect(),
+            cache_capacity: report.working_set.cache_capacity,
+            cache_ways: report.working_set.cache_ways,
+            total_avg_bytes: report.working_set.total_avg_bytes,
+            thread_count: report.working_set.thread_count.max(1),
+            threads_exceeding_capacity: report.working_set.threads_exceeding_capacity,
+            conflict_sets: report.working_set.max_conflict_sets,
+        },
+        data_flows: report
+            .data_flows
+            .iter()
+            .map(|f| ShardFlow {
+                type_name: f.type_name.clone(),
+                nodes: f
+                    .nodes
+                    .iter()
+                    .map(|n| ShardFlowNode {
+                        function: n.function.clone(),
+                        samples: n.samples,
+                        weight: n.weight,
+                        avg_latency: n.avg_latency,
+                    })
+                    .collect(),
+                edges: f
+                    .edges
+                    .iter()
+                    .map(|e| ShardFlowEdge {
+                        from: e.from.clone(),
+                        to: e.to.clone(),
+                        count: e.count,
+                        cpu_change: e.cpu_change,
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Reduces a merged report to the diff engine's [`ReportSummary`] — the in-memory
+/// twin of `schema::report_summary_from_json`, used by the serve query path so
+/// regression verdicts match what `dprof diff` would say about the rendered files.
+pub fn summary_from_merged(report: &MergedReport) -> ReportSummary {
+    let mut types: Vec<TypeSummary> = Vec::new();
+    for row in &report.data_profile {
+        let mut summary = TypeSummary::absent(&row.name);
+        summary.pct_of_l1_misses = row.pct_of_l1_misses;
+        summary.bounce = row.bounce;
+        summary.working_set_bytes = row.working_set_bytes;
+        types.push(summary);
+    }
+    let find = |types: &mut Vec<TypeSummary>, name: &str| -> usize {
+        match types.iter().position(|t| t.name == name) {
+            Some(i) => i,
+            None => {
+                types.push(TypeSummary::absent(name));
+                types.len() - 1
+            }
+        }
+    };
+    for row in &report.miss_classification {
+        let i = find(&mut types, &row.name);
+        types[i].miss_samples = row.miss_samples;
+        types[i].invalidation = row.invalidation;
+        types[i].conflict = row.conflict;
+        types[i].capacity = row.capacity;
+        types[i].dominant_miss = Some(row.dominant().to_string());
+    }
+    for row in &report.working_set.rows {
+        let i = find(&mut types, &row.name);
+        types[i].working_set_bytes = row.avg_live_bytes;
+    }
+    for flow in &report.data_flows {
+        let i = find(&mut types, &flow.type_name);
+        types[i].core_crossings = flow.core_crossings;
+    }
+    ReportSummary {
+        types,
+        rps: report.aggregate_rps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(ordinal: u64, name: &str, l1: u64, pct: f64) -> ProfileShard {
+        ProfileShard {
+            ordinal,
+            weight: l1 as f64,
+            meta: ShardMeta {
+                thread: ordinal as usize,
+                seed: 100 + ordinal,
+                requests: 10 * (ordinal + 1),
+                rps: 5.0 * (ordinal + 1) as f64,
+                profiling_fraction: 0.01,
+                samples: 3 * l1,
+                total_cycles: 1000 * (ordinal + 1),
+            },
+            data_profile: vec![ShardProfileRow {
+                name: name.into(),
+                description: "d".into(),
+                working_set_bytes: 512.0,
+                pct_of_l1_misses: pct,
+                pct_of_miss_cycles: pct,
+                bounce: false,
+                samples: 3 * l1,
+                l1_miss_samples: l1,
+                threads_seen: 1,
+            }],
+            miss_classification: vec![ShardMissRow {
+                name: name.into(),
+                miss_samples: l1,
+                invalidation: 0.5,
+                conflict: 0.25,
+                capacity: 0.25,
+            }],
+            working_set: ShardWorkingSet {
+                rows: vec![ShardWorkingSetRow {
+                    name: name.into(),
+                    description: "d".into(),
+                    avg_live_bytes: 256.0,
+                    avg_live_objects: 4.0,
+                    peak_live_bytes: 512,
+                    threads_seen: 1,
+                }],
+                cache_capacity: 1 << 18,
+                cache_ways: 8,
+                total_avg_bytes: 256.0,
+                thread_count: 1,
+                threads_exceeding_capacity: 0,
+                conflict_sets: 0,
+            },
+            data_flows: vec![],
+        }
+    }
+
+    #[test]
+    fn finish_is_order_insensitive() {
+        let shards = [
+            shard(0, "a", 100, 60.0),
+            shard(1, "b", 50, 40.0),
+            shard(2, "a", 25, 90.0),
+        ];
+        let mut forward = StreamingMerge::new();
+        for s in &shards {
+            forward.absorb(s.clone());
+        }
+        let mut backward = StreamingMerge::new();
+        for s in shards.iter().rev() {
+            backward.absorb(s.clone());
+        }
+        assert_eq!(forward.finish(), backward.finish());
+    }
+
+    #[test]
+    fn empty_sink_finishes_to_default() {
+        assert_eq!(StreamingMerge::new().finish(), MergedReport::default());
+    }
+
+    #[test]
+    fn compaction_preserves_counts() {
+        let shards: Vec<ProfileShard> = (0..10).map(|i| shard(i, "a", 10 + i, 50.0)).collect();
+        let mut unbounded = StreamingMerge::new();
+        let mut bounded = StreamingMerge::with_compact_threshold(3);
+        for s in &shards {
+            unbounded.absorb(s.clone());
+            bounded.absorb(s.clone());
+        }
+        assert!(bounded.shard_count() <= 3);
+        assert_eq!(bounded.absorbed(), 10);
+        let a = unbounded.finish();
+        let b = bounded.finish();
+        assert_eq!(a.total_requests, b.total_requests);
+        assert_eq!(a.pooled_weight, b.pooled_weight);
+        assert_eq!(
+            a.data_profile[0].l1_miss_samples,
+            b.data_profile[0].l1_miss_samples
+        );
+        assert_eq!(
+            a.data_profile[0].threads_seen,
+            b.data_profile[0].threads_seen
+        );
+        assert!(
+            (a.data_profile[0].pct_of_l1_misses - b.data_profile[0].pct_of_l1_misses).abs() < 1e-9
+        );
+        assert!((a.working_set.total_avg_bytes - b.working_set.total_avg_bytes).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_from_merged_matches_rows() {
+        let mut sink = StreamingMerge::new();
+        sink.absorb(shard(0, "a", 100, 60.0));
+        sink.absorb(shard(1, "b", 50, 40.0));
+        let report = sink.finish();
+        let summary = summary_from_merged(&report);
+        let a = summary.get("a").unwrap();
+        assert_eq!(a.miss_samples, 100);
+        assert_eq!(a.dominant_miss.as_deref(), Some("invalidation"));
+        assert_eq!(summary.rps, report.aggregate_rps);
+    }
+}

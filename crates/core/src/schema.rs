@@ -1,0 +1,1154 @@
+//! The versioned JSON schema layer shared by every dprof emitter and parser.
+//!
+//! Historically the CLI carried its own JSON document model (`crates/cli/src/json.rs`)
+//! while the diff engine re-parsed reports with ad-hoc code; the serve PR moved both
+//! here so there is exactly one implementation of:
+//!
+//! * the dependency-free [`Json`] value model, emitter and parser (the workspace
+//!   builds fully offline, so no `serde_json`),
+//! * the schema-id constants every document carries ([`REPORT_V1`], [`DIFF_V1`],
+//!   [`WHATIF_V1`], [`ACCURACY_V1`], [`SERVE_V1`], [`LOADGEN_V1`]),
+//! * the readers that turn documents back into typed values:
+//!   [`report_summary_from_json`] (report → diff-engine summary),
+//!   [`shard_from_report_json`] (report → mergeable [`ProfileShard`]) and the
+//!   [`shard_to_json`]/[`shard_from_json`] pair used by the serve store's snapshots.
+//!
+//! Object key order is preserved on emit, so documents are byte-stable across runs
+//! with identical inputs — the CI determinism job depends on this.
+
+use crate::merge::{
+    ProfileShard, ShardFlow, ShardFlowEdge, ShardFlowNode, ShardMeta, ShardMissRow,
+    ShardProfileRow, ShardWorkingSet, ShardWorkingSetRow,
+};
+use crate::report::diff::{ReportSummary, TypeSummary};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Schema id of merged profile reports (`dprof -f json`, `dprof replay -f json`).
+pub const REPORT_V1: &str = "dprof-report/v1";
+/// Schema id of `dprof diff -f json` documents.
+pub const DIFF_V1: &str = "dprof-diff/v1";
+/// Schema id of `dprof whatif -f json` documents.
+pub const WHATIF_V1: &str = "dprof-whatif/v1";
+/// Schema id of `dprof accuracy -f json` documents.
+pub const ACCURACY_V1: &str = "dprof-accuracy/v1";
+/// Schema id of serve-side documents: query replies and on-disk store snapshots.
+pub const SERVE_V1: &str = "dprof-serve/v1";
+/// Schema id of `dprof loadgen -f json` documents.
+pub const LOADGEN_V1: &str = "dprof-loadgen/v1";
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, emitted without a fraction when integral).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved on emit.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object values.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor for numbers.
+    pub fn num(n: impl Into<f64>) -> Json {
+        Json::Num(n.into())
+    }
+
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Emits the value as pretty-printed JSON (two-space indent, trailing newline).
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_into(&self, out: &mut String, level: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_number(out, *n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, level + 1);
+                    item.write_into(out, level + 1);
+                }
+                out.push('\n');
+                indent(out, level);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, level + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_into(out, level + 1);
+                }
+                out.push('\n');
+                indent(out, level);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document.  Returns a message with a byte offset on error.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing data at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Json::Null),
+            Some(b't') => self.eat_literal("true", Json::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our emitter; map lone
+                            // surrogates to the replacement character.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {start}")),
+                    }
+                }
+                Some(b) => {
+                    // Consume one UTF-8 scalar, validating only its own bytes (not the
+                    // whole remaining input, which would make parsing quadratic).
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return Err(format!("invalid utf-8 at byte {start}")),
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or("truncated utf-8 sequence")?;
+                    let text = std::str::from_utf8(chunk).map_err(|_| "invalid utf-8")?;
+                    s.push_str(text);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9') | Some(b'.') | Some(b'e') | Some(b'E') | Some(b'+') | Some(b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number at byte {start}"))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Breadth-first search for every object key in a document (test helper).
+pub fn all_keys(root: &Json) -> Vec<String> {
+    let mut keys = Vec::new();
+    let mut queue: VecDeque<&Json> = VecDeque::new();
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        match v {
+            Json::Obj(fields) => {
+                for (k, child) in fields {
+                    keys.push(k.clone());
+                    queue.push_back(child);
+                }
+            }
+            Json::Arr(items) => queue.extend(items.iter()),
+            _ => {}
+        }
+    }
+    keys
+}
+
+/// Reduces a parsed [`REPORT_V1`] document to the diff engine's [`ReportSummary`].
+pub fn report_summary_from_json(doc: &Json) -> Result<ReportSummary, String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(REPORT_V1) => {}
+        Some(other) => {
+            return Err(format!(
+                "schema is '{other}', expected '{REPORT_V1}' (is this a dprof report?)"
+            ))
+        }
+        None => {
+            return Err(format!(
+                "missing 'schema' field, expected '{REPORT_V1}' (is this a dprof report?)"
+            ))
+        }
+    }
+    let profile_rows = doc
+        .get("data_profile")
+        .and_then(|s| s.get("rows"))
+        .and_then(Json::as_array)
+        .ok_or_else(|| {
+            "report has no data_profile section; re-run dprof with -v data-profile (or all views)"
+                .to_string()
+        })?;
+
+    let mut types: Vec<TypeSummary> = Vec::new();
+    for row in profile_rows {
+        let name = row
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("data_profile row without a 'type' field")?;
+        let mut summary = TypeSummary::absent(name);
+        summary.pct_of_l1_misses = row
+            .get("pct_of_l1_misses")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        summary.bounce = row.get("bounce").and_then(Json::as_bool).unwrap_or(false);
+        summary.working_set_bytes = row
+            .get("working_set_bytes")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        types.push(summary);
+    }
+
+    let find = |types: &mut Vec<TypeSummary>, name: &str| -> usize {
+        match types.iter().position(|t| t.name == name) {
+            Some(i) => i,
+            None => {
+                types.push(TypeSummary::absent(name));
+                types.len() - 1
+            }
+        }
+    };
+
+    if let Some(rows) = doc
+        .get("miss_classification")
+        .and_then(|s| s.get("rows"))
+        .and_then(Json::as_array)
+    {
+        for row in rows {
+            let Some(name) = row.get("type").and_then(Json::as_str) else {
+                continue;
+            };
+            let i = find(&mut types, name);
+            types[i].miss_samples = row
+                .get("miss_samples")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0) as u64;
+            if let Some(fr) = row.get("fractions") {
+                types[i].invalidation =
+                    fr.get("invalidation").and_then(Json::as_f64).unwrap_or(0.0);
+                types[i].conflict = fr.get("conflict").and_then(Json::as_f64).unwrap_or(0.0);
+                types[i].capacity = fr.get("capacity").and_then(Json::as_f64).unwrap_or(0.0);
+            }
+            types[i].dominant_miss = row
+                .get("dominant")
+                .and_then(Json::as_str)
+                .map(|s| s.to_string());
+        }
+    }
+
+    if let Some(rows) = doc
+        .get("working_set")
+        .and_then(|s| s.get("rows"))
+        .and_then(Json::as_array)
+    {
+        for row in rows {
+            let Some(name) = row.get("type").and_then(Json::as_str) else {
+                continue;
+            };
+            let i = find(&mut types, name);
+            types[i].working_set_bytes = row
+                .get("avg_live_bytes")
+                .and_then(Json::as_f64)
+                .unwrap_or(types[i].working_set_bytes);
+        }
+    }
+
+    if let Some(flows) = doc
+        .get("data_flow")
+        .and_then(|s| s.get("types"))
+        .and_then(Json::as_array)
+    {
+        for flow in flows {
+            let Some(name) = flow.get("type").and_then(Json::as_str) else {
+                continue;
+            };
+            let i = find(&mut types, name);
+            types[i].core_crossings = flow
+                .get("core_crossings")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0) as u64;
+        }
+    }
+
+    // Carried so the diff can report the realized throughput gain (older reports
+    // without a throughput section diff fine; the gain line is simply omitted).
+    let rps = doc
+        .get("throughput")
+        .and_then(|t| t.get("aggregate_rps"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+
+    Ok(ReportSummary { types, rps })
+}
+
+fn f64_at(v: &Json, key: &str) -> f64 {
+    v.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn u64_at(v: &Json, key: &str) -> u64 {
+    f64_at(v, key) as u64
+}
+
+fn usize_at(v: &Json, key: &str) -> usize {
+    f64_at(v, key) as usize
+}
+
+fn bool_at(v: &Json, key: &str) -> bool {
+    v.get(key).and_then(Json::as_bool).unwrap_or(false)
+}
+
+fn str_at(v: &Json, key: &str) -> String {
+    v.get(key).and_then(Json::as_str).unwrap_or("").to_string()
+}
+
+/// Converts a full [`REPORT_V1`] document into one mergeable [`ProfileShard`].
+///
+/// This is how `dprof serve` ingests pushed report shards: the whole report (which may
+/// itself summarize several threads) becomes one shard whose weight is the pooled
+/// L1-miss sample count, so re-merging many pushed reports weights each by the
+/// evidence it carries.  `ordinal` fixes the shard's position in the canonical fold
+/// order (the server assigns monotonically increasing ordinals per store key).
+pub fn shard_from_report_json(doc: &Json, ordinal: u64) -> Result<ProfileShard, String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(REPORT_V1) => {}
+        Some(other) => {
+            return Err(format!(
+                "schema is '{other}', expected '{REPORT_V1}' (is this a dprof report?)"
+            ))
+        }
+        None => {
+            return Err(format!(
+                "missing 'schema' field, expected '{REPORT_V1}' (is this a dprof report?)"
+            ))
+        }
+    }
+    let run = doc.get("run");
+    let threads_in_report = run.map(|r| usize_at(r, "threads").max(1)).unwrap_or(1);
+    let throughput = doc.get("throughput");
+    let per_thread_samples: u64 = throughput
+        .and_then(|t| t.get("per_thread"))
+        .and_then(Json::as_array)
+        .map(|rows| rows.iter().map(|r| u64_at(r, "samples")).sum())
+        .unwrap_or(0);
+
+    let mut data_profile = Vec::new();
+    let mut sum_l1: u64 = 0;
+    let mut sum_pct: f64 = 0.0;
+    if let Some(rows) = doc
+        .get("data_profile")
+        .and_then(|s| s.get("rows"))
+        .and_then(Json::as_array)
+    {
+        for row in rows {
+            let name = row
+                .get("type")
+                .and_then(Json::as_str)
+                .ok_or("data_profile row without a 'type' field")?
+                .to_string();
+            let l1 = u64_at(row, "l1_miss_samples");
+            sum_l1 += l1;
+            sum_pct += f64_at(row, "pct_of_l1_misses");
+            data_profile.push(ShardProfileRow {
+                name,
+                description: str_at(row, "description"),
+                working_set_bytes: f64_at(row, "working_set_bytes"),
+                pct_of_l1_misses: f64_at(row, "pct_of_l1_misses"),
+                pct_of_miss_cycles: f64_at(row, "pct_of_miss_cycles"),
+                bounce: bool_at(row, "bounce"),
+                samples: u64_at(row, "samples"),
+                l1_miss_samples: l1,
+                threads_seen: usize_at(row, "threads_seen").max(1),
+            });
+        }
+    }
+    // The report's rows carry shares relative to the *total* miss-sample pool, which
+    // may exceed the per-row sum when some misses went unattributed; reconstruct the
+    // pool so this shard's weight matches the denominator its percentages assume.
+    let weight = if sum_pct > 1e-9 {
+        (sum_l1 as f64 * 100.0 / sum_pct).round()
+    } else {
+        sum_l1 as f64
+    };
+
+    let mut miss_classification = Vec::new();
+    if let Some(rows) = doc
+        .get("miss_classification")
+        .and_then(|s| s.get("rows"))
+        .and_then(Json::as_array)
+    {
+        for row in rows {
+            let fr = row.get("fractions");
+            miss_classification.push(ShardMissRow {
+                name: str_at(row, "type"),
+                miss_samples: u64_at(row, "miss_samples"),
+                invalidation: fr.map(|f| f64_at(f, "invalidation")).unwrap_or(0.0),
+                conflict: fr.map(|f| f64_at(f, "conflict")).unwrap_or(0.0),
+                capacity: fr.map(|f| f64_at(f, "capacity")).unwrap_or(0.0),
+            });
+        }
+    }
+
+    let ws = doc.get("working_set");
+    let working_set = ShardWorkingSet {
+        rows: ws
+            .and_then(|w| w.get("rows"))
+            .and_then(Json::as_array)
+            .map(|rows| {
+                rows.iter()
+                    .map(|row| ShardWorkingSetRow {
+                        name: str_at(row, "type"),
+                        description: str_at(row, "description"),
+                        avg_live_bytes: f64_at(row, "avg_live_bytes"),
+                        avg_live_objects: f64_at(row, "avg_live_objects"),
+                        peak_live_bytes: u64_at(row, "peak_live_bytes"),
+                        threads_seen: usize_at(row, "threads_seen").max(1),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default(),
+        cache_capacity: ws.map(|w| u64_at(w, "cache_capacity_bytes")).unwrap_or(0),
+        cache_ways: ws.map(|w| usize_at(w, "cache_ways")).unwrap_or(0),
+        total_avg_bytes: ws.map(|w| f64_at(w, "total_avg_bytes")).unwrap_or(0.0),
+        thread_count: threads_in_report,
+        threads_exceeding_capacity: ws
+            .map(|w| usize_at(w, "threads_exceeding_capacity"))
+            .unwrap_or(0),
+        conflict_sets: ws.map(|w| usize_at(w, "max_conflict_sets")).unwrap_or(0),
+    };
+
+    let mut data_flows = Vec::new();
+    if let Some(flows) = doc
+        .get("data_flow")
+        .and_then(|s| s.get("types"))
+        .and_then(Json::as_array)
+    {
+        for flow in flows {
+            data_flows.push(ShardFlow {
+                type_name: str_at(flow, "type"),
+                nodes: flow
+                    .get("nodes")
+                    .and_then(Json::as_array)
+                    .map(|nodes| {
+                        nodes
+                            .iter()
+                            .map(|n| ShardFlowNode {
+                                function: str_at(n, "function"),
+                                samples: u64_at(n, "samples"),
+                                weight: u64_at(n, "weight"),
+                                avg_latency: f64_at(n, "avg_latency"),
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+                edges: flow
+                    .get("edges")
+                    .and_then(Json::as_array)
+                    .map(|edges| {
+                        edges
+                            .iter()
+                            .map(|e| ShardFlowEdge {
+                                from: str_at(e, "from"),
+                                to: str_at(e, "to"),
+                                count: u64_at(e, "count"),
+                                cpu_change: bool_at(e, "cpu_change"),
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            });
+        }
+    }
+    data_flows.sort_by(|a, b| a.type_name.cmp(&b.type_name));
+
+    Ok(ProfileShard {
+        ordinal,
+        weight,
+        meta: ShardMeta {
+            thread: 0,
+            seed: run.map(|r| u64_at(r, "base_seed")).unwrap_or(0),
+            requests: throughput.map(|t| u64_at(t, "total_requests")).unwrap_or(0),
+            rps: throughput
+                .map(|t| f64_at(t, "aggregate_rps"))
+                .unwrap_or(0.0),
+            profiling_fraction: throughput
+                .map(|t| f64_at(t, "profiling_fraction"))
+                .unwrap_or(0.0),
+            samples: per_thread_samples,
+            total_cycles: 0,
+        },
+        data_profile,
+        miss_classification,
+        working_set,
+        data_flows,
+    })
+}
+
+/// Serializes a [`ProfileShard`] as the `shard` body of a [`SERVE_V1`] snapshot.
+pub fn shard_to_json(shard: &ProfileShard) -> Json {
+    Json::obj(vec![
+        ("ordinal", Json::num(shard.ordinal as f64)),
+        ("weight", Json::num(shard.weight)),
+        (
+            "meta",
+            Json::obj(vec![
+                ("thread", Json::num(shard.meta.thread as f64)),
+                ("seed", Json::num(shard.meta.seed as f64)),
+                ("requests", Json::num(shard.meta.requests as f64)),
+                ("rps", Json::num(shard.meta.rps)),
+                (
+                    "profiling_fraction",
+                    Json::num(shard.meta.profiling_fraction),
+                ),
+                ("samples", Json::num(shard.meta.samples as f64)),
+                ("total_cycles", Json::num(shard.meta.total_cycles as f64)),
+            ]),
+        ),
+        (
+            "data_profile",
+            Json::Arr(
+                shard
+                    .data_profile
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("type", Json::str(&r.name)),
+                            ("description", Json::str(&r.description)),
+                            ("working_set_bytes", Json::num(r.working_set_bytes)),
+                            ("pct_of_l1_misses", Json::num(r.pct_of_l1_misses)),
+                            ("pct_of_miss_cycles", Json::num(r.pct_of_miss_cycles)),
+                            ("bounce", Json::Bool(r.bounce)),
+                            ("samples", Json::num(r.samples as f64)),
+                            ("l1_miss_samples", Json::num(r.l1_miss_samples as f64)),
+                            ("threads_seen", Json::num(r.threads_seen as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "miss_classification",
+            Json::Arr(
+                shard
+                    .miss_classification
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("type", Json::str(&r.name)),
+                            ("miss_samples", Json::num(r.miss_samples as f64)),
+                            ("invalidation", Json::num(r.invalidation)),
+                            ("conflict", Json::num(r.conflict)),
+                            ("capacity", Json::num(r.capacity)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "working_set",
+            Json::obj(vec![
+                (
+                    "rows",
+                    Json::Arr(
+                        shard
+                            .working_set
+                            .rows
+                            .iter()
+                            .map(|r| {
+                                Json::obj(vec![
+                                    ("type", Json::str(&r.name)),
+                                    ("description", Json::str(&r.description)),
+                                    ("avg_live_bytes", Json::num(r.avg_live_bytes)),
+                                    ("avg_live_objects", Json::num(r.avg_live_objects)),
+                                    ("peak_live_bytes", Json::num(r.peak_live_bytes as f64)),
+                                    ("threads_seen", Json::num(r.threads_seen as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "cache_capacity_bytes",
+                    Json::num(shard.working_set.cache_capacity as f64),
+                ),
+                ("cache_ways", Json::num(shard.working_set.cache_ways as f64)),
+                (
+                    "total_avg_bytes",
+                    Json::num(shard.working_set.total_avg_bytes),
+                ),
+                (
+                    "thread_count",
+                    Json::num(shard.working_set.thread_count as f64),
+                ),
+                (
+                    "threads_exceeding_capacity",
+                    Json::num(shard.working_set.threads_exceeding_capacity as f64),
+                ),
+                (
+                    "conflict_sets",
+                    Json::num(shard.working_set.conflict_sets as f64),
+                ),
+            ]),
+        ),
+        (
+            "data_flows",
+            Json::Arr(
+                shard
+                    .data_flows
+                    .iter()
+                    .map(|f| {
+                        Json::obj(vec![
+                            ("type", Json::str(&f.type_name)),
+                            (
+                                "nodes",
+                                Json::Arr(
+                                    f.nodes
+                                        .iter()
+                                        .map(|n| {
+                                            Json::obj(vec![
+                                                ("function", Json::str(&n.function)),
+                                                ("samples", Json::num(n.samples as f64)),
+                                                ("weight", Json::num(n.weight as f64)),
+                                                ("avg_latency", Json::num(n.avg_latency)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                            (
+                                "edges",
+                                Json::Arr(
+                                    f.edges
+                                        .iter()
+                                        .map(|e| {
+                                            Json::obj(vec![
+                                                ("from", Json::str(&e.from)),
+                                                ("to", Json::str(&e.to)),
+                                                ("count", Json::num(e.count as f64)),
+                                                ("cpu_change", Json::Bool(e.cpu_change)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Deserializes a shard written by [`shard_to_json`].
+pub fn shard_from_json(doc: &Json) -> Result<ProfileShard, String> {
+    let meta = doc.get("meta").ok_or("shard without a 'meta' object")?;
+    let ws = doc
+        .get("working_set")
+        .ok_or("shard without a 'working_set' object")?;
+    Ok(ProfileShard {
+        ordinal: u64_at(doc, "ordinal"),
+        weight: f64_at(doc, "weight"),
+        meta: ShardMeta {
+            thread: usize_at(meta, "thread"),
+            seed: u64_at(meta, "seed"),
+            requests: u64_at(meta, "requests"),
+            rps: f64_at(meta, "rps"),
+            profiling_fraction: f64_at(meta, "profiling_fraction"),
+            samples: u64_at(meta, "samples"),
+            total_cycles: u64_at(meta, "total_cycles"),
+        },
+        data_profile: doc
+            .get("data_profile")
+            .and_then(Json::as_array)
+            .ok_or("shard without a 'data_profile' array")?
+            .iter()
+            .map(|r| ShardProfileRow {
+                name: str_at(r, "type"),
+                description: str_at(r, "description"),
+                working_set_bytes: f64_at(r, "working_set_bytes"),
+                pct_of_l1_misses: f64_at(r, "pct_of_l1_misses"),
+                pct_of_miss_cycles: f64_at(r, "pct_of_miss_cycles"),
+                bounce: bool_at(r, "bounce"),
+                samples: u64_at(r, "samples"),
+                l1_miss_samples: u64_at(r, "l1_miss_samples"),
+                threads_seen: usize_at(r, "threads_seen").max(1),
+            })
+            .collect(),
+        miss_classification: doc
+            .get("miss_classification")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .map(|r| ShardMissRow {
+                name: str_at(r, "type"),
+                miss_samples: u64_at(r, "miss_samples"),
+                invalidation: f64_at(r, "invalidation"),
+                conflict: f64_at(r, "conflict"),
+                capacity: f64_at(r, "capacity"),
+            })
+            .collect(),
+        working_set: ShardWorkingSet {
+            rows: ws
+                .get("rows")
+                .and_then(Json::as_array)
+                .unwrap_or(&[])
+                .iter()
+                .map(|r| ShardWorkingSetRow {
+                    name: str_at(r, "type"),
+                    description: str_at(r, "description"),
+                    avg_live_bytes: f64_at(r, "avg_live_bytes"),
+                    avg_live_objects: f64_at(r, "avg_live_objects"),
+                    peak_live_bytes: u64_at(r, "peak_live_bytes"),
+                    threads_seen: usize_at(r, "threads_seen").max(1),
+                })
+                .collect(),
+            cache_capacity: u64_at(ws, "cache_capacity_bytes"),
+            cache_ways: usize_at(ws, "cache_ways"),
+            total_avg_bytes: f64_at(ws, "total_avg_bytes"),
+            thread_count: usize_at(ws, "thread_count").max(1),
+            threads_exceeding_capacity: usize_at(ws, "threads_exceeding_capacity"),
+            conflict_sets: usize_at(ws, "conflict_sets"),
+        },
+        data_flows: doc
+            .get("data_flows")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .map(|f| ShardFlow {
+                type_name: str_at(f, "type"),
+                nodes: f
+                    .get("nodes")
+                    .and_then(Json::as_array)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|n| ShardFlowNode {
+                        function: str_at(n, "function"),
+                        samples: u64_at(n, "samples"),
+                        weight: u64_at(n, "weight"),
+                        avg_latency: f64_at(n, "avg_latency"),
+                    })
+                    .collect(),
+                edges: f
+                    .get("edges")
+                    .and_then(Json::as_array)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|e| ShardFlowEdge {
+                        from: str_at(e, "from"),
+                        to: str_at(e, "to"),
+                        count: u64_at(e, "count"),
+                        cpu_change: bool_at(e, "cpu_change"),
+                    })
+                    .collect(),
+            })
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested_document() {
+        let doc = Json::obj(vec![
+            ("name", Json::str("skbuff")),
+            ("bounce", Json::Bool(true)),
+            ("pct", Json::num(45.4)),
+            ("count", Json::num(1234u32)),
+            (
+                "tags",
+                Json::Arr(vec![Json::str("a \"quoted\" one"), Json::Null]),
+            ),
+            (
+                "nested",
+                Json::obj(vec![
+                    ("empty_arr", Json::Arr(vec![])),
+                    ("empty_obj", Json::Obj(vec![])),
+                ]),
+            ),
+        ]);
+        let text = doc.to_pretty_string();
+        let back = Json::parse(&text).expect("parses");
+        assert_eq!(back, doc);
+        assert_eq!(back.get("name").and_then(Json::as_str), Some("skbuff"));
+        assert_eq!(back.get("pct").and_then(Json::as_f64), Some(45.4));
+        assert_eq!(back.get("count").and_then(Json::as_f64), Some(1234.0));
+    }
+
+    #[test]
+    fn integers_emit_without_fraction() {
+        assert!(Json::num(3u32).to_pretty_string().starts_with('3'));
+        assert!(!Json::num(3u32).to_pretty_string().contains('.'));
+        assert!(Json::num(2.5).to_pretty_string().starts_with("2.5"));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("true false").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let doc = Json::str("line1\nline2\ttab\u{1}");
+        let text = doc.to_pretty_string();
+        assert!(text.contains("\\n"));
+        assert!(text.contains("\\t"));
+        assert!(text.contains("\\u0001"));
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+    }
+
+    fn sample_shard() -> ProfileShard {
+        ProfileShard {
+            ordinal: 7,
+            weight: 120.0,
+            meta: ShardMeta {
+                thread: 2,
+                seed: 99,
+                requests: 1000,
+                rps: 123.5,
+                profiling_fraction: 0.02,
+                samples: 400,
+                total_cycles: 50_000,
+            },
+            data_profile: vec![ShardProfileRow {
+                name: "skbuff".into(),
+                description: "socket buffer".into(),
+                working_set_bytes: 4096.0,
+                pct_of_l1_misses: 61.25,
+                pct_of_miss_cycles: 58.5,
+                bounce: true,
+                samples: 300,
+                l1_miss_samples: 120,
+                threads_seen: 1,
+            }],
+            miss_classification: vec![ShardMissRow {
+                name: "skbuff".into(),
+                miss_samples: 120,
+                invalidation: 0.7,
+                conflict: 0.1,
+                capacity: 0.2,
+            }],
+            working_set: ShardWorkingSet {
+                rows: vec![ShardWorkingSetRow {
+                    name: "skbuff".into(),
+                    description: "socket buffer".into(),
+                    avg_live_bytes: 2048.0,
+                    avg_live_objects: 8.0,
+                    peak_live_bytes: 4096,
+                    threads_seen: 1,
+                }],
+                cache_capacity: 262_144,
+                cache_ways: 8,
+                total_avg_bytes: 2048.0,
+                thread_count: 1,
+                threads_exceeding_capacity: 0,
+                conflict_sets: 3,
+            },
+            data_flows: vec![ShardFlow {
+                type_name: "skbuff".into(),
+                nodes: vec![ShardFlowNode {
+                    function: "netif_rx".into(),
+                    samples: 50,
+                    weight: 60,
+                    avg_latency: 12.5,
+                }],
+                edges: vec![ShardFlowEdge {
+                    from: "netif_rx".into(),
+                    to: "udp_deliver".into(),
+                    count: 40,
+                    cpu_change: true,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn shard_roundtrips_through_json() {
+        let shard = sample_shard();
+        let doc = shard_to_json(&shard);
+        let text = doc.to_pretty_string();
+        let back = shard_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, shard);
+    }
+
+    #[test]
+    fn shard_from_report_rejects_wrong_schema() {
+        let doc = Json::obj(vec![("schema", Json::str("dprof-diff/v1"))]);
+        assert!(shard_from_report_json(&doc, 0)
+            .unwrap_err()
+            .contains("schema"));
+        let none = Json::obj(vec![("hello", Json::num(1u32))]);
+        assert!(shard_from_report_json(&none, 0)
+            .unwrap_err()
+            .contains("missing 'schema'"));
+    }
+}

@@ -1,0 +1,558 @@
+//! The TCP server: a thread-per-connection accept loop around a shared
+//! [`ProfileStore`].
+//!
+//! Connections are long-lived: a producer keeps one socket open and streams
+//! push frames; a dashboard keeps one open and issues queries.  A malformed
+//! *request* gets an error response and the connection stays up (the frame
+//! boundary is intact, so the stream can resync); a malformed *frame* gets an
+//! error response and the connection is closed (the byte stream itself is
+//! broken).  Either way the server keeps serving other connections — the
+//! error-path tests pin exactly this.
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{Request, Response};
+use crate::store::{valid_tag, ProfileStore};
+use dprof::core::merge::{MergedReport, ProfileShard, ShardMeta};
+use dprof::core::report::diff::diff;
+use dprof::core::schema::{self, Json};
+use dprof::core::wilson95;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks a free port (read it back from
+    /// [`Server::addr`]).
+    pub listen: String,
+    /// Snapshot tree root; `None` keeps the store memory-only.
+    pub store_root: Option<PathBuf>,
+    /// Snapshot a key automatically after this many pushes to it (0 disables
+    /// automatic snapshots; the `snapshot` request always works).
+    pub snapshot_every: u64,
+    /// Per-key bound on resident shards (see
+    /// [`dprof::core::StreamingMerge::with_compact_threshold`]).
+    pub compact_threshold: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            listen: "127.0.0.1:0".into(),
+            store_root: None,
+            snapshot_every: 64,
+            compact_threshold: 256,
+        }
+    }
+}
+
+/// A running server.  Dropping it (or calling [`Server::shutdown`]) stops the
+/// accept loop; in-flight connections finish their current request.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    store: Arc<Mutex<ProfileStore>>,
+}
+
+impl Server {
+    /// Binds and starts serving in background threads.
+    pub fn start(config: ServerConfig) -> Result<Server, String> {
+        let listener = TcpListener::bind(&config.listen)
+            .map_err(|e| format!("bind {}: {e}", config.listen))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("local addr: {e}"))?;
+        let store = Arc::new(Mutex::new(ProfileStore::new(
+            config.store_root.clone(),
+            config.compact_threshold,
+        )?));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let shared = Shared {
+            store: Arc::clone(&store),
+            stop: Arc::clone(&stop),
+            snapshot_every: config.snapshot_every,
+            scratch_dir: config.store_root.clone().unwrap_or_else(std::env::temp_dir),
+            upload_counter: Arc::new(AtomicU64::new(0)),
+            addr,
+        };
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for connection in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = connection else { continue };
+                // Without TCP_NODELAY the small response frames sit behind
+                // Nagle until the peer's delayed ACK (~40ms per round trip).
+                let _ = stream.set_nodelay(true);
+                let shared = shared.clone();
+                std::thread::spawn(move || serve_connection(stream, shared));
+            }
+        });
+
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            store,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle to the store (tests use it to inspect state without a socket).
+    pub fn store(&self) -> Arc<Mutex<ProfileStore>> {
+        Arc::clone(&self.store)
+    }
+
+    /// Stops the accept loop and waits for it; flushes a final snapshot.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        if let Ok(mut store) = self.store.lock() {
+            if store.persistent() {
+                let _ = store.snapshot();
+            }
+        }
+    }
+
+    /// Blocks until a client asks the server to stop (`dprof serve` runs this).
+    pub fn wait(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        if let Ok(mut store) = self.store.lock() {
+            if store.persistent() {
+                let _ = store.snapshot();
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[derive(Clone)]
+struct Shared {
+    store: Arc<Mutex<ProfileStore>>,
+    stop: Arc<AtomicBool>,
+    snapshot_every: u64,
+    scratch_dir: PathBuf,
+    upload_counter: Arc<AtomicU64>,
+    addr: SocketAddr,
+}
+
+fn serve_connection(mut stream: TcpStream, shared: Shared) {
+    loop {
+        let (kind, payload) = match read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return,
+            Err(message) => {
+                // The byte stream is broken; answer once and hang up.
+                let (k, p) = Response::Err(message).encode();
+                let _ = write_frame(&mut stream, k, &p);
+                return;
+            }
+        };
+        let response = match Request::decode(kind, &payload) {
+            Ok(Request::Shutdown) => {
+                let (k, p) = Response::Ok(ack_json("shutdown", &[])).encode();
+                let _ = write_frame(&mut stream, k, &p);
+                shared.stop.store(true, Ordering::SeqCst);
+                let _ = TcpStream::connect(shared.addr);
+                return;
+            }
+            Ok(request) => handle(&shared, request),
+            Err(message) => Response::Err(message),
+        };
+        let (k, p) = response.encode();
+        if write_frame(&mut stream, k, &p).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle(shared: &Shared, request: Request) -> Response {
+    match dispatch(shared, request) {
+        Ok(json) => Response::Ok(json),
+        Err(message) => Response::Err(message),
+    }
+}
+
+fn dispatch(shared: &Shared, request: Request) -> Result<String, String> {
+    match request {
+        Request::PushShard {
+            workload,
+            build,
+            shard_id,
+            report_json,
+        } => {
+            check_key(&workload, &build)?;
+            let doc = Json::parse(&report_json).map_err(|e| format!("push: {e}"))?;
+            // Accept either a full report document or a bare shard document;
+            // the client's shard_id wins as the fold ordinal in both cases, so
+            // the merged result does not depend on arrival order.
+            let mut shard = match doc.get("schema").and_then(Json::as_str) {
+                Some(schema::REPORT_V1) => schema::shard_from_report_json(&doc, shard_id)?,
+                _ => schema::shard_from_json(&doc)?,
+            };
+            shard.ordinal = shard_id;
+            let total = absorb(shared, &workload, &build, vec![shard])?;
+            Ok(ack_json(
+                "push",
+                &[
+                    ("workload", Json::str(&workload)),
+                    ("build", Json::str(&build)),
+                    ("shards", Json::num(total as f64)),
+                ],
+            ))
+        }
+        Request::PushTrace {
+            workload,
+            build,
+            shard_id,
+            bytes,
+        } => {
+            check_key(&workload, &build)?;
+            let shards = replay_trace_upload(shared, shard_id, &bytes)?;
+            let added = shards.len();
+            let total = absorb(shared, &workload, &build, shards)?;
+            Ok(ack_json(
+                "push-trace",
+                &[
+                    ("workload", Json::str(&workload)),
+                    ("build", Json::str(&build)),
+                    ("streams", Json::num(added as f64)),
+                    ("shards", Json::num(total as f64)),
+                ],
+            ))
+        }
+        Request::QueryTop {
+            workload,
+            build,
+            top,
+        } => {
+            let report = lookup(shared, &workload, &build)?;
+            Ok(top_json(&workload, &build, &report, top as usize))
+        }
+        Request::QueryRegressions {
+            workload,
+            from,
+            to,
+            top,
+        } => {
+            let report_a = lookup(shared, &workload, &from)?;
+            let report_b = lookup(shared, &workload, &to)?;
+            Ok(regressions_json(
+                &workload,
+                &from,
+                &to,
+                &report_a,
+                &report_b,
+                top as usize,
+            ))
+        }
+        Request::QueryAlerts { workload, from, to } => {
+            let report_a = lookup(shared, &workload, &from)?;
+            let report_b = lookup(shared, &workload, &to)?;
+            Ok(alerts_json(&workload, &from, &to, &report_a, &report_b))
+        }
+        Request::ListKeys => {
+            let store = lock(shared)?;
+            let keys = store
+                .keys()
+                .into_iter()
+                .map(|(workload, build, shards)| {
+                    Json::obj(vec![
+                        ("workload", Json::str(workload)),
+                        ("build", Json::str(build)),
+                        ("shards", Json::num(shards as f64)),
+                    ])
+                })
+                .collect();
+            Ok(doc_json("keys", vec![("keys", Json::Arr(keys))]))
+        }
+        Request::Stats => {
+            let store = lock(shared)?;
+            let stats = store.stats();
+            Ok(doc_json(
+                "stats",
+                vec![
+                    ("keys", Json::num(stats.keys as f64)),
+                    ("shards_absorbed", Json::num(stats.shards_absorbed as f64)),
+                    ("shards_resident", Json::num(stats.shards_resident as f64)),
+                    (
+                        "snapshots_written",
+                        Json::num(stats.snapshots_written as f64),
+                    ),
+                    ("persistent", Json::Bool(store.persistent())),
+                ],
+            ))
+        }
+        Request::Snapshot => {
+            let mut store = lock(shared)?;
+            if !store.persistent() {
+                return Err("server has no --store directory to snapshot into".into());
+            }
+            let written = store.snapshot()?;
+            Ok(doc_json(
+                "snapshot",
+                vec![("written", Json::num(written as f64))],
+            ))
+        }
+        Request::Shutdown => unreachable!("handled in the connection loop"),
+    }
+}
+
+fn check_key(workload: &str, build: &str) -> Result<(), String> {
+    if !valid_tag(workload) {
+        return Err(format!(
+            "invalid workload tag '{workload}' (1-64 chars of [A-Za-z0-9._-], alphanumeric first)"
+        ));
+    }
+    if !valid_tag(build) {
+        return Err(format!(
+            "invalid build tag '{build}' (1-64 chars of [A-Za-z0-9._-], alphanumeric first)"
+        ));
+    }
+    Ok(())
+}
+
+fn lock(shared: &Shared) -> Result<std::sync::MutexGuard<'_, ProfileStore>, String> {
+    shared
+        .store
+        .lock()
+        .map_err(|_| "store poisoned".to_string())
+}
+
+fn lookup(shared: &Shared, workload: &str, build: &str) -> Result<MergedReport, String> {
+    check_key(workload, build)?;
+    lock(shared)?
+        .report(workload, build)
+        .ok_or_else(|| format!("unknown key {workload}/{build} (see list-keys)"))
+}
+
+fn absorb(
+    shared: &Shared,
+    workload: &str,
+    build: &str,
+    shards: Vec<ProfileShard>,
+) -> Result<u64, String> {
+    let mut store = lock(shared)?;
+    let mut total = 0;
+    for shard in shards {
+        total = store.push_shard(workload, build, shard);
+    }
+    if shared.snapshot_every > 0
+        && store.persistent()
+        && store.dirty(workload, build) >= shared.snapshot_every
+    {
+        store.snapshot()?;
+    }
+    Ok(total)
+}
+
+/// Replays an uploaded `.dtrace` into shards, outside the store lock (replay is
+/// the expensive part; only the absorb needs exclusivity).
+fn replay_trace_upload(
+    shared: &Shared,
+    shard_id: u64,
+    bytes: &[u8],
+) -> Result<Vec<ProfileShard>, String> {
+    let unique = shared.upload_counter.fetch_add(1, Ordering::SeqCst);
+    let path = shared.scratch_dir.join(format!(
+        "dprof-upload-{}-{unique}.dtrace",
+        std::process::id()
+    ));
+    std::fs::write(&path, bytes).map_err(|e| format!("spool upload: {e}"))?;
+    let result = (|| {
+        let reader = dprof::trace::TraceReader::open(&path.display().to_string())
+            .map_err(|e| format!("trace upload: {e}"))?;
+        let runs = dprof::trace::replay_all_streaming(&reader)?;
+        Ok(runs
+            .iter()
+            .map(|run| {
+                let rps = if run.elapsed_seconds > 0.0 {
+                    run.requests as f64 / run.elapsed_seconds
+                } else {
+                    0.0
+                };
+                ProfileShard::from_profile(
+                    &run.profile,
+                    &run.type_names,
+                    ShardMeta {
+                        thread: run.thread,
+                        seed: run.seed,
+                        requests: run.requests,
+                        rps,
+                        profiling_fraction: run.profiling_fraction,
+                        samples: run.profile.samples.len() as u64,
+                        total_cycles: run.total_cycles,
+                    },
+                    // 1024 streams per upload is far above any recorded trace;
+                    // uploads stay disjoint in ordinal space.
+                    shard_id * 1024 + run.thread as u64,
+                )
+            })
+            .collect())
+    })();
+    let _ = std::fs::remove_file(&path);
+    result
+}
+
+fn doc_json(kind: &str, mut fields: Vec<(&str, Json)>) -> String {
+    let mut all = vec![
+        ("schema", Json::str(schema::SERVE_V1)),
+        ("kind", Json::str(kind)),
+    ];
+    all.append(&mut fields);
+    Json::obj(all).to_pretty_string()
+}
+
+fn ack_json(kind: &str, fields: &[(&str, Json)]) -> String {
+    doc_json(kind, fields.to_vec())
+}
+
+fn top_json(workload: &str, build: &str, report: &MergedReport, top: usize) -> String {
+    let top = if top == 0 { 8 } else { top };
+    let rows = report
+        .data_profile
+        .iter()
+        .take(top)
+        .map(|row| {
+            Json::obj(vec![
+                ("type", Json::str(&row.name)),
+                ("pct_of_l1_misses", Json::num(row.pct_of_l1_misses)),
+                ("ci95_low", Json::num(row.ci95_low)),
+                ("ci95_high", Json::num(row.ci95_high)),
+                ("rank_stable", Json::Bool(row.rank_stable)),
+                ("l1_miss_samples", Json::num(row.l1_miss_samples as f64)),
+                ("bounce", Json::Bool(row.bounce)),
+                ("threads_seen", Json::num(row.threads_seen as f64)),
+            ])
+        })
+        .collect();
+    doc_json(
+        "top",
+        vec![
+            ("workload", Json::str(workload)),
+            ("build", Json::str(build)),
+            ("shards", Json::num(report.threads.len() as f64)),
+            ("pooled_misses", Json::num(report.pooled_weight)),
+            ("aggregate_rps", Json::num(report.aggregate_rps)),
+            ("rows", Json::Arr(rows)),
+        ],
+    )
+}
+
+fn regressions_json(
+    workload: &str,
+    from: &str,
+    to: &str,
+    report_a: &MergedReport,
+    report_b: &MergedReport,
+    top: usize,
+) -> String {
+    let top = if top == 0 { 8 } else { top };
+    let summary_a = dprof::core::summary_from_merged(report_a);
+    let summary_b = dprof::core::summary_from_merged(report_b);
+    let result = diff(&summary_a, &summary_b, None);
+    // Worst regressions first: sort by share growth, descending.
+    let mut deltas = result.types.clone();
+    deltas.sort_by(|a, b| {
+        b.delta_pct
+            .partial_cmp(&a.delta_pct)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    let rows = deltas
+        .iter()
+        .take(top)
+        .map(|d| {
+            Json::obj(vec![
+                ("type", Json::str(&d.name)),
+                ("pct_from", Json::num(d.pct_a)),
+                ("pct_to", Json::num(d.pct_b)),
+                ("delta_pct", Json::num(d.delta_pct)),
+                ("misses_from", Json::num(d.miss_samples_a as f64)),
+                ("misses_to", Json::num(d.miss_samples_b as f64)),
+            ])
+        })
+        .collect();
+    doc_json(
+        "regressions",
+        vec![
+            ("workload", Json::str(workload)),
+            ("from", Json::str(from)),
+            ("to", Json::str(to)),
+            ("focus", Json::str(&result.focus)),
+            ("verdict", Json::str(result.verdict.key())),
+            ("rows", Json::Arr(rows)),
+        ],
+    )
+}
+
+fn alerts_json(
+    workload: &str,
+    from: &str,
+    to: &str,
+    report_a: &MergedReport,
+    report_b: &MergedReport,
+) -> String {
+    let pooled_a = report_a.pooled_weight.round().max(0.0) as u64;
+    let mut alerts = Vec::new();
+    for row in &report_b.data_profile {
+        let baseline = report_a
+            .data_profile
+            .iter()
+            .find(|candidate| candidate.name == row.name);
+        // The Wilson gate: alert only when the comparison share's lower
+        // confidence bound clears the baseline share's upper bound AND the raw
+        // miss count actually grew — interval separation alone can be an
+        // artifact of a shrinking denominator.
+        let (from_pct, from_high, from_misses) = match baseline {
+            Some(base) => (base.pct_of_l1_misses, base.ci95_high, base.l1_miss_samples),
+            // Absent from the baseline: its share there is zero with the Wilson
+            // upper bound a zero-success sample of the pooled size gets.
+            None => (0.0, 100.0 * wilson95(0, pooled_a).1, 0),
+        };
+        if row.ci95_low > from_high && row.l1_miss_samples > from_misses {
+            alerts.push(Json::obj(vec![
+                ("type", Json::str(&row.name)),
+                ("pct_from", Json::num(from_pct)),
+                ("pct_to", Json::num(row.pct_of_l1_misses)),
+                ("ci95_high_from", Json::num(from_high)),
+                ("ci95_low_to", Json::num(row.ci95_low)),
+                ("misses_from", Json::num(from_misses as f64)),
+                ("misses_to", Json::num(row.l1_miss_samples as f64)),
+            ]));
+        }
+    }
+    doc_json(
+        "alerts",
+        vec![
+            ("workload", Json::str(workload)),
+            ("from", Json::str(from)),
+            ("to", Json::str(to)),
+            ("alert_count", Json::num(alerts.len() as f64)),
+            ("alerts", Json::Arr(alerts)),
+        ],
+    )
+}

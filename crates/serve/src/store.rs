@@ -1,0 +1,347 @@
+//! The merged-profile store: one streaming merge sink per `(workload, build)`.
+//!
+//! Memory is bounded per key by the sink's compaction threshold (shards fold
+//! into a single base shard once the threshold is reached), and the whole store
+//! survives restarts through JSON snapshots: each key serializes its merged
+//! state as one compacted shard under `<root>/<workload>/<build>.json`, and
+//! [`ProfileStore::new`] reloads every snapshot it finds.  A reloaded key keeps
+//! absorbing new shards on top of its snapshot shard.
+
+use dprof::core::merge::{MergeSink, MergedReport, ProfileShard, StreamingMerge};
+use dprof::core::schema::{self, Json};
+use dprof::core::ReportSummary;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Whether a workload/build tag is acceptable: 1–64 characters drawn from
+/// `[A-Za-z0-9._-]`, not starting with a separator.  Tags become path
+/// components of the snapshot tree, so this also rules out traversal.
+pub fn valid_tag(tag: &str) -> bool {
+    let mut chars = tag.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphanumeric() => {}
+        _ => return false,
+    }
+    tag.len() <= 64 && chars.all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-')
+}
+
+/// Store-wide counters, as reported by the `stats` query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Number of `(workload, build)` keys.
+    pub keys: usize,
+    /// Shards absorbed over the store's lifetime (including reloaded snapshots,
+    /// each of which counts with the shard count it folded).
+    pub shards_absorbed: u64,
+    /// Shards currently resident in memory across all sinks (bounded by
+    /// `keys * compact_threshold`).
+    pub shards_resident: usize,
+    /// Snapshot files written since the store opened.
+    pub snapshots_written: u64,
+}
+
+struct BuildEntry {
+    sink: StreamingMerge,
+    /// Total shards this key represents (snapshot shards count what they folded).
+    absorbed: u64,
+    /// Smallest ordinal ever absorbed; the snapshot shard reuses it so a
+    /// reloaded store folds the snapshot at the same canonical position.
+    min_ordinal: u64,
+    /// Pushes since the last snapshot (drives the snapshot-every-N policy).
+    dirty: u64,
+}
+
+/// The in-memory store behind the server, optionally backed by a snapshot tree.
+pub struct ProfileStore {
+    root: Option<PathBuf>,
+    compact_threshold: usize,
+    entries: BTreeMap<(String, String), BuildEntry>,
+    snapshots_written: u64,
+}
+
+impl ProfileStore {
+    /// Opens a store.  With a `root`, every `<root>/<workload>/<build>.json`
+    /// snapshot is reloaded; the directory is created if missing.
+    pub fn new(root: Option<PathBuf>, compact_threshold: usize) -> Result<ProfileStore, String> {
+        let mut store = ProfileStore {
+            root,
+            compact_threshold: compact_threshold.max(2),
+            entries: BTreeMap::new(),
+            snapshots_written: 0,
+        };
+        if let Some(root) = store.root.clone() {
+            std::fs::create_dir_all(&root)
+                .map_err(|e| format!("create store root {}: {e}", root.display()))?;
+            store.load_snapshots(&root)?;
+        }
+        Ok(store)
+    }
+
+    fn load_snapshots(&mut self, root: &PathBuf) -> Result<(), String> {
+        let workloads =
+            std::fs::read_dir(root).map_err(|e| format!("read {}: {e}", root.display()))?;
+        for workload_dir in workloads.flatten() {
+            if !workload_dir.path().is_dir() {
+                continue;
+            }
+            let builds = std::fs::read_dir(workload_dir.path())
+                .map_err(|e| format!("read {}: {e}", workload_dir.path().display()))?;
+            for build_file in builds.flatten() {
+                let path = build_file.path();
+                if path.extension().map(|e| e != "json").unwrap_or(true) {
+                    continue;
+                }
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("read snapshot {}: {e}", path.display()))?;
+                let doc = Json::parse(&text)
+                    .map_err(|e| format!("parse snapshot {}: {e}", path.display()))?;
+                let (workload, build, absorbed, shard) = snapshot_from_json(&doc)
+                    .map_err(|e| format!("snapshot {}: {e}", path.display()))?;
+                let entry = self.entry(&workload, &build);
+                entry.min_ordinal = shard.ordinal;
+                entry.sink.absorb(shard);
+                entry.absorbed = absorbed;
+            }
+        }
+        Ok(())
+    }
+
+    fn entry(&mut self, workload: &str, build: &str) -> &mut BuildEntry {
+        let threshold = self.compact_threshold;
+        self.entries
+            .entry((workload.to_string(), build.to_string()))
+            .or_insert_with(|| BuildEntry {
+                sink: StreamingMerge::with_compact_threshold(threshold),
+                absorbed: 0,
+                min_ordinal: u64::MAX,
+                dirty: 0,
+            })
+    }
+
+    /// Absorbs one shard under `(workload, build)` and returns the key's new
+    /// total shard count.  Tags must already be validated.
+    pub fn push_shard(&mut self, workload: &str, build: &str, shard: ProfileShard) -> u64 {
+        let entry = self.entry(workload, build);
+        entry.min_ordinal = entry.min_ordinal.min(shard.ordinal);
+        entry.sink.absorb(shard);
+        entry.absorbed += 1;
+        entry.dirty += 1;
+        entry.absorbed
+    }
+
+    /// The merged report of one key, or `None` for an unknown key.
+    pub fn report(&self, workload: &str, build: &str) -> Option<MergedReport> {
+        self.entries
+            .get(&(workload.to_string(), build.to_string()))
+            .map(|entry| entry.sink.finish())
+    }
+
+    /// The diff-ready summary of one key, or `None` for an unknown key.
+    pub fn summary(&self, workload: &str, build: &str) -> Option<ReportSummary> {
+        self.report(workload, build)
+            .map(|report| dprof::core::summary_from_merged(&report))
+    }
+
+    /// Every key with its total shard count, in key order.
+    pub fn keys(&self) -> Vec<(String, String, u64)> {
+        self.entries
+            .iter()
+            .map(|((w, b), entry)| (w.clone(), b.clone(), entry.absorbed))
+            .collect()
+    }
+
+    /// How many pushes key `(workload, build)` has seen since its last snapshot.
+    pub fn dirty(&self, workload: &str, build: &str) -> u64 {
+        self.entries
+            .get(&(workload.to_string(), build.to_string()))
+            .map(|entry| entry.dirty)
+            .unwrap_or(0)
+    }
+
+    /// Store-wide counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            keys: self.entries.len(),
+            shards_absorbed: self.entries.values().map(|e| e.absorbed).sum(),
+            shards_resident: self.entries.values().map(|e| e.sink.shard_count()).sum(),
+            snapshots_written: self.snapshots_written,
+        }
+    }
+
+    /// Whether the store persists snapshots at all.
+    pub fn persistent(&self) -> bool {
+        self.root.is_some()
+    }
+
+    /// Writes a snapshot of every dirty key; returns how many files were
+    /// written.  A no-op (0) for a store without a root.
+    pub fn snapshot(&mut self) -> Result<u64, String> {
+        let Some(root) = self.root.clone() else {
+            return Ok(0);
+        };
+        let mut written = 0;
+        for ((workload, build), entry) in self.entries.iter_mut() {
+            if entry.dirty == 0 {
+                continue;
+            }
+            let report = entry.sink.finish();
+            let shard =
+                dprof::core::shard_from_merged(&report, entry.min_ordinal.min(u64::MAX - 1));
+            let doc = snapshot_to_json(workload, build, entry.absorbed, &shard);
+            let dir = root.join(workload);
+            std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+            let path = dir.join(format!("{build}.json"));
+            std::fs::write(&path, doc.to_pretty_string())
+                .map_err(|e| format!("write snapshot {}: {e}", path.display()))?;
+            entry.dirty = 0;
+            written += 1;
+        }
+        self.snapshots_written += written;
+        Ok(written)
+    }
+}
+
+fn snapshot_to_json(workload: &str, build: &str, absorbed: u64, shard: &ProfileShard) -> Json {
+    Json::obj(vec![
+        ("schema", Json::str(schema::SERVE_V1)),
+        ("kind", Json::str("snapshot")),
+        ("workload", Json::str(workload)),
+        ("build", Json::str(build)),
+        ("absorbed", Json::num(absorbed as f64)),
+        ("shard", schema::shard_to_json(shard)),
+    ])
+}
+
+fn snapshot_from_json(doc: &Json) -> Result<(String, String, u64, ProfileShard), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(schema::SERVE_V1) => {}
+        other => return Err(format!("unsupported snapshot schema {other:?}")),
+    }
+    let field = |key: &str| {
+        doc.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("snapshot without a '{key}' string"))
+    };
+    let workload = field("workload")?;
+    let build = field("build")?;
+    if !valid_tag(&workload) || !valid_tag(&build) {
+        return Err(format!("invalid snapshot key {workload}/{build}"));
+    }
+    let absorbed = doc
+        .get("absorbed")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0)
+        .max(0.0)
+        .round() as u64;
+    let shard = schema::shard_from_json(
+        doc.get("shard")
+            .ok_or("snapshot without a 'shard' object")?,
+    )?;
+    Ok((workload, build, absorbed, shard))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dprof::core::merge::{ShardMeta, ShardMissRow, ShardProfileRow, ShardWorkingSet};
+
+    fn shard(ordinal: u64, misses: u64) -> ProfileShard {
+        ProfileShard {
+            ordinal,
+            weight: misses as f64,
+            meta: ShardMeta {
+                thread: 0,
+                seed: ordinal,
+                requests: 100 + ordinal,
+                rps: 1000.0,
+                profiling_fraction: 0.01,
+                samples: misses * 2,
+                total_cycles: 10_000,
+            },
+            data_profile: vec![ShardProfileRow {
+                name: "ring_desc".into(),
+                description: "test type".into(),
+                working_set_bytes: 64.0,
+                pct_of_l1_misses: 100.0,
+                pct_of_miss_cycles: 100.0,
+                bounce: true,
+                samples: misses * 2,
+                l1_miss_samples: misses,
+                threads_seen: 1,
+            }],
+            miss_classification: vec![ShardMissRow {
+                name: "ring_desc".into(),
+                miss_samples: misses,
+                invalidation: 0.9,
+                conflict: 0.05,
+                capacity: 0.05,
+            }],
+            working_set: ShardWorkingSet {
+                thread_count: 1,
+                ..ShardWorkingSet::default()
+            },
+            data_flows: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn tags_are_validated() {
+        assert!(valid_tag("memcached"));
+        assert!(valid_tag("v1.2-rc_3"));
+        assert!(!valid_tag(""));
+        assert!(!valid_tag(".hidden"));
+        assert!(!valid_tag("a/b"));
+        assert!(!valid_tag("../escape"));
+        assert!(!valid_tag(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn snapshots_survive_a_restart() {
+        let dir = std::env::temp_dir().join(format!("dprof-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut store = ProfileStore::new(Some(dir.clone()), 8).unwrap();
+        for i in 0..5 {
+            store.push_shard("ring", "v1", shard(i + 1, 40 + i));
+        }
+        store.push_shard("ring", "v2", shard(1, 80));
+        let before = store.report("ring", "v1").unwrap();
+        assert_eq!(store.snapshot().unwrap(), 2);
+        assert_eq!(store.snapshot().unwrap(), 0, "clean keys are not rewritten");
+
+        let reloaded = ProfileStore::new(Some(dir.clone()), 8).unwrap();
+        assert_eq!(
+            reloaded.keys(),
+            vec![
+                ("ring".into(), "v1".into(), 5),
+                ("ring".into(), "v2".into(), 1)
+            ]
+        );
+        let after = reloaded.report("ring", "v1").unwrap();
+        // Counts are preserved exactly through the snapshot round trip.
+        assert_eq!(after.total_requests, before.total_requests);
+        assert_eq!(
+            after.data_profile[0].l1_miss_samples,
+            before.data_profile[0].l1_miss_samples
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memory_stays_bounded_by_compaction() {
+        let mut store = ProfileStore::new(None, 4).unwrap();
+        for i in 0..100 {
+            store.push_shard("w", "b", shard(i + 1, 10));
+        }
+        let stats = store.stats();
+        assert_eq!(stats.shards_absorbed, 100);
+        assert!(
+            stats.shards_resident <= 4,
+            "resident {} exceeds threshold",
+            stats.shards_resident
+        );
+        let report = store.report("w", "b").unwrap();
+        assert_eq!(report.data_profile[0].l1_miss_samples, 1000);
+    }
+}

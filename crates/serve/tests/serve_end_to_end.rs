@@ -1,0 +1,306 @@
+//! End-to-end tests of the serve stack over real sockets: concurrent ingest,
+//! arrival-order independence, query answers, Wilson-gated alerts, snapshot
+//! persistence across a restart, and the malformed-input error paths.
+
+use dprof::core::merge::{ProfileShard, ShardMeta, ShardMissRow, ShardProfileRow, ShardWorkingSet};
+use dprof::core::schema::{self, Json};
+use dprof_serve::loadgen::{run_loadgen, LoadgenConfig};
+use dprof_serve::server::{Server, ServerConfig};
+use dprof_serve::Client;
+use std::io::{Read, Write};
+
+/// A synthetic shard with two types splitting `total` miss samples.
+fn shard(ordinal: u64, total: u64, hot_share: f64) -> ProfileShard {
+    let hot = (total as f64 * hot_share).round() as u64;
+    let cold = total - hot;
+    let row = |name: &str, misses: u64| ShardProfileRow {
+        name: name.into(),
+        description: format!("{name} (synthetic)"),
+        working_set_bytes: 64.0,
+        pct_of_l1_misses: 100.0 * misses as f64 / total as f64,
+        pct_of_miss_cycles: 100.0 * misses as f64 / total as f64,
+        bounce: name == "ring_desc",
+        samples: misses * 2,
+        l1_miss_samples: misses,
+        threads_seen: 1,
+    };
+    ProfileShard {
+        ordinal,
+        weight: total as f64,
+        meta: ShardMeta {
+            thread: 0,
+            seed: ordinal,
+            requests: 1000,
+            rps: 50_000.0,
+            profiling_fraction: 0.02,
+            samples: total * 2,
+            total_cycles: 100_000,
+        },
+        data_profile: vec![row("ring_desc", hot), row("scan_buffer", cold)],
+        miss_classification: vec![
+            ShardMissRow {
+                name: "ring_desc".into(),
+                miss_samples: hot,
+                invalidation: 0.9,
+                conflict: 0.05,
+                capacity: 0.05,
+            },
+            ShardMissRow {
+                name: "scan_buffer".into(),
+                miss_samples: cold,
+                invalidation: 0.1,
+                conflict: 0.1,
+                capacity: 0.8,
+            },
+        ],
+        working_set: ShardWorkingSet {
+            thread_count: 1,
+            ..ShardWorkingSet::default()
+        },
+        data_flows: Vec::new(),
+    }
+}
+
+fn doc(shard: &ProfileShard) -> String {
+    schema::shard_to_json(shard).to_pretty_string()
+}
+
+#[test]
+fn ingest_is_arrival_order_independent_and_queries_answer() {
+    // Two servers receive the same shard set in opposite arrival orders.
+    let mut server_a = Server::start(ServerConfig::default()).unwrap();
+    let mut server_b = Server::start(ServerConfig::default()).unwrap();
+    let shards: Vec<ProfileShard> = (0..12).map(|i| shard(i + 1, 200, 0.7)).collect();
+
+    let mut client_a = Client::connect(&server_a.addr().to_string()).unwrap();
+    let mut client_b = Client::connect(&server_b.addr().to_string()).unwrap();
+    for s in &shards {
+        client_a
+            .push_shard("ring", "v1", s.ordinal, &doc(s))
+            .unwrap();
+    }
+    for s in shards.iter().rev() {
+        client_b
+            .push_shard("ring", "v1", s.ordinal, &doc(s))
+            .unwrap();
+    }
+
+    let top_a = client_a.query_top("ring", "v1", 8).unwrap();
+    let top_b = client_b.query_top("ring", "v1", 8).unwrap();
+    assert_eq!(top_a, top_b, "merged state depends on arrival order");
+
+    let parsed = Json::parse(&top_a).unwrap();
+    assert_eq!(
+        parsed.get("schema").and_then(Json::as_str),
+        Some(schema::SERVE_V1)
+    );
+    let rows = parsed.get("rows").and_then(Json::as_array).unwrap();
+    assert_eq!(
+        rows[0].get("type").and_then(Json::as_str),
+        Some("ring_desc")
+    );
+    let pct = rows[0]
+        .get("pct_of_l1_misses")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!((pct - 70.0).abs() < 1.0, "hot share ~70%, got {pct}");
+
+    server_a.shutdown();
+    server_b.shutdown();
+}
+
+#[test]
+fn regressions_and_alerts_fire_only_on_confident_growth() {
+    let mut server = Server::start(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(&server.addr().to_string()).unwrap();
+    // Build "good": the hot type holds 10% of ~2000 pooled misses; build "bad":
+    // 80%.  The Wilson intervals are far apart, so exactly one alert fires.
+    for i in 0..10 {
+        client
+            .push_shard("ring", "good", i + 1, &doc(&shard(i + 1, 200, 0.1)))
+            .unwrap();
+        client
+            .push_shard("ring", "bad", i + 1, &doc(&shard(i + 1, 200, 0.8)))
+            .unwrap();
+    }
+
+    let regressions =
+        Json::parse(&client.query_regressions("ring", "good", "bad", 8).unwrap()).unwrap();
+    let rows = regressions.get("rows").and_then(Json::as_array).unwrap();
+    // Worst regression first: ring_desc grew by ~70 points.
+    assert_eq!(
+        rows[0].get("type").and_then(Json::as_str),
+        Some("ring_desc")
+    );
+    assert!(rows[0].get("delta_pct").and_then(Json::as_f64).unwrap() > 60.0);
+
+    let alerts = Json::parse(&client.query_alerts("ring", "good", "bad").unwrap()).unwrap();
+    assert_eq!(alerts.get("alert_count").and_then(Json::as_f64), Some(1.0));
+    let entries = alerts.get("alerts").and_then(Json::as_array).unwrap();
+    assert_eq!(
+        entries[0].get("type").and_then(Json::as_str),
+        Some("ring_desc")
+    );
+    assert!(
+        entries[0]
+            .get("ci95_low_to")
+            .and_then(Json::as_f64)
+            .unwrap()
+            > entries[0]
+                .get("ci95_high_from")
+                .and_then(Json::as_f64)
+                .unwrap()
+    );
+
+    // The reverse direction (bad -> good) must stay silent: ring_desc shrank
+    // and scan_buffer's growth came with more misses - check it does alert,
+    // while same-build comparison never does.
+    let same = Json::parse(&client.query_alerts("ring", "good", "good").unwrap()).unwrap();
+    assert_eq!(same.get("alert_count").and_then(Json::as_f64), Some(0.0));
+
+    server.shutdown();
+}
+
+#[test]
+fn snapshots_persist_across_a_restart() {
+    let root = std::env::temp_dir().join(format!("dprof-serve-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let mut server = Server::start(ServerConfig {
+        store_root: Some(root.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    for i in 0..6 {
+        client
+            .push_shard("ring", "v1", i + 1, &doc(&shard(i + 1, 150, 0.6)))
+            .unwrap();
+    }
+    let top_before = client.query_top("ring", "v1", 4).unwrap();
+    let written = Json::parse(&client.snapshot().unwrap()).unwrap();
+    assert_eq!(written.get("written").and_then(Json::as_f64), Some(1.0));
+    server.shutdown();
+
+    // A fresh server over the same root reloads the snapshot.
+    let mut server = Server::start(ServerConfig {
+        store_root: Some(root.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(&server.addr().to_string()).unwrap();
+    let keys = Json::parse(&client.list_keys().unwrap()).unwrap();
+    let entries = keys.get("keys").and_then(Json::as_array).unwrap();
+    assert_eq!(entries.len(), 1);
+    assert_eq!(
+        entries[0].get("shards").and_then(Json::as_f64),
+        Some(6.0),
+        "shard count survives the snapshot"
+    );
+    // Exact counts survive; the top rows agree on the pooled numerators.
+    let top_after = Json::parse(&client.query_top("ring", "v1", 4).unwrap()).unwrap();
+    let before = Json::parse(&top_before).unwrap();
+    assert_eq!(
+        top_after.get("rows").and_then(Json::as_array).unwrap()[0]
+            .get("l1_miss_samples")
+            .and_then(Json::as_f64),
+        before.get("rows").and_then(Json::as_array).unwrap()[0]
+            .get("l1_miss_samples")
+            .and_then(Json::as_f64)
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn malformed_input_errors_do_not_take_the_server_down() {
+    let mut server = Server::start(ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // A malformed frame (zero length can never hold the kind byte): the server
+    // answers one error frame and hangs up.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.write_all(&[0x00]).unwrap();
+    raw.flush().unwrap();
+    let mut reply = Vec::new();
+    raw.read_to_end(&mut reply).unwrap();
+    assert!(!reply.is_empty(), "expected an error frame before close");
+    let (kind, payload) = dprof_serve::frame::read_frame(&mut std::io::Cursor::new(reply))
+        .unwrap()
+        .unwrap();
+    match dprof_serve::proto::Response::decode(kind, &payload).unwrap() {
+        dprof_serve::proto::Response::Err(message) => {
+            assert!(message.contains("zero length"), "{message}")
+        }
+        other => panic!("expected an error response, got {other:?}"),
+    }
+
+    // The server still accepts and serves new connections.
+    let mut client = Client::connect(&addr.to_string()).unwrap();
+    client
+        .push_shard("ring", "v1", 1, &doc(&shard(1, 100, 0.5)))
+        .unwrap();
+
+    // Unknown keys and invalid tags error without killing the connection.
+    let err = client.query_top("ring", "nope", 4).unwrap_err();
+    assert!(err.contains("unknown key ring/nope"), "{err}");
+    let err = client.push_shard("../etc", "v1", 2, "{}").unwrap_err();
+    assert!(err.contains("invalid workload tag"), "{err}");
+    let err = client
+        .push_shard("ring", "v1", 3, "this is not json")
+        .unwrap_err();
+    assert!(err.contains("server:"), "{err}");
+
+    // A truncated trace upload errors; the connection and server survive.
+    let err = client
+        .push_trace("ring", "v1", 9, b"DPROFTRC-but-cut".to_vec())
+        .unwrap_err();
+    assert!(err.contains("server:"), "{err}");
+    let stats = Json::parse(&client.stats().unwrap()).unwrap();
+    assert_eq!(
+        stats.get("shards_absorbed").and_then(Json::as_f64),
+        Some(1.0)
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn loadgen_pushes_concurrently_with_bounded_memory() {
+    let mut server = Server::start(ServerConfig {
+        compact_threshold: 8,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let templates = vec![
+        ("base".to_string(), vec![shard(0, 200, 0.1)]),
+        ("cand".to_string(), vec![shard(0, 200, 0.8)]),
+    ];
+    let report = run_loadgen(
+        &LoadgenConfig {
+            addr: server.addr().to_string(),
+            workload: "ring".into(),
+            shards: 60,
+            producers: 4,
+            top: 8,
+        },
+        &templates,
+    )
+    .unwrap();
+    assert_eq!(report.shards_pushed, 60);
+    assert_eq!(report.shards_absorbed, 60);
+    assert!(
+        report.shards_resident <= 2 * 8,
+        "resident {} not bounded by keys * threshold",
+        report.shards_resident
+    );
+    assert!(report.queries_answered >= 6);
+    assert!(report.alerts_fired >= 1, "base->cand growth must alert");
+    assert!(report.shards_per_second > 0.0);
+
+    // Shutdown through the protocol (what `dprof query shutdown` does).
+    let mut client = Client::connect(&server.addr().to_string()).unwrap();
+    client.shutdown().unwrap();
+    server.wait();
+}
