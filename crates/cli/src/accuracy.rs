@@ -53,6 +53,13 @@ pub struct AccuracyReport {
     pub sampled_top: Vec<String>,
     /// Fraction of the exact top-K present anywhere in the sampled top-K.
     pub topk_agreement: f64,
+    /// The exact utilization top-K type names (wasted bytes, best first).
+    pub utilization_exact_top: Vec<String>,
+    /// The sampled utilization top-K type names (wasted bytes, best first).
+    pub utilization_sampled_top: Vec<String>,
+    /// Fraction of the exact utilization top-K present in the sampled utilization
+    /// top-K.
+    pub utilization_topk_agreement: f64,
     /// Mean absolute share error over all rows, percentage points.
     pub mean_abs_error: f64,
     /// Largest absolute share error, percentage points.
@@ -198,6 +205,49 @@ pub fn compare(runs: &[ThreadRun], top_k: usize, budget_per_thread: Option<u64>)
         agreed as f64 / k as f64
     };
 
+    // Utilization fidelity: pool (fetched, touched) granule slots per type on each
+    // side — exact from the ground-truth tally, sampled from the profile's
+    // utilization view — and compare the wasted-byte rankings the same way.
+    let pool_utilization = |per_type: &mut HashMap<String, (u64, u64)>,
+                            rows: &[dprof::core::UtilizationRow]| {
+        for row in rows {
+            let e = per_type.entry(row.name.clone()).or_insert((0, 0));
+            e.0 += row.slots_fetched;
+            e.1 += row.slots_touched;
+        }
+    };
+    let mut exact_util: HashMap<String, (u64, u64)> = HashMap::new();
+    let mut sampled_util: HashMap<String, (u64, u64)> = HashMap::new();
+    for run in runs {
+        if let Some(gt) = run.profile.ground_truth.as_ref() {
+            pool_utilization(&mut exact_util, &gt.utilization.rows);
+        }
+        pool_utilization(&mut sampled_util, &run.profile.utilization.rows);
+    }
+    let ranked_by_waste = |counts: &HashMap<String, (u64, u64)>| -> Vec<String> {
+        let mut v: Vec<(String, u64)> = counts
+            .iter()
+            .map(|(n, &(fetched, touched))| (n.clone(), 8 * fetched.saturating_sub(touched)))
+            .filter(|(_, wasted)| *wasted > 0)
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.into_iter().map(|(n, _)| n).collect()
+    };
+    let exact_util_ranked = ranked_by_waste(&exact_util);
+    let sampled_util_ranked = ranked_by_waste(&sampled_util);
+    let uk = top_k.min(exact_util_ranked.len());
+    let utilization_exact_top: Vec<String> = exact_util_ranked.into_iter().take(uk).collect();
+    let utilization_sampled_top: Vec<String> = sampled_util_ranked.into_iter().take(uk).collect();
+    let util_agreed = utilization_exact_top
+        .iter()
+        .filter(|n| utilization_sampled_top.contains(n))
+        .count();
+    let utilization_topk_agreement = if uk == 0 {
+        1.0
+    } else {
+        util_agreed as f64 / uk as f64
+    };
+
     let mean_abs_error = if rows.is_empty() {
         0.0
     } else {
@@ -221,6 +271,9 @@ pub fn compare(runs: &[ThreadRun], top_k: usize, budget_per_thread: Option<u64>)
         exact_top,
         sampled_top,
         topk_agreement,
+        utilization_exact_top,
+        utilization_sampled_top,
+        utilization_topk_agreement,
         mean_abs_error,
         max_abs_error,
         worst_type,
@@ -313,6 +366,15 @@ pub fn render_text(report: &AccuracyReport, options: &AccuracyOptions) -> String
     .unwrap();
     writeln!(
         out,
+        "utilization top-{} rank agreement: {:.0}%  (exact: {} | sampled: {})",
+        report.utilization_exact_top.len(),
+        100.0 * report.utilization_topk_agreement,
+        report.utilization_exact_top.join(", "),
+        report.utilization_sampled_top.join(", ")
+    )
+    .unwrap();
+    writeln!(
+        out,
         "share error: mean {:.2} pp, max {:.2} pp{}",
         report.mean_abs_error,
         report.max_abs_error,
@@ -395,6 +457,27 @@ pub fn render_json(report: &AccuracyReport, options: &AccuracyOptions) -> Json {
                 (
                     "sampled",
                     Json::Arr(report.sampled_top.iter().map(Json::str).collect()),
+                ),
+            ]),
+        ),
+        (
+            "utilization_top_k".into(),
+            Json::obj(vec![
+                ("k", Json::num(report.utilization_exact_top.len() as u32)),
+                ("agreement", Json::num(report.utilization_topk_agreement)),
+                (
+                    "exact",
+                    Json::Arr(report.utilization_exact_top.iter().map(Json::str).collect()),
+                ),
+                (
+                    "sampled",
+                    Json::Arr(
+                        report
+                            .utilization_sampled_top
+                            .iter()
+                            .map(Json::str)
+                            .collect(),
+                    ),
                 ),
             ]),
         ),
@@ -509,6 +592,12 @@ mod tests {
         let doc = Json::parse(&render_json(&report, &options).to_pretty_string()).unwrap();
         assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
         assert!(doc.get("top_k").unwrap().get("agreement").is_some());
+        assert!(doc
+            .get("utilization_top_k")
+            .unwrap()
+            .get("agreement")
+            .is_some());
+        assert!((0.0..=1.0).contains(&report.utilization_topk_agreement));
         let text = render_text(&report, &options);
         assert!(text.contains("rank agreement"));
     }

@@ -7,7 +7,7 @@ use dprof::machine::SamplingPolicy;
 use dprof::trace::FixSpec;
 use std::fmt;
 
-/// The four DProf views, as selectable from the command line.
+/// The five DProf views, as selectable from the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum View {
     /// Types ranked by their share of cache misses (§3.1 / Table 6.1).
@@ -16,16 +16,20 @@ pub enum View {
     MissClassification,
     /// Per-type cache footprint and over-subscribed sets (§3.3).
     WorkingSet,
+    /// Line utilization: wasted bandwidth on fetched-but-untouched bytes, with
+    /// allocator-origin attribution (beyond the thesis's four views).
+    Utilization,
     /// Merged object paths with core-crossing edges (§3.4 / Figure 6-1).
     DataFlow,
 }
 
 impl View {
     /// Every view, in report order.
-    pub const ALL: [View; 4] = [
+    pub const ALL: [View; 5] = [
         View::DataProfile,
         View::MissClassification,
         View::WorkingSet,
+        View::Utilization,
         View::DataFlow,
     ];
 
@@ -35,6 +39,7 @@ impl View {
             View::DataProfile => "data-profile",
             View::MissClassification => "miss-classification",
             View::WorkingSet => "working-set",
+            View::Utilization => "utilization",
             View::DataFlow => "data-flow",
         }
     }
@@ -401,7 +406,8 @@ WORKLOAD:
                               <scenario>[:buggy|:fixed]  (bare name = buggy):
                                 remote-hot-lock, ring-false-sharing, streaming-scan,
                                 hash-capacity-thrash, read-mostly-true-sharing,
-                                job-migration-bounce     (see docs/scenarios.md)
+                                job-migration-bounce, sparse-struct-waste,
+                                hot-cold-field-mix       (see docs/scenarios.md)
                                                                  [default: memcached]
         --tx-policy <P>       memcached TX queue: hash | local   [default: hash]
         --apache-load <L>     peak | drop-off | admission-control [default: drop-off]
@@ -424,8 +430,8 @@ PROFILING:
 
 REPORT:
     -v, --view <VIEW>         data-profile | miss-classification | working-set |
-                              data-flow | all (repeatable, comma-separable)
-                                                                 [default: all]
+                              utilization | data-flow | all
+                              (repeatable, comma-separable)      [default: all]
     -f, --format <F>          text | json                        [default: text]
         --top <N>             max rows per table                 [default: 8]
     -o, --output <PATH>       write the report to a file instead of stdout
@@ -438,6 +444,7 @@ EXAMPLES:
     dprof --workload memcached --threads 4 --format json
     dprof -w apache --apache-load drop-off -v working-set
     dprof -w custom -v data-profile -v miss-classification --top 5
+    dprof -w sparse-struct-waste -v utilization            # wasted-bandwidth ranking
     dprof record -w memcached --trace session.dtrace -f json -o live.json
     dprof replay session.dtrace -f json -o replayed.json   # byte-identical to live.json
     dprof -w ring-false-sharing:buggy -f json -o buggy.json
@@ -496,11 +503,12 @@ fn parse_views(value: &str, views: &mut Vec<View>) -> Result<(), String> {
             "data-profile" => push_unique(views, View::DataProfile),
             "miss-classification" | "miss-class" => push_unique(views, View::MissClassification),
             "working-set" => push_unique(views, View::WorkingSet),
+            "utilization" => push_unique(views, View::Utilization),
             "data-flow" => push_unique(views, View::DataFlow),
             other => {
                 return Err(format!(
                     "unknown view '{other}' (expected data-profile, miss-classification, \
-                     working-set, data-flow, or all)"
+                     working-set, utilization, data-flow, or all)"
                 ))
             }
         }
@@ -1179,7 +1187,7 @@ mod tests {
         };
         assert_eq!(o.run.threads, 4);
         assert_eq!(o.format, Format::Json);
-        assert_eq!(o.views.len(), 4);
+        assert_eq!(o.views.len(), 5);
     }
 
     #[test]
@@ -1194,6 +1202,25 @@ mod tests {
             o.views,
             vec![View::DataProfile, View::WorkingSet, View::DataFlow]
         );
+    }
+
+    #[test]
+    fn utilization_view_parses_and_unknown_views_name_it() {
+        let Parsed::Run(o) = parse(&args("-v utilization")).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(o.views, vec![View::Utilization]);
+        // `all` includes it, and the help text documents the spelling.
+        let Parsed::Run(o) = parse(&args("-v all")).unwrap() else {
+            panic!("expected run")
+        };
+        assert!(o.views.contains(&View::Utilization));
+        assert!(usage().contains("utilization"));
+        // The unknown-view error enumerates every valid spelling, utilization
+        // included.
+        let err = parse(&args("-v utilisation")).unwrap_err();
+        assert!(err.contains("unknown view"), "{err}");
+        assert!(err.contains("utilization"), "{err}");
     }
 
     #[test]

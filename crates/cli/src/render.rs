@@ -43,6 +43,7 @@ pub fn render_text(report: &MergedReport, options: &Options) -> String {
             View::DataProfile => text_data_profile(&mut out, report, options.top),
             View::MissClassification => text_miss_classification(&mut out, report, options.top),
             View::WorkingSet => text_working_set(&mut out, report, options.top),
+            View::Utilization => text_utilization(&mut out, report, options.top),
             View::DataFlow => text_data_flow(&mut out, report, options.top),
         }
     }
@@ -141,6 +142,46 @@ fn text_working_set(out: &mut String, report: &MergedReport, top: usize) {
     .unwrap();
 }
 
+fn text_utilization(out: &mut String, report: &MergedReport, top: usize) {
+    let util = &report.utilization;
+    writeln!(out, "\n=== Line utilization ===").unwrap();
+    writeln!(
+        out,
+        "{:<16} {:>8} {:>15} {:>12} {:>12} {:>9} {:>7}  Origin",
+        "Type name", "Util%", "95% CI", "Wasted", "Wasted/s", "Re-fetch", "Rank"
+    )
+    .unwrap();
+    writeln!(out, "{}", "-".repeat(100)).unwrap();
+    for row in util.rows.iter().take(top) {
+        let origin = row
+            .origins
+            .first()
+            .map(|o| o.origin.as_str())
+            .unwrap_or("-");
+        writeln!(
+            out,
+            "{:<16} {:>7.1}% [{:>5.1}, {:>5.1}] {:>12} {:>10}/s {:>8.1}% {:>7}  {}",
+            row.name,
+            row.utilization_pct,
+            row.ci95_low,
+            row.ci95_high,
+            format_bytes(row.wasted_bytes as f64),
+            format_bytes(row.wasted_bytes_per_sec),
+            100.0 * row.refetch_ratio,
+            if row.rank_stable { "firm" } else { "~" },
+            origin
+        )
+        .unwrap();
+    }
+    writeln!(out, "{}", "-".repeat(100)).unwrap();
+    writeln!(
+        out,
+        "{} line fills tallied, {} re-fetches of evicted lines",
+        util.total_fetches, util.total_refetches
+    )
+    .unwrap();
+}
+
 fn text_data_flow(out: &mut String, report: &MergedReport, top: usize) {
     writeln!(out, "\n=== Data flow (core crossings) ===").unwrap();
     if report.data_flows.is_empty() {
@@ -181,6 +222,7 @@ pub fn render_json(report: &MergedReport, options: &Options) -> Json {
             View::DataProfile => data_profile_section(report, options.top),
             View::MissClassification => miss_classification_section(report, options.top),
             View::WorkingSet => working_set_section(report, options.top),
+            View::Utilization => utilization_section(report, options.top),
             View::DataFlow => data_flow_section(report, options.top),
         };
         root.push((view.key().replace('-', "_"), section));
@@ -323,6 +365,69 @@ fn working_set_section(report: &MergedReport, top: usize) -> Json {
     ])
 }
 
+fn utilization_section(report: &MergedReport, top: usize) -> Json {
+    let util = &report.utilization;
+    Json::obj(vec![
+        ("total_fetches", Json::num(util.total_fetches as f64)),
+        ("total_refetches", Json::num(util.total_refetches as f64)),
+        (
+            "resolved_slots_fetched",
+            Json::num(util.resolved_slots_fetched as f64),
+        ),
+        (
+            "resolved_slots_touched",
+            Json::num(util.resolved_slots_touched as f64),
+        ),
+        (
+            "rows",
+            Json::Arr(
+                util.rows
+                    .iter()
+                    .take(top)
+                    .map(|row| {
+                        Json::obj(vec![
+                            ("type", Json::str(&row.name)),
+                            ("description", Json::str(&row.description)),
+                            ("slots_fetched", Json::num(row.slots_fetched as f64)),
+                            ("slots_touched", Json::num(row.slots_touched as f64)),
+                            ("refetch_slots", Json::num(row.refetch_slots as f64)),
+                            ("utilization_pct", Json::num(row.utilization_pct)),
+                            ("ci95_low", Json::num(row.ci95_low)),
+                            ("ci95_high", Json::num(row.ci95_high)),
+                            ("rank_stable", Json::Bool(row.rank_stable)),
+                            ("wasted_bytes", Json::num(row.wasted_bytes as f64)),
+                            ("wasted_bytes_per_sec", Json::num(row.wasted_bytes_per_sec)),
+                            ("refetch_ratio", Json::num(row.refetch_ratio)),
+                            (
+                                "origins",
+                                Json::Arr(
+                                    row.origins
+                                        .iter()
+                                        .map(|o| {
+                                            Json::obj(vec![
+                                                ("origin", Json::str(&o.origin)),
+                                                (
+                                                    "slots_fetched",
+                                                    Json::num(o.slots_fetched as f64),
+                                                ),
+                                                (
+                                                    "slots_touched",
+                                                    Json::num(o.slots_touched as f64),
+                                                ),
+                                                ("wasted_bytes", Json::num(o.wasted_bytes as f64)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 fn data_flow_section(report: &MergedReport, top: usize) -> Json {
     Json::obj(vec![(
         "types",
@@ -416,6 +521,7 @@ mod tests {
             "data_profile",
             "miss_classification",
             "working_set",
+            "utilization",
             "data_flow",
         ] {
             assert!(doc.get(section).is_some(), "missing section {section}");

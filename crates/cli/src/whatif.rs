@@ -38,6 +38,12 @@ const PAD_FOREIGN_MAX: f64 = 0.25;
 /// Below this mean per-round core concurrency, sharing is serial hand-off between
 /// cores (`pin` territory); above, genuinely concurrent (`localize` territory).
 const PIN_CONCURRENCY_MAX: f64 = 1.4;
+/// Minimum pooled granule slots a utilization row needs before `--auto` treats its
+/// wasted bandwidth as evidence rather than noise.
+const AUTO_UTIL_FETCH_FLOOR: u64 = 64;
+/// Utilization at or above this fraction of the line is healthy; only rows below it
+/// become layout-fix candidates.
+const AUTO_UTIL_PCT_MAX: f64 = 50.0;
 
 /// One measured candidate fix, in rank order.
 #[derive(Debug, Clone)]
@@ -182,6 +188,35 @@ fn auto_candidates(file: &TraceFile) -> Result<Vec<(FixSpec, String)>, String> {
             .map(merge::MergedMissRow::dominant)
             .unwrap_or("invalidation");
         out.push(diagnose(file, &row.name, dominant, line));
+    }
+    // The utilization view surfaces layout waste the miss-share rows can hide: a
+    // type whose misses land in L2/L3 never reaches the data-profile top, yet every
+    // fetch of its lines can still be mostly dead bytes.  Low-utilization rows with
+    // enough pooled evidence become shrink candidates too.
+    for row in report
+        .utilization
+        .rows
+        .iter()
+        .filter(|r| {
+            r.slots_fetched >= AUTO_UTIL_FETCH_FLOOR && r.utilization_pct < AUTO_UTIL_PCT_MAX
+        })
+        .take(AUTO_TOP_TYPES)
+    {
+        let spec = FixSpec::Shrink {
+            type_name: row.name.clone(),
+            bytes: line,
+        };
+        if out.iter().any(|(s, _)| s == &spec) {
+            continue;
+        }
+        out.push((
+            spec,
+            format!(
+                "line utilization {:.0}% ({} wasted bytes/s): pack live fields into one \
+                 {line}-byte line",
+                row.utilization_pct, row.wasted_bytes_per_sec as u64
+            ),
+        ));
     }
     if out.is_empty() {
         return Err(

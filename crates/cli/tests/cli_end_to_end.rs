@@ -1,7 +1,7 @@
 //! End-to-end tests of the `dprof` binary: spawn the real executable on a small
 //! configuration and validate its output, including the acceptance-criteria invocation
 //! shape (`--workload memcached --threads N --format json` must produce a JSON report
-//! containing all four views).
+//! containing all five views).
 
 use dprof_cli::json::Json;
 use std::process::Command;
@@ -27,7 +27,7 @@ const SMALL: &[&str] = &[
 ];
 
 #[test]
-fn json_report_contains_all_four_views() {
+fn json_report_contains_all_five_views() {
     let output = dprof()
         .args(["--workload", "memcached", "--format", "json"])
         .args(SMALL)
@@ -49,6 +49,7 @@ fn json_report_contains_all_four_views() {
         "data_profile",
         "miss_classification",
         "working_set",
+        "utilization",
         "data_flow",
     ] {
         assert!(
@@ -127,6 +128,7 @@ fn text_report_renders_all_views_by_default() {
         "=== Data profile ===",
         "=== Miss classification ===",
         "=== Working set ===",
+        "=== Line utilization ===",
         "=== Data flow",
     ] {
         assert!(stdout.contains(heading), "missing heading {heading}");
@@ -247,4 +249,80 @@ fn output_flag_writes_report_to_file() {
     let doc = Json::parse(&contents).expect("file is valid JSON");
     assert!(doc.get("data_flow").is_some());
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn utilization_view_selects_renders_and_rejects_cleanly() {
+    // --help documents the view and the two planted-layout scenarios it gates.
+    let help = dprof().arg("--help").output().unwrap();
+    assert!(help.status.success());
+    let help_text = String::from_utf8_lossy(&help.stdout);
+    for needle in ["utilization", "sparse-struct-waste", "hot-cold-field-mix"] {
+        assert!(help_text.contains(needle), "--help is missing '{needle}'");
+    }
+
+    // An unknown view fails with exit 2 and an error that names utilization among
+    // the valid spellings.
+    let bad = dprof().args(["--view", "line-waste"]).output().unwrap();
+    assert_eq!(bad.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(
+        stderr.contains("unknown view") && stderr.contains("utilization"),
+        "unknown-view error should list 'utilization': {stderr}"
+    );
+
+    // Selecting only the utilization view on a planted-layout scenario yields a
+    // report with just that section, and the planted type's row is sane.
+    let output = dprof()
+        .args([
+            "--workload",
+            "sparse-struct-waste:buggy",
+            "--view",
+            "utilization",
+            "--format",
+            "json",
+        ])
+        .args(SMALL)
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "utilization-only run failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let doc = Json::parse(&String::from_utf8_lossy(&output.stdout)).unwrap();
+    assert!(doc.get("utilization").is_some());
+    assert!(doc.get("data_profile").is_none());
+    assert!(doc.get("working_set").is_none());
+    let rows = doc
+        .get("utilization")
+        .unwrap()
+        .get("rows")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    let planted = rows
+        .iter()
+        .find(|r| r.get("type").and_then(Json::as_str) == Some("sparse_record"))
+        .expect("sparse_record row in the utilization view");
+    let pct = planted
+        .get("utilization_pct")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(
+        pct > 0.0 && pct <= 100.0,
+        "utilization_pct out of range: {pct}"
+    );
+    assert!(planted.get("wasted_bytes").and_then(Json::as_f64).unwrap() > 0.0);
+    let origins = planted
+        .get("origins")
+        .and_then(Json::as_array)
+        .expect("per-origin allocator attribution");
+    assert!(
+        origins.iter().any(|o| o
+            .get("origin")
+            .and_then(Json::as_str)
+            .is_some_and(|s| s.starts_with("cpu"))),
+        "expected a per-cpu slab origin in the attribution list"
+    );
 }

@@ -272,3 +272,65 @@ fn diff_arity_conflicting_flags_and_bad_focus_are_rejected() {
         .unwrap();
     assert_error(&bad_focus, "appears in neither report");
 }
+
+#[test]
+fn diff_focus_on_a_utilization_only_type_uses_the_wasted_bytes_verdict() {
+    // A type can be invisible to the miss views (no data_profile/miss rows) yet
+    // dominate by wasted fetch bandwidth; focusing the diff on it must fall back to
+    // the utilization axis instead of reporting "appears in neither report".
+    let report = |wasted: u64, pct: f64| {
+        format!(
+            r#"{{"schema": "dprof-report/v1",
+  "data_profile": {{"rows": [{{"type": "rx_ring", "pct_of_l1_misses": 100.0}}]}},
+  "utilization": {{"total_fetches": 4096, "total_refetches": 512, "rows": [
+    {{"type": "sparse_only", "slots_fetched": 4096, "slots_touched": 512,
+      "utilization_pct": {pct}, "wasted_bytes": {wasted},
+      "wasted_bytes_per_sec": 1000.0, "refetch_ratio": 0.125}}]}}}}"#
+        )
+    };
+    let before = tmp("util-only-before.json");
+    let after = tmp("util-only-after.json");
+    std::fs::write(&before, report(100_000, 12.5)).unwrap();
+    std::fs::write(&after, report(400, 95.0)).unwrap();
+
+    let output = dprof()
+        .arg("diff")
+        .arg(&before)
+        .arg(&after)
+        .args(["--focus", "sparse_only", "-f", "json"])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "diff failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let doc = Json::parse(&String::from_utf8_lossy(&output.stdout)).unwrap();
+    assert_eq!(doc.get("focus").and_then(Json::as_str), Some("sparse_only"));
+    assert_eq!(
+        doc.get("verdict").and_then(Json::as_str),
+        Some("eliminated"),
+        "a >60% wasted-bytes drop on a miss-invisible focus type should be judged \
+         eliminated via the utilization axis"
+    );
+
+    // A negligible-waste focus type stays "unchanged" rather than erroring out.
+    let unchanged = dprof()
+        .arg("diff")
+        .arg(&after)
+        .arg(&before)
+        .args(["--focus", "sparse_only", "-f", "json"])
+        .output()
+        .unwrap();
+    assert!(unchanged.status.success());
+    let doc = Json::parse(&String::from_utf8_lossy(&unchanged.stdout)).unwrap();
+    assert_eq!(
+        doc.get("verdict").and_then(Json::as_str),
+        Some("unchanged"),
+        "wasted bytes below the verdict floor must not produce a spurious verdict"
+    );
+
+    for p in [before, after] {
+        std::fs::remove_file(p).ok();
+    }
+}

@@ -74,7 +74,12 @@ fn fresh_record_then_replay_is_byte_identical() {
 
 #[test]
 fn golden_traces_replay_to_their_committed_reports() {
-    for name in ["memcached_quick", "false_sharing_quick", "apache_quick"] {
+    for name in [
+        "memcached_quick",
+        "false_sharing_quick",
+        "apache_quick",
+        "sparse_struct_waste_quick",
+    ] {
         let trace = golden_dir().join(format!("{name}.dtrace"));
         let golden = golden_dir().join(format!("{name}.report.json"));
         let out = tmp(&format!("{name}.json"));

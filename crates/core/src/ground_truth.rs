@@ -50,6 +50,11 @@ pub struct GroundTruthProfile {
     /// L1 misses attributed to a type (the share denominator; unresolved granules
     /// are dropped exactly as unresolvable IBS samples are).
     pub resolved_l1_misses: u64,
+    /// The exact utilization view (every line fill counted), built from the tally's
+    /// embedded [`sim_cache::UtilizationTally`].  The accuracy harness compares the
+    /// sampled utilization rankings against this.
+    #[serde(default)]
+    pub utilization: crate::views::UtilizationProfile,
 }
 
 impl GroundTruthProfile {
@@ -150,6 +155,7 @@ pub fn resolve_ground_truth(
         total_accesses: tally.total_accesses,
         total_l1_misses: tally.total_l1_misses,
         resolved_l1_misses,
+        utilization: crate::views::UtilizationProfile::default(),
     }
 }
 

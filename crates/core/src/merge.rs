@@ -96,6 +96,52 @@ pub struct ShardMissRow {
     pub capacity: f64,
 }
 
+/// Per-allocation-origin share of one shard utilization row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardUtilizationOrigin {
+    /// Origin label (`"cpu<k>"`).
+    pub origin: String,
+    /// Granule-slots fetched for objects from this origin.
+    pub slots_fetched: u64,
+    /// Of those, slots touched before eviction.
+    pub slots_touched: u64,
+}
+
+/// One line-utilization row of a shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardUtilizationRow {
+    /// Type name.
+    pub name: String,
+    /// Description.
+    pub description: String,
+    /// Granule-slots fetched for the type (pooled exactly across shards).
+    pub slots_fetched: u64,
+    /// Of those, slots touched before eviction.
+    pub slots_touched: u64,
+    /// Fetched slots that rode a re-fetch of a previously fetched line.
+    pub refetch_slots: u64,
+    /// Wasted-bandwidth rate of this shard's machine.  Shards profile machines
+    /// running in parallel, so merged rates are *sums* (like `aggregate_rps`).
+    pub wasted_bytes_per_sec: f64,
+    /// Per-allocation-origin breakdown.
+    pub origins: Vec<ShardUtilizationOrigin>,
+}
+
+/// The line-utilization view of a shard.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShardUtilization {
+    /// Per-type rows.
+    pub rows: Vec<ShardUtilizationRow>,
+    /// Counted line fills in the shard's tally.
+    pub total_fetches: u64,
+    /// Of those, re-fetches of previously fetched lines.
+    pub total_refetches: u64,
+    /// Granule-slots fetched that resolved to a type.
+    pub resolved_slots_fetched: u64,
+    /// Of the resolved slots, those touched before eviction.
+    pub resolved_slots_touched: u64,
+}
+
 /// One working-set row of a shard.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardWorkingSetRow {
@@ -191,6 +237,8 @@ pub struct ProfileShard {
     pub data_profile: Vec<ShardProfileRow>,
     /// Miss-classification rows.
     pub miss_classification: Vec<ShardMissRow>,
+    /// Line-utilization view.
+    pub utilization: ShardUtilization,
     /// Working-set view.
     pub working_set: ShardWorkingSet,
     /// Data-flow graphs, sorted by type name.
@@ -272,6 +320,34 @@ impl ProfileShard {
                     capacity: row.fraction(MissClass::Capacity),
                 })
                 .collect(),
+            utilization: ShardUtilization {
+                rows: profile
+                    .utilization
+                    .rows
+                    .iter()
+                    .map(|r| ShardUtilizationRow {
+                        name: r.name.clone(),
+                        description: r.description.clone(),
+                        slots_fetched: r.slots_fetched,
+                        slots_touched: r.slots_touched,
+                        refetch_slots: r.refetch_slots,
+                        wasted_bytes_per_sec: r.wasted_bytes_per_sec,
+                        origins: r
+                            .origins
+                            .iter()
+                            .map(|o| ShardUtilizationOrigin {
+                                origin: o.origin.clone(),
+                                slots_fetched: o.slots_fetched,
+                                slots_touched: o.slots_touched,
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+                total_fetches: profile.utilization.total_fetches,
+                total_refetches: profile.utilization.total_refetches,
+                resolved_slots_fetched: profile.utilization.resolved_slots_fetched,
+                resolved_slots_touched: profile.utilization.resolved_slots_touched,
+            },
             working_set: ShardWorkingSet {
                 rows: profile
                     .working_set
@@ -366,6 +442,65 @@ impl MergedMissRow {
         }
         best.0
     }
+}
+
+/// Per-allocation-origin share of a merged utilization row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedUtilizationOrigin {
+    /// Origin label (`"cpu<k>"`).
+    pub origin: String,
+    /// Total granule-slots fetched for this origin, all shards.
+    pub slots_fetched: u64,
+    /// Of those, slots touched before eviction.
+    pub slots_touched: u64,
+    /// Untouched bytes fetched for this origin.
+    pub wasted_bytes: u64,
+}
+
+/// A line-utilization row aggregated across shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedUtilizationRow {
+    /// Type name.
+    pub name: String,
+    /// Description.
+    pub description: String,
+    /// Total granule-slots fetched, all shards (the pooled Wilson denominator).
+    pub slots_fetched: u64,
+    /// Of those, slots touched before eviction (the pooled numerator).
+    pub slots_touched: u64,
+    /// Fetched slots riding re-fetches of previously fetched lines.
+    pub refetch_slots: u64,
+    /// `100 * slots_touched / slots_fetched` of the pooled counts.
+    pub utilization_pct: f64,
+    /// Pooled untouched bytes: `8 * (slots_fetched - slots_touched)`.
+    pub wasted_bytes: u64,
+    /// Sum of per-shard wasted-bandwidth rates (shards run in parallel).
+    pub wasted_bytes_per_sec: f64,
+    /// `refetch_slots / slots_fetched` of the pooled counts.
+    pub refetch_ratio: f64,
+    /// Lower bound of the 95% confidence interval on the pooled utilization, percent.
+    pub ci95_low: f64,
+    /// Upper bound of the 95% confidence interval, percent.
+    pub ci95_high: f64,
+    /// True when the merged wasted-bytes rank is statistically firm.
+    pub rank_stable: bool,
+    /// Per-allocation-origin breakdown, most-wasteful origin first.
+    pub origins: Vec<MergedUtilizationOrigin>,
+}
+
+/// The merged line-utilization view.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MergedUtilization {
+    /// Per-type rows, sorted by pooled wasted bytes (descending).
+    pub rows: Vec<MergedUtilizationRow>,
+    /// Total counted line fills, all shards.
+    pub total_fetches: u64,
+    /// Of those, re-fetches of previously fetched lines.
+    pub total_refetches: u64,
+    /// Granule-slots fetched that resolved to a type, all shards.
+    pub resolved_slots_fetched: u64,
+    /// Of the resolved slots, those touched before eviction.
+    pub resolved_slots_touched: u64,
 }
 
 /// A working-set row aggregated across shards.
@@ -478,6 +613,8 @@ pub struct MergedReport {
     pub data_profile: Vec<MergedProfileRow>,
     /// Miss-classification rows, sorted by merged miss samples (descending).
     pub miss_classification: Vec<MergedMissRow>,
+    /// The merged line-utilization view, sorted by pooled wasted bytes (descending).
+    pub utilization: MergedUtilization,
     /// The merged working-set view.
     pub working_set: MergedWorkingSet,
     /// Merged data-flow graphs, sorted by type name.
@@ -616,6 +753,7 @@ pub fn merge_shards(shards: &[&ProfileShard]) -> MergedReport {
         pooled_weight: total_weight,
         data_profile: merge_data_profile(shards, total_weight),
         miss_classification: merge_miss_classification(shards),
+        utilization: merge_utilization(shards),
         working_set: merge_working_set(shards),
         data_flows: merge_data_flows(shards),
     }
@@ -744,6 +882,118 @@ fn merge_miss_classification(shards: &[&ProfileShard]) -> Vec<MergedMissRow> {
             .then_with(|| a.name.cmp(&b.name))
     });
     rows
+}
+
+fn merge_utilization(shards: &[&ProfileShard]) -> MergedUtilization {
+    struct Acc {
+        description: String,
+        slots_fetched: u64,
+        slots_touched: u64,
+        refetch_slots: u64,
+        rate: f64,
+        origins: HashMap<String, (u64, u64)>,
+    }
+    let mut acc: HashMap<String, Acc> = HashMap::new();
+    for shard in shards {
+        for row in &shard.utilization.rows {
+            let entry = acc.entry(row.name.clone()).or_insert_with(|| Acc {
+                description: row.description.clone(),
+                slots_fetched: 0,
+                slots_touched: 0,
+                refetch_slots: 0,
+                rate: 0.0,
+                origins: HashMap::new(),
+            });
+            entry.slots_fetched += row.slots_fetched;
+            entry.slots_touched += row.slots_touched;
+            entry.refetch_slots += row.refetch_slots;
+            // Per-shard rates are bandwidths of machines running in parallel, so they
+            // add; the pooled slot counts stay exact for the Wilson interval.
+            entry.rate += row.wasted_bytes_per_sec;
+            for o in &row.origins {
+                let slot = entry.origins.entry(o.origin.clone()).or_default();
+                slot.0 += o.slots_fetched;
+                slot.1 += o.slots_touched;
+            }
+        }
+    }
+    let mut rows: Vec<MergedUtilizationRow> = acc
+        .into_iter()
+        .map(|(name, a)| {
+            let mut origins: Vec<MergedUtilizationOrigin> = a
+                .origins
+                .into_iter()
+                .map(|(origin, (fetched, touched))| MergedUtilizationOrigin {
+                    origin,
+                    slots_fetched: fetched,
+                    slots_touched: touched,
+                    wasted_bytes: 8 * (fetched - touched),
+                })
+                .collect();
+            origins.sort_by(|x, y| {
+                y.wasted_bytes
+                    .cmp(&x.wasted_bytes)
+                    .then_with(|| x.origin.cmp(&y.origin))
+            });
+            let (lo, hi) = wilson95(a.slots_touched, a.slots_fetched);
+            MergedUtilizationRow {
+                name,
+                description: a.description,
+                slots_fetched: a.slots_fetched,
+                slots_touched: a.slots_touched,
+                refetch_slots: a.refetch_slots,
+                utilization_pct: if a.slots_fetched == 0 {
+                    0.0
+                } else {
+                    100.0 * a.slots_touched as f64 / a.slots_fetched as f64
+                },
+                wasted_bytes: 8 * (a.slots_fetched - a.slots_touched),
+                wasted_bytes_per_sec: a.rate,
+                refetch_ratio: if a.slots_fetched == 0 {
+                    0.0
+                } else {
+                    a.refetch_slots as f64 / a.slots_fetched as f64
+                },
+                ci95_low: 100.0 * lo,
+                ci95_high: 100.0 * hi,
+                rank_stable: false, // marked after ranking, below
+                origins,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.wasted_bytes
+            .cmp(&a.wasted_bytes)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    // Rank stability over the wasted-byte ranges implied by the utilization CI
+    // (high utilization => low waste, so the interval ends swap).
+    let intervals: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| {
+            let bytes = 8.0 * r.slots_fetched as f64;
+            (
+                bytes * (1.0 - r.ci95_high / 100.0),
+                bytes * (1.0 - r.ci95_low / 100.0),
+            )
+        })
+        .collect();
+    for (row, stable) in rows.iter_mut().zip(mark_rank_stability(&intervals)) {
+        row.rank_stable = stable;
+    }
+    MergedUtilization {
+        rows,
+        total_fetches: shards.iter().map(|s| s.utilization.total_fetches).sum(),
+        total_refetches: shards.iter().map(|s| s.utilization.total_refetches).sum(),
+        resolved_slots_fetched: shards
+            .iter()
+            .map(|s| s.utilization.resolved_slots_fetched)
+            .sum(),
+        resolved_slots_touched: shards
+            .iter()
+            .map(|s| s.utilization.resolved_slots_touched)
+            .sum(),
+    }
 }
 
 fn merge_working_set(shards: &[&ProfileShard]) -> MergedWorkingSet {
@@ -953,6 +1203,34 @@ pub fn shard_from_merged(report: &MergedReport, ordinal: u64) -> ProfileShard {
                 capacity: r.capacity,
             })
             .collect(),
+        utilization: ShardUtilization {
+            rows: report
+                .utilization
+                .rows
+                .iter()
+                .map(|r| ShardUtilizationRow {
+                    name: r.name.clone(),
+                    description: r.description.clone(),
+                    slots_fetched: r.slots_fetched,
+                    slots_touched: r.slots_touched,
+                    refetch_slots: r.refetch_slots,
+                    wasted_bytes_per_sec: r.wasted_bytes_per_sec,
+                    origins: r
+                        .origins
+                        .iter()
+                        .map(|o| ShardUtilizationOrigin {
+                            origin: o.origin.clone(),
+                            slots_fetched: o.slots_fetched,
+                            slots_touched: o.slots_touched,
+                        })
+                        .collect(),
+                })
+                .collect(),
+            total_fetches: report.utilization.total_fetches,
+            total_refetches: report.utilization.total_refetches,
+            resolved_slots_fetched: report.utilization.resolved_slots_fetched,
+            resolved_slots_touched: report.utilization.resolved_slots_touched,
+        },
         working_set: ShardWorkingSet {
             rows: report
                 .working_set
@@ -1043,6 +1321,13 @@ pub fn summary_from_merged(report: &MergedReport) -> ReportSummary {
         types[i].capacity = row.capacity;
         types[i].dominant_miss = Some(row.dominant().to_string());
     }
+    for row in &report.utilization.rows {
+        let i = find(&mut types, &row.name);
+        types[i].utilization_pct = row.utilization_pct;
+        types[i].wasted_bytes = row.wasted_bytes;
+        types[i].wasted_bytes_per_sec = row.wasted_bytes_per_sec;
+        types[i].refetch_ratio = row.refetch_ratio;
+    }
     for row in &report.working_set.rows {
         let i = find(&mut types, &row.name);
         types[i].working_set_bytes = row.avg_live_bytes;
@@ -1092,6 +1377,25 @@ mod tests {
                 conflict: 0.25,
                 capacity: 0.25,
             }],
+            utilization: ShardUtilization {
+                rows: vec![ShardUtilizationRow {
+                    name: name.into(),
+                    description: "d".into(),
+                    slots_fetched: 8 * l1,
+                    slots_touched: 2 * l1,
+                    refetch_slots: l1,
+                    wasted_bytes_per_sec: 100.0 * l1 as f64,
+                    origins: vec![ShardUtilizationOrigin {
+                        origin: format!("cpu{ordinal}"),
+                        slots_fetched: 8 * l1,
+                        slots_touched: 2 * l1,
+                    }],
+                }],
+                total_fetches: l1,
+                total_refetches: l1 / 4,
+                resolved_slots_fetched: 8 * l1,
+                resolved_slots_touched: 2 * l1,
+            },
             working_set: ShardWorkingSet {
                 rows: vec![ShardWorkingSetRow {
                     name: name.into(),
@@ -1174,6 +1478,38 @@ mod tests {
         let a = summary.get("a").unwrap();
         assert_eq!(a.miss_samples, 100);
         assert_eq!(a.dominant_miss.as_deref(), Some("invalidation"));
+        assert_eq!(a.wasted_bytes, 8 * (8 * 100 - 2 * 100));
+        assert!((a.utilization_pct - 25.0).abs() < 1e-9);
         assert_eq!(summary.rps, report.aggregate_rps);
+    }
+
+    #[test]
+    fn utilization_pools_counts_and_sums_rates() {
+        let mut sink = StreamingMerge::new();
+        sink.absorb(shard(0, "a", 100, 60.0));
+        sink.absorb(shard(1, "a", 50, 40.0));
+        let report = sink.finish();
+        let rows = &report.utilization.rows;
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.slots_fetched, 8 * 150);
+        assert_eq!(row.slots_touched, 2 * 150);
+        assert_eq!(row.refetch_slots, 150);
+        assert_eq!(row.wasted_bytes, 8 * 6 * 150);
+        // Parallel machines: wasted-bandwidth rates add.
+        assert!((row.wasted_bytes_per_sec - 100.0 * 150.0).abs() < 1e-9);
+        assert!((row.utilization_pct - 25.0).abs() < 1e-9);
+        assert!((row.refetch_ratio - 0.125).abs() < 1e-9);
+        // Origins keyed by label merge across shards (distinct cores here).
+        assert_eq!(row.origins.len(), 2);
+        assert_eq!(report.utilization.total_fetches, 150);
+        assert_eq!(report.utilization.resolved_slots_fetched, 8 * 150);
+
+        // Compaction keeps the pooled counts and summed rates exact.
+        let base = shard_from_merged(&report, 0);
+        let mut again = StreamingMerge::new();
+        again.absorb(base);
+        let r2 = again.finish();
+        assert_eq!(r2.utilization, report.utilization);
     }
 }

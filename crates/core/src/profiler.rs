@@ -7,8 +7,8 @@ use crate::history::{collect_histories, CollectionStats, HistoryConfig, ObjectAc
 use crate::path_trace::{build_path_traces, PathTrace};
 use crate::sample::{resolve_samples, AccessSample};
 use crate::views::{
-    build_data_profile, build_working_set, classify_misses, DataFlowGraph, DataProfileRow,
-    TypeMissClassification, WorkingSetView,
+    build_data_profile, build_utilization, build_working_set, classify_misses, DataFlowGraph,
+    DataProfileRow, TypeMissClassification, UtilizationProfile, WorkingSetView,
 };
 use serde::{Deserialize, Serialize};
 use sim_kernel::{KernelState, TypeId};
@@ -77,6 +77,10 @@ pub struct DprofProfile {
     /// The exact per-type profile of the sampling phase, when
     /// [`DprofConfig::collect_ground_truth`] was on.
     pub ground_truth: Option<GroundTruthProfile>,
+    /// The sampled line-utilization view (always collected; residencies are followed
+    /// when their fill coincided with an IBS sample).
+    #[serde(default)]
+    pub utilization: UtilizationProfile,
 }
 
 impl DprofProfile {
@@ -135,6 +139,10 @@ impl Dprof {
         if self.config.collect_ground_truth {
             machine.start_ground_truth();
         }
+        // The sampled utilization tally rides every phase: a residency is followed
+        // whenever its fill coincided with an IBS sample, so the view costs nothing
+        // extra in sample budget.
+        machine.start_utilization();
         let start = machine.max_clock();
         for _ in 0..self.config.sample_rounds {
             step(machine, kernel);
@@ -142,15 +150,40 @@ impl Dprof {
         let end = machine.max_clock();
         let samples_spent = machine.ibs.phase_samples();
         machine.configure_ibs(IbsConfig::default()); // disable
-        let ground_truth = machine
-            .take_ground_truth()
-            .map(|tally| resolve_ground_truth(&tally, &kernel.allocator, &kernel.types));
+        let line_size = machine.hierarchy.line_size() as u64;
+        let cps = machine.config().cycles_per_second;
+        let ground_truth = machine.take_ground_truth().map(|tally| {
+            let mut gt = resolve_ground_truth(&tally, &kernel.allocator, &kernel.types);
+            gt.utilization = build_utilization(
+                &tally.utilization,
+                &kernel.allocator,
+                &kernel.types,
+                line_size,
+                end - start,
+                cps,
+            );
+            gt
+        });
+        let utilization = machine
+            .take_utilization()
+            .map(|tally| {
+                build_utilization(
+                    &tally,
+                    &kernel.allocator,
+                    &kernel.types,
+                    line_size,
+                    end - start,
+                    cps,
+                )
+            })
+            .unwrap_or_default();
         let records = machine.ibs.drain();
         SamplePhase {
             samples: resolve_samples(&records, &kernel.allocator),
             window: (start, end),
             samples_spent,
             ground_truth,
+            utilization,
         }
     }
 
@@ -171,6 +204,7 @@ impl Dprof {
             window: sample_window,
             samples_spent,
             ground_truth,
+            utilization,
         } = self.collect_access_samples(machine, kernel, &mut step);
 
         // Pick the types with the most L1-miss samples for history collection.
@@ -242,6 +276,7 @@ impl Dprof {
             sample_window,
             samples_spent,
             ground_truth,
+            utilization,
         }
     }
 }
@@ -257,6 +292,8 @@ pub struct SamplePhase {
     pub samples_spent: u64,
     /// The exact per-type profile, when ground truth was collected.
     pub ground_truth: Option<GroundTruthProfile>,
+    /// The sampled line-utilization view of the phase.
+    pub utilization: UtilizationProfile,
 }
 
 /// The most frequently sampled 8-byte-aligned offsets of a type, largest first.

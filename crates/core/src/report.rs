@@ -6,7 +6,7 @@ pub mod diff;
 use crate::path_trace::PathTrace;
 use crate::profiler::DprofProfile;
 use crate::views::miss_class::MissClass;
-use crate::views::{DataProfileRow, TypeMissClassification, WorkingSetView};
+use crate::views::{DataProfileRow, TypeMissClassification, UtilizationRow, WorkingSetView};
 use sim_machine::SymbolTable;
 use std::fmt::Write as _;
 
@@ -142,6 +142,36 @@ pub fn render_miss_classification(rows: &[TypeMissClassification], top: usize) -
     out
 }
 
+/// Renders the line-utilization view: types ranked by the bandwidth wasted on
+/// fetched-but-untouched bytes.
+pub fn render_utilization(rows: &[UtilizationRow], top: usize) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<16} {:>8} {:>15} {:>12} {:>12} {:>9}  Origin",
+        "Type name", "Util%", "95% CI", "Wasted", "Wasted/s", "Re-fetch"
+    )
+    .unwrap();
+    writeln!(out, "{}", "-".repeat(92)).unwrap();
+    for r in rows.iter().take(top) {
+        let origin = r.origins.first().map(|o| o.origin.as_str()).unwrap_or("-");
+        writeln!(
+            out,
+            "{:<16} {:>7.1}% [{:>5.1}, {:>5.1}] {:>12} {:>10}/s {:>8.1}%  {}",
+            r.name,
+            r.utilization_pct,
+            r.ci95_low,
+            r.ci95_high,
+            format_bytes(r.wasted_bytes as f64),
+            format_bytes(r.wasted_bytes_per_sec),
+            100.0 * r.refetch_ratio,
+            origin
+        )
+        .unwrap();
+    }
+    out
+}
+
 /// Renders a path trace in the style of Table 4.1.
 pub fn render_path_trace(trace: &PathTrace, symbols: &SymbolTable) -> String {
     let mut out = String::new();
@@ -198,6 +228,8 @@ pub fn render_profile(profile: &DprofProfile, _symbols: &SymbolTable, top: usize
         &profile.miss_classification,
         top,
     ));
+    writeln!(out, "\n=== Line utilization ===").unwrap();
+    out.push_str(&render_utilization(&profile.utilization.rows, top));
     writeln!(out, "\n=== Data flow (core crossings) ===").unwrap();
     for (ty, graph) in &profile.data_flows {
         let name = profile

@@ -51,6 +51,19 @@ pub struct TypeSummary {
     pub dominant_miss: Option<String>,
     /// Core-crossing traversals in the type's data-flow graph.
     pub core_crossings: u64,
+    /// Line-utilization percentage from the utilization view (0 when the type has no
+    /// utilization row).
+    #[serde(default)]
+    pub utilization_pct: f64,
+    /// Bytes fetched for the type but never touched before eviction.
+    #[serde(default)]
+    pub wasted_bytes: u64,
+    /// Wasted bytes normalised to simulated wall-clock time.
+    #[serde(default)]
+    pub wasted_bytes_per_sec: f64,
+    /// Share of the type's fetched slots that were re-fetches of evicted lines.
+    #[serde(default)]
+    pub refetch_ratio: f64,
 }
 
 impl TypeSummary {
@@ -67,6 +80,10 @@ impl TypeSummary {
             capacity: 0.0,
             dominant_miss: None,
             core_crossings: 0,
+            utilization_pct: 0.0,
+            wasted_bytes: 0,
+            wasted_bytes_per_sec: 0.0,
+            refetch_ratio: 0.0,
         }
     }
 }
@@ -104,6 +121,11 @@ impl ReportSummary {
                     .for_type(row.type_id)
                     .map(|t| t.avg_live_bytes)
                     .unwrap_or(row.working_set_bytes);
+                let util = profile
+                    .utilization
+                    .rows
+                    .iter()
+                    .find(|u| u.type_id == row.type_id);
                 TypeSummary {
                     name: row.name.clone(),
                     pct_of_l1_misses: row.pct_of_l1_misses,
@@ -121,6 +143,10 @@ impl ReportSummary {
                         .unwrap_or(0.0),
                     dominant_miss: class.map(|c| miss_class_key(c.dominant).to_string()),
                     core_crossings: crossings,
+                    utilization_pct: util.map(|u| u.utilization_pct).unwrap_or(0.0),
+                    wasted_bytes: util.map(|u| u.wasted_bytes).unwrap_or(0),
+                    wasted_bytes_per_sec: util.map(|u| u.wasted_bytes_per_sec).unwrap_or(0.0),
+                    refetch_ratio: util.map(|u| u.refetch_ratio).unwrap_or(0.0),
                 }
             })
             .collect();
@@ -130,6 +156,25 @@ impl ReportSummary {
             if !types.iter().any(|row| row.name == t.name) {
                 let mut row = TypeSummary::absent(&t.name);
                 row.working_set_bytes = t.avg_live_bytes;
+                types.push(row);
+            }
+        }
+        // Types that only show up in the utilization view (fetched lines without a
+        // single miss *sample*) still matter for the utilization-delta verdict.
+        for u in &profile.utilization.rows {
+            if let Some(row) = types.iter_mut().find(|row| row.name == u.name) {
+                if row.wasted_bytes == 0 && row.utilization_pct == 0.0 {
+                    row.utilization_pct = u.utilization_pct;
+                    row.wasted_bytes = u.wasted_bytes;
+                    row.wasted_bytes_per_sec = u.wasted_bytes_per_sec;
+                    row.refetch_ratio = u.refetch_ratio;
+                }
+            } else {
+                let mut row = TypeSummary::absent(&u.name);
+                row.utilization_pct = u.utilization_pct;
+                row.wasted_bytes = u.wasted_bytes;
+                row.wasted_bytes_per_sec = u.wasted_bytes_per_sec;
+                row.refetch_ratio = u.refetch_ratio;
                 types.push(row);
             }
         }
@@ -198,6 +243,15 @@ pub struct DiffThresholds {
     pub min_share_points: f64,
     /// Focus miss-sample counts below this are noise; the verdict is `Unchanged`.
     pub min_focus_samples: u64,
+    /// When the focus type's miss magnitude is below its floor, the verdict falls
+    /// back to the utilization axis (wasted bytes) — layout bugs can be invisible to
+    /// miss counts.  Focus wasted-bytes magnitudes below this are noise.
+    #[serde(default = "default_min_focus_wasted_bytes")]
+    pub min_focus_wasted_bytes: u64,
+}
+
+fn default_min_focus_wasted_bytes() -> u64 {
+    512
 }
 
 impl Default for DiffThresholds {
@@ -208,6 +262,7 @@ impl Default for DiffThresholds {
             moved_count_factor: 0.6,
             min_share_points: 1.0,
             min_focus_samples: 10,
+            min_focus_wasted_bytes: default_min_focus_wasted_bytes(),
         }
     }
 }
@@ -295,6 +350,21 @@ pub struct TypeDelta {
     pub bounce_a: bool,
     /// Bounce flag in B.
     pub bounce_b: bool,
+    /// Line-utilization percentage in A.
+    #[serde(default)]
+    pub utilization_pct_a: f64,
+    /// Line-utilization percentage in B.
+    #[serde(default)]
+    pub utilization_pct_b: f64,
+    /// Wasted bytes in A.
+    #[serde(default)]
+    pub wasted_bytes_a: u64,
+    /// Wasted bytes in B.
+    #[serde(default)]
+    pub wasted_bytes_b: u64,
+    /// `wasted_bytes_b - wasted_bytes_a`.
+    #[serde(default)]
+    pub delta_wasted_bytes: i64,
 }
 
 /// The structured comparison of two reports.
@@ -339,6 +409,8 @@ impl ReportDiff {
                     && t.delta_capacity.abs() < EPS
                     && t.delta_working_set_bytes.abs() < EPS
                     && t.delta_core_crossings == 0
+                    && t.delta_wasted_bytes == 0
+                    && (t.utilization_pct_b - t.utilization_pct_a).abs() < EPS
                     && t.dominant_a == t.dominant_b
                     && t.ws_rank_a == t.ws_rank_b
                     && t.bounce_a == t.bounce_b
@@ -412,6 +484,11 @@ pub fn diff_with(
                 delta_core_crossings: sb.core_crossings as i64 - sa.core_crossings as i64,
                 bounce_a: sa.bounce,
                 bounce_b: sb.bounce,
+                utilization_pct_a: sa.utilization_pct,
+                utilization_pct_b: sb.utilization_pct,
+                wasted_bytes_a: sa.wasted_bytes,
+                wasted_bytes_b: sb.wasted_bytes,
+                delta_wasted_bytes: sb.wasted_bytes as i64 - sa.wasted_bytes as i64,
             }
         })
         .collect();
@@ -469,8 +546,10 @@ fn classify(
         (share_a, share_b, th.min_share_points)
     };
     if magnitude_a < floor {
-        // There was no bottleneck on the focus type to begin with.
-        return (Verdict::Unchanged, None);
+        // No miss-magnitude bottleneck on the focus type — fall back to the
+        // utilization axis: a layout bug can waste bandwidth on every fetch while
+        // staying invisible to miss counts.
+        return classify_utilization(a, b, focus, th);
     }
     let rel = (magnitude_b - magnitude_a) / magnitude_a;
     if rel.abs() <= th.unchanged_band {
@@ -507,6 +586,52 @@ fn classify(
     }
 }
 
+/// The utilization-axis verdict: compares the focus type's wasted bytes across the
+/// two reports.  Used when the focus has no miss-magnitude bottleneck.
+fn classify_utilization(
+    a: &ReportSummary,
+    b: &ReportSummary,
+    focus: &str,
+    th: &DiffThresholds,
+) -> (Verdict, Option<String>) {
+    let wasted_a = a.get(focus).map(|t| t.wasted_bytes).unwrap_or(0);
+    let wasted_b = b.get(focus).map(|t| t.wasted_bytes).unwrap_or(0);
+    if wasted_a < th.min_focus_wasted_bytes {
+        return (Verdict::Unchanged, None);
+    }
+    let rel = (wasted_b as f64 - wasted_a as f64) / wasted_a as f64;
+    if rel.abs() <= th.unchanged_band {
+        return (Verdict::Unchanged, None);
+    }
+    if rel > 0.0 {
+        return (Verdict::Worsened, None);
+    }
+    if rel > -th.eliminated_drop {
+        return (Verdict::Reduced, None);
+    }
+    // The waste collapsed; a *different* type whose wasted bytes grew to rival the
+    // old focus is a moved bottleneck (same shape as the miss-count rule).
+    let moved_to = b
+        .types
+        .iter()
+        .filter(|t| t.name != focus && t.wasted_bytes > 0)
+        .filter(|t| {
+            let before = a.get(&t.name).map(|p| p.wasted_bytes).unwrap_or(0);
+            t.wasted_bytes as f64 >= th.moved_count_factor * wasted_a as f64
+                && t.wasted_bytes >= before.saturating_mul(2).max(before + 1)
+        })
+        .max_by(|x, y| {
+            x.wasted_bytes
+                .cmp(&y.wasted_bytes)
+                .then_with(|| y.name.cmp(&x.name))
+        })
+        .map(|t| t.name.clone());
+    match moved_to {
+        Some(name) => (Verdict::Moved, Some(name)),
+        None => (Verdict::Eliminated, None),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,7 +648,19 @@ mod tests {
             capacity: 0.25,
             dominant_miss: Some("invalidation".to_string()),
             core_crossings: 0,
+            utilization_pct: 0.0,
+            wasted_bytes: 0,
+            wasted_bytes_per_sec: 0.0,
+            refetch_ratio: 0.0,
         }
+    }
+
+    fn ty_util(name: &str, utilization_pct: f64, wasted_bytes: u64) -> TypeSummary {
+        let mut t = TypeSummary::absent(name);
+        t.utilization_pct = utilization_pct;
+        t.wasted_bytes = wasted_bytes;
+        t.wasted_bytes_per_sec = wasted_bytes as f64 * 10.0;
+        t
     }
 
     fn summary(rows: &[TypeSummary]) -> ReportSummary {
@@ -608,6 +745,45 @@ mod tests {
         let d = diff(&a.with_rps(1000.0), &b.with_rps(2000.0), Some("hot"));
         let gain = d.realized_gain.unwrap();
         assert!((gain - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_fallback_verdicts_when_miss_counts_are_silent() {
+        // The focus type has almost no misses on either side (below the sample floor)
+        // but wastes kilobytes per fetch; the fix collapses the waste.
+        let mut focus_a = ty_util("sparse", 12.5, 100_000);
+        focus_a.miss_samples = 3;
+        let mut focus_b = ty_util("sparse", 95.0, 2_000);
+        focus_b.miss_samples = 3;
+        let noise = ty("noise", 90.0, 900); // keeps counts_available true
+        let a = summary(&[focus_a.clone(), noise.clone()]);
+        let b = summary(&[focus_b.clone(), noise.clone()]);
+        let d = diff(&a, &b, Some("sparse"));
+        assert_eq!(d.verdict, Verdict::Eliminated);
+        let row = d.for_type("sparse").unwrap();
+        assert_eq!(row.delta_wasted_bytes, -98_000);
+        assert!((row.utilization_pct_b - row.utilization_pct_a - 82.5).abs() < 1e-9);
+
+        // Unchanged waste stays unchanged; growth worsens.
+        assert_eq!(diff(&a, &a, Some("sparse")).verdict, Verdict::Unchanged);
+        let mut worse = focus_a.clone();
+        worse.wasted_bytes = 200_000;
+        assert_eq!(
+            diff(&a, &summary(&[worse, noise.clone()]), Some("sparse")).verdict,
+            Verdict::Worsened
+        );
+
+        // Tiny waste is noise: no bottleneck to begin with.
+        let mut tiny_a = ty_util("sparse", 50.0, 100);
+        tiny_a.miss_samples = 3;
+        let tiny = summary(&[tiny_a, noise.clone()]);
+        assert_eq!(diff(&tiny, &b, Some("sparse")).verdict, Verdict::Unchanged);
+
+        // Waste collapsing onto a growing rival is a moved bottleneck.
+        let rival_b = summary(&[focus_b, ty_util("rival", 10.0, 90_000), noise]);
+        let d = diff(&a, &rival_b, Some("sparse"));
+        assert_eq!(d.verdict, Verdict::Moved);
+        assert_eq!(d.moved_to.as_deref(), Some("rival"));
     }
 
     #[test]

@@ -18,7 +18,8 @@
 
 use crate::merge::{
     ProfileShard, ShardFlow, ShardFlowEdge, ShardFlowNode, ShardMeta, ShardMissRow,
-    ShardProfileRow, ShardWorkingSet, ShardWorkingSetRow,
+    ShardProfileRow, ShardUtilization, ShardUtilizationOrigin, ShardUtilizationRow,
+    ShardWorkingSet, ShardWorkingSetRow,
 };
 use crate::report::diff::{ReportSummary, TypeSummary};
 use std::collections::VecDeque;
@@ -503,6 +504,25 @@ pub fn report_summary_from_json(doc: &Json) -> Result<ReportSummary, String> {
     }
 
     if let Some(rows) = doc
+        .get("utilization")
+        .and_then(|s| s.get("rows"))
+        .and_then(Json::as_array)
+    {
+        for row in rows {
+            let Some(name) = row.get("type").and_then(Json::as_str) else {
+                continue;
+            };
+            // Types invisible to the miss views can still dominate by wasted
+            // bandwidth, so rows here may introduce new entries in the summary.
+            let i = find(&mut types, name);
+            types[i].utilization_pct = f64_at(row, "utilization_pct");
+            types[i].wasted_bytes = u64_at(row, "wasted_bytes");
+            types[i].wasted_bytes_per_sec = f64_at(row, "wasted_bytes_per_sec");
+            types[i].refetch_ratio = f64_at(row, "refetch_ratio");
+        }
+    }
+
+    if let Some(rows) = doc
         .get("working_set")
         .and_then(|s| s.get("rows"))
         .and_then(Json::as_array)
@@ -654,6 +674,23 @@ pub fn shard_from_report_json(doc: &Json, ordinal: u64) -> Result<ProfileShard, 
         }
     }
 
+    let util = doc.get("utilization");
+    let utilization = ShardUtilization {
+        rows: util
+            .and_then(|u| u.get("rows"))
+            .and_then(Json::as_array)
+            .map(|rows| rows.iter().map(shard_utilization_row).collect())
+            .unwrap_or_default(),
+        total_fetches: util.map(|u| u64_at(u, "total_fetches")).unwrap_or(0),
+        total_refetches: util.map(|u| u64_at(u, "total_refetches")).unwrap_or(0),
+        resolved_slots_fetched: util
+            .map(|u| u64_at(u, "resolved_slots_fetched"))
+            .unwrap_or(0),
+        resolved_slots_touched: util
+            .map(|u| u64_at(u, "resolved_slots_touched"))
+            .unwrap_or(0),
+    };
+
     let ws = doc.get("working_set");
     let working_set = ShardWorkingSet {
         rows: ws
@@ -744,9 +781,34 @@ pub fn shard_from_report_json(doc: &Json, ordinal: u64) -> Result<ProfileShard, 
         },
         data_profile,
         miss_classification,
+        utilization,
         working_set,
         data_flows,
     })
+}
+
+/// Parses one utilization row (shared by report ingestion and snapshot loading —
+/// both carry the same per-row keys).
+fn shard_utilization_row(row: &Json) -> ShardUtilizationRow {
+    ShardUtilizationRow {
+        name: str_at(row, "type"),
+        description: str_at(row, "description"),
+        slots_fetched: u64_at(row, "slots_fetched"),
+        slots_touched: u64_at(row, "slots_touched"),
+        refetch_slots: u64_at(row, "refetch_slots"),
+        wasted_bytes_per_sec: f64_at(row, "wasted_bytes_per_sec"),
+        origins: row
+            .get("origins")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .map(|o| ShardUtilizationOrigin {
+                origin: str_at(o, "origin"),
+                slots_fetched: u64_at(o, "slots_fetched"),
+                slots_touched: u64_at(o, "slots_touched"),
+            })
+            .collect(),
+    }
 }
 
 /// Serializes a [`ProfileShard`] as the `shard` body of a [`SERVE_V1`] snapshot.
@@ -808,6 +870,68 @@ pub fn shard_to_json(shard: &ProfileShard) -> Json {
                     })
                     .collect(),
             ),
+        ),
+        (
+            "utilization",
+            Json::obj(vec![
+                (
+                    "rows",
+                    Json::Arr(
+                        shard
+                            .utilization
+                            .rows
+                            .iter()
+                            .map(|r| {
+                                Json::obj(vec![
+                                    ("type", Json::str(&r.name)),
+                                    ("description", Json::str(&r.description)),
+                                    ("slots_fetched", Json::num(r.slots_fetched as f64)),
+                                    ("slots_touched", Json::num(r.slots_touched as f64)),
+                                    ("refetch_slots", Json::num(r.refetch_slots as f64)),
+                                    ("wasted_bytes_per_sec", Json::num(r.wasted_bytes_per_sec)),
+                                    (
+                                        "origins",
+                                        Json::Arr(
+                                            r.origins
+                                                .iter()
+                                                .map(|o| {
+                                                    Json::obj(vec![
+                                                        ("origin", Json::str(&o.origin)),
+                                                        (
+                                                            "slots_fetched",
+                                                            Json::num(o.slots_fetched as f64),
+                                                        ),
+                                                        (
+                                                            "slots_touched",
+                                                            Json::num(o.slots_touched as f64),
+                                                        ),
+                                                    ])
+                                                })
+                                                .collect(),
+                                        ),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "total_fetches",
+                    Json::num(shard.utilization.total_fetches as f64),
+                ),
+                (
+                    "total_refetches",
+                    Json::num(shard.utilization.total_refetches as f64),
+                ),
+                (
+                    "resolved_slots_fetched",
+                    Json::num(shard.utilization.resolved_slots_fetched as f64),
+                ),
+                (
+                    "resolved_slots_touched",
+                    Json::num(shard.utilization.resolved_slots_touched as f64),
+                ),
+            ]),
         ),
         (
             "working_set",
@@ -952,6 +1076,24 @@ pub fn shard_from_json(doc: &Json) -> Result<ProfileShard, String> {
                 capacity: f64_at(r, "capacity"),
             })
             .collect(),
+        utilization: {
+            let util = doc.get("utilization");
+            ShardUtilization {
+                rows: util
+                    .and_then(|u| u.get("rows"))
+                    .and_then(Json::as_array)
+                    .map(|rows| rows.iter().map(shard_utilization_row).collect())
+                    .unwrap_or_default(),
+                total_fetches: util.map(|u| u64_at(u, "total_fetches")).unwrap_or(0),
+                total_refetches: util.map(|u| u64_at(u, "total_refetches")).unwrap_or(0),
+                resolved_slots_fetched: util
+                    .map(|u| u64_at(u, "resolved_slots_fetched"))
+                    .unwrap_or(0),
+                resolved_slots_touched: util
+                    .map(|u| u64_at(u, "resolved_slots_touched"))
+                    .unwrap_or(0),
+            }
+        },
         working_set: ShardWorkingSet {
             rows: ws
                 .get("rows")
@@ -1097,6 +1239,25 @@ mod tests {
                 conflict: 0.1,
                 capacity: 0.2,
             }],
+            utilization: ShardUtilization {
+                rows: vec![ShardUtilizationRow {
+                    name: "skbuff".into(),
+                    description: "socket buffer".into(),
+                    slots_fetched: 960,
+                    slots_touched: 240,
+                    refetch_slots: 120,
+                    wasted_bytes_per_sec: 57_600.0,
+                    origins: vec![ShardUtilizationOrigin {
+                        origin: "cpu2".into(),
+                        slots_fetched: 960,
+                        slots_touched: 240,
+                    }],
+                }],
+                total_fetches: 120,
+                total_refetches: 15,
+                resolved_slots_fetched: 960,
+                resolved_slots_touched: 240,
+            },
             working_set: ShardWorkingSet {
                 rows: vec![ShardWorkingSetRow {
                     name: "skbuff".into(),

@@ -1,4 +1,4 @@
-//! The four DProf views (§3 of the thesis).
+//! The four DProf views (§3 of the thesis), plus the line-utilization view.
 //!
 //! * [`data_profile`] — types ranked by their share of cache misses, with bounce flags.
 //! * [`working_set`] — per-type cache footprint and the associativity-set histogram.
@@ -6,13 +6,21 @@
 //!   misses.
 //! * [`data_flow`] — the merged graph of execution paths objects of a type take, with
 //!   core-crossing edges highlighted.
+//! * [`utilization`] — types ranked by the bandwidth wasted on fetched-but-untouched
+//!   bytes, with per-allocation-origin attribution (beyond the thesis; after
+//!   DINAMITE / cache-log-parser).
 
 pub mod data_flow;
 pub mod data_profile;
 pub mod miss_class;
+pub mod utilization;
 pub mod working_set;
 
 pub use data_flow::{DataFlowEdge, DataFlowGraph, DataFlowNode};
 pub use data_profile::{build_data_profile, DataProfileRow};
 pub use miss_class::{classify_misses, MissClass, TypeMissClassification};
+pub use utilization::{
+    build_utilization, finish_utilization_row, rank_utilization_rows, UtilizationOrigin,
+    UtilizationProfile, UtilizationRow,
+};
 pub use working_set::{build_working_set, AssocSetUsage, TypeWorkingSet, WorkingSetView};

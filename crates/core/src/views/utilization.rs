@@ -1,0 +1,381 @@
+//! The line-utilization view (the fifth view, beyond the thesis's four): data types
+//! ranked by the bandwidth they waste on fetched-but-never-touched bytes.
+//!
+//! The miss-share views localize *where* misses land; this view says *how much of each
+//! fetched line is ever used* before eviction — the signal that exposes sparse-struct
+//! waste and hot/cold field mixing, where a type's miss count looks unremarkable but
+//! every one of its fetches drags in a line of mostly dead bytes.  Three metrics per
+//! type, derived from the machine's per-residency granule tally
+//! ([`sim_cache::UtilizationTally`]):
+//!
+//! * **line utilization %** — of the 8-byte granule-slots the type's fetches brought
+//!   in, the share that was touched at least once before eviction,
+//! * **wasted bytes (and bytes/s)** — the untouched remainder, i.e. interconnect and
+//!   DRAM bandwidth spent moving dead bytes,
+//! * **re-fetch ratio** — the share of the type's fetched slots on lines the core had
+//!   already fetched before: traffic re-reading evicted-then-reused data.
+//!
+//! Granules are attributed to types through the allocator's address set with the same
+//! live-then-historical rule as every other view, and additionally to an *allocation
+//! origin* (the core whose slab the object came from), so a row can show which CPU's
+//! allocations produce the waste.
+
+use crate::stats::{mark_rank_stability, wilson95};
+use serde::{Deserialize, Serialize};
+use sim_cache::UtilizationTally;
+use sim_kernel::{AllocRecord, SlabAllocator, TypeId, TypeRegistry};
+use std::collections::HashMap;
+
+/// Per-allocation-origin share of one utilization row (the allocator attribution
+/// axis: which core's slab the fetched objects were allocated from).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationOrigin {
+    /// Origin label, `"cpu<k>"` for the allocating core's slab.
+    pub origin: String,
+    /// Granule-slots fetched for objects from this origin.
+    pub slots_fetched: u64,
+    /// Of those, slots touched before eviction.
+    pub slots_touched: u64,
+    /// Untouched bytes fetched for this origin (`8 * (fetched - touched)`).
+    pub wasted_bytes: u64,
+}
+
+/// One row of the utilization view.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UtilizationRow {
+    /// The type.
+    pub type_id: TypeId,
+    /// Type name.
+    pub name: String,
+    /// Human-readable description.
+    pub description: String,
+    /// Granule-slots fetched: for every counted line fill, each 8-byte granule of the
+    /// line owned by this type counts as one fetched slot.
+    pub slots_fetched: u64,
+    /// Of the fetched slots, those touched at least once during their residency.
+    pub slots_touched: u64,
+    /// Fetched slots that rode a *re-fetch* — a fill of a line the core had already
+    /// fetched before (evicted-then-reused traffic).
+    pub refetch_slots: u64,
+    /// `100 * slots_touched / slots_fetched`.
+    pub utilization_pct: f64,
+    /// Bytes fetched for the type but never touched: `8 * (slots_fetched -
+    /// slots_touched)`.
+    pub wasted_bytes: u64,
+    /// Wasted bytes normalised to simulated wall-clock time (the bandwidth the type
+    /// burns on dead bytes).
+    pub wasted_bytes_per_sec: f64,
+    /// `refetch_slots / slots_fetched`.
+    pub refetch_ratio: f64,
+    /// Lower bound of the 95% (Wilson) confidence interval on the utilization
+    /// fraction, percent.
+    pub ci95_low: f64,
+    /// Upper bound of the 95% confidence interval on the utilization fraction,
+    /// percent.
+    pub ci95_high: f64,
+    /// True when the row's wasted-bytes rank is statistically firm (see
+    /// [`mark_rank_stability`]; intervals are wasted-byte ranges implied by the
+    /// utilization CI).
+    pub rank_stable: bool,
+    /// Per-allocation-origin breakdown, most-wasteful origin first.
+    pub origins: Vec<UtilizationOrigin>,
+}
+
+/// The utilization view of one profiling phase (sampled or exact, depending on the
+/// tally it was built from).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UtilizationProfile {
+    /// Per-type rows, ranked by wasted bytes (descending; name breaks ties).
+    pub rows: Vec<UtilizationRow>,
+    /// Counted line fills in the underlying tally (resolvable or not).
+    pub total_fetches: u64,
+    /// Of the counted fills, re-fetches of previously fetched lines.
+    pub total_refetches: u64,
+    /// Granule-slots fetched that resolved to a type (the rows' denominator pool).
+    pub resolved_slots_fetched: u64,
+    /// Of the resolved slots, those touched before eviction.
+    pub resolved_slots_touched: u64,
+    /// Cycle length of the collection window (for the bytes/s normalisation).
+    pub window_cycles: u64,
+    /// Simulated clock frequency the normalisation used.
+    pub cycles_per_second: u64,
+}
+
+impl UtilizationProfile {
+    /// The row for a type name, if present.
+    pub fn row(&self, name: &str) -> Option<&UtilizationRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// The rank (0 = most wasted bytes) of a type name.
+    pub fn rank_of(&self, name: &str) -> Option<usize> {
+        self.rows.iter().position(|r| r.name == name)
+    }
+
+    /// Total wasted bytes across resolved rows.
+    pub fn wasted_bytes_total(&self) -> u64 {
+        8 * (self.resolved_slots_fetched - self.resolved_slots_touched)
+    }
+
+    /// Overall utilization percentage of the resolved slots.
+    pub fn overall_utilization_pct(&self) -> f64 {
+        if self.resolved_slots_fetched == 0 {
+            0.0
+        } else {
+            100.0 * self.resolved_slots_touched as f64 / self.resolved_slots_fetched as f64
+        }
+    }
+}
+
+/// Re-derives a row's ratio columns (utilization %, wasted bytes, bytes/s, re-fetch
+/// ratio, confidence interval) from its pooled slot counters.  Used both here and by
+/// the report merge after pooling counters across shards.
+pub fn finish_utilization_row(
+    row: &mut UtilizationRow,
+    window_cycles: u64,
+    cycles_per_second: u64,
+) {
+    row.utilization_pct = if row.slots_fetched == 0 {
+        0.0
+    } else {
+        100.0 * row.slots_touched as f64 / row.slots_fetched as f64
+    };
+    row.wasted_bytes = 8 * (row.slots_fetched - row.slots_touched);
+    row.wasted_bytes_per_sec = if window_cycles == 0 {
+        0.0
+    } else {
+        row.wasted_bytes as f64 * cycles_per_second as f64 / window_cycles as f64
+    };
+    row.refetch_ratio = if row.slots_fetched == 0 {
+        0.0
+    } else {
+        row.refetch_slots as f64 / row.slots_fetched as f64
+    };
+    let (lo, hi) = wilson95(row.slots_touched, row.slots_fetched);
+    row.ci95_low = 100.0 * lo;
+    row.ci95_high = 100.0 * hi;
+}
+
+/// Sorts rows by wasted bytes (name breaking ties, for cross-process determinism) and
+/// marks rank stability from the wasted-byte ranges implied by each row's utilization
+/// confidence interval.
+pub fn rank_utilization_rows(rows: &mut [UtilizationRow]) {
+    rows.sort_by(|a, b| {
+        b.wasted_bytes
+            .cmp(&a.wasted_bytes)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    let intervals: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| {
+            let bytes = 8.0 * r.slots_fetched as f64;
+            // High utilization => low waste: the interval ends swap.
+            (
+                bytes * (1.0 - r.ci95_high / 100.0),
+                bytes * (1.0 - r.ci95_low / 100.0),
+            )
+        })
+        .collect();
+    for (row, stable) in rows.iter_mut().zip(mark_rank_stability(&intervals)) {
+        row.rank_stable = stable;
+    }
+}
+
+/// Builds the utilization view from a line tally, attributing each 8-byte granule of
+/// every fetched line to the type (and allocation origin) whose allocation most
+/// recently covered it — the identical live-then-historical rule the other views use.
+pub fn build_utilization(
+    tally: &UtilizationTally,
+    allocator: &SlabAllocator,
+    registry: &TypeRegistry,
+    line_size: u64,
+    window_cycles: u64,
+    cycles_per_second: u64,
+) -> UtilizationProfile {
+    let granules_per_line = (line_size / 8) as usize;
+    // Which (type, origin core) covers each fetched granule?  One pass over the
+    // allocation log in record order; later records overwrite earlier ones.
+    let mut tallied: HashMap<u64, Option<(TypeId, usize)>> = HashMap::new();
+    for (line, _) in tally.iter() {
+        let base = line * line_size;
+        for g in 0..granules_per_line {
+            tallied.insert(base + 8 * g as u64, None);
+        }
+    }
+    for r in allocator.address_set() {
+        let mut g = r.addr & !7;
+        let end = r.addr + r.size;
+        while g < end {
+            if let Some(slot) = tallied.get_mut(&g) {
+                *slot = Some((r.type_id, r.alloc_core));
+            }
+            g += 8;
+        }
+    }
+
+    #[derive(Default)]
+    struct Acc {
+        slots_fetched: u64,
+        slots_touched: u64,
+        refetch_slots: u64,
+        origins: HashMap<usize, (u64, u64)>, // core -> (fetched, touched)
+    }
+    let mut acc: HashMap<TypeId, Acc> = HashMap::new();
+    let mut resolved_slots_fetched = 0u64;
+    let mut resolved_slots_touched = 0u64;
+    for (line, counts) in tally.iter() {
+        let base = line * line_size;
+        for g in 0..granules_per_line {
+            let Some(&Some((ty, core))) = tallied.get(&(base + 8 * g as u64)) else {
+                continue;
+            };
+            let touched = counts.touched[g];
+            let a = acc.entry(ty).or_default();
+            a.slots_fetched += counts.fetches;
+            a.slots_touched += touched;
+            a.refetch_slots += counts.refetches;
+            let o = a.origins.entry(core).or_default();
+            o.0 += counts.fetches;
+            o.1 += touched;
+            resolved_slots_fetched += counts.fetches;
+            resolved_slots_touched += touched;
+        }
+    }
+
+    let mut rows: Vec<UtilizationRow> = acc
+        .into_iter()
+        .map(|(ty, a)| {
+            let info = registry.info(ty);
+            let mut origins: Vec<UtilizationOrigin> = a
+                .origins
+                .into_iter()
+                .map(|(core, (fetched, touched))| UtilizationOrigin {
+                    origin: AllocRecord::origin_label_for(core),
+                    slots_fetched: fetched,
+                    slots_touched: touched,
+                    wasted_bytes: 8 * (fetched - touched),
+                })
+                .collect();
+            origins.sort_by(|x, y| {
+                y.wasted_bytes
+                    .cmp(&x.wasted_bytes)
+                    .then_with(|| x.origin.cmp(&y.origin))
+            });
+            let mut row = UtilizationRow {
+                type_id: ty,
+                name: info.name.clone(),
+                description: info.description.clone(),
+                slots_fetched: a.slots_fetched,
+                slots_touched: a.slots_touched,
+                refetch_slots: a.refetch_slots,
+                utilization_pct: 0.0,
+                wasted_bytes: 0,
+                wasted_bytes_per_sec: 0.0,
+                refetch_ratio: 0.0,
+                ci95_low: 0.0,
+                ci95_high: 0.0,
+                rank_stable: false,
+                origins,
+            };
+            finish_utilization_row(&mut row, window_cycles, cycles_per_second);
+            row
+        })
+        .collect();
+    rank_utilization_rows(&mut rows);
+
+    UtilizationProfile {
+        rows,
+        total_fetches: tally.total_fetches,
+        total_refetches: tally.total_refetches,
+        resolved_slots_fetched,
+        resolved_slots_touched,
+        window_cycles,
+        cycles_per_second,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::KernelTypes;
+    use sim_machine::{Machine, MachineConfig};
+
+    fn setup() -> (Machine, TypeRegistry, SlabAllocator, KernelTypes) {
+        let mut m = Machine::new(MachineConfig::small_test());
+        let mut reg = TypeRegistry::new();
+        let kt = KernelTypes::register(&mut reg);
+        let cores = m.cores();
+        let alloc = SlabAllocator::new(&mut m, &mut reg, cores);
+        (m, reg, alloc, kt)
+    }
+
+    #[test]
+    fn attributes_granules_and_ranks_by_wasted_bytes() {
+        let (mut m, reg, mut alloc, kt) = setup();
+        let skb = alloc.alloc(&mut m, &reg, 0, kt.skbuff); // 256 B, line-aligned slabs
+        let sock = alloc.alloc(&mut m, &reg, 1, kt.udp_sock);
+
+        let mut t = UtilizationTally::new();
+        // skbuff: two lines fetched, one granule touched each => 7/8 wasted per line.
+        t.record_chunk(0, skb / 64, 0b1, true, true);
+        t.record_chunk(0, skb / 64 + 1, 0b1, true, true);
+        // udp_sock: one line fetched, all granules touched => nothing wasted.
+        t.record_chunk(1, sock / 64, 0xff, true, true);
+        t.finalize();
+
+        let p = build_utilization(&t, &alloc, &reg, 64, 1_000, 1_000_000);
+        assert_eq!(p.total_fetches, 3);
+        assert_eq!(p.rows[0].name, "skbuff");
+        assert_eq!(p.rows[0].slots_fetched, 16);
+        assert_eq!(p.rows[0].slots_touched, 2);
+        assert_eq!(p.rows[0].wasted_bytes, 112);
+        assert!((p.rows[0].utilization_pct - 12.5).abs() < 1e-9);
+        // bytes/s = 112 * 1e6 / 1e3
+        assert!((p.rows[0].wasted_bytes_per_sec - 112_000.0).abs() < 1e-6);
+        let sock_row = p.row("udp-sock").unwrap();
+        assert_eq!(sock_row.wasted_bytes, 0);
+        assert!((sock_row.utilization_pct - 100.0).abs() < 1e-9);
+        assert_eq!(p.rank_of("skbuff"), Some(0));
+        assert_eq!(p.wasted_bytes_total(), 112);
+        // Origin attribution: skbuff was allocated from core 0's slab.
+        assert_eq!(p.rows[0].origins.len(), 1);
+        assert_eq!(p.rows[0].origins[0].origin, "cpu0");
+        assert_eq!(sock_row.origins[0].origin, "cpu1");
+    }
+
+    #[test]
+    fn refetch_ratio_counts_refetched_slots() {
+        let (mut m, reg, mut alloc, kt) = setup();
+        let skb = alloc.alloc(&mut m, &reg, 0, kt.skbuff);
+        let mut t = UtilizationTally::new();
+        t.record_chunk(0, skb / 64, 0b1, true, true);
+        t.record_chunk(0, skb / 64, 0b1, true, true); // re-fetch
+        t.finalize();
+        let p = build_utilization(&t, &alloc, &reg, 64, 100, 100);
+        let row = p.row("skbuff").unwrap();
+        assert_eq!(row.refetch_slots, 8);
+        assert!((row.refetch_ratio - 0.5).abs() < 1e-9);
+        assert_eq!(p.total_refetches, 1);
+    }
+
+    #[test]
+    fn unresolved_lines_count_only_in_totals() {
+        let (_m, reg, alloc, _kt) = setup();
+        let mut t = UtilizationTally::new();
+        t.record_chunk(0, 0xdead_beef, 0b1, true, true);
+        t.finalize();
+        let p = build_utilization(&t, &alloc, &reg, 64, 100, 100);
+        assert!(p.rows.is_empty());
+        assert_eq!(p.total_fetches, 1);
+        assert_eq!(p.resolved_slots_fetched, 0);
+    }
+
+    #[test]
+    fn empty_tally_gives_default_profile() {
+        let (_m, reg, alloc, _kt) = setup();
+        let t = UtilizationTally::new();
+        let p = build_utilization(&t, &alloc, &reg, 64, 0, 100);
+        assert!(p.rows.is_empty());
+        assert_eq!(p.overall_utilization_pct(), 0.0);
+    }
+}

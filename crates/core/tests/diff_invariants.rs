@@ -60,6 +60,10 @@ fn summary_strategy() -> impl Strategy<Value = ReportSummary> {
                 capacity,
                 dominant_miss: DOMINANTS[dom_idx].map(|s| s.to_string()),
                 core_crossings: crossings,
+                utilization_pct: f64::from(100 - mix % 100),
+                wasted_bytes: u64::from(ws_bytes) * 8,
+                wasted_bytes_per_sec: f64::from(ws_bytes),
+                refetch_ratio: f64::from(mix % 10) / 10.0,
             });
         }
         ReportSummary { types, rps: 0.0 }
@@ -122,6 +126,10 @@ proptest! {
             prop_assert_eq!(t.ws_rank_b, r.ws_rank_a);
             prop_assert_eq!(t.bounce_a, r.bounce_b);
             prop_assert_eq!(t.bounce_b, r.bounce_a);
+            prop_assert_eq!(t.delta_wasted_bytes, -r.delta_wasted_bytes);
+            prop_assert!((t.utilization_pct_a - r.utilization_pct_b).abs() < 1e-12);
+            prop_assert!((t.utilization_pct_b - r.utilization_pct_a).abs() < 1e-12);
+            prop_assert_eq!(t.wasted_bytes_a, r.wasted_bytes_b);
         }
     }
 

@@ -11,7 +11,7 @@
 
 use dprof_core::merge::{
     merge_shards, MergeSink, ProfileShard, ShardMeta, ShardMissRow, ShardProfileRow,
-    ShardWorkingSet, StreamingMerge,
+    ShardUtilization, ShardUtilizationOrigin, ShardUtilizationRow, ShardWorkingSet, StreamingMerge,
 };
 use proptest::prelude::*;
 
@@ -55,6 +55,28 @@ fn shard_from(ordinal: u64, seed: u64, rows: Vec<(usize, u64, bool)>) -> Profile
             capacity: if *bounce { 0.1 } else { 0.8 },
         })
         .collect();
+    let utilization_rows: Vec<ShardUtilizationRow> = picked
+        .iter()
+        .map(|(name, misses, bounce)| {
+            let fetched = misses * 8;
+            let touched = misses * if *bounce { 2 } else { 5 };
+            ShardUtilizationRow {
+                name: name.clone(),
+                description: format!("{name} (generated)"),
+                slots_fetched: fetched,
+                slots_touched: touched,
+                refetch_slots: misses / 2,
+                wasted_bytes_per_sec: *misses as f64 * 3.0,
+                origins: vec![ShardUtilizationOrigin {
+                    origin: format!("cpu{}", seed % 4),
+                    slots_fetched: fetched,
+                    slots_touched: touched,
+                }],
+            }
+        })
+        .collect();
+    let resolved_fetched: u64 = utilization_rows.iter().map(|r| r.slots_fetched).sum();
+    let resolved_touched: u64 = utilization_rows.iter().map(|r| r.slots_touched).sum();
     ProfileShard {
         ordinal,
         weight: total as f64,
@@ -69,6 +91,13 @@ fn shard_from(ordinal: u64, seed: u64, rows: Vec<(usize, u64, bool)>) -> Profile
         },
         data_profile: profile,
         miss_classification: classification,
+        utilization: ShardUtilization {
+            rows: utilization_rows,
+            total_fetches: total,
+            total_refetches: total / 3,
+            resolved_slots_fetched: resolved_fetched,
+            resolved_slots_touched: resolved_touched,
+        },
         working_set: ShardWorkingSet {
             thread_count: 1,
             ..ShardWorkingSet::default()
@@ -178,5 +207,9 @@ proptest! {
             prop_assert_eq!(&c.name, &e.name);
             prop_assert_eq!(c.miss_samples, e.miss_samples);
         }
+
+        // Utilization counts pool exactly and rates are sums, so compaction
+        // preserves the whole merged view bit-for-bit.
+        prop_assert_eq!(&compacted.utilization, &exact.utilization);
     }
 }

@@ -282,6 +282,7 @@ mod tests {
                 ..ShardWorkingSet::default()
             },
             data_flows: Vec::new(),
+            utilization: Default::default(),
         }
     }
 

@@ -58,6 +58,7 @@ fn shard(ordinal: u64, total: u64, hot_share: f64) -> ProfileShard {
             ..ShardWorkingSet::default()
         },
         data_flows: Vec::new(),
+        utilization: Default::default(),
     }
 }
 

@@ -50,7 +50,10 @@ pub mod stats;
 
 pub use cache::SetAssocCache;
 pub use geometry::CacheGeometry;
-pub use ground_truth::{GranuleCounts, GroundTruthTally};
+pub use ground_truth::{
+    granule_mask, GranuleCounts, GroundTruthTally, LineUtilCounts, UtilizationTally,
+    MAX_GRANULES_PER_LINE,
+};
 pub use hierarchy::{
     AccessKind, AccessOutcome, CacheHierarchy, HierarchyConfig, HitLevel, TraceEvent,
 };

@@ -66,6 +66,17 @@ impl AllocRecord {
     pub fn lifetime(&self) -> Option<u64> {
         self.free_cycle.map(|f| f.saturating_sub(self.alloc_cycle))
     }
+
+    /// The allocation-origin label of this record: the per-core slab the object was
+    /// carved from.  Attribution axes (e.g. the utilization view) group by this.
+    pub fn origin_label(&self) -> String {
+        Self::origin_label_for(self.alloc_core)
+    }
+
+    /// The origin label for a given allocating core.
+    pub fn origin_label_for(core: CoreId) -> String {
+        format!("cpu{core}")
+    }
 }
 
 /// Result of resolving an address to the object containing it.

@@ -8,8 +8,8 @@ use crate::symbols::{FunctionId, SymbolTable};
 use crate::watchpoint::{WatchpointError, WatchpointId, WatchpointUnit};
 use serde::{Deserialize, Serialize};
 use sim_cache::{
-    AccessKind, AccessOutcome, CacheHierarchy, CoreId, GroundTruthTally, HierarchyConfig, HitLevel,
-    MissKind,
+    granule_mask, AccessKind, AccessOutcome, CacheHierarchy, CoreId, GroundTruthTally,
+    HierarchyConfig, HitLevel, LineAddr, MissKind, UtilizationTally,
 };
 use std::collections::HashMap;
 
@@ -135,6 +135,13 @@ pub struct Machine {
     /// Exact per-granule access/miss tally (the accuracy harness's ground truth).
     /// `None` (the default) keeps the hot path to a single branch per access.
     ground_truth: Option<Box<GroundTruthTally>>,
+    /// Sampled line-utilization tally: residencies are opened only for fills the IBS
+    /// unit sampled (what a real profiler could afford), while the exact tally inside
+    /// `ground_truth` counts every fill.  `None` by default.
+    utilization: Option<Box<UtilizationTally>>,
+    /// Reused per-access buffer of `(line, granule_mask, is_fetch)` chunk records for
+    /// the utilization tallies; empty between accesses.
+    util_chunks: Vec<(LineAddr, u8, bool)>,
 }
 
 impl Machine {
@@ -153,6 +160,8 @@ impl Machine {
             profiling_cycles: vec![0; cores],
             session: None,
             ground_truth: None,
+            utilization: None,
+            util_chunks: Vec::new(),
             config,
         }
     }
@@ -172,9 +181,37 @@ impl Machine {
     }
 
     /// Detaches and returns the ground-truth tally (`None` if tallying was never
-    /// enabled).  Tallying stops.
+    /// enabled).  Tallying stops.  The embedded utilization tally is finalized (open
+    /// line residencies are flushed) so its counters are consistent.
     pub fn take_ground_truth(&mut self) -> Option<GroundTruthTally> {
-        self.ground_truth.take().map(|b| *b)
+        self.ground_truth.take().map(|mut b| {
+            b.utilization.finalize();
+            *b
+        })
+    }
+
+    /// Turns on the *sampled* line-utilization tally: from now on a line residency is
+    /// tracked whenever its fill coincided with an IBS sample (touches during tracked
+    /// residencies are recorded exactly).  Requires IBS sampling to be enabled for
+    /// anything to be counted; idempotent.
+    pub fn start_utilization(&mut self) {
+        if self.utilization.is_none() {
+            self.utilization = Some(Box::new(UtilizationTally::new()));
+        }
+    }
+
+    /// True if the sampled utilization tally is active.
+    pub fn utilization_active(&self) -> bool {
+        self.utilization.is_some()
+    }
+
+    /// Detaches and returns the sampled utilization tally, finalized (`None` if it was
+    /// never enabled).  Tallying stops.
+    pub fn take_utilization(&mut self) -> Option<UtilizationTally> {
+        self.utilization.take().map(|mut b| {
+            b.finalize();
+            *b
+        })
     }
 
     /// Turns on session-event recording (see [`crate::session`]).  To capture a
@@ -388,6 +425,7 @@ impl Machine {
         let mut offset = 0u64;
         let mut worst: Option<AccessOutcome> = None;
         let mut total_latency = 0u64;
+        let tallying = self.ground_truth.is_some() || self.utilization.is_some();
 
         while offset < len {
             let a = addr + offset;
@@ -395,6 +433,15 @@ impl Machine {
             let chunk = (line_end - a).min(len - offset);
             let outcome = self.hierarchy.access(core, a, kind);
             total_latency += outcome.latency;
+            if tallying {
+                // A chunk is a *fetch* when its own line missed the private caches
+                // (filled from L3, a foreign cache or DRAM).
+                self.util_chunks.push((
+                    outcome.line,
+                    granule_mask(a, chunk, line_size),
+                    outcome.level.is_miss(),
+                ));
+            }
             let is_worse = worst.map(|w| outcome.latency > w.latency).unwrap_or(true);
             if is_worse {
                 worst = Some(outcome);
@@ -406,6 +453,7 @@ impl Machine {
         if let Some(gt) = self.ground_truth.as_mut() {
             gt.record(addr, kind, worst.level, worst.latency);
         }
+        let samples_before = self.ibs.samples_taken;
 
         // Charge the core and the function counters.
         let charged = total_latency + self.config.op_cost;
@@ -436,6 +484,24 @@ impl Machine {
                 self.clocks[core] += cost;
                 self.profiling_cycles[core] += cost;
             }
+        }
+
+        if tallying {
+            // `samples_taken` advanced iff IBS sampled this operation — that decides
+            // which fills the *sampled* tally follows; the exact tally counts them all.
+            let sampled = ibs_on && self.ibs.samples_taken > samples_before;
+            if let Some(gt) = self.ground_truth.as_mut() {
+                for &(line, mask, is_fetch) in &self.util_chunks {
+                    gt.utilization
+                        .record_chunk(core, line, mask, is_fetch, true);
+                }
+            }
+            if let Some(ut) = self.utilization.as_mut() {
+                for &(line, mask, is_fetch) in &self.util_chunks {
+                    ut.record_chunk(core, line, mask, is_fetch, sampled);
+                }
+            }
+            self.util_chunks.clear();
         }
 
         worst
@@ -663,6 +729,8 @@ mod tests {
                 seed: 11,
             });
             m.arm_watchpoint(0, 0x2000, 8).unwrap();
+            m.start_ground_truth();
+            m.start_utilization();
             m
         };
         let mut seq = build();
@@ -694,6 +762,99 @@ mod tests {
         assert_eq!(seq.watchpoints.buffered(), bat.watchpoints.buffered());
         assert_eq!(seq.ibs.samples_taken, bat.ibs.samples_taken);
         assert!(bat.watchpoints.buffered() > 0, "watchpoint must have fired");
+
+        let gt_seq = seq.take_ground_truth().unwrap();
+        let gt_bat = bat.take_ground_truth().unwrap();
+        assert_eq!(gt_seq.total_accesses, gt_bat.total_accesses);
+        assert_eq!(
+            gt_seq.utilization.snapshot(),
+            gt_bat.utilization.snapshot(),
+            "exact utilization tallies must match between batched and sequential runs"
+        );
+        let ut_seq = seq.take_utilization().unwrap();
+        let ut_bat = bat.take_utilization().unwrap();
+        assert_eq!(ut_seq.snapshot(), ut_bat.snapshot());
+        assert_eq!(ut_seq.total_fetches, ut_bat.total_fetches);
+    }
+
+    #[test]
+    fn exact_utilization_tracks_touched_granules() {
+        let mut m = machine();
+        let ip = m.fn_id("f");
+        m.start_ground_truth();
+        // Cold fill touching granule 0, two more touches at granules 1 and 7, then
+        // evict-and-refetch is approximated by a second pass after thrashing the set.
+        m.read(0, ip, 0x1000, 8);
+        m.read(0, ip, 0x1008, 8);
+        m.read(0, ip, 0x1038, 8);
+        let gt = m.take_ground_truth().unwrap();
+        let snap = gt.utilization.snapshot();
+        let (line, counts) = snap
+            .iter()
+            .find(|&&(l, _)| l == 0x1000 / 64)
+            .copied()
+            .unwrap();
+        assert_eq!(line, 0x40);
+        assert_eq!(counts.fetches, 1);
+        assert_eq!(counts.refetches, 0);
+        assert_eq!(counts.touched[0], 1);
+        assert_eq!(counts.touched[1], 1);
+        assert_eq!(counts.touched[7], 1);
+        assert_eq!(counts.touched_slots(), 3);
+    }
+
+    #[test]
+    fn exact_utilization_counts_refetch_after_eviction() {
+        let mut m = machine();
+        let ip = m.fn_id("f");
+        m.start_ground_truth();
+        m.read(0, ip, 0x1000, 8);
+        // small_test L1: 2KB 2-way 16 sets, L2: 8KB 4-way 32 sets.  Walk enough
+        // same-set lines to evict 0x1000 from both private levels (32KB stride-free
+        // sweep exceeds L2 capacity).
+        for i in 1..=512u64 {
+            m.read(0, ip, 0x1000 + i * 64, 8);
+        }
+        m.read(0, ip, 0x1000, 8); // re-fetch of evicted-then-reused line
+        let gt = m.take_ground_truth().unwrap();
+        let counts = gt
+            .utilization
+            .snapshot()
+            .iter()
+            .find(|&&(l, _)| l == 0x40)
+            .map(|&(_, c)| c)
+            .unwrap();
+        assert_eq!(counts.fetches, 2);
+        assert_eq!(counts.refetches, 1);
+        assert!(gt.utilization.total_refetches >= 1);
+    }
+
+    #[test]
+    fn sampled_utilization_counts_only_sampled_fills() {
+        let mut m = machine();
+        let ip = m.fn_id("f");
+        m.start_utilization();
+        // IBS disabled: no fill is ever sampled, so nothing is counted.
+        for i in 0..64u64 {
+            m.read(0, ip, 0x1000 + i * 64, 8);
+        }
+        let ut = m.take_utilization().unwrap();
+        assert!(ut.is_empty());
+        assert_eq!(ut.total_fetches, 0);
+
+        // With IBS on, sampled fills open residencies.
+        m.configure_ibs(IbsConfig {
+            policy: crate::ibs::SamplingPolicy::fixed(2),
+            interrupt_cost: 0,
+            seed: 7,
+        });
+        m.start_utilization();
+        for i in 0..64u64 {
+            m.read(1, ip, 0x4_0000 + i * 64, 8);
+        }
+        let ut = m.take_utilization().unwrap();
+        assert!(ut.total_fetches > 0);
+        assert!(ut.total_fetches <= 64);
     }
 
     #[test]

@@ -56,6 +56,8 @@ pub enum ExpectedView {
     MissClassification,
     /// Types ranked by average live bytes.
     WorkingSet,
+    /// Types ranked by wasted fetch bandwidth (line utilization).
+    Utilization,
     /// Types ranked by data-flow core crossings.
     DataFlow,
 }
@@ -67,6 +69,7 @@ impl ExpectedView {
             ExpectedView::DataProfile => "data-profile",
             ExpectedView::MissClassification => "miss-classification",
             ExpectedView::WorkingSet => "working-set",
+            ExpectedView::Utilization => "utilization",
             ExpectedView::DataFlow => "data-flow",
         }
     }
@@ -202,7 +205,7 @@ pub fn scenario_names() -> Vec<&'static str> {
     REGISTRY.iter().map(|s| s.name).collect()
 }
 
-static REGISTRY: [ScenarioSpec; 6] = [
+static REGISTRY: [ScenarioSpec; 8] = [
     ScenarioSpec {
         name: "remote-hot-lock",
         buggy_name: "remote-hot-lock:buggy",
@@ -325,6 +328,50 @@ static REGISTRY: [ScenarioSpec; 6] = [
             whatif_tolerance: 0.15,
         },
         build: build_job_migration_bounce,
+    },
+    ScenarioSpec {
+        name: "sparse-struct-waste",
+        buggy_name: "sparse-struct-waste:buggy",
+        fixed_name: "sparse-struct-waste:fixed",
+        summary: "four hot 8-byte fields scattered across a 4 KiB record",
+        bug: "each `sparse_record` is 4 KiB with its four hot fields on four \
+              different cache lines 1 KiB apart; every field read fetches a full \
+              line to use 8 bytes of it, and the scattered hot lines overflow the \
+              private caches so the fetches never stop — yet the misses land in \
+              the shared L3, so dense streaming decoys out-rank the record in \
+              every miss-share view",
+        fix: "the record is packed: the hot fields move into one 64-byte header \
+              line, cutting fetches 4x and wasted fetch bandwidth ~7x",
+        planted: Planted {
+            type_name: "sparse_record",
+            expected_view: ExpectedView::Utilization,
+            expected_dominant: Some("capacity"),
+            expect_bounce: false,
+            whatif_fix: "shrink:sparse_record:64",
+            whatif_tolerance: 0.25,
+        },
+        build: build_sparse_struct_waste,
+    },
+    ScenarioSpec {
+        name: "hot-cold-field-mix",
+        buggy_name: "hot-cold-field-mix:buggy",
+        fixed_name: "hot-cold-field-mix:fixed",
+        summary: "migratory sessions with hot fields interleaved across cold lines",
+        bug: "each shared `session_state` is processed by a rotating core every \
+              round, and its four hot fields sit on four different cache lines \
+              interleaved with cold state — so every migration re-fetches four \
+              lines from the previous core's cache to touch 8 bytes of each",
+        fix: "the hot fields are reordered into one cache line (hot/cold split), \
+              so each migration moves one line instead of four",
+        planted: Planted {
+            type_name: "session_state",
+            expected_view: ExpectedView::Utilization,
+            expected_dominant: Some("invalidation"),
+            expect_bounce: true,
+            whatif_fix: "shrink:session_state:64",
+            whatif_tolerance: 0.15,
+        },
+        build: build_hot_cold_field_mix,
     },
 ];
 
@@ -932,6 +979,275 @@ fn build_job_migration_bounce(config: &ScenarioConfig) -> BuiltScenario {
     (machine, kernel, Box::new(w))
 }
 
+// ---------------------------------------------------------------------------
+// dense streaming decoys (shared by the layout-waste scenarios)
+// ---------------------------------------------------------------------------
+
+/// The three decoy buffer types the layout-waste scenarios stream every round.
+const DECOY_TYPES: [(&str, &str); 3] = [
+    ("rx_batch_page", "per-core NIC RX batch staging buffer"),
+    ("log_staging_buf", "per-core request-log staging buffer"),
+    ("stat_snapshot", "per-core statistics snapshot block"),
+];
+
+/// Decoy buffer size: 80 KiB streams past the 64 KiB L1 (so every line misses)
+/// while three of them still fit the 512 KiB L2, keeping the misses cheap.
+const DECOY_BYTES: u64 = 80 * 1024;
+
+/// Dense streaming traffic that dominates the *miss-share* views without wasting
+/// any fetch bandwidth: each per-core buffer is read one full 64-byte line per
+/// access, so its line utilization is 100% and it never ranks in the utilization
+/// view — exactly the cover the layout-waste scenarios need to stay invisible to
+/// miss counting while topping the wasted-bytes ranking.
+struct DenseDecoys {
+    /// `bufs[type][core]`.
+    bufs: Vec<Vec<u64>>,
+    stream_fn: FunctionId,
+}
+
+impl DenseDecoys {
+    fn install(machine: &mut Machine, kernel: &mut KernelState, cores: usize) -> DenseDecoys {
+        let mut bufs = Vec::with_capacity(DECOY_TYPES.len());
+        for (name, desc) in DECOY_TYPES {
+            let ty = kernel.types.register(name, desc, DECOY_BYTES);
+            let mut per_core = Vec::with_capacity(cores);
+            for core in 0..cores {
+                per_core.push(kernel.allocator.alloc(machine, &kernel.types, core, ty));
+            }
+            bufs.push(per_core);
+        }
+        DenseDecoys {
+            bufs,
+            stream_fn: machine.fn_id("batch_stream_copy"),
+        }
+    }
+
+    fn stream(&self, machine: &mut Machine) {
+        for per_core in &self.bufs {
+            for (core, &buf) in per_core.iter().enumerate() {
+                let reqs: Vec<AccessReq> = (0..DECOY_BYTES / 64)
+                    .map(|i| AccessReq::read(buf + i * 64, 64))
+                    .collect();
+                machine.access_run(core, self.stream_fn, &reqs);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sparse-struct-waste
+// ---------------------------------------------------------------------------
+
+struct SparseStructWaste {
+    full_name: &'static str,
+    cores: usize,
+    rec_ty: TypeId,
+    /// The four hot-field offsets (four lines buggy, one line fixed).
+    hot_offsets: [u64; 4],
+    /// `records[core]` — each core scans only its own records.
+    records: Vec<Vec<u64>>,
+    decoys: DenseDecoys,
+    scan_fn: FunctionId,
+    recycle_cursor: usize,
+    requests: u64,
+    rounds: u64,
+}
+
+impl SparseStructWaste {
+    const RECORDS_PER_CORE: usize = 256;
+}
+
+impl Workload for SparseStructWaste {
+    fn name(&self) -> &str {
+        self.full_name
+    }
+
+    fn step(&mut self, machine: &mut Machine, kernel: &mut KernelState) {
+        self.rounds += 1;
+        if self.rounds.is_multiple_of(REALLOC_PERIOD / 2) {
+            // Recycle one record per core (connection churn), keeping fresh
+            // allocations available for watchpoint arming.
+            let i = self.recycle_cursor % Self::RECORDS_PER_CORE;
+            self.recycle_cursor += 1;
+            for core in 0..self.cores {
+                kernel.allocator.free(machine, core, self.records[core][i]);
+                self.records[core][i] =
+                    kernel
+                        .allocator
+                        .alloc(machine, &kernel.types, core, self.rec_ty);
+            }
+        }
+        for core in 0..self.cores {
+            let mut reqs = Vec::with_capacity(Self::RECORDS_PER_CORE * self.hot_offsets.len());
+            for &rec in &self.records[core] {
+                for &off in &self.hot_offsets {
+                    reqs.push(AccessReq::read(rec + off, 8));
+                }
+            }
+            machine.access_run(core, self.scan_fn, &reqs);
+        }
+        self.decoys.stream(machine);
+        self.requests += background_round(machine, kernel, self.cores);
+    }
+
+    fn requests_completed(&self) -> u64 {
+        self.requests
+    }
+}
+
+fn build_sparse_struct_waste(config: &ScenarioConfig) -> BuiltScenario {
+    let (mut machine, mut kernel) = base_machine(config);
+    // Buggy: 4 KiB records with the hot fields 1 KiB apart (four lines per scan).
+    // The 4 KiB stride concentrates the hot lines into a handful of L1/L2 sets, so
+    // they thrash the private caches and re-fetch from the L3 every round.  Fixed:
+    // the hot fields are packed into a 64-byte header (one line per scan).
+    let (rec_size, hot_offsets) = match config.variant {
+        Variant::Buggy => (4096, [0, 1024, 2048, 3072]),
+        Variant::Fixed => (64, [0, 8, 16, 24]),
+    };
+    let rec_ty = kernel.types.register(
+        "sparse_record",
+        "per-connection accounting record",
+        rec_size,
+    );
+    for (i, &off) in hot_offsets.iter().enumerate() {
+        kernel
+            .types
+            .add_field(rec_ty, ["hits", "bytes", "last_seen", "flags"][i], off, 8);
+    }
+    let mut records = Vec::with_capacity(config.cores);
+    for core in 0..config.cores {
+        records.push(
+            (0..SparseStructWaste::RECORDS_PER_CORE)
+                .map(|_| {
+                    kernel
+                        .allocator
+                        .alloc(&mut machine, &kernel.types, core, rec_ty)
+                })
+                .collect(),
+        );
+    }
+    let decoys = DenseDecoys::install(&mut machine, &mut kernel, config.cores);
+    let spec = &REGISTRY[6];
+    let w = SparseStructWaste {
+        full_name: spec.full_name(config.variant),
+        cores: config.cores,
+        rec_ty,
+        hot_offsets,
+        records,
+        decoys,
+        scan_fn: machine.fn_id("conn_account_scan"),
+        recycle_cursor: 0,
+        requests: 0,
+        rounds: 0,
+    };
+    (machine, kernel, Box::new(w))
+}
+
+// ---------------------------------------------------------------------------
+// hot-cold-field-mix
+// ---------------------------------------------------------------------------
+
+struct HotColdFieldMix {
+    full_name: &'static str,
+    cores: usize,
+    session_ty: TypeId,
+    /// The four hot-field offsets (four lines buggy, one line fixed).
+    hot_offsets: [u64; 4],
+    sessions: Vec<u64>,
+    exec_fn: FunctionId,
+    recycle_cursor: usize,
+    requests: u64,
+    rounds: u64,
+    decoys: DenseDecoys,
+}
+
+impl HotColdFieldMix {
+    const SESSIONS: usize = 256;
+    const SESSION_SIZE: u64 = 2048;
+}
+
+impl Workload for HotColdFieldMix {
+    fn name(&self) -> &str {
+        self.full_name
+    }
+
+    fn step(&mut self, machine: &mut Machine, kernel: &mut KernelState) {
+        self.rounds += 1;
+        if self.rounds.is_multiple_of(REALLOC_PERIOD / 2) {
+            // Recycle one session (connection churn) so watchpoints can arm.
+            let i = self.recycle_cursor % Self::SESSIONS;
+            self.recycle_cursor += 1;
+            kernel
+                .allocator
+                .free(machine, i % self.cores, self.sessions[i]);
+            self.sessions[i] =
+                kernel
+                    .allocator
+                    .alloc(machine, &kernel.types, i % self.cores, self.session_ty);
+        }
+        for (i, &session) in self.sessions.iter().enumerate() {
+            // The "scheduler" hands each session to a different core every round
+            // (migratory true sharing), and the handler updates every hot field.
+            let core = (i + self.rounds as usize) % self.cores;
+            let mut reqs = Vec::with_capacity(self.hot_offsets.len() * 2);
+            for &off in &self.hot_offsets {
+                reqs.push(AccessReq::read(session + off, 8));
+                reqs.push(AccessReq::write(session + off, 8));
+            }
+            machine.access_run(core, self.exec_fn, &reqs);
+        }
+        self.decoys.stream(machine);
+        self.requests += background_round(machine, kernel, self.cores);
+    }
+
+    fn requests_completed(&self) -> u64 {
+        self.requests
+    }
+}
+
+fn build_hot_cold_field_mix(config: &ScenarioConfig) -> BuiltScenario {
+    let (mut machine, mut kernel) = base_machine(config);
+    // Buggy: the hot fields sit on four different lines, interleaved with cold
+    // state.  Fixed: same 2 KiB object, hot fields reordered into the first line.
+    let hot_offsets = match config.variant {
+        Variant::Buggy => [0, 64, 128, 192],
+        Variant::Fixed => [0, 8, 16, 24],
+    };
+    let session_ty = kernel.types.register(
+        "session_state",
+        "per-session protocol state block",
+        HotColdFieldMix::SESSION_SIZE,
+    );
+    for (i, &off) in hot_offsets.iter().enumerate() {
+        kernel
+            .types
+            .add_field(session_ty, ["seq", "window", "timer", "flags"][i], off, 8);
+    }
+    let sessions = (0..HotColdFieldMix::SESSIONS)
+        .map(|i| {
+            kernel
+                .allocator
+                .alloc(&mut machine, &kernel.types, i % config.cores, session_ty)
+        })
+        .collect();
+    let decoys = DenseDecoys::install(&mut machine, &mut kernel, config.cores);
+    let spec = &REGISTRY[7];
+    let w = HotColdFieldMix {
+        full_name: spec.full_name(config.variant),
+        cores: config.cores,
+        session_ty,
+        hot_offsets,
+        sessions,
+        exec_fn: machine.fn_id("session_exec"),
+        recycle_cursor: 0,
+        requests: 0,
+        rounds: 0,
+        decoys,
+    };
+    (machine, kernel, Box::new(w))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -939,7 +1255,7 @@ mod tests {
     #[test]
     fn registry_is_well_formed() {
         let names = scenario_names();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 8);
         for spec in registry() {
             assert_eq!(spec.buggy_name, format!("{}:buggy", spec.name));
             assert_eq!(spec.fixed_name, format!("{}:fixed", spec.name));
@@ -999,6 +1315,7 @@ mod tests {
             "ring-false-sharing",
             "read-mostly-true-sharing",
             "job-migration-bounce",
+            "hot-cold-field-mix",
         ] {
             let (_, spec) = find(name).unwrap();
             let run = |variant| {

@@ -56,6 +56,16 @@ fn rank_in_expected_view(profile: &DprofProfile, spec: &ScenarioSpec) -> Option<
             .per_type
             .iter()
             .position(|r| r.name == name),
+        ExpectedView::Utilization => {
+            // Rows are already ranked by wasted fetch bandwidth (descending).
+            let pos = profile
+                .utilization
+                .rows
+                .iter()
+                .position(|r| r.name == name)?;
+            // A rank here is only meaningful with actual waste.
+            (profile.utilization.rows[pos].wasted_bytes > 0).then_some(pos)
+        }
         ExpectedView::DataFlow => {
             // Rank history-profiled types by data-flow core crossings (most first).
             let mut flows: Vec<(String, u64)> = profile
@@ -103,7 +113,7 @@ fn ci_job_covers_every_registered_scenario() {
 fn every_scenario_plants_a_detectable_bottleneck_and_its_fix_eliminates_it() {
     assert_eq!(
         scenarios::registry().len(),
-        6,
+        8,
         "registry size drifted; update docs/scenarios.md and the CI scenario list"
     );
     for spec in scenarios::registry() {

@@ -116,7 +116,7 @@ fn ci_job_covers_every_registered_scenario() {
 fn auto_ranks_the_planted_fix_first_within_tolerance_on_every_scenario() {
     assert_eq!(
         scenarios::registry().len(),
-        6,
+        8,
         "registry size drifted; update docs/whatif.md and the CI whatif list"
     );
     for (index, spec) in scenarios::registry().iter().enumerate() {
